@@ -1,0 +1,141 @@
+//! Regenerates the **§4.5.2 time-consumption analysis**: per-inner-loop
+//! step time, full outer-loop (meta-batch) time, test-time adaptation time
+//! and per-task evaluation time on the NNE intra-domain configuration, for
+//! 5-way 1-shot and 5-way 5-shot; plus the linear-scaling check in the
+//! support-set size.
+//!
+//! Hardware differs from the paper (CPU vs V100), so the claims under test
+//! are the *relative* ones: adaptation ≪ training, inner-step cost roughly
+//! independent of K, linear growth with data size.
+
+use std::time::Instant;
+
+use fewner_bench::{backbone_config, embedding_spec, meta_config, Scale, EVAL_SEED};
+use fewner_core::{EpisodicLearner, Fewner, Maml};
+use fewner_corpus::{split_types, DatasetProfile};
+use fewner_episode::EpisodeSampler;
+use fewner_models::{encode_task, Conditioning, TokenEncoder};
+use fewner_util::Rng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    let d = DatasetProfile::nne().generate(scale.corpus).expect("NNE");
+    let split = split_types(&d, (52, 10, 15), 42).expect("split");
+    let enc = TokenEncoder::build(&[&d], &embedding_spec(), 4);
+    let meta = meta_config();
+
+    println!("Timing analysis (§4.5.2), NNE intra-domain, CPU\n");
+    let mut lines = Vec::new();
+    for k in [1usize, 5] {
+        let learner =
+            Fewner::new(backbone_config(5, Conditioning::Film), &enc, meta.clone()).expect("build");
+        let sampler = EpisodeSampler::new(&split.train, 5, k, scale.query_size).expect("sampler");
+        let mut rng = Rng::new(3);
+        let tasks: Vec<_> = (0..meta.meta_batch)
+            .map(|_| sampler.sample(&mut rng).unwrap())
+            .collect();
+
+        // Inner-loop step time: one φ gradient step on a support set.
+        let (support, _) = encode_task(&enc, &tasks[0]);
+        let tags = tasks[0].tag_set();
+        let t0 = Instant::now();
+        let reps = 10;
+        for _ in 0..reps {
+            learner.adapt_context(&support, &tags, 1).unwrap();
+        }
+        let inner_step = t0.elapsed().as_secs_f64() / reps as f64;
+
+        // Outer loop: one full meta-batch (clone the learner so runs are
+        // comparable).
+        let mut trainee =
+            Fewner::new(backbone_config(5, Conditioning::Film), &enc, meta.clone()).expect("build");
+        let t0 = Instant::now();
+        trainee.meta_step(&tasks, &enc).unwrap();
+        let outer = t0.elapsed().as_secs_f64();
+
+        // Test-time adaptation + evaluation per task.
+        let eval_sampler =
+            EpisodeSampler::new(&split.test, 5, k, scale.query_size).expect("sampler");
+        let eval_tasks = eval_sampler.eval_set(EVAL_SEED, 5).expect("eval set");
+        let t0 = Instant::now();
+        for task in &eval_tasks {
+            let (support, _) = encode_task(&enc, task);
+            learner
+                .adapt_context(&support, &task.tag_set(), meta.inner_steps_test)
+                .unwrap();
+        }
+        let adapt = t0.elapsed().as_secs_f64() / eval_tasks.len() as f64;
+        let t0 = Instant::now();
+        for task in &eval_tasks {
+            learner.adapt_and_predict(task, &enc).unwrap();
+        }
+        let eval_per_task = t0.elapsed().as_secs_f64() / eval_tasks.len() as f64;
+
+        let line = format!(
+            "5-way {k}-shot: inner step {:.4}s | outer meta-batch {:.2}s | adapt/task {:.3}s | evaluate/task {:.3}s",
+            inner_step, outer, adapt, eval_per_task
+        );
+        println!("{line}");
+        lines.push(line);
+    }
+
+    // FEWNER vs MAML adaptation cost — the paper's efficiency argument:
+    // FEWNER updates |φ| scalars per step, MAML the whole network.
+    println!("\nAdaptation cost, FEWNER vs MAML (5-way 1-shot, per task):");
+    {
+        let fewner =
+            Fewner::new(backbone_config(5, Conditioning::Film), &enc, meta.clone()).expect("build");
+        let maml =
+            Maml::new(backbone_config(5, Conditioning::None), &enc, meta.clone()).expect("build");
+        let eval_sampler =
+            EpisodeSampler::new(&split.test, 5, 1, scale.query_size).expect("sampler");
+        let eval_tasks = eval_sampler.eval_set(EVAL_SEED, 4).expect("eval set");
+        for (name, learner) in [
+            ("FewNER", &fewner as &dyn EpisodicLearner),
+            ("MAML", &maml as &dyn EpisodicLearner),
+        ] {
+            let t0 = Instant::now();
+            for task in &eval_tasks {
+                learner.adapt_and_predict(task, &enc).unwrap();
+            }
+            let per_task = t0.elapsed().as_secs_f64() / eval_tasks.len() as f64;
+            let line = format!("  {name:<7} adapt+predict: {per_task:.3}s / task");
+            println!("{line}");
+            lines.push(line);
+        }
+        let line = format!(
+            "  adapted scalars: FEWNER {} vs MAML {}",
+            fewner.backbone.config().phi_total(),
+            maml.theta.num_scalars()
+        );
+        println!("{line}");
+        lines.push(line);
+    }
+
+    // Linearity in data size: adaptation time vs support-set multiples.
+    println!("\nLinearity check (inner-loop time vs support sentences):");
+    let learner = Fewner::new(backbone_config(5, Conditioning::Film), &enc, meta).expect("build");
+    let sampler = EpisodeSampler::new(&split.train, 5, 1, scale.query_size).expect("sampler");
+    let task = sampler.sample(&mut Rng::new(4)).unwrap();
+    let (support, _) = encode_task(&enc, &task);
+    let tags = task.tag_set();
+    for mult in [1usize, 2, 4] {
+        let big: Vec<_> = support
+            .iter()
+            .cycle()
+            .take(support.len() * mult)
+            .cloned()
+            .collect();
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            learner.adapt_context(&big, &tags, 1).unwrap();
+        }
+        let secs = t0.elapsed().as_secs_f64() / 5.0;
+        let line = format!("  {} sentences: {:.4}s / inner step", big.len(), secs);
+        println!("{line}");
+        lines.push(line);
+    }
+    let path = fewner_bench::write_report("timing.txt", &lines.join("\n")).expect("report");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,36 @@
+//! `fewner-bench` — the benchmark harness that regenerates every table in
+//! the paper's evaluation section.
+//!
+//! Binaries (`cargo run -p fewner-bench --release --bin <name>`):
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `table1` | dataset statistics |
+//! | `table2` | intra-domain cross-type adaptation |
+//! | `table3` | cross-domain intra-type adaptation (ACE2005) |
+//! | `table4` | cross-domain cross-type adaptation |
+//! | `table5` | ablations on NNE |
+//! | `table6` | qualitative analysis |
+//! | `timing` | §4.5.2 time-consumption analysis |
+//!
+//! All binaries accept `--scale smoke|small|paper`, `--episodes N` and
+//! `--iterations N`; results are printed and written to `reports/*.json`.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    backbone_config, build_method, embedding_spec, evaluate_learner, evaluate_learner_scores,
+    meta_config, run_cell, run_cell_or_nan, run_cell_scores, train_learner, Cell, Method, Scale,
+    EVAL_SEED,
+};
+
+/// Writes a report JSON file under `reports/`, creating the directory.
+pub fn write_report(name: &str, json: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("reports");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, json)?;
+    Ok(path)
+}

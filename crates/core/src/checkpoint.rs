@@ -1,0 +1,281 @@
+//! Checkpointing: persist a meta-trained θ_Meta together with the
+//! configurations needed to rebuild the exact same model.
+//!
+//! Algorithm 1 separates *training* (producing θ_Meta) from *adapting*
+//! (consuming it); a real deployment trains once and adapts everywhere, so
+//! θ_Meta must round-trip through storage byte-exactly. The checkpoint is a
+//! single JSON document: backbone hyper-parameters, meta hyper-parameters,
+//! and the named parameter tensors.
+
+use std::path::Path;
+
+use fewner_models::{BackboneConfig, Conditioning, EncoderKind, HeadKind, TokenEncoder};
+use fewner_tensor::SavedParams;
+use fewner_util::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::config::MetaConfig;
+use crate::fewner::Fewner;
+
+/// Serialisable mirror of [`BackboneConfig`] (the model crate stays
+/// serde-free; the mapping lives here with the checkpoint format).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SavedBackboneConfig {
+    /// See [`BackboneConfig::word_dim`].
+    pub word_dim: usize,
+    /// See [`BackboneConfig::char_dim`].
+    pub char_dim: usize,
+    /// See [`BackboneConfig::char_filters`].
+    pub char_filters: usize,
+    /// See [`BackboneConfig::char_widths`].
+    pub char_widths: Vec<usize>,
+    /// See [`BackboneConfig::hidden`].
+    pub hidden: usize,
+    /// See [`BackboneConfig::phi_dim`].
+    pub phi_dim: usize,
+    /// See [`BackboneConfig::slot_ctx_dim`].
+    pub slot_ctx_dim: usize,
+    /// `"none" | "film" | "concat"`.
+    pub conditioning: String,
+    /// `"bigru" | "bilstm"`.
+    pub encoder: String,
+    /// See [`BackboneConfig::dropout`].
+    pub dropout: f32,
+    /// See [`BackboneConfig::use_char_cnn`].
+    pub use_char_cnn: bool,
+    /// `("dense", n_ways)` or `("slot_shared", slot_dim, max_slots)`.
+    pub head: (String, usize, usize),
+}
+
+impl From<&BackboneConfig> for SavedBackboneConfig {
+    fn from(c: &BackboneConfig) -> Self {
+        SavedBackboneConfig {
+            word_dim: c.word_dim,
+            char_dim: c.char_dim,
+            char_filters: c.char_filters,
+            char_widths: c.char_widths.clone(),
+            hidden: c.hidden,
+            phi_dim: c.phi_dim,
+            slot_ctx_dim: c.slot_ctx_dim,
+            conditioning: match c.conditioning {
+                Conditioning::None => "none",
+                Conditioning::Film => "film",
+                Conditioning::ConcatInput => "concat",
+            }
+            .to_string(),
+            encoder: match c.encoder {
+                EncoderKind::BiGru => "bigru",
+                EncoderKind::BiLstm => "bilstm",
+            }
+            .to_string(),
+            dropout: c.dropout,
+            use_char_cnn: c.use_char_cnn,
+            head: match c.head {
+                HeadKind::Dense { n_ways } => ("dense".to_string(), n_ways, 0),
+                HeadKind::SlotShared {
+                    slot_dim,
+                    max_slots,
+                } => ("slot_shared".to_string(), slot_dim, max_slots),
+            },
+        }
+    }
+}
+
+impl SavedBackboneConfig {
+    /// Rebuilds the runtime configuration.
+    pub fn to_config(&self) -> Result<BackboneConfig> {
+        let conditioning = match self.conditioning.as_str() {
+            "none" => Conditioning::None,
+            "film" => Conditioning::Film,
+            "concat" => Conditioning::ConcatInput,
+            other => {
+                return Err(Error::Serde(format!("unknown conditioning `{other}`")));
+            }
+        };
+        let encoder = match self.encoder.as_str() {
+            "bigru" => EncoderKind::BiGru,
+            "bilstm" => EncoderKind::BiLstm,
+            other => return Err(Error::Serde(format!("unknown encoder `{other}`"))),
+        };
+        let head = match self.head.0.as_str() {
+            "dense" => HeadKind::Dense {
+                n_ways: self.head.1,
+            },
+            "slot_shared" => HeadKind::SlotShared {
+                slot_dim: self.head.1,
+                max_slots: self.head.2,
+            },
+            other => return Err(Error::Serde(format!("unknown head `{other}`"))),
+        };
+        Ok(BackboneConfig {
+            word_dim: self.word_dim,
+            char_dim: self.char_dim,
+            char_filters: self.char_filters,
+            char_widths: self.char_widths.clone(),
+            hidden: self.hidden,
+            phi_dim: self.phi_dim,
+            slot_ctx_dim: self.slot_ctx_dim,
+            conditioning,
+            dropout: self.dropout,
+            use_char_cnn: self.use_char_cnn,
+            encoder,
+            head,
+        })
+    }
+}
+
+/// A complete FEWNER checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Backbone hyper-parameters.
+    pub backbone: SavedBackboneConfig,
+    /// Meta-learning hyper-parameters.
+    pub meta: MetaConfig,
+    /// θ_Meta tensors.
+    pub theta: SavedParams,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+impl Checkpoint {
+    /// Captures a trained learner.
+    pub fn capture(learner: &Fewner) -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            backbone: SavedBackboneConfig::from(learner.backbone.config()),
+            meta: learner.config().clone(),
+            theta: learner.theta.to_saved(),
+        }
+    }
+
+    /// Restores a learner; the encoder must be the one the model was
+    /// trained with (vocabulary sizes are validated through θ's shapes).
+    pub fn restore(&self, enc: &TokenEncoder) -> Result<Fewner> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(Error::Serde(format!(
+                "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
+                self.version
+            )));
+        }
+        let mut learner = Fewner::new(self.backbone.to_config()?, enc, self.meta.clone())?;
+        learner.theta.load_saved(&self.theta)?;
+        Ok(learner)
+    }
+
+    /// Writes pretty JSON to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let json = serde_json::to_string(self).map_err(|e| Error::Serde(e.to_string()))?;
+        std::fs::write(path, json).map_err(|e| Error::Serde(e.to_string()))
+    }
+
+    /// Reads a checkpoint file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint> {
+        let json = std::fs::read_to_string(path).map_err(|e| Error::Serde(e.to_string()))?;
+        serde_json::from_str(&json).map_err(|e| Error::Serde(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fewner_corpus::DatasetProfile;
+    use fewner_models::TokenEncoder;
+    use fewner_text::embed::EmbeddingSpec;
+
+    fn setup() -> (TokenEncoder, Fewner) {
+        let d = DatasetProfile::bionlp13cg().generate(0.01).unwrap();
+        let enc = TokenEncoder::build(
+            &[&d],
+            &EmbeddingSpec {
+                dim: 16,
+                ..EmbeddingSpec::default()
+            },
+            4,
+        );
+        let bb = BackboneConfig {
+            word_dim: 16,
+            hidden: 8,
+            phi_dim: 6,
+            slot_ctx_dim: 2,
+            ..BackboneConfig::default_for(3)
+        };
+        let learner = Fewner::new(bb, &enc, MetaConfig::default()).unwrap();
+        (enc, learner)
+    }
+
+    #[test]
+    fn capture_restore_round_trip_preserves_theta() {
+        let (enc, learner) = setup();
+        let ckpt = Checkpoint::capture(&learner);
+        let restored = ckpt.restore(&enc).unwrap();
+        assert_eq!(learner.theta.snapshot(), restored.theta.snapshot());
+        assert_eq!(
+            learner.backbone.config().phi_total(),
+            restored.backbone.config().phi_total()
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (enc, learner) = setup();
+        let dir = std::env::temp_dir().join("fewner-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        Checkpoint::capture(&learner).save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        let restored = loaded.restore(&enc).unwrap();
+        assert_eq!(learner.theta.snapshot(), restored.theta.snapshot());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let (enc, learner) = setup();
+        let mut ckpt = Checkpoint::capture(&learner);
+        ckpt.version = 99;
+        assert!(ckpt.restore(&enc).is_err());
+    }
+
+    #[test]
+    fn config_mapping_round_trips_all_variants() {
+        for cond in [
+            Conditioning::None,
+            Conditioning::Film,
+            Conditioning::ConcatInput,
+        ] {
+            for head in [
+                HeadKind::Dense { n_ways: 5 },
+                HeadKind::SlotShared {
+                    slot_dim: 8,
+                    max_slots: 16,
+                },
+            ] {
+                let cfg = BackboneConfig {
+                    conditioning: cond,
+                    head,
+                    phi_dim: if cond == Conditioning::None { 0 } else { 8 },
+                    slot_ctx_dim: if cond == Conditioning::None { 0 } else { 4 },
+                    ..BackboneConfig::default_for(5)
+                };
+                let saved = SavedBackboneConfig::from(&cfg);
+                let back = saved.to_config().unwrap();
+                assert_eq!(back.conditioning, cond);
+                assert_eq!(back.head, head);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_strings_are_rejected() {
+        let (_, learner) = setup();
+        let mut saved = SavedBackboneConfig::from(learner.backbone.config());
+        saved.conditioning = "quantum".into();
+        assert!(saved.to_config().is_err());
+        let mut saved = SavedBackboneConfig::from(learner.backbone.config());
+        saved.head.0 = "hydra".into();
+        assert!(saved.to_config().is_err());
+    }
+}

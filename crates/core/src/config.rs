@@ -1,0 +1,135 @@
+//! Meta-learning hyper-parameters (paper §4.1.3).
+
+use fewner_util::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// How the outer-loop meta-gradient treats the inner-loop dependence of
+/// φ_k on θ (see `second_order` module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SecondOrder {
+    /// First-order approximation: φ_k is treated as a constant w.r.t. θ.
+    /// The standard, cheap choice; matches FOMAML.
+    FirstOrder,
+    /// Adds the curvature terms with central-difference Hessian-vector
+    /// products against the low-dimensional φ (two extra passes per inner
+    /// step) — the paper's observation that FEWNER needs second-order
+    /// derivatives only through φ, made computable without a higher-order
+    /// tape.
+    FiniteDiffHvp {
+        /// Finite-difference step (relative to the direction's norm).
+        epsilon: f32,
+    },
+}
+
+/// Hyper-parameters shared by the episodic learners.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetaConfig {
+    /// Inner-loop learning rate α (paper: 0.1).
+    pub inner_lr: f32,
+    /// Outer-loop meta learning rate β (paper: 8·10⁻⁴).
+    pub meta_lr: f32,
+    /// Inner gradient steps during training (paper: 2).
+    pub inner_steps_train: usize,
+    /// Inner gradient steps at test time (paper: 8).
+    pub inner_steps_test: usize,
+    /// Meta-batch size |T| (paper: 8).
+    pub meta_batch: usize,
+    /// Gradient clip (paper: 5.0).
+    pub clip: f32,
+    /// L2 regularisation (paper: 10⁻⁷).
+    pub l2: f32,
+    /// Learning-rate decay factor (paper: 0.9 …).
+    pub decay: f32,
+    /// … applied every this many *tasks* (paper: 5000).
+    pub decay_every_tasks: usize,
+    /// Second-order treatment of the FEWNER meta-gradient.
+    pub second_order: SecondOrder,
+    /// Base seed for training-task sampling and dropout.
+    pub seed: u64,
+}
+
+impl Default for MetaConfig {
+    fn default() -> Self {
+        MetaConfig {
+            inner_lr: 0.1,
+            meta_lr: 8e-4,
+            inner_steps_train: 2,
+            inner_steps_test: 8,
+            meta_batch: 8,
+            clip: 5.0,
+            l2: 1e-7,
+            decay: 0.9,
+            decay_every_tasks: 5000,
+            second_order: SecondOrder::FirstOrder,
+            seed: 0xF3A7,
+        }
+    }
+}
+
+impl MetaConfig {
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.inner_lr > 0.0 && self.meta_lr > 0.0) {
+            return Err(Error::InvalidConfig("learning rates must be > 0".into()));
+        }
+        if self.inner_steps_train == 0 || self.inner_steps_test == 0 {
+            return Err(Error::InvalidConfig("inner steps must be ≥ 1".into()));
+        }
+        if self.meta_batch == 0 {
+            return Err(Error::InvalidConfig("meta batch must be ≥ 1".into()));
+        }
+        if !(0.0 < self.decay && self.decay <= 1.0) {
+            return Err(Error::InvalidConfig("decay must be in (0, 1]".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = MetaConfig::default();
+        assert_eq!(c.inner_lr, 0.1);
+        assert_eq!(c.meta_lr, 8e-4);
+        assert_eq!(c.inner_steps_train, 2);
+        assert_eq!(c.inner_steps_test, 8);
+        assert_eq!(c.meta_batch, 8);
+        assert_eq!(c.clip, 5.0);
+        assert_eq!(c.decay, 0.9);
+        assert_eq!(c.decay_every_tasks, 5000);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let zero_lr = MetaConfig {
+            inner_lr: 0.0,
+            ..MetaConfig::default()
+        };
+        assert!(zero_lr.validate().is_err());
+        let zero_steps = MetaConfig {
+            inner_steps_test: 0,
+            ..MetaConfig::default()
+        };
+        assert!(zero_steps.validate().is_err());
+        let bad_decay = MetaConfig {
+            decay: 1.5,
+            ..MetaConfig::default()
+        };
+        assert!(bad_decay.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = MetaConfig {
+            second_order: SecondOrder::FiniteDiffHvp { epsilon: 1e-2 },
+            ..MetaConfig::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: MetaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.second_order, c.second_order);
+    }
+}

@@ -1,0 +1,333 @@
+//! FEWNER (paper §3.2, Algorithm 1).
+//!
+//! * **Inner loop** — per task, the context parameters φ are reset to `0`
+//!   and adapted by `k` SGD steps on the support loss (Eq. 5), with θ held
+//!   fixed. The inner loop runs without dropout so adaptation is a
+//!   deterministic function of (θ, support set).
+//! * **Outer loop** — θ is updated by the query loss of the adapted model
+//!   `(θ, φ_k)` averaged over a meta-batch (Eq. 6), with Adam, gradient
+//!   clipping and L2 regularisation per §4.1.3. The dependence of φ_k on θ
+//!   is handled per [`SecondOrder`]: first-order by default, or exactly via
+//!   finite-difference Hessian-vector products (`second_order` module).
+//! * **Adaptation (test)** — θ_Meta stays fixed; a *fresh* φ is adapted for
+//!   8 steps on the held-out task's support set, and the query set is
+//!   decoded with `(θ_Meta, φ_k)`. Only the low-dimensional φ ever changes,
+//!   which is the paper's overfitting and efficiency argument.
+
+use fewner_episode::Task;
+use fewner_models::{encode_task, Backbone, BackboneConfig, LabeledSentence, TokenEncoder};
+use fewner_tensor::{Adam, Graph, ParamId, ParamStore, Sgd};
+use fewner_text::TagSet;
+use fewner_util::{Error, Result, Rng};
+
+use crate::config::{MetaConfig, SecondOrder};
+use crate::learner::EpisodicLearner;
+use crate::second_order;
+
+/// The FEWNER meta-learner.
+pub struct Fewner {
+    /// The θ network.
+    pub backbone: Backbone,
+    /// Task-independent parameters θ.
+    pub theta: ParamStore,
+    cfg: MetaConfig,
+    opt: Adam,
+    rng: Rng,
+}
+
+impl Fewner {
+    /// Builds the backbone and meta-optimizer.
+    pub fn new(bb_cfg: BackboneConfig, enc: &TokenEncoder, cfg: MetaConfig) -> Result<Fewner> {
+        cfg.validate()?;
+        if bb_cfg.conditioning == fewner_models::Conditioning::None {
+            return Err(Error::InvalidConfig(
+                "FEWNER requires Film or ConcatInput conditioning".into(),
+            ));
+        }
+        let mut rng = Rng::new(cfg.seed);
+        let mut theta = ParamStore::new();
+        let backbone = Backbone::new(bb_cfg, enc, &mut theta, &mut rng)?;
+        let opt = Adam::new(cfg.meta_lr)
+            .with_clip(cfg.clip)
+            .with_weight_decay(cfg.l2);
+        Ok(Fewner {
+            backbone,
+            theta,
+            cfg,
+            opt,
+            rng,
+        })
+    }
+
+    /// The meta-configuration.
+    pub fn config(&self) -> &MetaConfig {
+        &self.cfg
+    }
+
+    /// Inner loop: adapts a fresh φ on the support set for `steps` SGD
+    /// steps (Eq. 5). Returns the context store, the φ id, and the
+    /// trajectory of φ values *before* each step (φ_0 … φ_{K−1}), which the
+    /// exact meta-gradient needs.
+    pub fn adapt_context(
+        &self,
+        support: &[LabeledSentence],
+        tags: &TagSet,
+        steps: usize,
+    ) -> Result<(ParamStore, ParamId, Vec<fewner_tensor::Array>)> {
+        let (mut phi_store, phi_id) = self.backbone.new_context();
+        let mut sgd = Sgd::new(self.cfg.inner_lr);
+        let mut trajectory: Vec<fewner_tensor::Array> = Vec::with_capacity(steps);
+        let mut rng = Rng::new(0); // inner loop is dropout-free
+        for _ in 0..steps {
+            let snapshot = (**phi_store.value(phi_id)).clone();
+            let g = Graph::new();
+            let phi = g.param(&phi_store, phi_id);
+            let loss = self.backbone.batch_loss(
+                &g,
+                &self.theta,
+                Some(phi),
+                support,
+                tags,
+                false,
+                &mut rng,
+            );
+            // A diverging inner loop (possible with many test-time steps on
+            // a hard support set) stops early at the last finite φ rather
+            // than poisoning the task. (A backtracking line search was
+            // evaluated here and measurably *hurt* 5-shot adaptation —
+            // meta-training bakes the fixed-α trajectory into θ, so the
+            // test-time loop must follow the same dynamics.)
+            let Ok(grads) = g.backward(loss) else { break };
+            let grads = grads.for_store(&phi_store);
+            if sgd.step(&mut phi_store, &grads).is_err() {
+                break;
+            }
+            if !phi_store.value(phi_id).all_finite() {
+                phi_store.set(phi_id, snapshot);
+                break;
+            }
+            trajectory.push(snapshot);
+        }
+        Ok((phi_store, phi_id, trajectory))
+    }
+}
+
+impl EpisodicLearner for Fewner {
+    fn name(&self) -> &'static str {
+        "FewNER"
+    }
+
+    fn meta_step(&mut self, tasks: &[Task], enc: &TokenEncoder) -> Result<f32> {
+        if tasks.is_empty() {
+            return Err(Error::InvalidConfig("empty meta batch".into()));
+        }
+        let mut acc = fewner_tensor::ParamGrads::zeros_like(&self.theta);
+        let weight = 1.0 / tasks.len() as f32;
+        let mut total_loss = 0.0f32;
+
+        for task in tasks {
+            let tags = task.tag_set();
+            let (support, query) = encode_task(enc, task);
+
+            // Inner loop on φ (Algorithm 1, lines 6–8).
+            let (phi_store, phi_id, trajectory) =
+                self.adapt_context(&support, &tags, self.cfg.inner_steps_train)?;
+
+            // Query loss of the adapted model (line 9).
+            let g = Graph::new();
+            let phi = g.param(&phi_store, phi_id);
+            let loss = self.backbone.batch_loss(
+                &g,
+                &self.theta,
+                Some(phi),
+                &query,
+                &tags,
+                true,
+                &mut self.rng,
+            );
+            total_loss += g.value(loss).scalar_value();
+            let grads = g.backward(loss)?;
+            acc.axpy(weight, &grads.for_store(&self.theta));
+
+            if let SecondOrder::FiniteDiffHvp { epsilon } = self.cfg.second_order {
+                let phi_grad = grads.for_store(&phi_store);
+                if let Some(v) = phi_grad.get(phi_id) {
+                    let correction = second_order::theta_correction(
+                        &self.backbone,
+                        &self.theta,
+                        &support,
+                        &tags,
+                        &trajectory,
+                        v,
+                        self.cfg.inner_lr,
+                        epsilon,
+                    )?;
+                    acc.axpy(weight, &correction);
+                }
+            }
+        }
+
+        self.opt.step(&mut self.theta, &acc)?;
+        Ok(total_loss / tasks.len() as f32)
+    }
+
+    fn adapt_and_predict(&self, task: &Task, enc: &TokenEncoder) -> Result<Vec<Vec<usize>>> {
+        let tags = task.tag_set();
+        let (support, query) = encode_task(enc, task);
+        let (phi_store, phi_id, _) =
+            self.adapt_context(&support, &tags, self.cfg.inner_steps_test)?;
+        Ok(query
+            .iter()
+            .map(|(sent, _)| {
+                self.backbone
+                    .decode(&self.theta, Some((&phi_store, phi_id)), sent, &tags)
+            })
+            .collect())
+    }
+
+    fn decay_lr(&mut self, factor: f32) {
+        self.opt.decay_lr(factor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fewner_corpus::{split_types, DatasetProfile};
+    use fewner_episode::EpisodeSampler;
+    use fewner_models::Conditioning;
+    use fewner_text::embed::EmbeddingSpec;
+
+    fn tiny_setup() -> (TokenEncoder, Vec<Task>, Fewner) {
+        let d = DatasetProfile::bionlp13cg().generate(0.05).unwrap();
+        let split = split_types(&d, (8, 3, 5), 1).unwrap();
+        let sampler = EpisodeSampler::new(&split.train, 3, 1, 4).unwrap();
+        let mut rng = Rng::new(5);
+        let tasks: Vec<Task> = (0..3).map(|_| sampler.sample(&mut rng).unwrap()).collect();
+        let enc = TokenEncoder::build(
+            &[&d],
+            &EmbeddingSpec {
+                dim: 20,
+                ..EmbeddingSpec::default()
+            },
+            4,
+        );
+        let bb_cfg = fewner_models::BackboneConfig {
+            word_dim: 20,
+            char_dim: 8,
+            char_filters: 6,
+            char_widths: vec![2, 3],
+            hidden: 10,
+            phi_dim: 8,
+            slot_ctx_dim: 4,
+            conditioning: Conditioning::Film,
+            dropout: 0.1,
+            use_char_cnn: true,
+            encoder: fewner_models::backbone::EncoderKind::BiGru,
+            head: fewner_models::HeadKind::Dense { n_ways: 3 },
+        };
+        let cfg = MetaConfig {
+            inner_steps_train: 2,
+            inner_steps_test: 4,
+            meta_batch: 3,
+            ..MetaConfig::default()
+        };
+        let fewner = Fewner::new(bb_cfg, &enc, cfg).unwrap();
+        (enc, tasks, fewner)
+    }
+
+    #[test]
+    fn meta_step_runs_and_updates_theta() {
+        let (enc, tasks, mut fewner) = tiny_setup();
+        let before = fewner.theta.snapshot();
+        let loss = fewner.meta_step(&tasks, &enc).unwrap();
+        assert!(loss.is_finite() && loss > 0.0);
+        let after = fewner.theta.snapshot();
+        assert!(
+            before.iter().zip(&after).any(|(a, b)| a != b),
+            "theta must change after a meta step"
+        );
+    }
+
+    #[test]
+    fn adaptation_leaves_theta_untouched() {
+        let (enc, tasks, fewner) = tiny_setup();
+        let before = fewner.theta.snapshot();
+        let preds = fewner.adapt_and_predict(&tasks[0], &enc).unwrap();
+        let after = fewner.theta.snapshot();
+        assert_eq!(before, after, "test-time adaptation must only touch φ");
+        assert_eq!(preds.len(), tasks[0].query.len());
+        for (p, q) in preds.iter().zip(&tasks[0].query) {
+            assert_eq!(p.len(), q.len());
+        }
+    }
+
+    #[test]
+    fn inner_loop_reduces_support_loss() {
+        let (enc, tasks, fewner) = tiny_setup();
+        let tags = tasks[0].tag_set();
+        let (support, _) = encode_task(&enc, &tasks[0]);
+        let loss_at = |phi_store: &ParamStore, phi_id| {
+            let g = Graph::new();
+            let phi = g.param(phi_store, phi_id);
+            let mut rng = Rng::new(0);
+            let l = fewner.backbone.batch_loss(
+                &g,
+                &fewner.theta,
+                Some(phi),
+                &support,
+                &tags,
+                false,
+                &mut rng,
+            );
+            g.value(l).scalar_value()
+        };
+        let (phi0, id0) = fewner.backbone.new_context();
+        let before = loss_at(&phi0, id0);
+        let (phi_k, id_k, traj) = fewner.adapt_context(&support, &tags, 6).unwrap();
+        let after = loss_at(&phi_k, id_k);
+        assert!(after < before, "inner loop: {before} -> {after}");
+        assert_eq!(traj.len(), 6);
+        assert!(traj[0].data().iter().all(|&v| v == 0.0), "φ starts at 0");
+    }
+
+    #[test]
+    fn second_order_mode_runs() {
+        let (enc, tasks, _) = tiny_setup();
+        let d = DatasetProfile::bionlp13cg().generate(0.05).unwrap();
+        let _ = d;
+        let bb_cfg = fewner_models::BackboneConfig {
+            word_dim: 20,
+            char_dim: 8,
+            char_filters: 6,
+            char_widths: vec![2, 3],
+            hidden: 10,
+            phi_dim: 8,
+            slot_ctx_dim: 4,
+            conditioning: Conditioning::Film,
+            dropout: 0.0,
+            use_char_cnn: true,
+            encoder: fewner_models::backbone::EncoderKind::BiGru,
+            head: fewner_models::HeadKind::Dense { n_ways: 3 },
+        };
+        let cfg = MetaConfig {
+            second_order: SecondOrder::FiniteDiffHvp { epsilon: 1e-2 },
+            inner_steps_train: 2,
+            ..MetaConfig::default()
+        };
+        let mut fewner = Fewner::new(bb_cfg, &enc, cfg).unwrap();
+        let loss = fewner.meta_step(&tasks[..2], &enc).unwrap();
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn conditioning_none_is_rejected() {
+        let (enc, _, _) = tiny_setup();
+        let bb_cfg = fewner_models::BackboneConfig {
+            word_dim: 20,
+            conditioning: Conditioning::None,
+            ..fewner_models::BackboneConfig::default_for(3)
+        };
+        assert!(Fewner::new(bb_cfg, &enc, MetaConfig::default()).is_err());
+    }
+}

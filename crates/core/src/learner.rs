@@ -1,0 +1,31 @@
+//! The common interface every method implements.
+//!
+//! The paper compares ten methods under one protocol: train on episodes
+//! from the source split, then for each held-out task adapt on its support
+//! set and predict its query set. [`EpisodicLearner`] captures exactly that
+//! protocol so the trainer, the evaluation harness and every table binary
+//! treat FEWNER and all nine baselines uniformly.
+
+use fewner_episode::Task;
+use fewner_models::TokenEncoder;
+use fewner_util::Result;
+
+/// A method that learns from episodes and adapts to new tasks.
+pub trait EpisodicLearner {
+    /// Method name as printed in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// One meta-iteration over a batch of training tasks; returns the
+    /// iteration's (mean) training loss.
+    fn meta_step(&mut self, tasks: &[Task], enc: &TokenEncoder) -> Result<f32>;
+
+    /// Adapts to a held-out task on its support set and predicts tag
+    /// indices for every query sentence.
+    ///
+    /// Must not mutate the learner: test-time adaptation happens on copies
+    /// (or, for FEWNER, on the throwaway context parameters φ).
+    fn adapt_and_predict(&self, task: &Task, enc: &TokenEncoder) -> Result<Vec<Vec<usize>>>;
+
+    /// Learning-rate decay hook (×`factor`), driven by the trainer.
+    fn decay_lr(&mut self, _factor: f32) {}
+}

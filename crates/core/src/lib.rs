@@ -1,0 +1,33 @@
+//! `fewner-core` — the paper's primary contribution: FEWNER, the
+//! meta-learning approach for few-shot NER, plus the meta-gradient
+//! baselines and the training loop.
+//!
+//! * [`fewner`] — Algorithm 1: inner loop on the low-dimensional context
+//!   parameters φ, outer loop on the task-independent θ, test-time
+//!   adaptation that touches only φ.
+//! * [`second_order`] — the exact meta-gradient via finite-difference
+//!   Hessian-vector products along φ.
+//! * [`maml`] — full-network MAML (first-order), same backbone.
+//! * [`conventional`] — FineTune, ProtoNet, SNAIL and frozen-LM learners.
+//! * [`trainer`] — meta-batch loop with the paper's LR schedule.
+//! * [`checkpoint`] — persist and restore θ_Meta.
+//! * [`learner`] — the common protocol every method implements.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod config;
+pub mod conventional;
+pub mod fewner;
+pub mod learner;
+pub mod maml;
+pub mod second_order;
+pub mod trainer;
+
+pub use checkpoint::Checkpoint;
+pub use config::{MetaConfig, SecondOrder};
+pub use conventional::{FineTuneLearner, FrozenLmLearner, ProtoLearner, SnailLearner};
+pub use fewner::Fewner;
+pub use learner::EpisodicLearner;
+pub use maml::Maml;
+pub use trainer::{train, TrainConfig, TrainingLog};

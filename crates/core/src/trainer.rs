@@ -1,0 +1,292 @@
+//! The meta-training loop (Algorithm 1, training procedure).
+//!
+//! Samples meta-batches of N-way K-shot tasks from a training split, drives
+//! any [`EpisodicLearner`] through them, and applies the paper's
+//! learning-rate schedule (×0.9 every 5000 tasks, §4.1.3). Also records the
+//! per-phase timings behind the §4.5.2 analysis.
+
+use std::time::Instant;
+
+use fewner_corpus::SplitView;
+use fewner_episode::EpisodeSampler;
+use fewner_models::TokenEncoder;
+use fewner_util::{Result, Rng};
+
+use crate::config::MetaConfig;
+use crate::learner::EpisodicLearner;
+
+/// Outer-loop training schedule.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of meta-iterations (each sees `meta_batch` tasks).
+    pub iterations: usize,
+    /// N.
+    pub n_ways: usize,
+    /// K.
+    pub k_shots: usize,
+    /// Query sentences per training task.
+    pub query_size: usize,
+    /// Task-sampling seed (distinct from the evaluation seed).
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// A small default schedule used by tests and smoke benchmarks.
+    pub fn smoke(n_ways: usize, k_shots: usize) -> TrainConfig {
+        TrainConfig {
+            iterations: 30,
+            n_ways,
+            k_shots,
+            query_size: 8,
+            seed: 0x7E57,
+        }
+    }
+}
+
+/// What happened during training.
+#[derive(Debug, Clone)]
+pub struct TrainingLog {
+    /// Mean meta-batch loss per iteration.
+    pub losses: Vec<f32>,
+    /// Total tasks consumed.
+    pub tasks_seen: usize,
+    /// Wall-clock seconds for the whole loop.
+    pub wall_secs: f64,
+    /// Mean wall-clock seconds per meta-iteration (the §4.5.2 "outer
+    /// loops" figure).
+    pub secs_per_iteration: f64,
+}
+
+impl TrainingLog {
+    /// Mean of the last `n` losses (convergence diagnostics).
+    pub fn tail_loss(&self, n: usize) -> f32 {
+        let tail = &self.losses[self.losses.len().saturating_sub(n)..];
+        if tail.is_empty() {
+            return f32::NAN;
+        }
+        tail.iter().sum::<f32>() / tail.len() as f32
+    }
+}
+
+/// Meta-trains `learner` on tasks sampled from `view`.
+pub fn train(
+    learner: &mut dyn EpisodicLearner,
+    view: &SplitView,
+    enc: &TokenEncoder,
+    meta: &MetaConfig,
+    cfg: &TrainConfig,
+) -> Result<TrainingLog> {
+    meta.validate()?;
+    let sampler = EpisodeSampler::new(view, cfg.n_ways, cfg.k_shots, cfg.query_size)?;
+    let mut rng = Rng::new(cfg.seed);
+    let mut losses = Vec::with_capacity(cfg.iterations);
+    let mut tasks_seen = 0usize;
+    let mut next_decay = meta.decay_every_tasks;
+    let start = Instant::now();
+
+    for _ in 0..cfg.iterations {
+        // A rare unconstructible task (possible on sparse splits) is
+        // skipped rather than aborting a long run; a batch with no tasks at
+        // all is a genuine configuration problem.
+        let mut batch = Vec::with_capacity(meta.meta_batch);
+        let mut last_err = None;
+        for _ in 0..meta.meta_batch {
+            match sampler.sample(&mut rng) {
+                Ok(task) => batch.push(task),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if batch.is_empty() {
+            return Err(last_err.expect("meta_batch > 0"));
+        }
+        // Likewise a transient numerical failure skips the batch (the
+        // optimizer refuses non-finite gradients, so state stays clean).
+        let loss = match learner.meta_step(&batch, enc) {
+            Ok(loss) => loss,
+            Err(fewner_util::Error::NonFinite { .. }) => {
+                losses.push(f32::NAN);
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        losses.push(loss);
+        tasks_seen += batch.len();
+        while tasks_seen >= next_decay {
+            learner.decay_lr(meta.decay);
+            next_decay += meta.decay_every_tasks;
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    Ok(TrainingLog {
+        secs_per_iteration: wall_secs / cfg.iterations.max(1) as f64,
+        losses,
+        tasks_seen,
+        wall_secs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conventional::ProtoLearner;
+    use crate::fewner::Fewner;
+    use fewner_corpus::{split_types, DatasetProfile};
+    use fewner_models::{BackboneConfig, Conditioning, HeadKind};
+    use fewner_text::embed::EmbeddingSpec;
+
+    fn bb_cfg(cond: Conditioning, phi: usize) -> BackboneConfig {
+        BackboneConfig {
+            word_dim: 20,
+            char_dim: 8,
+            char_filters: 6,
+            char_widths: vec![2, 3],
+            hidden: 10,
+            phi_dim: phi,
+            slot_ctx_dim: if phi == 0 { 0 } else { 4 },
+            conditioning: cond,
+            dropout: 0.1,
+            use_char_cnn: true,
+            encoder: fewner_models::backbone::EncoderKind::BiGru,
+            head: HeadKind::Dense { n_ways: 3 },
+        }
+    }
+
+    #[test]
+    fn training_loop_runs_and_logs() {
+        let d = DatasetProfile::bionlp13cg().generate(0.05).unwrap();
+        let split = split_types(&d, (8, 3, 5), 1).unwrap();
+        let enc = TokenEncoder::build(
+            &[&d],
+            &EmbeddingSpec {
+                dim: 20,
+                ..EmbeddingSpec::default()
+            },
+            4,
+        );
+        let meta = MetaConfig {
+            meta_batch: 2,
+            inner_steps_train: 1,
+            ..MetaConfig::default()
+        };
+        let mut learner = Fewner::new(bb_cfg(Conditioning::Film, 8), &enc, meta.clone()).unwrap();
+        let cfg = TrainConfig {
+            iterations: 3,
+            n_ways: 3,
+            k_shots: 1,
+            query_size: 4,
+            seed: 9,
+        };
+        let log = train(&mut learner, &split.train, &enc, &meta, &cfg).unwrap();
+        assert_eq!(log.losses.len(), 3);
+        assert_eq!(log.tasks_seen, 6);
+        assert!(log.losses.iter().all(|l| l.is_finite()));
+        assert!(log.secs_per_iteration > 0.0);
+        assert!(log.tail_loss(2).is_finite());
+    }
+
+    #[test]
+    fn decay_fires_on_task_schedule() {
+        // With decay_every_tasks = 4 and meta_batch = 2, the decay hook
+        // must fire after iterations 2 and 4.
+        struct Probe {
+            decays: usize,
+        }
+        impl EpisodicLearner for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn meta_step(
+                &mut self,
+                _tasks: &[fewner_episode::Task],
+                _enc: &TokenEncoder,
+            ) -> Result<f32> {
+                Ok(0.0)
+            }
+            fn adapt_and_predict(
+                &self,
+                _task: &fewner_episode::Task,
+                _enc: &TokenEncoder,
+            ) -> Result<Vec<Vec<usize>>> {
+                Ok(vec![])
+            }
+            fn decay_lr(&mut self, _f: f32) {
+                self.decays += 1;
+            }
+        }
+        let d = DatasetProfile::bionlp13cg().generate(0.05).unwrap();
+        let split = split_types(&d, (8, 3, 5), 1).unwrap();
+        let enc = TokenEncoder::build(
+            &[&d],
+            &EmbeddingSpec {
+                dim: 20,
+                ..EmbeddingSpec::default()
+            },
+            4,
+        );
+        let meta = MetaConfig {
+            meta_batch: 2,
+            decay_every_tasks: 4,
+            ..MetaConfig::default()
+        };
+        let mut probe = Probe { decays: 0 };
+        let cfg = TrainConfig {
+            iterations: 4,
+            n_ways: 3,
+            k_shots: 1,
+            query_size: 4,
+            seed: 9,
+        };
+        train(&mut probe, &split.train, &enc, &meta, &cfg).unwrap();
+        assert_eq!(probe.decays, 2);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_fixed_probe_episode() {
+        // Per-iteration losses are noisy across sampled tasks; measure
+        // improvement on one *fixed* probe episode before vs after training.
+        let d = DatasetProfile::bionlp13cg().generate(0.08).unwrap();
+        let split = split_types(&d, (8, 3, 5), 1).unwrap();
+        let enc = TokenEncoder::build(
+            &[&d],
+            &EmbeddingSpec {
+                dim: 20,
+                ..EmbeddingSpec::default()
+            },
+            4,
+        );
+        let sampler = fewner_episode::EpisodeSampler::new(&split.train, 3, 1, 4).unwrap();
+        let probe = sampler.sample(&mut Rng::new(777)).unwrap();
+
+        let meta = MetaConfig {
+            meta_batch: 2,
+            meta_lr: 5e-3,
+            ..MetaConfig::default()
+        };
+        let mut learner =
+            ProtoLearner::new(bb_cfg(Conditioning::None, 0), &enc, meta.clone()).unwrap();
+
+        let probe_loss = |l: &mut ProtoLearner| -> f32 {
+            // meta_step on a frozen copy would mutate; instead evaluate the
+            // episode loss directly through the public learner API by
+            // running a step on a clone of the parameters.
+            let snapshot = l.theta.snapshot();
+            let loss = l.meta_step(std::slice::from_ref(&probe), &enc).unwrap();
+            l.theta.restore(&snapshot);
+            loss
+        };
+        let before = probe_loss(&mut learner);
+        let cfg = TrainConfig {
+            iterations: 24,
+            n_ways: 3,
+            k_shots: 1,
+            query_size: 4,
+            seed: 10,
+        };
+        train(&mut learner, &split.train, &enc, &meta, &cfg).unwrap();
+        let after = probe_loss(&mut learner);
+        assert!(
+            after < before,
+            "probe loss should improve: {before} -> {after}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! `fewner-corpus` — deterministic synthetic corpora standing in for the
+//! paper's six licensed datasets (NNE, FG-NER, GENIA, ACE2005, OntoNotes,
+//! BioNLP13CG).
+//!
+//! See `DESIGN.md` §1 for the substitution argument. In short: the paper's
+//! adaptation experiments measure transfer between label sets and domains,
+//! which depends on the *statistical structure* of the corpora — shared
+//! character morphology and lexical clusters across related types, context
+//! triggers, domain-specific function vocabulary, surface ambiguity — not on
+//! the identity of the underlying news stories or abstracts. Each module
+//! contributes one layer of that structure:
+//!
+//! * [`families`] — coarse semantic families with syllable/suffix/trigger
+//!   inventories (the transferable signal).
+//! * [`gazetteer`] — concrete [`gazetteer::TypeSpec`]s: per-type suffix,
+//!   gazetteer and trigger words.
+//! * [`genre`] — function-word pools whose overlaps encode the paper's
+//!   domain distances (BN↔CTS close, BC↔UN far).
+//! * [`generator`] — the stochastic sentence grammar and dataset assembly,
+//!   including ACE-style nested mentions flattened to the innermost span.
+//! * [`profiles`] — Table-1-matched dataset profiles.
+//! * [`splits`] — type-disjoint, ratio and holdout splits for the three
+//!   experiments.
+
+#![warn(missing_docs)]
+
+pub mod families;
+pub mod gazetteer;
+pub mod generator;
+pub mod genre;
+pub mod profiles;
+pub mod splits;
+
+pub use families::Family;
+pub use gazetteer::TypeSpec;
+pub use generator::{Dataset, DatasetStats, GenConfig};
+pub use genre::Genre;
+pub use profiles::{AceDomain, DatasetProfile};
+pub use splits::{full_view, holdout_target, split_sentences, split_types, SplitView, TypeSplit};

@@ -1,0 +1,374 @@
+//! Dataset profiles matching the paper's Table 1.
+//!
+//! Each profile fixes the type-inventory size, sentence count, mention
+//! density, genre and difficulty knobs of one corpus. Generating a profile
+//! at `scale = 1.0` reproduces Table 1's statistics (sentence counts
+//! exactly, mention counts approximately via the density knob); smaller
+//! scales shrink only the sentence count, which is what tests and smoke
+//! benchmarks use.
+//!
+//! | Dataset    | Genre    | #Types | #Sentences | #Mentions |
+//! |------------|----------|--------|------------|-----------|
+//! | NNE        | Newswire | 114    | 39932      | 185925    |
+//! | FG-NER     | Newswire | 200    | 3941       | 7384      |
+//! | GENIA      | Medical  | 36     | 18546      | 76625     |
+//! | ACE2005    | Various  | 54     | 17399      | 48397     |
+//! | OntoNotes  | Various  | 18     | 42224      | 104248    |
+//! | BioNLP13CG | Medical  | 16     | 5939       | 21315     |
+
+use fewner_util::Result;
+
+use crate::families::Family;
+use crate::gazetteer::{build_inventory, TypeSpec};
+use crate::generator::{generate_dataset, Dataset, GenConfig};
+use crate::genre::Genre;
+
+/// Declarative description of one corpus.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Dataset name as in Table 1.
+    pub name: &'static str,
+    /// Entity-type inventory size.
+    pub n_types: usize,
+    /// Sentence count at scale 1.0.
+    pub n_sentences: usize,
+    /// Families the inventory draws from.
+    pub families: Vec<Family>,
+    /// Gazetteer entries per type.
+    pub gazetteer_size: usize,
+    /// Generation knobs (genre, densities, difficulty).
+    pub gen: GenConfig,
+    /// Base seed; also keys the type inventory.
+    pub seed: u64,
+}
+
+impl DatasetProfile {
+    /// Generates the corpus at the given scale (`1.0` = paper size).
+    pub fn generate(&self, scale: f64) -> Result<Dataset> {
+        let n = ((self.n_sentences as f64 * scale).round() as usize).max(20);
+        generate_dataset(self.name, self.inventory(), n, &self.gen, self.seed)
+    }
+
+    /// The (deterministic) type inventory for this profile.
+    pub fn inventory(&self) -> Vec<TypeSpec> {
+        build_inventory(self.n_types, &self.families, self.gazetteer_size, self.seed)
+    }
+
+    /// NNE: fine-grained newswire, 114 types, very dense mentions.
+    pub fn nne() -> DatasetProfile {
+        DatasetProfile {
+            name: "NNE",
+            n_types: 114,
+            n_sentences: 39_932,
+            families: Family::NEWSWIRE.to_vec(),
+            gazetteer_size: 40,
+            gen: GenConfig {
+                genre: Genre::Newswire,
+                mention_rate: 4.66,
+                trigger_prob: 0.70,
+                family_trigger_prob: 0.3,
+                homonym_prob: 0.10,
+                fresh_prob: 0.15,
+                nested_prob: 0.0,
+            },
+            seed: 0x4E4E_4500, // "NNE"
+        }
+    }
+
+    /// FG-NER: 200 fine-grained newswire types, few examples per type.
+    pub fn fg_ner() -> DatasetProfile {
+        DatasetProfile {
+            name: "FG-NER",
+            n_types: 200,
+            n_sentences: 3_941,
+            families: Family::NEWSWIRE.to_vec(),
+            gazetteer_size: 12,
+            gen: GenConfig {
+                genre: Genre::Newswire,
+                mention_rate: 1.87,
+                trigger_prob: 0.72,
+                family_trigger_prob: 0.25,
+                homonym_prob: 0.08,
+                fresh_prob: 0.12,
+                nested_prob: 0.0,
+            },
+            seed: 0x4647_4E45,
+        }
+    }
+
+    /// GENIA: biomedical, 36 types; sparse triggers and heavy surface
+    /// ambiguity make it the hardest intra-domain setting (paper §4.2.2).
+    pub fn genia() -> DatasetProfile {
+        DatasetProfile {
+            name: "GENIA",
+            n_types: 36,
+            n_sentences: 18_546,
+            families: Family::MEDICAL.to_vec(),
+            gazetteer_size: 35,
+            gen: GenConfig {
+                genre: Genre::Medical,
+                mention_rate: 4.13,
+                trigger_prob: 0.45,
+                family_trigger_prob: 0.45,
+                homonym_prob: 0.28,
+                fresh_prob: 0.25,
+                nested_prob: 0.0,
+            },
+            seed: 0x4745_4E49,
+        }
+    }
+
+    /// One ACE2005 source domain.
+    ///
+    /// All six sub-domains share the same 54-type inventory and seed (so the
+    /// cross-domain *intra-type* property holds) but differ in genre and
+    /// density. ACE is annotated with nested entities; `nested_prob` is
+    /// non-zero and generation flattens to the innermost span (§4.3.1).
+    pub fn ace2005(domain: AceDomain) -> DatasetProfile {
+        let (genre, n_sentences, mention_rate) = match domain {
+            AceDomain::Bc => (Genre::BroadcastConversation, 2_600, 2.9),
+            AceDomain::Bn => (Genre::BroadcastNews, 3_500, 2.9),
+            AceDomain::Cts => (Genre::Telephone, 2_600, 2.6),
+            AceDomain::Nw => (Genre::Newswire, 4_500, 2.9),
+            AceDomain::Un => (Genre::Usenet, 2_100, 2.6),
+            AceDomain::Wl => (Genre::Weblog, 2_099, 2.7),
+        };
+        DatasetProfile {
+            name: domain.name(),
+            n_types: 54,
+            n_sentences,
+            families: Family::NEWSWIRE.to_vec(),
+            gazetteer_size: 30,
+            gen: GenConfig {
+                genre,
+                mention_rate,
+                trigger_prob: 0.65,
+                family_trigger_prob: 0.3,
+                homonym_prob: 0.12,
+                fresh_prob: 0.18,
+                nested_prob: 0.15,
+            },
+            // Same seed for every domain: identical type inventory.
+            seed: 0x4143_4535,
+        }
+    }
+
+    /// OntoNotes 5.0: 18 coarse types over mixed genres.
+    pub fn ontonotes() -> DatasetProfile {
+        DatasetProfile {
+            name: "OntoNotes",
+            n_types: 18,
+            n_sentences: 42_224,
+            families: Family::NEWSWIRE.to_vec(),
+            gazetteer_size: 60,
+            gen: GenConfig {
+                genre: Genre::Mixed,
+                mention_rate: 2.47,
+                trigger_prob: 0.68,
+                family_trigger_prob: 0.35,
+                homonym_prob: 0.10,
+                fresh_prob: 0.15,
+                nested_prob: 0.0,
+            },
+            seed: 0x4F4E_544F,
+        }
+    }
+
+    /// CoNLL-2003-style sanity profile: the classic 4-type newswire setting
+    /// (PER/ORG/LOC/MISC-like). Not part of the paper's evaluation; useful
+    /// as the simplest possible few-shot NER reference and for demos.
+    pub fn conll_like() -> DatasetProfile {
+        DatasetProfile {
+            name: "CoNLL-like",
+            n_types: 4,
+            n_sentences: 14_041,
+            families: vec![
+                Family::Person,
+                Family::Organization,
+                Family::Location,
+                Family::Product,
+            ],
+            gazetteer_size: 80,
+            gen: GenConfig {
+                genre: Genre::Newswire,
+                mention_rate: 1.7,
+                trigger_prob: 0.75,
+                family_trigger_prob: 0.3,
+                homonym_prob: 0.06,
+                fresh_prob: 0.12,
+                nested_prob: 0.0,
+            },
+            seed: 0x434F_4E4C,
+        }
+    }
+
+    /// Slot filling: the sequence-labeling extension the paper's discussion
+    /// proposes (§5) — task-oriented dialogue utterances whose "entities"
+    /// are slots (times, places, works, quantities). Not one of the paper's
+    /// six corpora; sized like a typical slot-filling benchmark.
+    pub fn slot_filling() -> DatasetProfile {
+        DatasetProfile {
+            name: "SlotFilling",
+            n_types: 14,
+            n_sentences: 13_084,
+            families: vec![
+                Family::Temporal,
+                Family::Location,
+                Family::Creative,
+                Family::Quantity,
+                Family::Product,
+                Family::Organization,
+            ],
+            gazetteer_size: 40,
+            gen: GenConfig {
+                genre: Genre::Dialogue,
+                mention_rate: 2.2,
+                trigger_prob: 0.8,
+                family_trigger_prob: 0.35,
+                homonym_prob: 0.08,
+                fresh_prob: 0.12,
+                nested_prob: 0.0,
+            },
+            seed: 0x534C_4F54,
+        }
+    }
+
+    /// BioNLP13CG: 16 biomedical types (cancer genetics).
+    pub fn bionlp13cg() -> DatasetProfile {
+        DatasetProfile {
+            name: "BioNLP13CG",
+            n_types: 16,
+            n_sentences: 5_939,
+            families: Family::MEDICAL.to_vec(),
+            gazetteer_size: 30,
+            gen: GenConfig {
+                genre: Genre::Medical,
+                mention_rate: 3.59,
+                trigger_prob: 0.50,
+                family_trigger_prob: 0.4,
+                homonym_prob: 0.22,
+                fresh_prob: 0.22,
+                nested_prob: 0.0,
+            },
+            seed: 0x4249_4F31,
+        }
+    }
+}
+
+/// The six ACE2005 source domains (§4.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AceDomain {
+    /// Broadcast Conversations.
+    Bc,
+    /// Broadcast News.
+    Bn,
+    /// Conversational Telephone Speech.
+    Cts,
+    /// Newswire.
+    Nw,
+    /// Usenet.
+    Un,
+    /// Weblog.
+    Wl,
+}
+
+impl AceDomain {
+    /// All six domains.
+    pub const ALL: [AceDomain; 6] = [
+        AceDomain::Bc,
+        AceDomain::Bn,
+        AceDomain::Cts,
+        AceDomain::Nw,
+        AceDomain::Un,
+        AceDomain::Wl,
+    ];
+
+    /// Paper abbreviation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AceDomain::Bc => "ACE-BC",
+            AceDomain::Bn => "ACE-BN",
+            AceDomain::Cts => "ACE-CTS",
+            AceDomain::Nw => "ACE-NW",
+            AceDomain::Un => "ACE-UN",
+            AceDomain::Wl => "ACE-WL",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_statistics_match_table_1_at_small_scale() {
+        // Full-scale counts are pinned in the table1 bench; here we check
+        // proportions at 2% scale to stay fast.
+        let d = DatasetProfile::nne().generate(0.02).unwrap();
+        let s = d.stats();
+        assert_eq!(s.types, 114);
+        assert_eq!(s.sentences, (39_932.0f64 * 0.02).round() as usize);
+        let density = s.mentions as f64 / s.sentences as f64;
+        assert!(
+            (3.9..5.4).contains(&density),
+            "NNE density {density}, want ≈ 4.66"
+        );
+    }
+
+    #[test]
+    fn fg_ner_is_sparse() {
+        let d = DatasetProfile::fg_ner().generate(0.2).unwrap();
+        let s = d.stats();
+        assert_eq!(s.types, 200);
+        let density = s.mentions as f64 / s.sentences as f64;
+        assert!((1.5..2.3).contains(&density), "FG-NER density {density}");
+    }
+
+    #[test]
+    fn ace_domains_share_one_inventory() {
+        let bc = DatasetProfile::ace2005(AceDomain::Bc);
+        let un = DatasetProfile::ace2005(AceDomain::Un);
+        let inv_bc = bc.inventory();
+        let inv_un = un.inventory();
+        assert_eq!(inv_bc.len(), 54);
+        for (a, b) in inv_bc.iter().zip(&inv_un) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.gazetteer, b.gazetteer);
+        }
+        // ...but produce different surface text.
+        let dbc = bc.generate(0.05).unwrap();
+        let dun = un.generate(0.05).unwrap();
+        assert_ne!(dbc.sentences[0].tokens, dun.sentences[0].tokens);
+    }
+
+    #[test]
+    fn medical_profiles_use_medical_families() {
+        let genia = DatasetProfile::genia();
+        let inv = genia.inventory();
+        assert!(inv.iter().all(|t| Family::MEDICAL.contains(&t.family)));
+    }
+
+    #[test]
+    fn scale_floors_at_twenty_sentences() {
+        let d = DatasetProfile::bionlp13cg().generate(0.0001).unwrap();
+        assert_eq!(d.stats().sentences, 20);
+    }
+
+    #[test]
+    fn all_profiles_generate_cleanly() {
+        for p in [
+            DatasetProfile::nne(),
+            DatasetProfile::fg_ner(),
+            DatasetProfile::genia(),
+            DatasetProfile::ontonotes(),
+            DatasetProfile::bionlp13cg(),
+            DatasetProfile::slot_filling(),
+            DatasetProfile::conll_like(),
+            DatasetProfile::ace2005(AceDomain::Cts),
+        ] {
+            let d = p.generate(0.01).unwrap();
+            assert_eq!(d.stats().types, p.n_types);
+            assert!(d.stats().mentions > 0);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Train/validation/test splits for the three adaptation experiments.
+//!
+//! * **Type-disjoint splits** (intra-domain cross-type, §4.2.1): the type
+//!   inventory is partitioned — e.g. 52/10/15 for NNE — and each split sees
+//!   only its own types. A sentence is routed to the partition owning its
+//!   *first* mention's type; mentions of out-of-partition types are masked
+//!   to `O` (dropped from the gold spans), the standard practice when
+//!   episodic NER corpora contain entangled types.
+//! * **Sentence splits** (cross-domain intra-type, §4.3.1): a plain ratio
+//!   split such as ACE2005's 8/1/1; all splits share the type space.
+//! * **Holdout splits** (cross-domain cross-type, §4.4.1): the target corpus
+//!   is split 20 % validation / 80 % test; training data comes entirely
+//!   from the source corpus.
+
+use std::collections::HashSet;
+
+use fewner_text::{Sentence, TypeId};
+use fewner_util::{Error, Result, Rng};
+
+use crate::generator::Dataset;
+
+/// A view of a dataset restricted to a type partition.
+#[derive(Debug, Clone)]
+pub struct SplitView {
+    /// Which concrete types this split may use.
+    pub types: Vec<TypeId>,
+    /// Sentences with out-of-partition mentions masked to `O`.
+    pub sentences: Vec<Sentence>,
+}
+
+impl SplitView {
+    /// Number of sentences.
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// True when the split holds no sentences.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+}
+
+/// The three type-disjoint partitions of a dataset.
+#[derive(Debug, Clone)]
+pub struct TypeSplit {
+    /// Training partition.
+    pub train: SplitView,
+    /// Validation partition.
+    pub val: SplitView,
+    /// Test partition — its types never appear in `train`.
+    pub test: SplitView,
+}
+
+/// Masks a sentence's spans to those whose type is in `keep`.
+fn mask_sentence(s: &Sentence, keep: &HashSet<TypeId>) -> Sentence {
+    let spans = s
+        .spans
+        .iter()
+        .copied()
+        .filter(|sp| keep.contains(&sp.type_id))
+        .collect();
+    Sentence {
+        tokens: s.tokens.clone(),
+        spans,
+    }
+}
+
+/// Partitions `dataset` into type-disjoint train/val/test views.
+///
+/// `counts` are the per-partition type counts, e.g. `(52, 10, 15)` for NNE,
+/// `(163, 15, 20)` for FG-NER, `(18, 8, 10)` for GENIA (§4.2.1). The type
+/// permutation is drawn from `seed`.
+pub fn split_types(
+    dataset: &Dataset,
+    counts: (usize, usize, usize),
+    seed: u64,
+) -> Result<TypeSplit> {
+    let (n_train, n_val, n_test) = counts;
+    let total = n_train + n_val + n_test;
+    if total > dataset.types.len() {
+        return Err(Error::InvalidConfig(format!(
+            "type split {counts:?} needs {total} types; dataset has {}",
+            dataset.types.len()
+        )));
+    }
+    let mut rng = Rng::new(seed);
+    let mut order: Vec<TypeId> = dataset.types.iter().map(|t| t.id).collect();
+    rng.shuffle(&mut order);
+
+    let train_types: Vec<TypeId> = order[..n_train].to_vec();
+    let val_types: Vec<TypeId> = order[n_train..n_train + n_val].to_vec();
+    let test_types: Vec<TypeId> = order[n_train + n_val..total].to_vec();
+    let train_set: HashSet<TypeId> = train_types.iter().copied().collect();
+    let val_set: HashSet<TypeId> = val_types.iter().copied().collect();
+    let test_set: HashSet<TypeId> = test_types.iter().copied().collect();
+
+    let mut train = Vec::new();
+    let mut val = Vec::new();
+    let mut test = Vec::new();
+    for s in &dataset.sentences {
+        let Some(first) = s.spans.first() else {
+            continue;
+        };
+        if train_set.contains(&first.type_id) {
+            train.push(mask_sentence(s, &train_set));
+        } else if val_set.contains(&first.type_id) {
+            val.push(mask_sentence(s, &val_set));
+        } else if test_set.contains(&first.type_id) {
+            test.push(mask_sentence(s, &test_set));
+        }
+    }
+    Ok(TypeSplit {
+        train: SplitView {
+            types: train_types,
+            sentences: train,
+        },
+        val: SplitView {
+            types: val_types,
+            sentences: val,
+        },
+        test: SplitView {
+            types: test_types,
+            sentences: test,
+        },
+    })
+}
+
+/// Ratio-based sentence split sharing the full type space (ACE's 8/1/1).
+pub fn split_sentences(dataset: &Dataset, ratios: (f64, f64, f64), seed: u64) -> Result<TypeSplit> {
+    let (a, b, c) = ratios;
+    let total = a + b + c;
+    if !(total.is_finite() && total > 0.0) || a < 0.0 || b < 0.0 || c < 0.0 {
+        return Err(Error::InvalidConfig(format!("bad split ratios {ratios:?}")));
+    }
+    let mut rng = Rng::new(seed);
+    let mut order: Vec<usize> = (0..dataset.sentences.len()).collect();
+    rng.shuffle(&mut order);
+    let n = order.len();
+    let n_train = ((a / total) * n as f64).round() as usize;
+    let n_val = ((b / total) * n as f64).round() as usize;
+    let all_types: Vec<TypeId> = dataset.types.iter().map(|t| t.id).collect();
+    let take = |idx: &[usize]| -> Vec<Sentence> {
+        idx.iter().map(|&i| dataset.sentences[i].clone()).collect()
+    };
+    let (train_idx, rest) = order.split_at(n_train.min(n));
+    let (val_idx, test_idx) = rest.split_at(n_val.min(rest.len()));
+    Ok(TypeSplit {
+        train: SplitView {
+            types: all_types.clone(),
+            sentences: take(train_idx),
+        },
+        val: SplitView {
+            types: all_types.clone(),
+            sentences: take(val_idx),
+        },
+        test: SplitView {
+            types: all_types,
+            sentences: take(test_idx),
+        },
+    })
+}
+
+/// A view over a full dataset (all types, all sentences) — the source-side
+/// training view of the cross-domain experiments.
+pub fn full_view(dataset: &Dataset) -> SplitView {
+    SplitView {
+        types: dataset.types.iter().map(|t| t.id).collect(),
+        sentences: dataset.sentences.clone(),
+    }
+}
+
+/// Target-corpus holdout for cross-domain cross-type adaptation: 20 %
+/// validation / 80 % test, no training data (§4.4.1).
+pub fn holdout_target(dataset: &Dataset, seed: u64) -> Result<(SplitView, SplitView)> {
+    let split = split_sentences(dataset, (0.0, 0.2, 0.8), seed)?;
+    Ok((split.val, split.test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::DatasetProfile;
+
+    fn data() -> Dataset {
+        DatasetProfile::genia().generate(0.03).unwrap()
+    }
+
+    #[test]
+    fn type_split_is_disjoint_and_masked() {
+        let d = data();
+        let split = split_types(&d, (18, 8, 10), 42).unwrap();
+        assert_eq!(split.train.types.len(), 18);
+        assert_eq!(split.val.types.len(), 8);
+        assert_eq!(split.test.types.len(), 10);
+
+        let train_set: HashSet<TypeId> = split.train.types.iter().copied().collect();
+        let test_set: HashSet<TypeId> = split.test.types.iter().copied().collect();
+        assert!(train_set.is_disjoint(&test_set));
+
+        for s in &split.train.sentences {
+            for span in &s.spans {
+                assert!(train_set.contains(&span.type_id), "leaked test type");
+            }
+        }
+        for s in &split.test.sentences {
+            for span in &s.spans {
+                assert!(test_set.contains(&span.type_id));
+            }
+        }
+        assert!(!split.train.is_empty());
+        assert!(!split.test.is_empty());
+    }
+
+    #[test]
+    fn type_split_rejects_oversized_request() {
+        let d = data();
+        assert!(split_types(&d, (30, 10, 10), 1).is_err());
+    }
+
+    #[test]
+    fn type_split_is_deterministic() {
+        let d = data();
+        let a = split_types(&d, (18, 8, 10), 7).unwrap();
+        let b = split_types(&d, (18, 8, 10), 7).unwrap();
+        assert_eq!(a.test.types, b.test.types);
+        assert_eq!(a.test.sentences.len(), b.test.sentences.len());
+        let c = split_types(&d, (18, 8, 10), 8).unwrap();
+        assert_ne!(a.test.types, c.test.types);
+    }
+
+    #[test]
+    fn sentence_split_preserves_everything() {
+        let d = data();
+        let split = split_sentences(&d, (8.0, 1.0, 1.0), 3).unwrap();
+        let total = split.train.len() + split.val.len() + split.test.len();
+        assert_eq!(total, d.sentences.len());
+        // 8/1/1 proportions within rounding.
+        let frac = split.train.len() as f64 / total as f64;
+        assert!((0.78..0.82).contains(&frac), "train fraction {frac}");
+        // Types shared across splits (intra-type).
+        assert_eq!(split.train.types, split.test.types);
+    }
+
+    #[test]
+    fn sentence_split_rejects_bad_ratios() {
+        let d = data();
+        assert!(split_sentences(&d, (0.0, 0.0, 0.0), 1).is_err());
+        assert!(split_sentences(&d, (-1.0, 1.0, 1.0), 1).is_err());
+    }
+
+    #[test]
+    fn holdout_is_20_80() {
+        let d = data();
+        let (val, test) = holdout_target(&d, 5).unwrap();
+        let total = val.len() + test.len();
+        assert_eq!(total, d.sentences.len());
+        let frac = test.len() as f64 / total as f64;
+        assert!((0.78..0.82).contains(&frac), "test fraction {frac}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Integration tests over the full corpus layer: every profile × split
+//! combination used by the experiments, the masking invariants, embedding
+//! cluster coverage, and the difficulty knobs the table reproductions rely
+//! on.
+
+use std::collections::HashSet;
+
+use fewner_corpus::{
+    full_view, holdout_target, split_sentences, split_types, AceDomain, DatasetProfile, Genre,
+};
+use fewner_text::TypeId;
+
+#[test]
+fn all_experiment_splits_construct_and_are_consistent() {
+    // Table 2 splits.
+    for (profile, counts) in [
+        (DatasetProfile::nne(), (52usize, 10usize, 15usize)),
+        (DatasetProfile::fg_ner(), (163, 15, 20)),
+        (DatasetProfile::genia(), (18, 8, 10)),
+    ] {
+        let d = profile.generate(0.02).unwrap();
+        let split = split_types(&d, counts, 42).unwrap();
+        assert_eq!(split.train.types.len(), counts.0, "{}", profile.name);
+        assert_eq!(split.test.types.len(), counts.2, "{}", profile.name);
+        let train: HashSet<TypeId> = split.train.types.iter().copied().collect();
+        let test: HashSet<TypeId> = split.test.types.iter().copied().collect();
+        assert!(train.is_disjoint(&test));
+        // Masked sentences only carry their partition's types.
+        for s in &split.test.sentences {
+            for span in &s.spans {
+                assert!(test.contains(&span.type_id));
+            }
+        }
+    }
+}
+
+#[test]
+fn ace_pairs_share_types_and_differ_in_style() {
+    for (src, dst) in [
+        (AceDomain::Bc, AceDomain::Un),
+        (AceDomain::Bn, AceDomain::Cts),
+        (AceDomain::Nw, AceDomain::Wl),
+    ] {
+        let a = DatasetProfile::ace2005(src).generate(0.05).unwrap();
+        let b = DatasetProfile::ace2005(dst).generate(0.05).unwrap();
+        // Intra-type: identical type inventory.
+        for (x, y) in a.types.iter().zip(&b.types) {
+            assert_eq!(x.name, y.name);
+        }
+        // Cross-domain: disjoint-enough function vocabulary.
+        assert!(a.genre != b.genre);
+        let split_a = split_sentences(&a, (8.0, 1.0, 1.0), 7).unwrap();
+        let split_b = split_sentences(&b, (8.0, 1.0, 1.0), 7).unwrap();
+        assert!(!split_a.train.is_empty());
+        assert!(!split_b.test.is_empty());
+    }
+}
+
+#[test]
+fn cross_type_pairs_have_disjoint_inventories() {
+    for (src, dst) in [
+        (DatasetProfile::genia(), DatasetProfile::bionlp13cg()),
+        (DatasetProfile::ontonotes(), DatasetProfile::bionlp13cg()),
+        (DatasetProfile::ontonotes(), DatasetProfile::fg_ner()),
+    ] {
+        let a = src.generate(0.01).unwrap();
+        let b = dst.generate(0.03).unwrap();
+        // Type *identities* are dataset-local; their names must differ
+        // (suffix signatures are drawn with different seeds).
+        let names_a: HashSet<&str> = a.types.iter().map(|t| t.name.as_str()).collect();
+        let names_b: HashSet<&str> = b.types.iter().map(|t| t.name.as_str()).collect();
+        assert!(
+            names_a.is_disjoint(&names_b),
+            "{} and {} share type names",
+            src.name,
+            dst.name
+        );
+        let train = full_view(&a);
+        let (val, test) = holdout_target(&b, 11).unwrap();
+        assert_eq!(val.len() + test.len(), b.sentences.len());
+        assert!(!train.is_empty());
+    }
+}
+
+#[test]
+fn genia_is_designed_harder_than_nne() {
+    let nne = DatasetProfile::nne();
+    let genia = DatasetProfile::genia();
+    assert!(genia.gen.trigger_prob < nne.gen.trigger_prob);
+    assert!(genia.gen.homonym_prob > nne.gen.homonym_prob);
+    assert!(genia.gen.fresh_prob > nne.gen.fresh_prob);
+}
+
+#[test]
+fn nested_generation_only_in_ace() {
+    for p in [
+        DatasetProfile::nne(),
+        DatasetProfile::fg_ner(),
+        DatasetProfile::genia(),
+        DatasetProfile::ontonotes(),
+        DatasetProfile::bionlp13cg(),
+    ] {
+        assert_eq!(p.gen.nested_prob, 0.0, "{}", p.name);
+    }
+    for dom in AceDomain::ALL {
+        assert!(DatasetProfile::ace2005(dom).gen.nested_prob > 0.0);
+    }
+}
+
+#[test]
+fn cluster_maps_cover_the_vocabulary_across_merges() {
+    let a = DatasetProfile::genia().generate(0.01).unwrap();
+    let b = DatasetProfile::bionlp13cg().generate(0.02).unwrap();
+    let merged = a.merged_clusters(&b);
+    // Everything a sees is in the merge, plus b's additions.
+    for k in a.clusters().keys() {
+        assert!(merged.contains_key(k));
+    }
+    assert!(merged.len() >= a.clusters().len());
+    assert!(merged.len() >= b.clusters().len());
+}
+
+#[test]
+fn table1_density_targets() {
+    // Mention densities drive the Table 1 mention counts; pin each
+    // profile's measured density to its calibrated target ±20 %.
+    for (p, target) in [
+        (DatasetProfile::nne(), 4.66),
+        (DatasetProfile::fg_ner(), 1.87),
+        (DatasetProfile::genia(), 4.13),
+        (DatasetProfile::ontonotes(), 2.47),
+        (DatasetProfile::bionlp13cg(), 3.59),
+    ] {
+        let d = p.generate(0.02).unwrap();
+        let s = d.stats();
+        let density = s.mentions as f64 / s.sentences as f64;
+        assert!(
+            (density - target).abs() / target < 0.2,
+            "{}: density {density:.2} vs target {target}",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn slot_filling_extension_profile_is_well_formed() {
+    let p = DatasetProfile::slot_filling();
+    let d = p.generate(0.02).unwrap();
+    let s = d.stats();
+    assert_eq!(s.types, 14);
+    let density = s.mentions as f64 / s.sentences as f64;
+    assert!((1.8..2.7).contains(&density), "slot density {density}");
+    // Dialogue-specific function words appear.
+    let has_dialogue_word = d
+        .sentences
+        .iter()
+        .flat_map(|s| s.tokens.iter())
+        .any(|t| t == "please" || t == "book" || t == "remind");
+    assert!(has_dialogue_word);
+    // And the standard type-disjoint split works on it.
+    let split = split_types(&d, (8, 3, 3), 42).unwrap();
+    assert!(!split.train.is_empty() && !split.test.is_empty());
+}
+
+#[test]
+fn genre_word_pools_drive_measurable_text_differences() {
+    let bn = DatasetProfile::ace2005(AceDomain::Bn)
+        .generate(0.05)
+        .unwrap();
+    let un = DatasetProfile::ace2005(AceDomain::Un)
+        .generate(0.05)
+        .unwrap();
+    let tokens = |d: &fewner_corpus::Dataset| -> HashSet<String> {
+        d.sentences
+            .iter()
+            .flat_map(|s| s.tokens.iter().cloned())
+            .collect()
+    };
+    let (tb, tu) = (tokens(&bn), tokens(&un));
+    // Usenet-specific words appear only in UN.
+    assert!(tu.contains("newsgroup") || tu.contains("crosspost"));
+    assert!(!tb.contains("newsgroup") && !tb.contains("crosspost"));
+    // Genre overlap ordering is pinned at the pool level too.
+    assert!(
+        Genre::BroadcastNews.overlap(&Genre::Telephone)
+            > Genre::BroadcastConversation.overlap(&Genre::Usenet)
+    );
+}

@@ -1,0 +1,17 @@
+//! `fewner-episode` — N-way K-shot task construction for sequence labeling.
+//!
+//! Implements the paper's problem formulation (§3.1): a task 𝒯ᵢ is a
+//! support/query pair over N entity classes with at least K support mentions
+//! per class, assembled by the greedy-including procedure, with concrete
+//! types shuffled onto abstract slots per task and out-of-task mentions
+//! masked to `O`.
+
+#![warn(missing_docs)]
+
+pub mod sampler;
+pub mod stats;
+pub mod task;
+
+pub use sampler::EpisodeSampler;
+pub use stats::EpisodeStats;
+pub use task::{EpisodeSentence, Task};

@@ -1,0 +1,358 @@
+//! The paper's greedy-including N-way K-shot task sampler (§3.1).
+//!
+//! Sequence labeling entangles classes — a sentence brings an unknown number
+//! of mentions of unknown types — so tasks cannot be assembled by sampling K
+//! instances per class as in image classification. The paper's procedure:
+//!
+//! 1. start with an empty support set;
+//! 2. repeatedly pick a random sentence and **include it iff it brings gain
+//!    for "way"** (a new class while fewer than N are selected) **or for
+//!    "shot"** (a selected class still below K mentions);
+//! 3. stop once N classes each have ≥ K support mentions;
+//! 4. the terminating invariant: removing any support sentence drops some
+//!    class below K (we enforce it with a final pruning pass, since a later
+//!    inclusion can make an earlier one redundant).
+//!
+//! The query set is drawn from the remaining sentences that mention at
+//! least one of the task's N classes; out-of-task mentions are masked to
+//! `O` in both sets. Class→slot assignment is shuffled per task so models
+//! can only bind slots through the support set.
+
+use std::collections::HashMap;
+
+use fewner_corpus::SplitView;
+use fewner_text::{TagSet, TypeId};
+use fewner_util::{Error, Result, Rng};
+
+use crate::task::{EpisodeSentence, Task};
+
+/// Samples N-way K-shot tasks from a [`SplitView`].
+#[derive(Debug, Clone)]
+pub struct EpisodeSampler<'a> {
+    view: &'a SplitView,
+    n_ways: usize,
+    k_shots: usize,
+    query_size: usize,
+    /// Types with at least K mentions in the view — the only ones a task
+    /// may select (rare tail types cannot support a K-shot task at all).
+    viable: Vec<TypeId>,
+}
+
+impl<'a> EpisodeSampler<'a> {
+    /// Creates a sampler; validates that the view can possibly support
+    /// `n_ways` classes.
+    pub fn new(
+        view: &'a SplitView,
+        n_ways: usize,
+        k_shots: usize,
+        query_size: usize,
+    ) -> Result<EpisodeSampler<'a>> {
+        if n_ways == 0 || k_shots == 0 || query_size == 0 {
+            return Err(Error::InvalidConfig(
+                "n_ways, k_shots and query_size must be positive".into(),
+            ));
+        }
+        if view.types.len() < n_ways {
+            return Err(Error::InvalidConfig(format!(
+                "{}-way tasks need {} types; split has {}",
+                n_ways,
+                n_ways,
+                view.types.len()
+            )));
+        }
+        if view.sentences.is_empty() {
+            return Err(Error::InvalidConfig("empty split view".into()));
+        }
+        let mut counts: std::collections::HashMap<TypeId, usize> = std::collections::HashMap::new();
+        for s in &view.sentences {
+            for span in &s.spans {
+                *counts.entry(span.type_id).or_insert(0) += 1;
+            }
+        }
+        let viable: Vec<TypeId> = view
+            .types
+            .iter()
+            .copied()
+            .filter(|t| counts.get(t).copied().unwrap_or(0) >= k_shots)
+            .collect();
+        if viable.len() < n_ways {
+            return Err(Error::InvalidConfig(format!(
+                "only {} of {} types have ≥ {} mentions; cannot build {}-way {}-shot tasks",
+                viable.len(),
+                view.types.len(),
+                k_shots,
+                n_ways,
+                k_shots
+            )));
+        }
+        Ok(EpisodeSampler {
+            view,
+            n_ways,
+            k_shots,
+            query_size,
+            viable,
+        })
+    }
+
+    /// Samples one task. Retries a few shuffles before giving up, then
+    /// reports a construction error (e.g. a class-starved split).
+    pub fn sample(&self, rng: &mut Rng) -> Result<Task> {
+        const ATTEMPTS: usize = 8;
+        let mut last_err = None;
+        for _ in 0..ATTEMPTS {
+            match self.try_sample(rng) {
+                Ok(task) => return Ok(task),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| Error::EpisodeConstruction("episode sampling failed".into())))
+    }
+
+    fn try_sample(&self, rng: &mut Rng) -> Result<Task> {
+        let sentences = &self.view.sentences;
+        let mut order: Vec<usize> = (0..sentences.len()).collect();
+        rng.shuffle(&mut order);
+
+        // Greedy-including pass.
+        let mut selected: Vec<TypeId> = Vec::with_capacity(self.n_ways);
+        let mut counts: HashMap<TypeId, usize> = HashMap::new();
+        let mut support_idx: Vec<usize> = Vec::new();
+
+        let complete = |selected: &Vec<TypeId>, counts: &HashMap<TypeId, usize>| {
+            selected.len() == self.n_ways
+                && selected
+                    .iter()
+                    .all(|t| counts.get(t).copied().unwrap_or(0) >= self.k_shots)
+        };
+
+        for &si in &order {
+            if complete(&selected, &counts) {
+                break;
+            }
+            let s = &sentences[si];
+            let mut way_gain = false;
+            let mut shot_gain = false;
+            for t in s.present_types() {
+                if selected.contains(&t) {
+                    if counts.get(&t).copied().unwrap_or(0) < self.k_shots {
+                        shot_gain = true;
+                    }
+                } else if selected.len() < self.n_ways && self.viable.contains(&t) {
+                    way_gain = true;
+                }
+            }
+            if !way_gain && !shot_gain {
+                continue;
+            }
+            // Include: claim new (viable) classes up to capacity and count
+            // mentions of selected classes.
+            for t in s.present_types() {
+                if !selected.contains(&t)
+                    && selected.len() < self.n_ways
+                    && self.viable.contains(&t)
+                {
+                    selected.push(t);
+                }
+            }
+            for span in &s.spans {
+                if selected.contains(&span.type_id) {
+                    *counts.entry(span.type_id).or_insert(0) += 1;
+                }
+            }
+            support_idx.push(si);
+        }
+
+        if !complete(&selected, &counts) {
+            return Err(Error::EpisodeConstruction(format!(
+                "could not assemble a {}-way {}-shot support set ({} classes reached)",
+                self.n_ways,
+                self.k_shots,
+                selected.len()
+            )));
+        }
+
+        // Pruning pass: enforce the paper's minimality invariant. Walk in
+        // inclusion order and drop any sentence whose removal keeps every
+        // selected class at ≥ K mentions.
+        let mut kept: Vec<usize> = support_idx.clone();
+        let mut i = 0;
+        while i < kept.len() {
+            let si = kept[i];
+            let mut trial = counts.clone();
+            for span in &sentences[si].spans {
+                if selected.contains(&span.type_id) {
+                    *trial.get_mut(&span.type_id).unwrap() -= 1;
+                }
+            }
+            if selected.iter().all(|t| trial[t] >= self.k_shots) {
+                counts = trial;
+                kept.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let support_idx = kept;
+
+        // Slot assignment: shuffle so slot identity is task-local.
+        let mut slot_types = selected.clone();
+        rng.shuffle(&mut slot_types);
+        let slot_of: HashMap<TypeId, usize> = slot_types
+            .iter()
+            .enumerate()
+            .map(|(slot, &t)| (t, slot))
+            .collect();
+        let tag_set = TagSet::new(self.n_ways)?;
+
+        // Query set: remaining sentences mentioning any selected class.
+        let in_support: Vec<bool> = {
+            let mut v = vec![false; sentences.len()];
+            for &si in &support_idx {
+                v[si] = true;
+            }
+            v
+        };
+        let mut query_pool: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&si| {
+                !in_support[si]
+                    && sentences[si]
+                        .present_types()
+                        .iter()
+                        .any(|t| slot_of.contains_key(t))
+            })
+            .collect();
+        if query_pool.is_empty() {
+            return Err(Error::EpisodeConstruction(
+                "no query sentences mention the task's classes".into(),
+            ));
+        }
+        query_pool.truncate(self.query_size);
+
+        let support = support_idx
+            .iter()
+            .map(|&si| EpisodeSentence::project(&sentences[si], &slot_of, &tag_set))
+            .collect::<Result<Vec<_>>>()?;
+        let query = query_pool
+            .iter()
+            .map(|&si| EpisodeSentence::project(&sentences[si], &slot_of, &tag_set))
+            .collect::<Result<Vec<_>>>()?;
+
+        Ok(Task {
+            n_ways: self.n_ways,
+            k_shots: self.k_shots,
+            slot_types,
+            support,
+            query,
+        })
+    }
+
+    /// Samples the paper's fixed evaluation set: `count` tasks derived from
+    /// `seed` alone, so every method is scored on the *same* tasks (§4.2.1).
+    pub fn eval_set(&self, seed: u64, count: usize) -> Result<Vec<Task>> {
+        let mut parent = Rng::new(seed);
+        let mut out = Vec::with_capacity(count);
+        for episode in 0..count {
+            let mut rng = parent.fork(episode as u64);
+            out.push(self.sample(&mut rng)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fewner_corpus::{split_types, DatasetProfile};
+
+    fn view() -> fewner_corpus::TypeSplit {
+        let d = DatasetProfile::genia().generate(0.05).unwrap();
+        split_types(&d, (18, 8, 10), 42).unwrap()
+    }
+
+    #[test]
+    fn sampled_tasks_satisfy_all_invariants() {
+        let split = view();
+        let sampler = EpisodeSampler::new(&split.train, 5, 1, 10).unwrap();
+        let mut rng = Rng::new(7);
+        for _ in 0..20 {
+            let task = sampler.sample(&mut rng).unwrap();
+            task.validate().unwrap();
+            assert_eq!(task.n_ways, 5);
+            assert!(task.query.len() <= 10 && !task.query.is_empty());
+            // Slot types must come from the split's type set.
+            for t in &task.slot_types {
+                assert!(split.train.types.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn five_shot_tasks_have_at_least_five_mentions_per_slot() {
+        let split = view();
+        let sampler = EpisodeSampler::new(&split.train, 5, 5, 10).unwrap();
+        let mut rng = Rng::new(9);
+        let task = sampler.sample(&mut rng).unwrap();
+        for c in task.support_slot_counts() {
+            assert!(c >= 5);
+        }
+        task.validate().unwrap();
+    }
+
+    #[test]
+    fn eval_set_is_deterministic_and_method_independent() {
+        let split = view();
+        let sampler = EpisodeSampler::new(&split.test, 5, 1, 8).unwrap();
+        let a = sampler.eval_set(123, 5).unwrap();
+        let b = sampler.eval_set(123, 5).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.slot_types, y.slot_types);
+            assert_eq!(x.support.len(), y.support.len());
+            assert_eq!(x.query[0].tokens, y.query[0].tokens);
+        }
+        let c = sampler.eval_set(124, 5).unwrap();
+        assert!(
+            a.iter().zip(&c).any(
+                |(x, y)| x.slot_types != y.slot_types || x.query[0].tokens != y.query[0].tokens
+            ),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn slot_assignment_is_shuffled_across_tasks() {
+        let split = view();
+        let sampler = EpisodeSampler::new(&split.train, 5, 1, 5).unwrap();
+        let mut rng = Rng::new(11);
+        let mut orderings = std::collections::HashSet::new();
+        for _ in 0..12 {
+            let t = sampler.sample(&mut rng).unwrap();
+            let mut sorted = t.slot_types.clone();
+            sorted.sort();
+            if sorted == t.slot_types {
+                continue;
+            }
+            orderings.insert(t.slot_types.clone());
+        }
+        assert!(!orderings.is_empty(), "slots never shuffled");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let split = view();
+        assert!(EpisodeSampler::new(&split.train, 0, 1, 5).is_err());
+        assert!(EpisodeSampler::new(&split.train, 5, 0, 5).is_err());
+        assert!(EpisodeSampler::new(&split.train, 5, 1, 0).is_err());
+        assert!(EpisodeSampler::new(&split.train, 99, 1, 5).is_err());
+    }
+
+    #[test]
+    fn starved_split_reports_construction_error() {
+        // A view with sentences mentioning only 2 of its 5 claimed types.
+        let d = DatasetProfile::bionlp13cg().generate(0.005).unwrap();
+        let split = split_types(&d, (2, 2, 12), 1).unwrap();
+        // Asking for 5 ways from the train view (2 types) must fail fast.
+        assert!(EpisodeSampler::new(&split.train, 5, 1, 5).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Descriptive statistics over sampled episodes.
+//!
+//! The greedy-including construction gives support sets whose size is a
+//! *consequence* of the data (a sentence may satisfy several shots at
+//! once), unlike classification where it is exactly N·K. These statistics
+//! characterise that distribution — useful both for sanity-checking a new
+//! corpus profile and for the paper's observation that class entanglement
+//! is what makes N-way K-shot sequence labeling hard.
+
+use fewner_util::{OnlineStats, Rng};
+
+use crate::sampler::EpisodeSampler;
+use crate::task::Task;
+
+/// Aggregate shape of a set of tasks.
+#[derive(Debug, Clone)]
+pub struct EpisodeStats {
+    /// Support sentences per task.
+    pub support_sentences: OnlineStats,
+    /// Support mentions per slot (over all slots of all tasks).
+    pub mentions_per_slot: OnlineStats,
+    /// Query sentences per task.
+    pub query_sentences: OnlineStats,
+    /// Fraction of support mentions *beyond* the K required ones —
+    /// "entanglement surplus": 0 would mean classification-style exactness.
+    pub surplus_fraction: OnlineStats,
+}
+
+impl EpisodeStats {
+    /// Measures a set of tasks.
+    pub fn measure(tasks: &[Task]) -> EpisodeStats {
+        let mut support_sentences = OnlineStats::new();
+        let mut mentions_per_slot = OnlineStats::new();
+        let mut query_sentences = OnlineStats::new();
+        let mut surplus_fraction = OnlineStats::new();
+        for t in tasks {
+            support_sentences.push(t.support.len() as f64);
+            query_sentences.push(t.query.len() as f64);
+            let counts = t.support_slot_counts();
+            let total: usize = counts.iter().sum();
+            let required = t.n_ways * t.k_shots;
+            for &c in &counts {
+                mentions_per_slot.push(c as f64);
+            }
+            if total > 0 {
+                surplus_fraction.push((total - required.min(total)) as f64 / total as f64);
+            }
+        }
+        EpisodeStats {
+            support_sentences,
+            mentions_per_slot,
+            query_sentences,
+            surplus_fraction,
+        }
+    }
+
+    /// Samples `count` tasks from a sampler and measures them.
+    pub fn sample(
+        sampler: &EpisodeSampler<'_>,
+        count: usize,
+        seed: u64,
+    ) -> fewner_util::Result<EpisodeStats> {
+        let mut rng = Rng::new(seed);
+        let tasks: fewner_util::Result<Vec<Task>> =
+            (0..count).map(|_| sampler.sample(&mut rng)).collect();
+        Ok(EpisodeStats::measure(&tasks?))
+    }
+
+    /// One-line human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "support {:.1}±{:.1} sents | {:.1} mentions/slot | query {:.1} sents | surplus {:.0}%",
+            self.support_sentences.mean(),
+            self.support_sentences.stddev(),
+            self.mentions_per_slot.mean(),
+            self.query_sentences.mean(),
+            self.surplus_fraction.mean() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fewner_corpus::{split_types, DatasetProfile};
+
+    #[test]
+    fn stats_reflect_task_shape() {
+        let d = DatasetProfile::genia().generate(0.03).unwrap();
+        let split = split_types(&d, (18, 8, 10), 42).unwrap();
+        let sampler = EpisodeSampler::new(&split.train, 5, 1, 6).unwrap();
+        let stats = EpisodeStats::sample(&sampler, 15, 9).unwrap();
+
+        // 5-way 1-shot needs at least ... 1 sentence can carry several
+        // mentions, but never more than `n_ways * k` sentences are needed.
+        assert!(stats.support_sentences.mean() >= 1.0);
+        assert!(stats.support_sentences.mean() <= 5.0);
+        // Every slot has at least K = 1 mention.
+        assert!(stats.mentions_per_slot.mean() >= 1.0);
+        // GENIA is dense (≈4 mentions/sentence): entanglement surplus must
+        // be clearly positive — the paper's core observation.
+        assert!(
+            stats.surplus_fraction.mean() > 0.1,
+            "surplus {:.3}",
+            stats.surplus_fraction.mean()
+        );
+        assert!(stats.render().contains("support"));
+    }
+
+    #[test]
+    fn five_shot_tasks_have_more_support() {
+        let d = DatasetProfile::genia().generate(0.03).unwrap();
+        let split = split_types(&d, (18, 8, 10), 42).unwrap();
+        let one = EpisodeStats::sample(&EpisodeSampler::new(&split.train, 5, 1, 6).unwrap(), 10, 4)
+            .unwrap();
+        let five =
+            EpisodeStats::sample(&EpisodeSampler::new(&split.train, 5, 5, 6).unwrap(), 10, 4)
+                .unwrap();
+        assert!(
+            five.support_sentences.mean() > one.support_sentences.mean(),
+            "5-shot should need more sentences: {} vs {}",
+            five.support_sentences.mean(),
+            one.support_sentences.mean()
+        );
+        assert!(five.mentions_per_slot.mean() >= 5.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Episodic tasks: support/query sets over abstract class slots.
+
+use std::collections::HashMap;
+
+use fewner_text::span::SlotSpan;
+use fewner_text::{spans_to_tags, Sentence, Tag, TagSet, TypeId};
+use fewner_util::{Error, Result};
+
+/// A sentence prepared for a task: surface tokens plus gold BIO tags over
+/// the task's abstract slots (out-of-task entity types are masked to `O`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeSentence {
+    /// Surface tokens.
+    pub tokens: Vec<String>,
+    /// Gold tags in the task's slot space.
+    pub tags: Vec<Tag>,
+    /// The underlying sentence (concrete types preserved, for reporting).
+    pub source: Sentence,
+}
+
+impl EpisodeSentence {
+    /// Projects a sentence into a task's slot space.
+    pub fn project(
+        sentence: &Sentence,
+        slot_of: &HashMap<TypeId, usize>,
+        tag_set: &TagSet,
+    ) -> Result<EpisodeSentence> {
+        let spans: Vec<SlotSpan> = sentence
+            .spans
+            .iter()
+            .filter_map(|s| {
+                slot_of.get(&s.type_id).map(|&slot| SlotSpan {
+                    start: s.start,
+                    end: s.end,
+                    slot,
+                })
+            })
+            .collect();
+        let tags = spans_to_tags(sentence.len(), &spans, tag_set)?;
+        Ok(EpisodeSentence {
+            tokens: sentence.tokens.clone(),
+            tags,
+            source: sentence.clone(),
+        })
+    }
+
+    /// Sentence length in tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True for zero-token sentences (never produced by the samplers).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Number of in-task gold mentions.
+    pub fn mention_count(&self) -> usize {
+        fewner_text::tags_to_spans(&self.tags).len()
+    }
+}
+
+/// One N-way K-shot task (𝒯ᵢ in the paper): a support set for adaptation
+/// and a query set for evaluation, over N abstract class slots.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// N.
+    pub n_ways: usize,
+    /// K.
+    pub k_shots: usize,
+    /// Concrete type assigned to each slot (shuffled per task).
+    pub slot_types: Vec<TypeId>,
+    /// 𝒟ˢᵖᵗ.
+    pub support: Vec<EpisodeSentence>,
+    /// 𝒟^qry (disjoint from the support set).
+    pub query: Vec<EpisodeSentence>,
+}
+
+impl Task {
+    /// The task's tag inventory (`2N + 1` tags).
+    pub fn tag_set(&self) -> TagSet {
+        TagSet::new(self.n_ways).expect("task has ≥ 1 way")
+    }
+
+    /// Validates the N-way K-shot invariants:
+    /// support and query are disjoint, every slot has ≥ K support mentions,
+    /// and the support set is *minimal* (dropping any sentence starves some
+    /// slot below K — the terminating condition of §3.1).
+    pub fn validate(&self) -> Result<()> {
+        if self.slot_types.len() != self.n_ways {
+            return Err(Error::EpisodeConstruction(format!(
+                "{} slot types for {} ways",
+                self.slot_types.len(),
+                self.n_ways
+            )));
+        }
+        let counts = self.support_slot_counts();
+        if let Some((slot, &c)) = counts.iter().enumerate().find(|(_, &c)| c < self.k_shots) {
+            return Err(Error::EpisodeConstruction(format!(
+                "slot {slot} has {c} < K = {} support mentions",
+                self.k_shots
+            )));
+        }
+        for (i, _) in self.support.iter().enumerate() {
+            let mut without = counts.clone();
+            for span in fewner_text::tags_to_spans(&self.support[i].tags) {
+                without[span.slot] -= 1;
+            }
+            if without.iter().all(|&c| c >= self.k_shots) {
+                return Err(Error::EpisodeConstruction(format!(
+                    "support sentence {i} is redundant; support set not minimal"
+                )));
+            }
+        }
+        for q in &self.query {
+            if self
+                .support
+                .iter()
+                .any(|s| s.tokens == q.tokens && s.tags == q.tags)
+            {
+                return Err(Error::EpisodeConstruction(
+                    "query sentence also in support".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-slot mention counts in the support set.
+    pub fn support_slot_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_ways];
+        for s in &self.support {
+            for span in fewner_text::tags_to_spans(&s.tags) {
+                counts[span.slot] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fewner_text::EntitySpan;
+
+    fn sentence(words: &[&str], spans: Vec<EntitySpan>) -> Sentence {
+        Sentence::new(words.iter().map(|s| s.to_string()).collect(), spans).unwrap()
+    }
+
+    #[test]
+    fn projection_maps_and_masks() {
+        let s = sentence(
+            &["a", "b", "c", "d"],
+            vec![
+                EntitySpan::new(0, 1, TypeId(10)).unwrap(),
+                EntitySpan::new(2, 4, TypeId(99)).unwrap(), // out of task
+            ],
+        );
+        let slot_of: HashMap<TypeId, usize> = [(TypeId(10), 1)].into_iter().collect();
+        let ts = TagSet::new(2).unwrap();
+        let ep = EpisodeSentence::project(&s, &slot_of, &ts).unwrap();
+        assert_eq!(ep.tags, vec![Tag::B(1), Tag::O, Tag::O, Tag::O]);
+        assert_eq!(ep.mention_count(), 1);
+        assert_eq!(ep.source.spans.len(), 2, "source keeps concrete spans");
+    }
+
+    fn mini_task() -> Task {
+        let ts = TagSet::new(2).unwrap();
+        let slot_of: HashMap<TypeId, usize> =
+            [(TypeId(0), 0), (TypeId(1), 1)].into_iter().collect();
+        let s1 = sentence(
+            &["x", "y"],
+            vec![
+                EntitySpan::new(0, 1, TypeId(0)).unwrap(),
+                EntitySpan::new(1, 2, TypeId(1)).unwrap(),
+            ],
+        );
+        let q1 = sentence(&["z", "w"], vec![EntitySpan::new(0, 1, TypeId(0)).unwrap()]);
+        Task {
+            n_ways: 2,
+            k_shots: 1,
+            slot_types: vec![TypeId(0), TypeId(1)],
+            support: vec![EpisodeSentence::project(&s1, &slot_of, &ts).unwrap()],
+            query: vec![EpisodeSentence::project(&q1, &slot_of, &ts).unwrap()],
+        }
+    }
+
+    #[test]
+    fn valid_task_passes_validation() {
+        mini_task().validate().unwrap();
+    }
+
+    #[test]
+    fn starving_a_slot_fails_validation() {
+        let mut t = mini_task();
+        t.k_shots = 2;
+        assert!(matches!(t.validate(), Err(Error::EpisodeConstruction(_))));
+    }
+
+    #[test]
+    fn redundant_support_fails_minimality() {
+        let mut t = mini_task();
+        // Duplicate the support sentence: either copy alone satisfies K = 1.
+        t.support.push(t.support[0].clone());
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn query_overlap_fails_validation() {
+        let mut t = mini_task();
+        t.query.push(t.support[0].clone());
+        assert!(t.validate().is_err());
+    }
+}

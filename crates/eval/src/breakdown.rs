@@ -1,0 +1,203 @@
+//! Error-type breakdown for the qualitative analysis (paper §4.5.3).
+//!
+//! The paper attributes FEWNER's errors to missed mentions and wrong
+//! boundaries rather than wrong types. This module quantifies that claim:
+//! every predicted/gold span pair is classified as an exact match, a
+//! boundary error (overlapping span, right slot), a slot error (right
+//! boundaries, wrong slot), or a spurious/missed mention, and a
+//! *detection-only* F1 (boundaries regardless of slot) is reported next to
+//! the strict F1.
+
+use fewner_text::span::SlotSpan;
+use fewner_text::{tags_to_spans, Tag};
+
+use crate::f1::F1Counts;
+
+/// Span-level error classification counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorBreakdown {
+    /// Exact matches (boundaries + slot).
+    pub exact: usize,
+    /// Correct slot, overlapping but not identical boundaries.
+    pub boundary: usize,
+    /// Identical boundaries, wrong slot.
+    pub slot: usize,
+    /// Predicted spans overlapping nothing in the gold set.
+    pub spurious: usize,
+    /// Gold spans with no overlapping prediction of any kind.
+    pub missed: usize,
+}
+
+impl ErrorBreakdown {
+    /// Classifies one sentence's predictions against its gold spans.
+    pub fn add_spans(&mut self, gold: &[SlotSpan], pred: &[SlotSpan]) {
+        for p in pred {
+            if gold.contains(p) {
+                self.exact += 1;
+            } else if let Some(g) = gold.iter().find(|g| overlap(g, p)) {
+                if g.start == p.start && g.end == p.end {
+                    self.slot += 1;
+                } else if g.slot == p.slot {
+                    self.boundary += 1;
+                } else {
+                    // Overlapping with both boundary and slot wrong: count
+                    // as the rarer, more informative slot error.
+                    self.slot += 1;
+                }
+            } else {
+                self.spurious += 1;
+            }
+        }
+        for g in gold {
+            if !pred.iter().any(|p| overlap(g, p)) {
+                self.missed += 1;
+            }
+        }
+    }
+
+    /// Classifies from tag sequences.
+    pub fn add_tags(&mut self, gold: &[Tag], pred: &[Tag]) {
+        self.add_spans(&tags_to_spans(gold), &tags_to_spans(pred));
+    }
+
+    /// Merges another breakdown.
+    pub fn merge(&mut self, other: &ErrorBreakdown) {
+        self.exact += other.exact;
+        self.boundary += other.boundary;
+        self.slot += other.slot;
+        self.spurious += other.spurious;
+        self.missed += other.missed;
+    }
+
+    /// Total error events (everything except exact matches).
+    pub fn total_errors(&self) -> usize {
+        self.boundary + self.slot + self.spurious + self.missed
+    }
+
+    /// Human-readable summary line.
+    pub fn render(&self) -> String {
+        format!(
+            "exact {} | boundary {} | slot {} | spurious {} | missed {}",
+            self.exact, self.boundary, self.slot, self.spurious, self.missed
+        )
+    }
+}
+
+fn overlap(a: &SlotSpan, b: &SlotSpan) -> bool {
+    a.start < b.end && b.start < a.end
+}
+
+/// Strict and detection-only F1 side by side.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetectionVsTyping {
+    /// Exact-match F1 counts (boundaries + slot).
+    pub strict: F1Counts,
+    /// Boundary-only F1 counts (slot ignored).
+    pub detection: F1Counts,
+}
+
+impl DetectionVsTyping {
+    /// Accumulates one sentence.
+    pub fn add_tags(&mut self, gold: &[Tag], pred: &[Tag]) {
+        let gold_spans = tags_to_spans(gold);
+        let pred_spans = tags_to_spans(pred);
+        self.strict.add_spans(&gold_spans, &pred_spans);
+        let erase = |spans: &[SlotSpan]| -> Vec<SlotSpan> {
+            spans
+                .iter()
+                .map(|s| SlotSpan {
+                    start: s.start,
+                    end: s.end,
+                    slot: 0,
+                })
+                .collect()
+        };
+        self.detection
+            .add_spans(&erase(&gold_spans), &erase(&pred_spans));
+    }
+
+    /// How much of the F1 gap is typing rather than detection:
+    /// `detection_f1 − strict_f1` (≥ 0 up to counting ties).
+    pub fn typing_gap(&self) -> f64 {
+        self.detection.f1() - self.strict.f1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(start: usize, end: usize, slot: usize) -> SlotSpan {
+        SlotSpan { start, end, slot }
+    }
+
+    #[test]
+    fn classifies_each_error_kind() {
+        let gold = [span(0, 2, 1), span(4, 5, 0), span(7, 9, 2)];
+        let pred = [
+            span(0, 2, 1),   // exact
+            span(4, 6, 0),   // boundary (overlap, right slot)
+            span(7, 9, 0),   // slot (same boundaries, wrong slot)
+            span(10, 11, 1), // spurious
+        ];
+        let mut b = ErrorBreakdown::default();
+        b.add_spans(&gold, &pred);
+        assert_eq!(
+            b,
+            ErrorBreakdown {
+                exact: 1,
+                boundary: 1,
+                slot: 1,
+                spurious: 1,
+                missed: 0,
+            }
+        );
+        assert_eq!(b.total_errors(), 3);
+        assert!(b.render().contains("boundary 1"));
+    }
+
+    #[test]
+    fn missed_mentions_are_counted() {
+        let gold = [span(0, 2, 1), span(5, 6, 0)];
+        let pred = [span(0, 2, 1)];
+        let mut b = ErrorBreakdown::default();
+        b.add_spans(&gold, &pred);
+        assert_eq!(b.missed, 1);
+        assert_eq!(b.exact, 1);
+    }
+
+    #[test]
+    fn detection_f1_dominates_strict_f1() {
+        let gold = vec![Tag::B(0), Tag::I(0), Tag::O, Tag::B(1)];
+        // Right boundaries, both slots wrong.
+        let pred = vec![Tag::B(1), Tag::I(1), Tag::O, Tag::B(0)];
+        let mut d = DetectionVsTyping::default();
+        d.add_tags(&gold, &pred);
+        assert_eq!(d.detection.f1(), 1.0);
+        assert_eq!(d.strict.f1(), 0.0);
+        assert_eq!(d.typing_gap(), 1.0);
+    }
+
+    #[test]
+    fn perfect_prediction_has_no_gap() {
+        let gold = vec![Tag::B(0), Tag::I(0), Tag::O];
+        let mut d = DetectionVsTyping::default();
+        d.add_tags(&gold, &gold.clone());
+        assert_eq!(d.typing_gap(), 0.0);
+        assert_eq!(d.strict.f1(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ErrorBreakdown {
+            exact: 1,
+            ..Default::default()
+        };
+        a.merge(&ErrorBreakdown {
+            missed: 2,
+            ..Default::default()
+        });
+        assert_eq!(a.exact, 1);
+        assert_eq!(a.missed, 2);
+    }
+}

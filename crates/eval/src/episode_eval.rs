@@ -1,0 +1,173 @@
+//! Evaluating a learner over the fixed episode set.
+//!
+//! For each held-out task: adapt on the support set, predict the query set,
+//! score entity-level F1 (§4.1.1); report mean ± 1.96·σ/√n over episodes.
+//! All methods are scored on the same seed-fixed task list, exactly as the
+//! paper fixes the evaluation seed (§4.2.1).
+
+use fewner_core::EpisodicLearner;
+use fewner_episode::Task;
+use fewner_models::TokenEncoder;
+use fewner_text::Tag;
+use fewner_util::{MeanCi, OnlineStats, Result};
+
+use crate::f1::F1Counts;
+
+/// Scores one task: adapt + predict + entity-level F1.
+pub fn score_task(learner: &dyn EpisodicLearner, task: &Task, enc: &TokenEncoder) -> Result<f64> {
+    let predictions = learner.adapt_and_predict(task, enc)?;
+    let tags = task.tag_set();
+    let mut counts = F1Counts::default();
+    for (pred_idx, sent) in predictions.iter().zip(&task.query) {
+        let pred: Vec<Tag> = pred_idx.iter().map(|&i| tags.tag(i)).collect();
+        counts.add_tags(&sent.tags, &pred);
+    }
+    Ok(counts.f1())
+}
+
+/// Evaluates a learner over an episode set serially.
+pub fn evaluate(
+    learner: &dyn EpisodicLearner,
+    tasks: &[Task],
+    enc: &TokenEncoder,
+) -> Result<MeanCi> {
+    let mut stats = OnlineStats::new();
+    for task in tasks {
+        stats.push(score_task(learner, task, enc)?);
+    }
+    Ok(stats.summary())
+}
+
+/// Evaluates in parallel over `threads` worker threads (crossbeam scoped
+/// threads; adaptation never mutates the learner, so sharing is safe).
+///
+/// Falls back to the serial path for a single thread.
+pub fn evaluate_parallel<L>(
+    learner: &L,
+    tasks: &[Task],
+    enc: &TokenEncoder,
+    threads: usize,
+) -> Result<MeanCi>
+where
+    L: EpisodicLearner + Sync,
+{
+    if threads <= 1 || tasks.len() < 2 {
+        return evaluate(learner, tasks, enc);
+    }
+    let chunk = tasks.len().div_ceil(threads);
+    let results: Vec<Result<OnlineStats>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .chunks(chunk)
+            .map(|chunk_tasks| {
+                scope.spawn(move |_| -> Result<OnlineStats> {
+                    let mut stats = OnlineStats::new();
+                    for task in chunk_tasks {
+                        stats.push(score_task(learner, task, enc)?);
+                    }
+                    Ok(stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("evaluation worker panicked");
+
+    let mut total = OnlineStats::new();
+    for r in results {
+        total.merge(&r?);
+    }
+    Ok(total.summary())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fewner_corpus::{split_types, DatasetProfile};
+    use fewner_episode::EpisodeSampler;
+    use fewner_text::embed::EmbeddingSpec;
+    use fewner_util::Rng;
+
+    /// An oracle learner that returns the gold tags — F1 must be 1.0.
+    struct Oracle;
+    impl EpisodicLearner for Oracle {
+        fn name(&self) -> &'static str {
+            "oracle"
+        }
+        fn meta_step(&mut self, _t: &[Task], _e: &TokenEncoder) -> Result<f32> {
+            Ok(0.0)
+        }
+        fn adapt_and_predict(&self, task: &Task, _e: &TokenEncoder) -> Result<Vec<Vec<usize>>> {
+            let tags = task.tag_set();
+            Ok(task
+                .query
+                .iter()
+                .map(|s| s.tags.iter().map(|&t| tags.index(t)).collect())
+                .collect())
+        }
+    }
+
+    /// Predicts all-O — recall 0, so F1 0 whenever gold entities exist.
+    struct AllO;
+    impl EpisodicLearner for AllO {
+        fn name(&self) -> &'static str {
+            "all-o"
+        }
+        fn meta_step(&mut self, _t: &[Task], _e: &TokenEncoder) -> Result<f32> {
+            Ok(0.0)
+        }
+        fn adapt_and_predict(&self, task: &Task, _e: &TokenEncoder) -> Result<Vec<Vec<usize>>> {
+            Ok(task.query.iter().map(|s| vec![0; s.len()]).collect())
+        }
+    }
+
+    fn fixture() -> (Vec<Task>, TokenEncoder) {
+        let d = DatasetProfile::bionlp13cg().generate(0.05).unwrap();
+        let split = split_types(&d, (8, 3, 5), 1).unwrap();
+        let sampler = EpisodeSampler::new(&split.test, 3, 1, 4).unwrap();
+        let tasks = sampler.eval_set(55, 6).unwrap();
+        let enc = TokenEncoder::build(
+            &[&d],
+            &EmbeddingSpec {
+                dim: 16,
+                ..EmbeddingSpec::default()
+            },
+            4,
+        );
+        (tasks, enc)
+    }
+
+    #[test]
+    fn oracle_scores_one() {
+        let (tasks, enc) = fixture();
+        let s = evaluate(&Oracle, &tasks, &enc).unwrap();
+        assert!((s.mean - 1.0).abs() < 1e-12, "{s}");
+        assert_eq!(s.n, 6);
+    }
+
+    #[test]
+    fn all_o_scores_zero() {
+        let (tasks, enc) = fixture();
+        let s = evaluate(&AllO, &tasks, &enc).unwrap();
+        assert_eq!(s.mean, 0.0, "{s}");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (tasks, enc) = fixture();
+        let serial = evaluate(&Oracle, &tasks, &enc).unwrap();
+        let parallel = evaluate_parallel(&Oracle, &tasks, &enc, 3).unwrap();
+        assert!((serial.mean - parallel.mean).abs() < 1e-12);
+        assert!((serial.ci95 - parallel.ci95).abs() < 1e-9);
+        assert_eq!(serial.n, parallel.n);
+    }
+
+    #[test]
+    fn rng_unused_fixture_is_deterministic() {
+        let (a, _) = fixture();
+        let (b, _) = fixture();
+        assert_eq!(a.len(), b.len());
+        let mut rng = Rng::new(1);
+        let _ = rng.next_u64();
+        assert_eq!(a[0].slot_types, b[0].slot_types);
+    }
+}

@@ -1,0 +1,179 @@
+//! Entity-level F1 (paper §4.1.1).
+//!
+//! For each evaluation episode: `g` = gold entities, `r` = predicted
+//! entities, `c` = exact matches (same boundaries *and* same class slot);
+//! `F1 = 2c / (g + r)`. Episode scores are averaged with a 95 % CI by the
+//! harness.
+
+use fewner_text::span::SlotSpan;
+use fewner_text::{tags_to_spans, Tag};
+
+/// Counts backing one episode's F1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct F1Counts {
+    /// Total gold entities (`g`).
+    pub gold: usize,
+    /// Total predicted entities (`r`).
+    pub predicted: usize,
+    /// Correctly predicted entities (`c`).
+    pub correct: usize,
+}
+
+impl F1Counts {
+    /// Accumulates counts from one sentence's gold and predicted spans.
+    pub fn add_spans(&mut self, gold: &[SlotSpan], pred: &[SlotSpan]) {
+        self.gold += gold.len();
+        self.predicted += pred.len();
+        self.correct += pred.iter().filter(|p| gold.contains(p)).count();
+    }
+
+    /// Accumulates counts from tag sequences.
+    pub fn add_tags(&mut self, gold: &[Tag], pred: &[Tag]) {
+        debug_assert_eq!(gold.len(), pred.len());
+        self.add_spans(&tags_to_spans(gold), &tags_to_spans(pred));
+    }
+
+    /// Merges another accumulator.
+    pub fn merge(&mut self, other: &F1Counts) {
+        self.gold += other.gold;
+        self.predicted += other.predicted;
+        self.correct += other.correct;
+    }
+
+    /// Precision `c / r` (1 when nothing was predicted and nothing gold).
+    pub fn precision(&self) -> f64 {
+        if self.predicted == 0 {
+            if self.gold == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.correct as f64 / self.predicted as f64
+        }
+    }
+
+    /// Recall `c / g`.
+    pub fn recall(&self) -> f64 {
+        if self.gold == 0 {
+            if self.predicted == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.correct as f64 / self.gold as f64
+        }
+    }
+
+    /// `F1 = 2c / (g + r)`, defined as 1 when `g = r = 0`.
+    pub fn f1(&self) -> f64 {
+        if self.gold + self.predicted == 0 {
+            1.0
+        } else {
+            2.0 * self.correct as f64 / (self.gold + self.predicted) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(start: usize, end: usize, slot: usize) -> SlotSpan {
+        SlotSpan { start, end, slot }
+    }
+
+    #[test]
+    fn exact_match_requires_boundaries_and_slot() {
+        let mut c = F1Counts::default();
+        let gold = [span(0, 2, 1), span(4, 5, 0)];
+        // One exact, one boundary error, one slot error.
+        let pred = [span(0, 2, 1), span(4, 6, 0), span(0, 2, 0)];
+        c.add_spans(&gold, &pred);
+        assert_eq!(
+            c,
+            F1Counts {
+                gold: 2,
+                predicted: 3,
+                correct: 1
+            }
+        );
+        assert!((c.f1() - 0.4).abs() < 1e-12); // 2*1 / (2+3)
+        assert!((c.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tags_path_matches_span_path() {
+        let gold = [Tag::B(0), Tag::I(0), Tag::O, Tag::B(1)];
+        let pred = [Tag::B(0), Tag::I(0), Tag::O, Tag::B(0)];
+        let mut c = F1Counts::default();
+        c.add_tags(&gold, &pred);
+        assert_eq!(
+            c,
+            F1Counts {
+                gold: 2,
+                predicted: 2,
+                correct: 1
+            }
+        );
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_counted_paper_formula() {
+        // g = 5, r = 4, c = 3 -> F1 = 6/9.
+        let c = F1Counts {
+            gold: 5,
+            predicted: 4,
+            correct: 3,
+        };
+        assert!((c.f1() - 6.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = F1Counts::default();
+        assert_eq!(empty.f1(), 1.0);
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+
+        let no_pred = F1Counts {
+            gold: 3,
+            predicted: 0,
+            correct: 0,
+        };
+        assert_eq!(no_pred.f1(), 0.0);
+        assert_eq!(no_pred.precision(), 0.0);
+
+        let no_gold = F1Counts {
+            gold: 0,
+            predicted: 2,
+            correct: 0,
+        };
+        assert_eq!(no_gold.recall(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = F1Counts {
+            gold: 1,
+            predicted: 2,
+            correct: 1,
+        };
+        a.merge(&F1Counts {
+            gold: 3,
+            predicted: 1,
+            correct: 1,
+        });
+        assert_eq!(
+            a,
+            F1Counts {
+                gold: 4,
+                predicted: 3,
+                correct: 2
+            }
+        );
+    }
+}

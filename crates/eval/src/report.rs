@@ -1,0 +1,206 @@
+//! Table rendering and JSON reports.
+//!
+//! The bench binaries regenerate the paper's tables through these types:
+//! a [`Table`] holds one row per method and one column per dataset×shot
+//! cell, renders in the paper's `mean ± ci%` style, and serialises to JSON
+//! under `reports/` so EXPERIMENTS.md numbers stay regenerable.
+
+use fewner_text::Tag;
+use fewner_util::MeanCi;
+use serde::{Deserialize, Serialize};
+
+/// One table cell.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Cell {
+    /// Mean episode F1.
+    pub mean: f64,
+    /// 95 % CI half-width.
+    pub ci95: f64,
+    /// Episode count.
+    pub n: usize,
+}
+
+impl From<MeanCi> for Cell {
+    fn from(m: MeanCi) -> Cell {
+        Cell {
+            mean: m.mean,
+            ci95: m.ci95,
+            n: m.n,
+        }
+    }
+}
+
+impl Cell {
+    /// Paper-style rendering: `23.74 ± 0.65%`.
+    pub fn render(&self) -> String {
+        format!("{:.2} ± {:.2}%", self.mean * 100.0, self.ci95 * 100.0)
+    }
+}
+
+/// A reproduction of one paper table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// e.g. `Table 2: intra-domain cross-type adaptation`.
+    pub title: String,
+    /// Column headers, e.g. `NNE 1-shot`.
+    pub columns: Vec<String>,
+    /// `(method name, cells)` in display order.
+    pub rows: Vec<(String, Vec<Cell>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Table {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a method row; the cell count must match the columns.
+    pub fn push_row(&mut self, method: impl Into<String>, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((method.into(), cells));
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let mut method_width = "Method".len();
+        let rendered: Vec<(String, Vec<String>)> = self
+            .rows
+            .iter()
+            .map(|(m, cells)| {
+                method_width = method_width.max(m.len());
+                (m.clone(), cells.iter().map(Cell::render).collect())
+            })
+            .collect();
+        for (_, cells) in &rendered {
+            for (w, c) in widths.iter_mut().zip(cells) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&format!("{:<method_width$}", "Method"));
+        for (w, c) in widths.iter().zip(&self.columns) {
+            out.push_str(&format!("  {c:>w$}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(method_width + widths.iter().map(|w| w + 2).sum::<usize>()));
+        out.push('\n');
+        for (m, cells) in &rendered {
+            out.push_str(&format!("{m:<method_width$}"));
+            for (w, c) in widths.iter().zip(cells) {
+                out.push_str(&format!("  {c:>w$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialisation")
+    }
+
+    /// The cell for `(method, column)`, if present.
+    pub fn cell(&self, method: &str, column: &str) -> Option<Cell> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|(m, _)| m == method)
+            .map(|(_, cells)| cells[col])
+    }
+}
+
+/// Renders a sentence with predicted entities bracketed — the paper's
+/// Table 6 notation — plus a correctness marker against the gold tags.
+pub fn qualitative_line(
+    tokens: &[String],
+    gold: &[Tag],
+    pred: &[Tag],
+    slot_name: impl Fn(usize) -> String,
+) -> String {
+    let spans = fewner_text::tags_to_spans(pred);
+    let mut out = String::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        if let Some(span) = spans.iter().find(|s| s.start == i) {
+            out.push('[');
+            out.push_str(&tokens[span.start..span.end].join(" "));
+            out.push_str(&format!("]{{{}}}", slot_name(span.slot)));
+            i = span.end;
+        } else {
+            out.push_str(&tokens[i]);
+            i += 1;
+        }
+    }
+    let correct = gold == pred;
+    format!("{} {}", if correct { "✓" } else { "✗" }, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(mean: f64, ci: f64) -> Cell {
+        Cell {
+            mean,
+            ci95: ci,
+            n: 100,
+        }
+    }
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let mut t = Table::new("Table X", vec!["A 1-shot".into(), "A 5-shot".into()]);
+        t.push_row("FewNER", vec![cell(0.2374, 0.0065), cell(0.295, 0.0068)]);
+        t.push_row("MAML", vec![cell(0.1998, 0.0083), cell(0.2256, 0.0073)]);
+        let s = t.render();
+        assert!(s.contains("23.74 ± 0.65%"));
+        assert!(s.contains("MAML"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rows_panic() {
+        let mut t = Table::new("T", vec!["a".into(), "b".into()]);
+        t.push_row("m", vec![cell(0.1, 0.0)]);
+    }
+
+    #[test]
+    fn json_round_trip_and_cell_lookup() {
+        let mut t = Table::new("T", vec!["col".into()]);
+        t.push_row("m", vec![cell(0.5, 0.01)]);
+        let back: Table = serde_json::from_str(&t.to_json()).unwrap();
+        assert_eq!(back.title, "T");
+        let c = back.cell("m", "col").unwrap();
+        assert!((c.mean - 0.5).abs() < 1e-12);
+        assert!(back.cell("missing", "col").is_none());
+        assert!(back.cell("m", "missing").is_none());
+    }
+
+    #[test]
+    fn qualitative_rendering() {
+        let tokens: Vec<String> = ["Jordan", "is", "here"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let gold = vec![Tag::B(0), Tag::O, Tag::O];
+        let pred_right = gold.clone();
+        let pred_wrong = vec![Tag::O, Tag::O, Tag::B(1)];
+        let line = qualitative_line(&tokens, &gold, &pred_right, |s| format!("slot{s}"));
+        assert!(line.starts_with('✓'));
+        assert!(line.contains("[Jordan]{slot0}"));
+        let line = qualitative_line(&tokens, &gold, &pred_wrong, |s| format!("slot{s}"));
+        assert!(line.starts_with('✗'));
+        assert!(line.contains("[here]{slot1}"));
+    }
+}

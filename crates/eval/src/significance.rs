@@ -1,0 +1,169 @@
+//! Paired significance tests between methods.
+//!
+//! The paper claims FEWNER outperforms baselines "by significant margins";
+//! because every method is evaluated on the *same* fixed episode set
+//! (§4.2.1), the right tests are **paired**: a paired t-test on the
+//! per-episode F1 differences and a paired bootstrap for a
+//! distribution-free check. Both are implemented from scratch (no stats
+//! dependency) with the normal-approximation p-value that is standard at
+//! n ≥ 30 episodes.
+
+use fewner_util::{Error, Result, Rng};
+
+/// Result of a paired comparison of method A against method B.
+#[derive(Debug, Clone, Copy)]
+pub struct PairedComparison {
+    /// Mean per-episode difference (A − B).
+    pub mean_diff: f64,
+    /// t statistic of the paired t-test.
+    pub t_statistic: f64,
+    /// Two-sided p-value (normal approximation to the t distribution).
+    pub p_value: f64,
+    /// Fraction of bootstrap resamples in which A beats B on average.
+    pub bootstrap_win_rate: f64,
+    /// Number of paired episodes.
+    pub n: usize,
+}
+
+impl PairedComparison {
+    /// True when A's advantage is significant at the given level under the
+    /// t-test *and* the bootstrap agrees (win rate ≥ 1 − α).
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.mean_diff > 0.0 && self.p_value < alpha && self.bootstrap_win_rate >= 1.0 - alpha
+    }
+}
+
+/// Standard normal CDF (Abramowitz–Stegun 7.1.26 erf approximation).
+fn phi(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.2316419 * x.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let tail = pdf * poly;
+    if x >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Runs the paired t-test + paired bootstrap on per-episode scores.
+///
+/// `a` and `b` must be scores of the two methods on the *same* episodes in
+/// the same order.
+pub fn paired_compare(a: &[f64], b: &[f64], seed: u64) -> Result<PairedComparison> {
+    if a.len() != b.len() {
+        return Err(Error::InvalidConfig(format!(
+            "paired comparison needs equal lengths ({} vs {})",
+            a.len(),
+            b.len()
+        )));
+    }
+    let n = a.len();
+    if n < 2 {
+        return Err(Error::InvalidConfig(
+            "paired comparison needs at least 2 episodes".into(),
+        ));
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+    let se = (var / n as f64).sqrt();
+    let t = if se == 0.0 {
+        if mean == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * mean.signum()
+        }
+    } else {
+        mean / se
+    };
+    let p = if t.is_infinite() {
+        0.0
+    } else {
+        2.0 * (1.0 - phi(t.abs()))
+    };
+
+    // Paired bootstrap: resample episode indices with replacement.
+    const RESAMPLES: usize = 2000;
+    let mut rng = Rng::new(seed);
+    let mut wins = 0usize;
+    for _ in 0..RESAMPLES {
+        let mut total = 0.0;
+        for _ in 0..n {
+            total += diffs[rng.below(n)];
+        }
+        if total > 0.0 {
+            wins += 1;
+        }
+    }
+
+    Ok(PairedComparison {
+        mean_diff: mean,
+        t_statistic: t,
+        p_value: p,
+        bootstrap_win_rate: wins as f64 / RESAMPLES as f64,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_advantage_is_significant() {
+        let a: Vec<f64> = (0..50).map(|i| 0.5 + 0.01 * (i % 5) as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x - 0.1).collect();
+        let c = paired_compare(&a, &b, 1).unwrap();
+        assert!(c.mean_diff > 0.09);
+        assert!(c.p_value < 1e-6);
+        assert!(c.bootstrap_win_rate > 0.99);
+        assert!(c.significant_at(0.05));
+    }
+
+    #[test]
+    fn identical_methods_are_not_significant() {
+        let a: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let c = paired_compare(&a, &a, 2).unwrap();
+        assert_eq!(c.mean_diff, 0.0);
+        assert!(!c.significant_at(0.05));
+    }
+
+    #[test]
+    fn noisy_tie_is_not_significant() {
+        // Differences alternate ±0.1: mean 0, high variance.
+        let a: Vec<f64> = (0..40)
+            .map(|i| 0.5 + if i % 2 == 0 { 0.05 } else { -0.05 })
+            .collect();
+        let b: Vec<f64> = (0..40)
+            .map(|i| 0.5 + if i % 2 == 0 { -0.05 } else { 0.05 })
+            .collect();
+        let c = paired_compare(&a, &b, 3).unwrap();
+        assert!(c.p_value > 0.5, "p {}", c.p_value);
+        assert!(!c.significant_at(0.05));
+    }
+
+    #[test]
+    fn negative_advantage_never_significant() {
+        let a: Vec<f64> = vec![0.2; 30];
+        let b: Vec<f64> = (0..30).map(|i| 0.3 + 0.001 * i as f64).collect();
+        let c = paired_compare(&a, &b, 4).unwrap();
+        assert!(c.mean_diff < 0.0);
+        assert!(!c.significant_at(0.05));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(paired_compare(&[0.1, 0.2], &[0.1], 5).is_err());
+        assert!(paired_compare(&[0.1], &[0.1], 5).is_err());
+    }
+
+    #[test]
+    fn normal_cdf_sane() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-6);
+        assert!((phi(1.96) - 0.975).abs() < 1e-3);
+        assert!((phi(-1.96) - 0.025).abs() < 1e-3);
+    }
+}

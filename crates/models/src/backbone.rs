@@ -1,0 +1,656 @@
+//! The CNN-BiGRU-CRF sequence-labeling backbone (paper §3.2.2, Fig. 3)
+//! with FEWNER's conditioning hooks (§3.2.4, Fig. 4).
+//!
+//! All parameters registered here constitute θ, the task-independent part.
+//! The task-specific context parameters φ live in a *separate* store (built
+//! by [`Backbone::new_context`]) and enter the forward pass either by
+//!
+//! * **Method B (default)** — FiLM on the BiGRU output:
+//!   `h ← (1 + γ) ⊙ h + η` with `[γ, η] = θ_FiLM · φ + b` (Eq. 8–9; the
+//!   `1 +` keeps the untrained φ = 0 an identity, as in the CAVIA/FiLM
+//!   literature), or
+//! * **Method A (ablation)** — concatenating φ to every BiGRU input
+//!   (Eq. 7).
+//!
+//! With [`Conditioning::None`] the same backbone serves FineTune, MAML and
+//! the encoder of ProtoNet/SNAIL — the paper's point that FEWNER is
+//! model-agnostic made concrete.
+
+use fewner_tensor::nn::{BiGru, BiLstm, Conv1d, Embedding, Linear};
+use fewner_tensor::{Graph, ParamId, ParamStore, Var};
+use fewner_text::TagSet;
+use fewner_util::{Error, Result, Rng};
+
+use crate::crf::{DenseCrf, SlotSharedCrf};
+use crate::encoding::{EncodedSentence, TokenEncoder};
+
+/// How the context parameters φ condition the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Conditioning {
+    /// No conditioning (baselines).
+    None,
+    /// Method B: FiLM on the BiGRU output (the paper's default).
+    Film,
+    /// Method A: concatenate φ to each BiGRU input.
+    ConcatInput,
+}
+
+/// Which recurrent context encoder the backbone uses.
+///
+/// The paper picks a BiGRU for computational cost (§3.2.2) while stressing
+/// the approach is model-agnostic; the BiLSTM alternative makes that claim
+/// testable without touching anything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncoderKind {
+    /// The paper's bidirectional GRU.
+    #[default]
+    BiGru,
+    /// A bidirectional LSTM of the same hidden size.
+    BiLstm,
+}
+
+/// Which CRF head the backbone decodes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadKind {
+    /// The paper's dense CRF for a fixed way-count.
+    Dense {
+        /// The (fixed) number of ways.
+        n_ways: usize,
+    },
+    /// Way-agnostic slot-shared head (needed for the training-way ablation).
+    SlotShared {
+        /// Slot-embedding dimensionality.
+        slot_dim: usize,
+        /// Maximum supported ways.
+        max_slots: usize,
+    },
+}
+
+/// Hyper-parameters of the backbone.
+#[derive(Debug, Clone)]
+pub struct BackboneConfig {
+    /// Word-embedding dimensionality (paper: 300; scaled default 50).
+    pub word_dim: usize,
+    /// Character-embedding dimensionality (paper: 100; scaled default 16).
+    pub char_dim: usize,
+    /// CNN filters per window width (paper: 150 total over widths 2,3,4).
+    pub char_filters: usize,
+    /// CNN window widths.
+    pub char_widths: Vec<usize>,
+    /// GRU hidden size per direction (paper: 128; scaled default 48).
+    pub hidden: usize,
+    /// Context-parameter dimensionality of the global (FiLM / concat) part
+    /// of φ (paper: 256; scaled default 32).
+    pub phi_dim: usize,
+    /// Per-slot context width: φ additionally carries `max_ways ×
+    /// slot_ctx_dim` entries that condition the emission layer per class
+    /// slot (0 disables). §3.2.4 leaves the conditioning site open ("where
+    /// and how to condition the backbone network"); conditioning the
+    /// emission layer as well as the BiGRU output is what lets the inner
+    /// loop bind class slots quickly at the reproduction's reduced scale.
+    pub slot_ctx_dim: usize,
+    /// Conditioning method.
+    pub conditioning: Conditioning,
+    /// Dropout after the representation and recurrent layers (paper: 0.3).
+    pub dropout: f32,
+    /// Ablation switch: remove the character CNN entirely.
+    pub use_char_cnn: bool,
+    /// Recurrent context encoder (BiGRU per the paper, or BiLSTM).
+    pub encoder: EncoderKind,
+    /// CRF head.
+    pub head: HeadKind,
+}
+
+impl BackboneConfig {
+    /// The number of class slots φ's per-slot block must cover.
+    pub fn max_ways(&self) -> usize {
+        match self.head {
+            HeadKind::Dense { n_ways } => n_ways,
+            HeadKind::SlotShared { max_slots, .. } => max_slots,
+        }
+    }
+
+    /// Total φ dimensionality: global part + per-slot block.
+    pub fn phi_total(&self) -> usize {
+        self.phi_dim + self.max_ways() * self.slot_ctx_dim
+    }
+
+    /// The scaled-down default used throughout the reproduction.
+    pub fn default_for(n_ways: usize) -> BackboneConfig {
+        BackboneConfig {
+            word_dim: 50,
+            char_dim: 16,
+            char_filters: 16,
+            char_widths: vec![2, 3, 4],
+            hidden: 48,
+            phi_dim: 32,
+            slot_ctx_dim: 8,
+            conditioning: Conditioning::Film,
+            dropout: 0.3,
+            use_char_cnn: true,
+            encoder: EncoderKind::BiGru,
+            head: HeadKind::Dense { n_ways },
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.word_dim == 0 || self.hidden == 0 {
+            return Err(Error::InvalidConfig("zero-sized backbone layer".into()));
+        }
+        if self.use_char_cnn && (self.char_widths.is_empty() || self.char_filters == 0) {
+            return Err(Error::InvalidConfig("char CNN enabled but empty".into()));
+        }
+        if self.conditioning != Conditioning::None && self.phi_dim == 0 {
+            return Err(Error::InvalidConfig(
+                "conditioning requires phi_dim > 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+enum Head {
+    Dense(DenseCrf),
+    SlotShared(SlotSharedCrf),
+}
+
+enum SeqEncoder {
+    Gru(BiGru),
+    Lstm(BiLstm),
+}
+
+impl SeqEncoder {
+    fn apply(&self, g: &fewner_tensor::Graph, store: &ParamStore, x: Var) -> Var {
+        match self {
+            SeqEncoder::Gru(e) => e.apply(g, store, x),
+            SeqEncoder::Lstm(e) => e.apply(g, store, x),
+        }
+    }
+}
+
+/// The θ network: embeddings, char-CNN, BiGRU, FiLM generator and CRF head.
+pub struct Backbone {
+    cfg: BackboneConfig,
+    word_emb: Embedding,
+    char_emb: Option<Embedding>,
+    char_cnn: Option<Conv1d>,
+    encoder: SeqEncoder,
+    film_gen: Option<Linear>,
+    slot_ctx: Option<Linear>,
+    head: Head,
+}
+
+impl Backbone {
+    /// Registers all θ parameters in `store`, seeding word embeddings from
+    /// the encoder's pre-trained table (fine-tuned during training, §4.1.3).
+    pub fn new(
+        cfg: BackboneConfig,
+        enc: &TokenEncoder,
+        store: &mut ParamStore,
+        rng: &mut Rng,
+    ) -> Result<Backbone> {
+        cfg.validate()?;
+        if enc.dim() != cfg.word_dim {
+            return Err(Error::InvalidConfig(format!(
+                "encoder dim {} != cfg.word_dim {}",
+                enc.dim(),
+                cfg.word_dim
+            )));
+        }
+        let word_emb = Embedding::from_array(store, "words", enc.pretrained.clone());
+        let (char_emb, char_cnn, char_out) = if cfg.use_char_cnn {
+            let ce = Embedding::new(store, "chars", enc.chars.len(), cfg.char_dim, rng);
+            let cnn = Conv1d::new(
+                store,
+                "charcnn",
+                cfg.char_dim,
+                &cfg.char_widths,
+                cfg.char_filters,
+                rng,
+            );
+            let out = cnn.out_dim();
+            (Some(ce), Some(cnn), out)
+        } else {
+            (None, None, 0)
+        };
+
+        let mut in_dim = cfg.word_dim + char_out;
+        if cfg.conditioning == Conditioning::ConcatInput {
+            in_dim += cfg.phi_dim;
+        }
+        let encoder = match cfg.encoder {
+            EncoderKind::BiGru => {
+                SeqEncoder::Gru(BiGru::new(store, "bigru", in_dim, cfg.hidden, rng))
+            }
+            EncoderKind::BiLstm => {
+                SeqEncoder::Lstm(BiLstm::new(store, "bilstm", in_dim, cfg.hidden, rng))
+            }
+        };
+        let film_gen = (cfg.conditioning == Conditioning::Film)
+            .then(|| Linear::new(store, "film", cfg.phi_dim, 4 * cfg.hidden, true, rng));
+        let slot_ctx =
+            (cfg.conditioning != Conditioning::None && cfg.slot_ctx_dim > 0).then(|| {
+                Linear::new(
+                    store,
+                    "slotctx",
+                    2 * cfg.hidden,
+                    cfg.slot_ctx_dim,
+                    false,
+                    rng,
+                )
+            });
+
+        let head = match cfg.head {
+            HeadKind::Dense { n_ways } => {
+                Head::Dense(DenseCrf::new(store, "crf", 2 * cfg.hidden, n_ways, rng))
+            }
+            HeadKind::SlotShared {
+                slot_dim,
+                max_slots,
+            } => Head::SlotShared(SlotSharedCrf::new(
+                store,
+                "crf",
+                2 * cfg.hidden,
+                slot_dim,
+                max_slots,
+                rng,
+            )),
+        };
+
+        Ok(Backbone {
+            cfg,
+            word_emb,
+            char_emb,
+            char_cnn,
+            encoder,
+            film_gen,
+            slot_ctx,
+            head,
+        })
+    }
+
+    /// The configuration this backbone was built with.
+    pub fn config(&self) -> &BackboneConfig {
+        &self.cfg
+    }
+
+    /// Creates a fresh context-parameter store holding φ (initialised to
+    /// **0**, re-zeroed per task via `ParamStore::zero_all` — Algorithm 1).
+    pub fn new_context(&self) -> (ParamStore, ParamId) {
+        let mut store = ParamStore::new();
+        let id = store.add("phi", fewner_tensor::Array::zeros(1, self.cfg.phi_total()));
+        (store, id)
+    }
+
+    /// Token representations `[L, word_dim (+ char features) (+ φ)]`.
+    fn token_repr(
+        &self,
+        g: &Graph,
+        theta: &ParamStore,
+        phi: Option<Var>,
+        sent: &EncodedSentence,
+        train: bool,
+        rng: &mut Rng,
+    ) -> Var {
+        let words = self.word_emb.apply(g, theta, &sent.word_ids);
+        let mut parts = vec![words];
+        if let (Some(ce), Some(cnn)) = (&self.char_emb, &self.char_cnn) {
+            let rows: Vec<Var> = sent
+                .char_ids
+                .iter()
+                .map(|ids| cnn.apply(g, theta, ce.apply(g, theta, ids)))
+                .collect();
+            parts.push(g.concat_rows(&rows));
+        }
+        if self.cfg.conditioning == Conditioning::ConcatInput {
+            let phi = phi.expect("ConcatInput conditioning requires phi");
+            let global = g.slice_cols(phi, 0, self.cfg.phi_dim);
+            // Broadcast φ over tokens by explicit row stacking.
+            let copies: Vec<Var> = (0..sent.len()).map(|_| global).collect();
+            parts.push(g.concat_rows(&copies));
+        }
+        let x = if parts.len() == 1 {
+            parts[0]
+        } else {
+            g.concat_cols(&parts)
+        };
+        g.dropout(x, self.cfg.dropout, train, rng)
+    }
+
+    /// Contextual hidden states `[L, 2H]`, conditioned on φ when given.
+    pub fn hidden(
+        &self,
+        g: &Graph,
+        theta: &ParamStore,
+        phi: Option<Var>,
+        sent: &EncodedSentence,
+        train: bool,
+        rng: &mut Rng,
+    ) -> Var {
+        assert!(!sent.is_empty(), "empty sentence");
+        let x = self.token_repr(g, theta, phi, sent, train, rng);
+        let mut h = self.encoder.apply(g, theta, x);
+        h = g.dropout(h, self.cfg.dropout, train, rng);
+        if let Some(film) = &self.film_gen {
+            let phi = phi.expect("Film conditioning requires phi");
+            let global = g.slice_cols(phi, 0, self.cfg.phi_dim);
+            let ge = film.apply(g, theta, global); // [1, 4H]
+            let gamma = g.add_scalar(g.slice_cols(ge, 0, 2 * self.cfg.hidden), 1.0);
+            let eta = g.slice_cols(ge, 2 * self.cfg.hidden, 2 * self.cfg.hidden);
+            h = g.film(h, gamma, eta);
+        }
+        h
+    }
+
+    /// Emission scores including the per-slot context conditioning.
+    fn emissions(
+        &self,
+        g: &Graph,
+        theta: &ParamStore,
+        phi: Option<Var>,
+        h: Var,
+        tags: &TagSet,
+    ) -> Var {
+        use crate::crf::CrfHead as _;
+        let base = match &self.head {
+            Head::Dense(c) => c.emissions(g, theta, h, tags),
+            Head::SlotShared(c) => c.emissions(g, theta, h, tags),
+        };
+        let (Some(slot_ctx), Some(phi)) = (&self.slot_ctx, phi) else {
+            return base;
+        };
+        // φ's per-slot block, reshaped to [max_ways, slot_ctx_dim]; the
+        // active n slots score each token via a shared projection of h.
+        let n = tags.n_ways();
+        let ds = self.cfg.slot_ctx_dim;
+        let block = g.slice_cols(phi, self.cfg.phi_dim, self.cfg.max_ways() * ds);
+        let slots = g.reshape(block, self.cfg.max_ways(), ds);
+        let active = g.gather_rows(slots, &(0..n).collect::<Vec<_>>());
+        let proj = slot_ctx.apply(g, theta, h); // [L, ds]
+        let extra = g.matmul(proj, g.transpose(active)); // [L, n]
+                                                         // Expand to the tag layout [O, B-0, I-0, B-1, I-1, …]: the O column
+                                                         // is untouched; B and I of slot s share the slot's context score.
+        let len = g.shape(h).0;
+        let mut cols: Vec<Var> = Vec::with_capacity(tags.len());
+        cols.push(g.constant(fewner_tensor::Array::zeros(len, 1)));
+        for s in 0..n {
+            let c = g.slice_cols(extra, s, 1);
+            cols.push(c);
+            cols.push(c);
+        }
+        g.add(base, g.concat_cols(&cols))
+    }
+
+    /// Transition scores from the head.
+    fn head_transitions(&self, g: &Graph, theta: &ParamStore, tags: &TagSet) -> (Var, Var) {
+        use crate::crf::CrfHead as _;
+        match &self.head {
+            Head::Dense(c) => c.transitions(g, theta, tags),
+            Head::SlotShared(c) => c.transitions(g, theta, tags),
+        }
+    }
+
+    /// Sequence NLL of one sentence (`gold` are tag indices).
+    #[allow(clippy::too_many_arguments)]
+    pub fn nll(
+        &self,
+        g: &Graph,
+        theta: &ParamStore,
+        phi: Option<Var>,
+        sent: &EncodedSentence,
+        gold: &[usize],
+        tags: &TagSet,
+        train: bool,
+        rng: &mut Rng,
+    ) -> Var {
+        let h = self.hidden(g, theta, phi, sent, train, rng);
+        let e = self.emissions(g, theta, phi, h, tags);
+        let (trans, start) = self.head_transitions(g, theta, tags);
+        crate::crf::crf_nll(g, e, trans, start, gold)
+    }
+
+    /// Mean sequence NLL over a batch — the per-task loss `L(θ, φ)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batch_loss(
+        &self,
+        g: &Graph,
+        theta: &ParamStore,
+        phi: Option<Var>,
+        batch: &[(EncodedSentence, Vec<usize>)],
+        tags: &TagSet,
+        train: bool,
+        rng: &mut Rng,
+    ) -> Var {
+        assert!(!batch.is_empty(), "empty batch");
+        let losses: Vec<Var> = batch
+            .iter()
+            .map(|(s, gold)| self.nll(g, theta, phi, s, gold, tags, train, rng))
+            .collect();
+        let total = g.concat_cols(&losses);
+        g.mean_all(total)
+    }
+
+    /// Viterbi-decodes one sentence to tag indices.
+    pub fn decode(
+        &self,
+        theta: &ParamStore,
+        phi_store: Option<(&ParamStore, ParamId)>,
+        sent: &EncodedSentence,
+        tags: &TagSet,
+    ) -> Vec<usize> {
+        let g = Graph::new();
+        let phi = phi_store.map(|(s, id)| g.param(s, id));
+        let mut rng = Rng::new(0); // eval mode: dropout disabled, rng unused
+        let h = self.hidden(&g, theta, phi, sent, false, &mut rng);
+        let e = self.emissions(&g, theta, phi, h, tags);
+        let (trans, start) = self.head_transitions(&g, theta, tags);
+        crate::crf::viterbi(&g.value(e), &g.value(trans), &g.value(start), tags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fewner_corpus::DatasetProfile;
+    use fewner_text::embed::EmbeddingSpec;
+
+    fn setup(cond: Conditioning) -> (TokenEncoder, Backbone, ParamStore, Rng) {
+        let d = DatasetProfile::bionlp13cg().generate(0.005).unwrap();
+        let spec = EmbeddingSpec {
+            dim: 20,
+            ..EmbeddingSpec::default()
+        };
+        let enc = TokenEncoder::build(&[&d], &spec, 4);
+        let mut rng = Rng::new(13);
+        let mut store = ParamStore::new();
+        let cfg = BackboneConfig {
+            word_dim: 20,
+            char_dim: 8,
+            char_filters: 6,
+            char_widths: vec![2, 3],
+            hidden: 12,
+            phi_dim: 10,
+            slot_ctx_dim: 4,
+            conditioning: cond,
+            dropout: 0.3,
+            use_char_cnn: true,
+            encoder: EncoderKind::BiGru,
+            head: HeadKind::Dense { n_ways: 3 },
+        };
+        let bb = Backbone::new(cfg, &enc, &mut store, &mut rng).unwrap();
+        (enc, bb, store, rng)
+    }
+
+    fn sample_sentence(enc: &TokenEncoder) -> EncodedSentence {
+        enc.encode(&[
+            "the".to_string(),
+            "Protein".to_string(),
+            "binding".to_string(),
+            "assay".to_string(),
+        ])
+    }
+
+    #[test]
+    fn forward_shapes_for_all_conditioning_modes() {
+        for cond in [
+            Conditioning::None,
+            Conditioning::Film,
+            Conditioning::ConcatInput,
+        ] {
+            let (enc, bb, store, mut rng) = setup(cond);
+            let sent = sample_sentence(&enc);
+            let g = Graph::new();
+            let phi = if cond == Conditioning::None {
+                None
+            } else {
+                let (ps, id) = bb.new_context();
+                // Bind via constant copy (the store is dropped here).
+                Some(g.constant((**ps.value(id)).clone()))
+            };
+            let h = bb.hidden(&g, &store, phi, &sent, false, &mut rng);
+            assert_eq!(g.shape(h), (4, 24));
+        }
+    }
+
+    #[test]
+    fn zero_phi_film_is_identity_of_unconditioned_network() {
+        // With φ = 0 and zero-initialised FiLM bias, γ = 1, η = b ≈ 0 only
+        // if film bias is zero — our Linear biases start at zero, so FiLM
+        // must be an exact identity at initialisation.
+        let (enc, bb, store, mut rng) = setup(Conditioning::Film);
+        let sent = sample_sentence(&enc);
+        let (phi_store, phi_id) = bb.new_context();
+
+        let g = Graph::new();
+        let phi = g.param(&phi_store, phi_id);
+        let h_cond = bb.hidden(&g, &store, Some(phi), &sent, false, &mut rng);
+
+        // Manually compute the unconditioned hidden state on a second graph.
+        let g2 = Graph::new();
+        let x = bb.token_repr(&g2, &store, None, &sent, false, &mut rng);
+        let h_plain = bb.encoder.apply(&g2, &store, x);
+
+        let (a, b) = (g.value(h_cond), g2.value(h_plain));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn phi_changes_the_output_once_nonzero() {
+        let (enc, bb, store, mut rng) = setup(Conditioning::Film);
+        let sent = sample_sentence(&enc);
+        let (mut phi_store, phi_id) = bb.new_context();
+        let g = Graph::new();
+        let h0 = bb.hidden(
+            &g,
+            &store,
+            Some(g.param(&phi_store, phi_id)),
+            &sent,
+            false,
+            &mut rng,
+        );
+        let v0 = g.value(h0);
+
+        phi_store.set(
+            phi_id,
+            fewner_tensor::Array::full(1, bb.config().phi_total(), 0.5),
+        );
+        let g1 = Graph::new();
+        let h1 = bb.hidden(
+            &g1,
+            &store,
+            Some(g1.param(&phi_store, phi_id)),
+            &sent,
+            false,
+            &mut rng,
+        );
+        let v1 = g1.value(h1);
+        assert_ne!(v0.data(), v1.data());
+    }
+
+    #[test]
+    fn phi_gradients_flow_and_theta_gradients_flow() {
+        let (enc, bb, store, mut rng) = setup(Conditioning::Film);
+        let sent = sample_sentence(&enc);
+        let tags = TagSet::new(3).unwrap();
+        let (phi_store, phi_id) = bb.new_context();
+        let g = Graph::new();
+        let phi = g.param(&phi_store, phi_id);
+        let gold = vec![0usize; sent.len()];
+        let nll = bb.nll(&g, &store, Some(phi), &sent, &gold, &tags, false, &mut rng);
+        let grads = g.backward(nll).unwrap();
+        let phi_grads = grads.for_store(&phi_store);
+        assert!(
+            phi_grads.get(phi_id).is_some(),
+            "phi must receive gradients"
+        );
+        let theta_grads = grads.for_store(&store);
+        let n_with = (0..store.len())
+            .filter(|&i| theta_grads.get_at(i).is_some())
+            .count();
+        assert!(n_with > store.len() / 2, "theta gradients flow broadly");
+    }
+
+    #[test]
+    fn decode_produces_valid_bio() {
+        let (enc, bb, store, _) = setup(Conditioning::None);
+        let sent = sample_sentence(&enc);
+        let tags = TagSet::new(3).unwrap();
+        let path = bb.decode(&store, None, &sent, &tags);
+        assert_eq!(path.len(), sent.len());
+        let decoded: Vec<fewner_text::Tag> = path.iter().map(|&i| tags.tag(i)).collect();
+        fewner_text::validate_tags(&decoded, &tags).unwrap();
+    }
+
+    #[test]
+    fn char_cnn_ablation_builds_and_runs() {
+        let d = DatasetProfile::bionlp13cg().generate(0.005).unwrap();
+        let spec = EmbeddingSpec {
+            dim: 20,
+            ..EmbeddingSpec::default()
+        };
+        let enc = TokenEncoder::build(&[&d], &spec, 4);
+        let mut rng = Rng::new(17);
+        let mut store = ParamStore::new();
+        let cfg = BackboneConfig {
+            use_char_cnn: false,
+            ..BackboneConfig {
+                word_dim: 20,
+                ..BackboneConfig::default_for(3)
+            }
+        };
+        let bb = Backbone::new(cfg, &enc, &mut store, &mut rng).unwrap();
+        let g = Graph::new();
+        let (ps, id) = bb.new_context();
+        let phi = g.param(&ps, id);
+        let sent = enc.encode(&["alpha".to_string(), "beta".to_string()]);
+        let h = bb.hidden(&g, &store, Some(phi), &sent, false, &mut rng);
+        assert_eq!(g.shape(h).0, 2);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(BackboneConfig {
+            word_dim: 0,
+            ..BackboneConfig::default_for(5)
+        }
+        .validate()
+        .is_err());
+        assert!(BackboneConfig {
+            phi_dim: 0,
+            slot_ctx_dim: 0,
+            conditioning: Conditioning::Film,
+            ..BackboneConfig::default_for(5)
+        }
+        .validate()
+        .is_err());
+        assert!(BackboneConfig {
+            char_widths: vec![],
+            ..BackboneConfig::default_for(5)
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Token encoding shared by every model.
+//!
+//! Builds the word vocabulary (uncased, GloVe-style), the character
+//! vocabulary (cased) and the synthetic pre-trained embedding table from an
+//! experiment's corpora, and converts sentences into the id arrays the
+//! models consume. Mirrors the paper's input pipeline (§4.1.3): pre-trained
+//! word embeddings fine-tuned during training + character-level CNN
+//! representations.
+
+use std::collections::HashMap;
+
+use fewner_corpus::Dataset;
+use fewner_tensor::Array;
+use fewner_text::embed::{build_table, EmbeddingSpec};
+use fewner_text::Vocab;
+
+/// A sentence converted to model inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedSentence {
+    /// Word ids (uncased vocabulary).
+    pub word_ids: Vec<usize>,
+    /// Character ids per token, right-padded to the char-CNN's widest filter.
+    pub char_ids: Vec<Vec<usize>>,
+}
+
+impl EncodedSentence {
+    /// Sentence length in tokens.
+    pub fn len(&self) -> usize {
+        self.word_ids.len()
+    }
+
+    /// True for a zero-token sentence.
+    pub fn is_empty(&self) -> bool {
+        self.word_ids.is_empty()
+    }
+}
+
+/// Word + character vocabularies with the pre-trained embedding table.
+#[derive(Debug, Clone)]
+pub struct TokenEncoder {
+    /// Uncased word vocabulary.
+    pub words: Vocab,
+    /// Cased character vocabulary.
+    pub chars: Vocab,
+    /// Pre-trained `[vocab, dim]` word embeddings (PAD row zero).
+    pub pretrained: Array,
+    /// Minimum character padding (widest CNN filter).
+    pub min_chars: usize,
+}
+
+impl TokenEncoder {
+    /// Builds the encoder over one or more corpora.
+    ///
+    /// Like a real pre-trained embedding table, the vocabulary covers every
+    /// corpus involved in an experiment (source and target); what the
+    /// *models* see of unseen words at test time is still limited — fresh
+    /// generated names are not in any vocabulary and map to `UNK`, which is
+    /// exactly the out-of-training-vocabulary pressure the paper's char-CNN
+    /// ablation measures.
+    pub fn build(datasets: &[&Dataset], spec: &EmbeddingSpec, min_chars: usize) -> TokenEncoder {
+        let all_tokens = || {
+            datasets
+                .iter()
+                .flat_map(|d| d.sentences.iter())
+                .flat_map(|s| s.tokens.iter().map(String::as_str))
+        };
+        let words = Vocab::build(all_tokens(), 1, true);
+        let chars = Vocab::build_chars(all_tokens());
+
+        // Merge cluster maps across corpora; lowercase keys to match the
+        // uncased word vocabulary.
+        let mut clusters: HashMap<String, u64> = HashMap::new();
+        for d in datasets {
+            for (k, v) in d.clusters() {
+                clusters.entry(k.to_lowercase()).or_insert(*v);
+            }
+        }
+        let table = build_table(
+            spec,
+            words.len(),
+            |i| words.token(i).to_string(),
+            |i| clusters.get(words.token(i)).copied(),
+        );
+        let pretrained = Array::from_vec(words.len(), spec.dim, table);
+        TokenEncoder {
+            words,
+            chars,
+            pretrained,
+            min_chars,
+        }
+    }
+
+    /// Encodes a token sequence.
+    pub fn encode(&self, tokens: &[String]) -> EncodedSentence {
+        EncodedSentence {
+            word_ids: tokens.iter().map(|t| self.words.id(t)).collect(),
+            char_ids: tokens
+                .iter()
+                .map(|t| self.chars.encode_chars(t, self.min_chars))
+                .collect(),
+        }
+    }
+
+    /// Word-embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.pretrained.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fewner_corpus::DatasetProfile;
+
+    fn encoder() -> (Dataset, TokenEncoder) {
+        let d = DatasetProfile::bionlp13cg().generate(0.01).unwrap();
+        let spec = EmbeddingSpec {
+            dim: 16,
+            ..EmbeddingSpec::default()
+        };
+        let e = TokenEncoder::build(&[&d], &spec, 4);
+        (d, e)
+    }
+
+    #[test]
+    fn encode_shapes_and_padding() {
+        let (d, e) = encoder();
+        let s = &d.sentences[0];
+        let enc = e.encode(&s.tokens);
+        assert_eq!(enc.len(), s.len());
+        for cs in &enc.char_ids {
+            assert!(cs.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk_but_chars_survive() {
+        let (_, e) = encoder();
+        let enc = e.encode(&["Qzxqzx".to_string()]);
+        assert_eq!(enc.word_ids[0], fewner_text::vocab::UNK);
+        // Characters that exist in the corpus alphabet stay informative.
+        assert!(enc.char_ids[0].iter().any(|&c| c > 1));
+    }
+
+    #[test]
+    fn pretrained_table_matches_vocab() {
+        let (_, e) = encoder();
+        assert_eq!(e.pretrained.rows(), e.words.len());
+        assert_eq!(e.dim(), 16);
+        // PAD row is zero.
+        assert!(e.pretrained.row(0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn entity_words_share_cluster_structure() {
+        let (d, e) = encoder();
+        // Find two gazetteer words of the same family and check cosine.
+        let spec = &d.types[0];
+        let w1 = spec.gazetteer[0].last().unwrap().to_lowercase();
+        let w2 = spec.gazetteer[1].last().unwrap().to_lowercase();
+        let (i1, i2) = (e.words.id(&w1), e.words.id(&w2));
+        if i1 > 1 && i2 > 1 && i1 != i2 {
+            let c = fewner_text::embed::cosine(e.pretrained.row(i1), e.pretrained.row(i2));
+            assert!(c > 0.3, "same-family words should correlate: {c}");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Bridging episodes to model inputs.
+
+use fewner_episode::{EpisodeSentence, Task};
+use fewner_text::TagSet;
+
+use crate::encoding::{EncodedSentence, TokenEncoder};
+
+/// A sentence ready for training: encoded inputs + gold tag indices.
+pub type LabeledSentence = (EncodedSentence, Vec<usize>);
+
+/// Encodes episode sentences into `(inputs, gold tag indices)` pairs.
+pub fn encode_batch(
+    enc: &TokenEncoder,
+    sentences: &[EpisodeSentence],
+    tags: &TagSet,
+) -> Vec<LabeledSentence> {
+    sentences
+        .iter()
+        .map(|s| {
+            let encoded = enc.encode(&s.tokens);
+            let gold = s.tags.iter().map(|&t| tags.index(t)).collect();
+            (encoded, gold)
+        })
+        .collect()
+}
+
+/// Encodes a task's support and query sets.
+pub fn encode_task(
+    enc: &TokenEncoder,
+    task: &Task,
+) -> (Vec<LabeledSentence>, Vec<LabeledSentence>) {
+    let tags = task.tag_set();
+    (
+        encode_batch(enc, &task.support, &tags),
+        encode_batch(enc, &task.query, &tags),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fewner_corpus::{split_types, DatasetProfile};
+    use fewner_episode::EpisodeSampler;
+    use fewner_text::embed::EmbeddingSpec;
+    use fewner_util::Rng;
+
+    #[test]
+    fn encoded_tasks_align_tokens_and_tags() {
+        let d = DatasetProfile::bionlp13cg().generate(0.05).unwrap();
+        let split = split_types(&d, (8, 3, 5), 1).unwrap();
+        let sampler = EpisodeSampler::new(&split.train, 5, 1, 6).unwrap();
+        let task = sampler.sample(&mut Rng::new(2)).unwrap();
+        let enc = TokenEncoder::build(
+            &[&d],
+            &EmbeddingSpec {
+                dim: 16,
+                ..EmbeddingSpec::default()
+            },
+            4,
+        );
+        let (support, query) = encode_task(&enc, &task);
+        assert_eq!(support.len(), task.support.len());
+        assert_eq!(query.len(), task.query.len());
+        for ((inp, gold), src) in support.iter().zip(&task.support) {
+            assert_eq!(inp.len(), src.len());
+            assert_eq!(gold.len(), src.len());
+            let tags = task.tag_set();
+            assert!(gold.iter().all(|&g| g < tags.len()));
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Pure array math used by the graph's forward and backward passes.
+//!
+//! These functions know nothing about autodiff; they implement broadcasting,
+//! reductions and numerically-stable log-space primitives on [`Array`]s. The
+//! graph in [`crate::graph`] composes them into differentiable operations.
+
+use crate::array::Array;
+
+/// Broadcast compatibility: each dimension must match or be 1 on one side.
+///
+/// Returns the broadcast output shape, panicking with a readable message on
+/// incompatible shapes (shape errors in model code are programming errors;
+/// the fallible, `Result`-returning surface lives on `Array` itself).
+pub fn broadcast_shape(a: (usize, usize), b: (usize, usize), op: &str) -> (usize, usize) {
+    let r = match (a.0, b.0) {
+        (x, y) if x == y => x,
+        (1, y) => y,
+        (x, 1) => x,
+        _ => panic!("{op}: cannot broadcast rows {:?} vs {:?}", a, b),
+    };
+    let c = match (a.1, b.1) {
+        (x, y) if x == y => x,
+        (1, y) => y,
+        (x, 1) => x,
+        _ => panic!("{op}: cannot broadcast cols {:?} vs {:?}", a, b),
+    };
+    (r, c)
+}
+
+/// Elementwise binary op with broadcasting.
+pub fn bcast_zip(a: &Array, b: &Array, op: &str, f: impl Fn(f32, f32) -> f32) -> Array {
+    let (r, c) = broadcast_shape(a.shape(), b.shape(), op);
+    let mut out = Array::zeros(r, c);
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    for i in 0..r {
+        let ai = if ar == 1 { 0 } else { i };
+        let bi = if br == 1 { 0 } else { i };
+        let arow = a.row(ai);
+        let brow = b.row(bi);
+        let orow = out.row_mut(i);
+        for (j, o) in orow.iter_mut().enumerate() {
+            let av = arow[if ac == 1 { 0 } else { j }];
+            let bv = brow[if bc == 1 { 0 } else { j }];
+            *o = f(av, bv);
+        }
+    }
+    out
+}
+
+/// Reduces `grad` (shape of a broadcast output) back to `shape` by summing
+/// over the broadcast dimensions, accumulating into `into`.
+pub fn reduce_into(grad: &Array, into: &mut Array) {
+    let (gr, gc) = grad.shape();
+    let (tr, tc) = into.shape();
+    debug_assert!(
+        (tr == gr || tr == 1) && (tc == gc || tc == 1),
+        "reduce_into: grad {:?} to {:?}",
+        grad.shape(),
+        into.shape()
+    );
+    for i in 0..gr {
+        let ti = if tr == 1 { 0 } else { i };
+        let grow = grad.row(i);
+        for (j, &g) in grow.iter().enumerate() {
+            let tj = if tc == 1 { 0 } else { j };
+            *into.at_mut(ti, tj) += g;
+        }
+    }
+}
+
+/// Accumulates `grad ⊙ broadcast(other)` into `into` (shape of `into` may be
+/// a broadcast source). Used by the backward pass of broadcast multiply.
+pub fn reduce_mul_into(grad: &Array, other: &Array, into: &mut Array) {
+    let (gr, _) = grad.shape();
+    let (or_, oc) = other.shape();
+    let (tr, tc) = into.shape();
+    for i in 0..gr {
+        let oi = if or_ == 1 { 0 } else { i };
+        let ti = if tr == 1 { 0 } else { i };
+        let grow = grad.row(i);
+        let orow = other.row(oi);
+        for (j, &g) in grow.iter().enumerate() {
+            let ov = orow[if oc == 1 { 0 } else { j }];
+            let tj = if tc == 1 { 0 } else { j };
+            *into.at_mut(ti, tj) += g * ov;
+        }
+    }
+}
+
+/// Numerically-stable log-sum-exp over each column: `[r, c] → [1, c]`.
+pub fn logsumexp_cols(a: &Array) -> Array {
+    let (r, c) = a.shape();
+    let mut out = Array::zeros(1, c);
+    for j in 0..c {
+        let mut max = f32::NEG_INFINITY;
+        for i in 0..r {
+            max = max.max(a.at(i, j));
+        }
+        if max == f32::NEG_INFINITY {
+            *out.at_mut(0, j) = f32::NEG_INFINITY;
+            continue;
+        }
+        let mut sum = 0.0f32;
+        for i in 0..r {
+            sum += (a.at(i, j) - max).exp();
+        }
+        *out.at_mut(0, j) = max + sum.ln();
+    }
+    out
+}
+
+/// Numerically-stable log-sum-exp over all elements → scalar.
+pub fn logsumexp_all(a: &Array) -> f32 {
+    let max = a.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        return f32::NEG_INFINITY;
+    }
+    let sum: f32 = a.data().iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Row-wise log-softmax.
+pub fn log_softmax_rows(a: &Array) -> Array {
+    let (r, c) = a.shape();
+    let mut out = Array::zeros(r, c);
+    for i in 0..r {
+        let row = a.row(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+        for (j, o) in out.row_mut(i).iter_mut().enumerate() {
+            *o = row[j] - lse;
+        }
+    }
+    out
+}
+
+/// Row-wise softmax.
+pub fn softmax_rows(a: &Array) -> Array {
+    let mut out = log_softmax_rows(a);
+    for v in out.data_mut() {
+        *v = v.exp();
+    }
+    out
+}
+
+/// Unfolds a `[r, c]` array into sliding windows of `k` rows: `[r-k+1, k*c]`.
+///
+/// Window `i` is rows `i..i+k` concatenated — the im2col step for 1-D
+/// convolution over a character sequence.
+pub fn unfold(a: &Array, k: usize) -> Array {
+    let (r, c) = a.shape();
+    assert!(k >= 1 && k <= r, "unfold: window {k} over {r} rows");
+    let out_rows = r - k + 1;
+    let mut out = Array::zeros(out_rows, k * c);
+    for i in 0..out_rows {
+        let orow = out.row_mut(i);
+        for j in 0..k {
+            orow[j * c..(j + 1) * c].copy_from_slice(a.row(i + j));
+        }
+    }
+    out
+}
+
+/// Backward of [`unfold`]: scatters window gradients back to source rows.
+pub fn unfold_backward(grad: &Array, k: usize, src_shape: (usize, usize), into: &mut Array) {
+    let (r, c) = src_shape;
+    debug_assert_eq!(into.shape(), src_shape);
+    let out_rows = r - k + 1;
+    for i in 0..out_rows {
+        let grow = grad.row(i);
+        for j in 0..k {
+            let dst = into.row_mut(i + j);
+            for (d, &g) in dst.iter_mut().zip(&grow[j * c..(j + 1) * c]) {
+                *d += g;
+            }
+        }
+    }
+}
+
+/// Column-wise max with argmax indices: `[r, c] → ([1, c], argmax rows)`.
+#[allow(clippy::needless_range_loop)]
+pub fn max_cols(a: &Array) -> (Array, Vec<usize>) {
+    let (r, c) = a.shape();
+    assert!(r > 0, "max_cols on empty array");
+    let mut out = Array::zeros(1, c);
+    let mut arg = vec![0usize; c];
+    for j in 0..c {
+        let mut best = a.at(0, j);
+        for i in 1..r {
+            let v = a.at(i, j);
+            if v > best {
+                best = v;
+                arg[j] = i;
+            }
+        }
+        *out.at_mut(0, j) = best;
+    }
+    (out, arg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bcast_row_vector_add() {
+        let a = Array::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Array::from_vec(1, 3, vec![10., 20., 30.]);
+        let c = bcast_zip(&a, &b, "add", |x, y| x + y);
+        assert_eq!(c.data(), &[11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn bcast_col_vector_mul() {
+        let a = Array::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Array::from_vec(2, 1, vec![10., 100.]);
+        let c = bcast_zip(&a, &b, "mul", |x, y| x * y);
+        assert_eq!(c.data(), &[10., 20., 300., 400.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn bcast_incompatible_panics() {
+        let a = Array::zeros(2, 3);
+        let b = Array::zeros(3, 3);
+        bcast_zip(&a, &b, "add", |x, y| x + y);
+    }
+
+    #[test]
+    fn reduce_into_sums_broadcast_dims() {
+        let grad = Array::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let mut into = Array::zeros(1, 3);
+        reduce_into(&grad, &mut into);
+        assert_eq!(into.data(), &[5., 7., 9.]);
+        let mut scalar = Array::zeros(1, 1);
+        reduce_into(&grad, &mut scalar);
+        assert_eq!(scalar.data(), &[21.]);
+    }
+
+    #[test]
+    fn logsumexp_is_stable_and_correct() {
+        let a = Array::from_vec(2, 2, vec![1000.0, 0.0, 1000.0, (2.0f32).ln()]);
+        let out = logsumexp_cols(&a);
+        // col 0: lse(1000, 1000) = 1000 + ln 2.
+        assert!((out.at(0, 0) - (1000.0 + 2f32.ln())).abs() < 1e-3);
+        // col 1: lse(0, ln 2) = ln 3.
+        assert!((out.at(0, 1) - 3f32.ln()).abs() < 1e-5);
+        assert_eq!(
+            logsumexp_all(&Array::full(1, 1, f32::NEG_INFINITY)),
+            f32::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Array::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
+        let s = softmax_rows(&a);
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn unfold_matches_hand_layout() {
+        // rows: [1,2] [3,4] [5,6]; k=2 -> [[1,2,3,4],[3,4,5,6]]
+        let a = Array::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let u = unfold(&a, 2);
+        assert_eq!(u.shape(), (2, 4));
+        assert_eq!(u.data(), &[1., 2., 3., 4., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn unfold_backward_scatters() {
+        let grad = Array::from_vec(2, 4, vec![1., 1., 1., 1., 1., 1., 1., 1.]);
+        let mut into = Array::zeros(3, 2);
+        unfold_backward(&grad, 2, (3, 2), &mut into);
+        // middle row receives contributions from both windows.
+        assert_eq!(into.data(), &[1., 1., 2., 2., 1., 1.]);
+    }
+
+    #[test]
+    fn max_cols_tracks_argmax() {
+        let a = Array::from_vec(3, 2, vec![1., 9., 5., 2., 3., 4.]);
+        let (m, arg) = max_cols(&a);
+        assert_eq!(m.data(), &[5., 9.]);
+        assert_eq!(arg, vec![1, 0]);
+    }
+}

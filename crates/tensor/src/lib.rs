@@ -1,0 +1,54 @@
+//! `fewner-tensor` — a from-scratch tensor and reverse-mode autodiff engine.
+//!
+//! This crate is the computational substrate of the FEWNER reproduction: the
+//! original system is built on PyTorch, which we replace with a small,
+//! auditable define-by-run tape over dense 2-D `f32` arrays. It provides
+//! everything the paper's models need and nothing more:
+//!
+//! * [`Array`] — dense row-major matrices with the handful of BLAS-like
+//!   kernels the models are hot on ([`mod@array`]).
+//! * [`Graph`]/[`Var`] — an eager autodiff tape with broadcasting
+//!   elementwise ops, matmul, gather/scatter, stable log-space reductions
+//!   (the CRF's forward recursion differentiates through
+//!   [`Graph::col_lse`]), unfold/max-pool for the character CNN, dropout and
+//!   FiLM conditioning ([`graph`]).
+//! * [`ParamStore`]/[`ParamGrads`] — named parameter stores. FEWNER's split
+//!   between task-independent θ and task-specific φ is expressed as two
+//!   stores bound into the same graph, with gradients routed per store
+//!   ([`params`]).
+//! * [`nn`] — generic layers: [`nn::Linear`], [`nn::Embedding`],
+//!   [`nn::GruCell`], [`nn::BiGru`], [`nn::Conv1d`].
+//! * [`optim`] — [`optim::Sgd`] (inner loop) and [`optim::Adam`] (outer
+//!   loop) with global-norm clipping and decoupled weight decay.
+//!
+//! # Example
+//!
+//! ```
+//! use fewner_tensor::{Array, Graph, ParamStore};
+//! use fewner_util::Rng;
+//!
+//! let mut rng = Rng::new(0);
+//! let mut params = ParamStore::new();
+//! let w = params.add("w", Array::uniform(3, 1, -1.0, 1.0, &mut rng));
+//!
+//! let g = Graph::new();
+//! let x = g.constant(Array::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]));
+//! let y = g.matmul(x, g.param(&params, w));
+//! let loss = g.mean_all(g.mul(y, y));
+//! let grads = g.backward(loss).unwrap().for_store(&params);
+//! assert!(grads.get(w).is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod graph;
+pub mod kernels;
+pub mod nn;
+pub mod optim;
+pub mod params;
+
+pub use array::Array;
+pub use graph::{Gradients, Graph, Var};
+pub use optim::{Adam, Sgd};
+pub use params::{ParamGrads, ParamId, ParamStore, SavedParams};

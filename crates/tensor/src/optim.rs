@@ -1,0 +1,291 @@
+//! First-order optimizers.
+//!
+//! The paper uses plain SGD with learning rate α = 0.1 for the inner loop
+//! (Eq. 5) and Adam-style meta-optimisation with β = 8·10⁻⁴, gradient
+//! clipping at 5.0, L2 regularisation 10⁻⁷ and a ×0.9 learning-rate decay
+//! every 5000 tasks for the outer loop (§4.1.3). Both optimizers operate on
+//! a ([`ParamStore`], [`ParamGrads`]) pair so the same code drives θ, φ and
+//! every baseline.
+
+use fewner_util::{Error, Result};
+
+use crate::array::Array;
+use crate::params::{ParamGrads, ParamStore};
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables the velocity buffer).
+    pub momentum: f32,
+    /// Decoupled L2 weight decay applied before the step.
+    pub weight_decay: f32,
+    /// Global-norm gradient clip (∞ disables).
+    pub clip_norm: f32,
+    velocity: Vec<Option<Array>>,
+}
+
+impl Sgd {
+    /// Plain SGD as used for the FEWNER inner loop.
+    pub fn new(lr: f32) -> Sgd {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            clip_norm: f32::INFINITY,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Adds momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Sgd {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds decoupled weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Sgd {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Adds global-norm clipping.
+    pub fn with_clip(mut self, clip: f32) -> Sgd {
+        self.clip_norm = clip;
+        self
+    }
+
+    /// Applies one update. Rejects non-finite gradients rather than
+    /// poisoning the parameters.
+    pub fn step(&mut self, params: &mut ParamStore, grads: &ParamGrads) -> Result<()> {
+        if !grads.all_finite() {
+            return Err(Error::NonFinite {
+                context: "SGD gradients".to_string(),
+            });
+        }
+        let mut grads = grads.clone();
+        if self.clip_norm.is_finite() {
+            grads.clip_global_norm(self.clip_norm);
+        }
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![None; params.len()];
+        }
+        for i in 0..params.len() {
+            let Some(g) = grads.get_at(i) else { continue };
+            if self.weight_decay > 0.0 {
+                let decay = self.weight_decay;
+                let current = params.value_at(i).clone();
+                params.value_mut(i).axpy(-self.lr * decay, &current);
+            }
+            if self.momentum > 0.0 {
+                let v = self.velocity[i].get_or_insert_with(|| Array::zeros(g.rows(), g.cols()));
+                v.scale_in_place(self.momentum);
+                v.axpy(1.0, g);
+                let v_snapshot = v.clone();
+                params.value_mut(i).axpy(-self.lr, &v_snapshot);
+            } else {
+                params.value_mut(i).axpy(-self.lr, g);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Adam (Kingma & Ba) with decoupled weight decay and global-norm clipping.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (β in the paper's outer loop).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled L2 weight decay.
+    pub weight_decay: f32,
+    /// Global-norm gradient clip (∞ disables).
+    pub clip_norm: f32,
+    t: u64,
+    m: Vec<Option<Array>>,
+    v: Vec<Option<Array>>,
+}
+
+impl Adam {
+    /// Adam with standard moment coefficients.
+    pub fn new(lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            clip_norm: f32::INFINITY,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Adds decoupled weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Adam {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Adds global-norm clipping.
+    pub fn with_clip(mut self, clip: f32) -> Adam {
+        self.clip_norm = clip;
+        self
+    }
+
+    /// Multiplies the learning rate (used for the ×0.9 / 5000-task decay).
+    pub fn decay_lr(&mut self, factor: f32) {
+        self.lr *= factor;
+    }
+
+    /// Applies one update.
+    pub fn step(&mut self, params: &mut ParamStore, grads: &ParamGrads) -> Result<()> {
+        if !grads.all_finite() {
+            return Err(Error::NonFinite {
+                context: "Adam gradients".to_string(),
+            });
+        }
+        let mut grads = grads.clone();
+        if self.clip_norm.is_finite() {
+            grads.clip_global_norm(self.clip_norm);
+        }
+        if self.m.len() != params.len() {
+            self.m = vec![None; params.len()];
+            self.v = vec![None; params.len()];
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let Some(g) = grads.get_at(i) else { continue };
+            let m = self.m[i].get_or_insert_with(|| Array::zeros(g.rows(), g.cols()));
+            let v = self.v[i].get_or_insert_with(|| Array::zeros(g.rows(), g.cols()));
+            for ((mv, vv), &gv) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(g.data())
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+            }
+            if self.weight_decay > 0.0 {
+                let decay = self.weight_decay;
+                let current = params.value_at(i).clone();
+                params.value_mut(i).axpy(-self.lr * decay, &current);
+            }
+            let (lr, eps) = (self.lr, self.eps);
+            let m_snapshot = self.m[i].as_ref().unwrap().clone();
+            let v_snapshot = self.v[i].as_ref().unwrap().clone();
+            let target = params.value_mut(i);
+            for ((t, &mv), &vv) in target
+                .data_mut()
+                .iter_mut()
+                .zip(m_snapshot.data())
+                .zip(v_snapshot.data())
+            {
+                let m_hat = mv / bc1;
+                let v_hat = vv / bc2;
+                *t -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::params::ParamStore;
+
+    /// Minimises (w - 3)^2 and checks convergence.
+    fn quadratic_converges(mut step: impl FnMut(&mut ParamStore, &ParamGrads)) -> f32 {
+        let mut params = ParamStore::new();
+        let id = params.add("w", Array::scalar(0.0));
+        for _ in 0..300 {
+            let g = Graph::new();
+            let w = g.param(&params, id);
+            let diff = g.add_scalar(w, -3.0);
+            let loss = g.sum_all(g.mul(diff, diff));
+            let grads = g.backward(loss).unwrap().for_store(&params);
+            step(&mut params, &grads);
+        }
+        params.value_at(0).scalar_value()
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = quadratic_converges(|p, g| opt.step(p, g).unwrap());
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_minimises_quadratic() {
+        let mut opt = Sgd::new(0.02).with_momentum(0.9);
+        let w = quadratic_converges(|p, g| opt.step(p, g).unwrap());
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let w = quadratic_converges(|p, g| opt.step(p, g).unwrap());
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn clipping_bounds_the_step() {
+        let mut params = ParamStore::new();
+        let id = params.add("w", Array::scalar(0.0));
+        let mut grads = ParamGrads::zeros_like(&params);
+        grads.accumulate(id.index(), &Array::scalar(1000.0));
+        let mut opt = Sgd::new(1.0).with_clip(5.0);
+        opt.step(&mut params, &grads).unwrap();
+        // Step must be exactly lr * clipped = 5.0.
+        assert!((params.value_at(0).scalar_value() + 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn non_finite_gradients_rejected_and_params_untouched() {
+        let mut params = ParamStore::new();
+        let id = params.add("w", Array::scalar(1.5));
+        let mut grads = ParamGrads::zeros_like(&params);
+        grads.accumulate(id.index(), &Array::scalar(f32::NAN));
+        let mut sgd = Sgd::new(0.1);
+        assert!(sgd.step(&mut params, &grads).is_err());
+        assert_eq!(params.value_at(0).scalar_value(), 1.5);
+        let mut adam = Adam::new(0.1);
+        assert!(adam.step(&mut params, &grads).is_err());
+        assert_eq!(params.value_at(0).scalar_value(), 1.5);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut params = ParamStore::new();
+        let id = params.add("w", Array::scalar(10.0));
+        let grads = ParamGrads::zeros_like(&params);
+        // No gradient at all: decay alone must still shrink w... but slots
+        // without gradients are skipped, so supply a zero gradient.
+        let mut g2 = grads.clone();
+        g2.accumulate(id.index(), &Array::scalar(0.0));
+        let mut opt = Sgd::new(1.0).with_weight_decay(0.1);
+        opt.step(&mut params, &g2).unwrap();
+        assert!((params.value_at(0).scalar_value() - 9.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adam_lr_decay() {
+        let mut opt = Adam::new(8e-4);
+        opt.decay_lr(0.9);
+        assert!((opt.lr - 7.2e-4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,440 @@
+//! Named parameter stores and gradient accumulators.
+//!
+//! FEWNER's central idea is the *split* between the task-independent
+//! parameters θ and the task-specific context parameters φ (paper §3.2.1).
+//! We make that split structural: θ and φ live in two separate
+//! [`ParamStore`]s, forward passes can bind parameters from any number of
+//! stores, and [`crate::graph::Gradients::for_store`] extracts gradients per
+//! store. The inner loop then optimises only φ's store and the outer loop
+//! only θ's — exactly Algorithm 1 of the paper — with no masking tricks.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fewner_util::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::array::Array;
+
+static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Identifies a parameter within its store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId {
+    pub(crate) store: u64,
+    pub(crate) index: usize,
+}
+
+impl ParamId {
+    /// The position of the parameter within its store.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+/// An ordered collection of named parameter tensors.
+///
+/// Cloning a store is cheap (`Arc` per tensor, copy-on-write on update) and
+/// **preserves the store's identity**: a clone answers for the same
+/// [`ParamId`]s and its gradients can be applied to the original. This is
+/// deliberate — it is what lets first-order MAML adapt a copy of θ on a
+/// support set and push the resulting query gradients back into the
+/// meta-initialisation without any index translation.
+#[derive(Debug, Clone)]
+pub struct ParamStore {
+    id: u64,
+    names: Vec<String>,
+    values: Vec<Arc<Array>>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Default for ParamStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParamStore {
+    /// Creates an empty store with a process-unique identity.
+    pub fn new() -> ParamStore {
+        ParamStore {
+            id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
+            names: Vec::new(),
+            values: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The store's unique identity (used to route gradients).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Registers a parameter. Panics on duplicate names: parameter layouts
+    /// are fixed at model construction time, so a duplicate is a code bug.
+    pub fn add(&mut self, name: impl Into<String>, value: Array) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate parameter name: {name}"
+        );
+        let index = self.values.len();
+        self.by_name.insert(name.clone(), index);
+        self.names.push(name);
+        self.values.push(Arc::new(value));
+        ParamId {
+            store: self.id,
+            index,
+        }
+    }
+
+    /// Number of parameter tensors.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(|v| v.len()).sum()
+    }
+
+    /// Shared handle to a parameter's current value.
+    pub fn value(&self, id: ParamId) -> &Arc<Array> {
+        assert_eq!(id.store, self.id, "ParamId used with the wrong store");
+        &self.values[id.index]
+    }
+
+    /// Parameter value by position (for optimizers and serialisation).
+    pub fn value_at(&self, index: usize) -> &Arc<Array> {
+        &self.values[index]
+    }
+
+    /// Parameter name by position.
+    pub fn name_at(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// Looks a parameter up by name.
+    pub fn get(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).map(|&index| ParamId {
+            store: self.id,
+            index,
+        })
+    }
+
+    /// Mutable access to a parameter value for in-place updates.
+    ///
+    /// Cheap when no computation graph still holds the value (the usual case
+    /// between optimisation steps); clones the tensor otherwise.
+    pub fn value_mut(&mut self, index: usize) -> &mut Array {
+        Arc::make_mut(&mut self.values[index])
+    }
+
+    /// Replaces a parameter value wholesale.
+    pub fn set(&mut self, id: ParamId, value: Array) {
+        assert_eq!(id.store, self.id, "ParamId used with the wrong store");
+        let old = &self.values[id.index];
+        assert_eq!(
+            old.shape(),
+            value.shape(),
+            "ParamStore::set shape change for `{}`",
+            self.names[id.index]
+        );
+        self.values[id.index] = Arc::new(value);
+    }
+
+    /// Resets every parameter to zero, keeping shapes — used for the context
+    /// parameters φ, which the paper re-initialises to **0** for every task.
+    pub fn zero_all(&mut self) {
+        for v in &mut self.values {
+            Arc::make_mut(v).fill_zero();
+        }
+    }
+
+    /// Snapshot of all values (used to verify θ is untouched by adaptation).
+    pub fn snapshot(&self) -> Vec<Array> {
+        self.values.iter().map(|v| (**v).clone()).collect()
+    }
+
+    /// Restores a snapshot taken with [`ParamStore::snapshot`].
+    pub fn restore(&mut self, snapshot: &[Array]) {
+        assert_eq!(snapshot.len(), self.values.len(), "snapshot length");
+        for (v, s) in self.values.iter_mut().zip(snapshot) {
+            *v = Arc::new(s.clone());
+        }
+    }
+
+    /// Serialises the store's names and values.
+    pub fn to_saved(&self) -> SavedParams {
+        SavedParams {
+            entries: self
+                .names
+                .iter()
+                .zip(&self.values)
+                .map(|(n, v)| (n.clone(), (**v).clone()))
+                .collect(),
+        }
+    }
+
+    /// Loads values from a [`SavedParams`] with matching names and shapes.
+    pub fn load_saved(&mut self, saved: &SavedParams) -> Result<()> {
+        if saved.entries.len() != self.values.len() {
+            return Err(Error::Serde(format!(
+                "saved parameter count {} != store count {}",
+                saved.entries.len(),
+                self.values.len()
+            )));
+        }
+        for (i, (name, value)) in saved.entries.iter().enumerate() {
+            if name != &self.names[i] {
+                return Err(Error::Serde(format!(
+                    "parameter {i} name mismatch: saved `{name}` vs store `{}`",
+                    self.names[i]
+                )));
+            }
+            if value.shape() != self.values[i].shape() {
+                return Err(Error::Serde(format!(
+                    "parameter `{name}` shape mismatch: saved {:?} vs store {:?}",
+                    value.shape(),
+                    self.values[i].shape()
+                )));
+            }
+            self.values[i] = Arc::new(value.clone());
+        }
+        Ok(())
+    }
+
+    /// Iterator over `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Array>)> {
+        self.names
+            .iter()
+            .map(|s| s.as_str())
+            .zip(self.values.iter())
+    }
+}
+
+/// Serialisable snapshot of a parameter store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedParams {
+    /// `(name, value)` in registration order.
+    pub entries: Vec<(String, Array)>,
+}
+
+/// Per-store gradient accumulator, indexable by [`ParamId`].
+#[derive(Debug, Clone)]
+pub struct ParamGrads {
+    store: u64,
+    grads: Vec<Option<Array>>,
+}
+
+impl ParamGrads {
+    /// Creates a zeroed accumulator matching `store`'s layout.
+    pub fn zeros_like(store: &ParamStore) -> ParamGrads {
+        ParamGrads {
+            store: store.id,
+            grads: vec![None; store.len()],
+        }
+    }
+
+    pub(crate) fn new_raw(store: u64, len: usize) -> ParamGrads {
+        ParamGrads {
+            store,
+            grads: vec![None; len],
+        }
+    }
+
+    /// The id of the store this accumulator belongs to.
+    pub fn store_id(&self) -> u64 {
+        self.store
+    }
+
+    /// Gradient for a parameter, if any was produced.
+    pub fn get(&self, id: ParamId) -> Option<&Array> {
+        assert_eq!(id.store, self.store, "ParamId used with wrong gradients");
+        self.grads[id.index].as_ref()
+    }
+
+    /// Gradient by position.
+    pub fn get_at(&self, index: usize) -> Option<&Array> {
+        self.grads[index].as_ref()
+    }
+
+    /// Adds `grad` into the slot at `index` (allocating it on first use).
+    pub fn accumulate(&mut self, index: usize, grad: &Array) {
+        match &mut self.grads[index] {
+            Some(g) => g.axpy(1.0, grad),
+            slot => *slot = Some(grad.clone()),
+        }
+    }
+
+    /// Adds `alpha * other` into this accumulator (meta-batch averaging).
+    pub fn axpy(&mut self, alpha: f32, other: &ParamGrads) {
+        assert_eq!(self.store, other.store);
+        for (mine, theirs) in self.grads.iter_mut().zip(&other.grads) {
+            if let Some(t) = theirs {
+                match mine {
+                    Some(m) => m.axpy(alpha, t),
+                    slot => {
+                        let mut scaled = t.clone();
+                        scaled.scale_in_place(alpha);
+                        *slot = Some(scaled);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scales all gradients in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            g.scale_in_place(alpha);
+        }
+    }
+
+    /// Global L2 norm over all gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .flatten()
+            .map(|g| g.norm_sq())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Rescales so the global norm does not exceed `max_norm`.
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale(max_norm / norm);
+        }
+    }
+
+    /// True when every present gradient is finite.
+    pub fn all_finite(&self) -> bool {
+        self.grads.iter().flatten().all(|g| g.all_finite())
+    }
+
+    /// Number of slots (== the store's parameter count).
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// True when the accumulator has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_set_roundtrip() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Array::from_vec(1, 2, vec![1.0, 2.0]));
+        assert_eq!(store.value(id).data(), &[1.0, 2.0]);
+        store.set(id, Array::from_vec(1, 2, vec![3.0, 4.0]));
+        assert_eq!(store.value(id).data(), &[3.0, 4.0]);
+        assert_eq!(store.get("w"), Some(id));
+        assert_eq!(store.get("missing"), None);
+        assert_eq!(store.num_scalars(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_panic() {
+        let mut store = ParamStore::new();
+        store.add("w", Array::zeros(1, 1));
+        store.add("w", Array::zeros(1, 1));
+    }
+
+    #[test]
+    fn stores_have_distinct_ids() {
+        let a = ParamStore::new();
+        let b = ParamStore::new();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong store")]
+    fn cross_store_id_use_panics() {
+        let mut a = ParamStore::new();
+        let b = ParamStore::new();
+        let id = a.add("w", Array::zeros(1, 1));
+        let _ = b.value(id);
+    }
+
+    #[test]
+    fn zero_all_matches_paper_phi_reset() {
+        let mut store = ParamStore::new();
+        let id = store.add("phi", Array::from_vec(1, 3, vec![1.0, -2.0, 3.0]));
+        store.zero_all();
+        assert_eq!(store.value(id).data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Array::from_vec(1, 2, vec![1.0, 2.0]));
+        let snap = store.snapshot();
+        store.set(id, Array::from_vec(1, 2, vec![9.0, 9.0]));
+        store.restore(&snap);
+        assert_eq!(store.value(id).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn saved_params_round_trip_and_validation() {
+        let mut store = ParamStore::new();
+        store.add("a", Array::from_vec(1, 2, vec![1.0, 2.0]));
+        store.add("b", Array::from_vec(2, 1, vec![3.0, 4.0]));
+        let saved = store.to_saved();
+        let json = serde_json::to_string(&saved).unwrap();
+        let back: SavedParams = serde_json::from_str(&json).unwrap();
+
+        let mut store2 = ParamStore::new();
+        store2.add("a", Array::zeros(1, 2));
+        store2.add("b", Array::zeros(2, 1));
+        store2.load_saved(&back).unwrap();
+        assert_eq!(store2.value_at(0).data(), &[1.0, 2.0]);
+
+        // Name mismatch is rejected.
+        let mut store3 = ParamStore::new();
+        store3.add("x", Array::zeros(1, 2));
+        store3.add("b", Array::zeros(2, 1));
+        assert!(store3.load_saved(&back).is_err());
+    }
+
+    #[test]
+    fn grads_accumulate_scale_clip() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Array::zeros(1, 2));
+        let mut grads = ParamGrads::zeros_like(&store);
+        grads.accumulate(id.index(), &Array::from_vec(1, 2, vec![3.0, 4.0]));
+        grads.accumulate(id.index(), &Array::from_vec(1, 2, vec![3.0, 4.0]));
+        assert_eq!(grads.get(id).unwrap().data(), &[6.0, 8.0]);
+        assert!((grads.global_norm() - 10.0).abs() < 1e-6);
+        grads.clip_global_norm(5.0);
+        assert!((grads.global_norm() - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grads_axpy_handles_missing_slots() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Array::zeros(1, 1));
+        let b = store.add("b", Array::zeros(1, 1));
+        let mut g1 = ParamGrads::zeros_like(&store);
+        g1.accumulate(a.index(), &Array::scalar(1.0));
+        let mut g2 = ParamGrads::zeros_like(&store);
+        g2.accumulate(b.index(), &Array::scalar(2.0));
+        g1.axpy(0.5, &g2);
+        assert_eq!(g1.get(a).unwrap().scalar_value(), 1.0);
+        assert_eq!(g1.get(b).unwrap().scalar_value(), 1.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic synthetic "pre-trained" word embeddings.
+//!
+//! The paper initialises its static-representation models with GloVe 300-d
+//! vectors (§4.1.3), whose role is to give lexically/semantically similar
+//! words nearby vectors *before any task training*. We cannot ship GloVe,
+//! so we synthesise embeddings with exactly that property: every word is
+//! assigned a semantic cluster (by the corpus generator: a gazetteer family,
+//! a trigger group, a domain function-word pool, …), each cluster has a
+//! deterministic unit-ish centre, and the word's vector is
+//! `centre + word-keyed noise`. Words without a cluster get pure noise.
+//!
+//! Both the centre and the noise are keyed by hashes of the cluster id and
+//! the word string, so the "pre-trained" table is reproducible and — like
+//! real GloVe — independent of which dataset or split the word later
+//! appears in.
+
+use fewner_util::Rng;
+
+/// Stable FNV-1a hash of a string (independent of Rust's `DefaultHasher`,
+/// whose output may change between releases).
+pub fn stable_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// How strongly cluster structure dominates word-specific noise.
+#[derive(Debug, Clone, Copy)]
+pub struct EmbeddingSpec {
+    /// Vector dimensionality (the paper uses 300; we default to 50).
+    pub dim: usize,
+    /// Standard deviation of the cluster centre components.
+    pub center_std: f32,
+    /// Standard deviation of per-word noise around the centre.
+    pub noise_std: f32,
+    /// Base seed mixed into all hashes.
+    pub seed: u64,
+}
+
+impl Default for EmbeddingSpec {
+    fn default() -> Self {
+        EmbeddingSpec {
+            dim: 50,
+            center_std: 1.0,
+            noise_std: 0.35,
+            seed: 0x610_7E50,
+        }
+    }
+}
+
+/// The deterministic centre vector of a semantic cluster.
+pub fn cluster_center(spec: &EmbeddingSpec, cluster: u64) -> Vec<f32> {
+    let mut rng = Rng::new(spec.seed ^ cluster.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (0..spec.dim)
+        .map(|_| rng.normal() * spec.center_std)
+        .collect()
+}
+
+/// Synthesises the embedding for one word.
+///
+/// `cluster` of `None` produces an unclustered (noise-only) vector.
+pub fn word_embedding(spec: &EmbeddingSpec, word: &str, cluster: Option<u64>) -> Vec<f32> {
+    let mut rng = Rng::new(spec.seed ^ stable_hash(word));
+    let noise: Vec<f32> = (0..spec.dim)
+        .map(|_| rng.normal() * spec.noise_std)
+        .collect();
+    match cluster {
+        Some(c) => cluster_center(spec, c)
+            .into_iter()
+            .zip(noise)
+            .map(|(a, b)| a + b)
+            .collect(),
+        None => noise,
+    }
+}
+
+/// Builds a full `[vocab_len × dim]` row-major table.
+///
+/// `cluster_of(i)` supplies the semantic cluster for vocabulary entry `i`
+/// (reserved entries like `PAD`/`UNK` should return `None`); `word_of(i)`
+/// the surface form.
+pub fn build_table(
+    spec: &EmbeddingSpec,
+    vocab_len: usize,
+    word_of: impl Fn(usize) -> String,
+    cluster_of: impl Fn(usize) -> Option<u64>,
+) -> Vec<f32> {
+    let mut table = Vec::with_capacity(vocab_len * spec.dim);
+    for i in 0..vocab_len {
+        if i == crate::vocab::PAD {
+            table.extend(std::iter::repeat_n(0.0, spec.dim));
+        } else {
+            table.extend(word_embedding(spec, &word_of(i), cluster_of(i)));
+        }
+    }
+    table
+}
+
+/// Cosine similarity between two equal-length vectors (diagnostics/tests).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> EmbeddingSpec {
+        EmbeddingSpec {
+            dim: 32,
+            ..EmbeddingSpec::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let s = spec();
+        assert_eq!(
+            word_embedding(&s, "aspirin", Some(3)),
+            word_embedding(&s, "aspirin", Some(3))
+        );
+    }
+
+    #[test]
+    fn same_cluster_words_are_closer_than_cross_cluster() {
+        let s = spec();
+        let a1 = word_embedding(&s, "london", Some(10));
+        let a2 = word_embedding(&s, "paris", Some(10));
+        let b = word_embedding(&s, "kinase", Some(20));
+        let within = cosine(&a1, &a2);
+        let across = cosine(&a1, &b);
+        assert!(
+            within > across + 0.2,
+            "within {within} should exceed across {across}"
+        );
+        assert!(within > 0.5, "cluster structure too weak: {within}");
+    }
+
+    #[test]
+    fn unclustered_words_are_roughly_orthogonal() {
+        let s = spec();
+        let a = word_embedding(&s, "the", None);
+        let b = word_embedding(&s, "of", None);
+        assert!(cosine(&a, &b).abs() < 0.5);
+    }
+
+    #[test]
+    fn table_layout_and_pad_row() {
+        let s = spec();
+        let words = ["<pad>", "<unk>", "alpha", "beta"];
+        let table = build_table(&s, 4, |i| words[i].to_string(), |i| (i == 3).then_some(7));
+        assert_eq!(table.len(), 4 * s.dim);
+        assert!(table[..s.dim].iter().all(|&v| v == 0.0), "PAD row is zero");
+        let beta = &table[3 * s.dim..4 * s.dim];
+        assert_eq!(beta, &word_embedding(&s, "beta", Some(7))[..]);
+    }
+
+    #[test]
+    fn stable_hash_reference_values() {
+        // FNV-1a must never change: episode/corpus reproducibility hangs on it.
+        assert_eq!(stable_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(stable_hash("ab"), stable_hash("ba"));
+    }
+
+    #[test]
+    fn cosine_edge_cases() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,179 @@
+//! The BIO tag space for an N-way episode.
+//!
+//! A task's label space is fixed by its way-count: `O` plus `B-s`/`I-s`
+//! for each abstract class slot `s ∈ 0..N`, i.e. `2N + 1` tags (§3.1). Tags
+//! are indexed `O = 0`, `B-s = 1 + 2s`, `I-s = 2 + 2s` so conversions are
+//! arithmetic, and [`TagSet::allowed`] encodes the BIO transition structure
+//! used to constrain Viterbi decoding and to sanity-check training data.
+
+use fewner_util::{Error, Result};
+
+/// One BIO tag over abstract class slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tag {
+    /// Outside any entity.
+    O,
+    /// Beginning of an entity of slot `s`.
+    B(usize),
+    /// Continuation of an entity of slot `s`.
+    I(usize),
+}
+
+impl Tag {
+    /// The slot the tag refers to, if any.
+    pub fn slot(&self) -> Option<usize> {
+        match self {
+            Tag::O => None,
+            Tag::B(s) | Tag::I(s) => Some(*s),
+        }
+    }
+}
+
+/// The tag inventory for an `n_ways`-way episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagSet {
+    n_ways: usize,
+}
+
+impl TagSet {
+    /// Creates a tag set for `n_ways` class slots (must be ≥ 1).
+    pub fn new(n_ways: usize) -> Result<TagSet> {
+        if n_ways == 0 {
+            return Err(Error::InvalidConfig("TagSet needs at least 1 way".into()));
+        }
+        Ok(TagSet { n_ways })
+    }
+
+    /// Number of class slots.
+    pub fn n_ways(&self) -> usize {
+        self.n_ways
+    }
+
+    /// Total number of tags: `2N + 1`.
+    pub fn len(&self) -> usize {
+        2 * self.n_ways + 1
+    }
+
+    /// Tag sets are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Tag → dense index.
+    pub fn index(&self, tag: Tag) -> usize {
+        match tag {
+            Tag::O => 0,
+            Tag::B(s) => {
+                debug_assert!(s < self.n_ways);
+                1 + 2 * s
+            }
+            Tag::I(s) => {
+                debug_assert!(s < self.n_ways);
+                2 + 2 * s
+            }
+        }
+    }
+
+    /// Dense index → tag. Panics on out-of-range indices.
+    pub fn tag(&self, index: usize) -> Tag {
+        assert!(index < self.len(), "tag index {index} of {}", self.len());
+        if index == 0 {
+            Tag::O
+        } else if index % 2 == 1 {
+            Tag::B((index - 1) / 2)
+        } else {
+            Tag::I((index - 2) / 2)
+        }
+    }
+
+    /// Human-readable tag name (`O`, `B-2`, `I-0`).
+    pub fn name(&self, index: usize) -> String {
+        match self.tag(index) {
+            Tag::O => "O".to_string(),
+            Tag::B(s) => format!("B-{s}"),
+            Tag::I(s) => format!("I-{s}"),
+        }
+    }
+
+    /// BIO transition validity: `I-s` may only follow `B-s` or `I-s`.
+    ///
+    /// Everything else (O→B, B→B, I→O, …) is allowed.
+    pub fn allowed(&self, from: Tag, to: Tag) -> bool {
+        match to {
+            Tag::I(s) => matches!(from, Tag::B(f) | Tag::I(f) if f == s),
+            _ => true,
+        }
+    }
+
+    /// Whether a tag may start a sentence (`I-*` may not).
+    pub fn allowed_at_start(&self, tag: Tag) -> bool {
+        !matches!(tag, Tag::I(_))
+    }
+
+    /// All tags in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Tag> + '_ {
+        (0..self.len()).map(move |i| self.tag(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_ways_rejected() {
+        assert!(TagSet::new(0).is_err());
+    }
+
+    #[test]
+    fn five_way_has_eleven_tags() {
+        let ts = TagSet::new(5).unwrap();
+        assert_eq!(ts.len(), 11);
+    }
+
+    #[test]
+    fn index_tag_round_trip() {
+        let ts = TagSet::new(5).unwrap();
+        for i in 0..ts.len() {
+            assert_eq!(ts.index(ts.tag(i)), i);
+        }
+        assert_eq!(ts.index(Tag::O), 0);
+        assert_eq!(ts.index(Tag::B(0)), 1);
+        assert_eq!(ts.index(Tag::I(0)), 2);
+        assert_eq!(ts.index(Tag::B(4)), 9);
+        assert_eq!(ts.index(Tag::I(4)), 10);
+    }
+
+    #[test]
+    fn names_are_readable() {
+        let ts = TagSet::new(2).unwrap();
+        let names: Vec<String> = (0..ts.len()).map(|i| ts.name(i)).collect();
+        assert_eq!(names, vec!["O", "B-0", "I-0", "B-1", "I-1"]);
+    }
+
+    #[test]
+    fn bio_transition_rules() {
+        let ts = TagSet::new(3).unwrap();
+        assert!(ts.allowed(Tag::B(1), Tag::I(1)));
+        assert!(ts.allowed(Tag::I(1), Tag::I(1)));
+        assert!(!ts.allowed(Tag::O, Tag::I(1)));
+        assert!(!ts.allowed(Tag::B(0), Tag::I(1)));
+        assert!(!ts.allowed(Tag::I(2), Tag::I(1)));
+        assert!(ts.allowed(Tag::I(2), Tag::B(1)));
+        assert!(ts.allowed(Tag::O, Tag::B(2)));
+        assert!(
+            ts.allowed(Tag::B(0), Tag::B(0)),
+            "adjacent entities allowed"
+        );
+        assert!(ts.allowed_at_start(Tag::O));
+        assert!(ts.allowed_at_start(Tag::B(2)));
+        assert!(!ts.allowed_at_start(Tag::I(0)));
+    }
+
+    #[test]
+    fn iter_covers_all_tags() {
+        let ts = TagSet::new(4).unwrap();
+        assert_eq!(ts.iter().count(), 9);
+        assert_eq!(ts.iter().next(), Some(Tag::O));
+    }
+}

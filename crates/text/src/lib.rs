@@ -1,0 +1,26 @@
+//! `fewner-text` — NER domain types shared by every layer of the system.
+//!
+//! The paper frames NER as sequence labeling over sentences whose entities
+//! carry types from a dataset-specific inventory (§3.1). This crate defines:
+//!
+//! * [`token`] — [`Sentence`]s: tokens plus gold [`EntitySpan`]s.
+//! * [`label`] — the BIO tag space for an N-way episode ([`TagSet`]): an
+//!   `O` tag plus `B-slot`/`I-slot` for each of the N abstract class slots.
+//! * [`span`] — lossless conversion between entity spans and BIO tag
+//!   sequences, including the lenient decoding used at evaluation time.
+//! * [`vocab`] — word and character vocabularies with `PAD`/`UNK` handling.
+//! * [`embed`] — deterministic synthetic "pre-trained" embeddings standing
+//!   in for GloVe: words in the same semantic cluster get nearby vectors.
+
+#![warn(missing_docs)]
+
+pub mod embed;
+pub mod label;
+pub mod span;
+pub mod token;
+pub mod vocab;
+
+pub use label::{Tag, TagSet};
+pub use span::{spans_to_tags, tags_to_spans, validate_tags};
+pub use token::{EntitySpan, Sentence, TypeId};
+pub use vocab::Vocab;

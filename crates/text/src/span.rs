@@ -1,0 +1,304 @@
+//! Conversions between entity spans and BIO tag sequences.
+//!
+//! Episodes hand the models tag sequences over abstract slots; evaluation
+//! converts predicted tags back to spans and compares span sets (entity-level
+//! F1, §4.1.1). Decoding is *lenient* — a stray `I-s` with no matching open
+//! entity starts a new one — matching standard CoNLL evaluation behaviour so
+//! that a model is never credited or punished for impossible tag sequences
+//! differently from the usual tooling. [`validate_tags`] offers the strict
+//! check for training-data integrity.
+
+use fewner_util::{Error, Result};
+
+use crate::label::{Tag, TagSet};
+
+/// A decoded entity over abstract slots: tokens `start..end` of slot `slot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotSpan {
+    /// First token index.
+    pub start: usize,
+    /// One past the last token.
+    pub end: usize,
+    /// Abstract class slot.
+    pub slot: usize,
+}
+
+/// Encodes slot-mapped spans as a BIO tag sequence of length `len`.
+///
+/// Spans must be within range, non-overlapping and refer to slots inside
+/// `tags`' way-count.
+pub fn spans_to_tags(len: usize, spans: &[SlotSpan], tags: &TagSet) -> Result<Vec<Tag>> {
+    let mut out = vec![Tag::O; len];
+    for s in spans {
+        if s.start >= s.end || s.end > len {
+            return Err(Error::InvalidTagSequence(format!(
+                "span {}..{} out of range for length {len}",
+                s.start, s.end
+            )));
+        }
+        if s.slot >= tags.n_ways() {
+            return Err(Error::InvalidTagSequence(format!(
+                "slot {} outside {}-way tag set",
+                s.slot,
+                tags.n_ways()
+            )));
+        }
+        for (i, slot_tag) in out[s.start..s.end].iter_mut().enumerate() {
+            if *slot_tag != Tag::O {
+                return Err(Error::InvalidTagSequence(format!(
+                    "overlapping spans at token {}",
+                    s.start + i
+                )));
+            }
+            *slot_tag = if i == 0 {
+                Tag::B(s.slot)
+            } else {
+                Tag::I(s.slot)
+            };
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a BIO tag sequence into spans (lenient).
+///
+/// * `B-s` opens an entity of slot `s`, closing any open entity.
+/// * `I-s` continues an open entity of the same slot; otherwise it *opens*
+///   one (CoNLL-style leniency).
+/// * `O` closes any open entity.
+pub fn tags_to_spans(tags: &[Tag]) -> Vec<SlotSpan> {
+    let mut spans = Vec::new();
+    let mut open: Option<(usize, usize)> = None; // (start, slot)
+    for (i, tag) in tags.iter().enumerate() {
+        match *tag {
+            Tag::O => {
+                if let Some((start, slot)) = open.take() {
+                    spans.push(SlotSpan {
+                        start,
+                        end: i,
+                        slot,
+                    });
+                }
+            }
+            Tag::B(s) => {
+                if let Some((start, slot)) = open.take() {
+                    spans.push(SlotSpan {
+                        start,
+                        end: i,
+                        slot,
+                    });
+                }
+                open = Some((i, s));
+            }
+            Tag::I(s) => match open {
+                Some((_, slot)) if slot == s => {}
+                _ => {
+                    if let Some((start, slot)) = open.take() {
+                        spans.push(SlotSpan {
+                            start,
+                            end: i,
+                            slot,
+                        });
+                    }
+                    open = Some((i, s));
+                }
+            },
+        }
+    }
+    if let Some((start, slot)) = open {
+        spans.push(SlotSpan {
+            start,
+            end: tags.len(),
+            slot,
+        });
+    }
+    spans
+}
+
+/// Strictly validates a tag sequence against the BIO transition rules.
+pub fn validate_tags(tags: &[Tag], set: &TagSet) -> Result<()> {
+    if let Some(first) = tags.first() {
+        if !set.allowed_at_start(*first) {
+            return Err(Error::InvalidTagSequence(format!(
+                "sequence starts with {first:?}"
+            )));
+        }
+    }
+    for (i, pair) in tags.windows(2).enumerate() {
+        if !set.allowed(pair[0], pair[1]) {
+            return Err(Error::InvalidTagSequence(format!(
+                "illegal transition {:?} -> {:?} at position {i}",
+                pair[0], pair[1]
+            )));
+        }
+    }
+    for t in tags {
+        if let Some(s) = t.slot() {
+            if s >= set.n_ways() {
+                return Err(Error::InvalidTagSequence(format!(
+                    "slot {s} outside {}-way tag set",
+                    set.n_ways()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts() -> TagSet {
+        TagSet::new(3).unwrap()
+    }
+
+    #[test]
+    fn encode_simple_sentence() {
+        let spans = [
+            SlotSpan {
+                start: 0,
+                end: 1,
+                slot: 0,
+            },
+            SlotSpan {
+                start: 3,
+                end: 5,
+                slot: 2,
+            },
+        ];
+        let tags = spans_to_tags(6, &spans, &ts()).unwrap();
+        assert_eq!(
+            tags,
+            vec![Tag::B(0), Tag::O, Tag::O, Tag::B(2), Tag::I(2), Tag::O]
+        );
+    }
+
+    #[test]
+    fn encode_rejects_overlap_and_range() {
+        let overlapping = [
+            SlotSpan {
+                start: 0,
+                end: 2,
+                slot: 0,
+            },
+            SlotSpan {
+                start: 1,
+                end: 3,
+                slot: 1,
+            },
+        ];
+        assert!(spans_to_tags(4, &overlapping, &ts()).is_err());
+        let oob = [SlotSpan {
+            start: 2,
+            end: 6,
+            slot: 0,
+        }];
+        assert!(spans_to_tags(4, &oob, &ts()).is_err());
+        let bad_slot = [SlotSpan {
+            start: 0,
+            end: 1,
+            slot: 9,
+        }];
+        assert!(spans_to_tags(4, &bad_slot, &ts()).is_err());
+    }
+
+    #[test]
+    fn decode_round_trips_valid_encodings() {
+        let spans = vec![
+            SlotSpan {
+                start: 1,
+                end: 3,
+                slot: 1,
+            },
+            SlotSpan {
+                start: 4,
+                end: 5,
+                slot: 0,
+            },
+        ];
+        let tags = spans_to_tags(6, &spans, &ts()).unwrap();
+        assert_eq!(tags_to_spans(&tags), spans);
+    }
+
+    #[test]
+    fn adjacent_entities_decode_separately() {
+        // B-0 B-0 must be two entities, B-0 I-0 one.
+        let tags = [Tag::B(0), Tag::B(0), Tag::I(0)];
+        let spans = tags_to_spans(&tags);
+        assert_eq!(
+            spans,
+            vec![
+                SlotSpan {
+                    start: 0,
+                    end: 1,
+                    slot: 0
+                },
+                SlotSpan {
+                    start: 1,
+                    end: 3,
+                    slot: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn lenient_decoding_of_stray_i() {
+        // O I-1 I-1 O -> entity 1..3 of slot 1 despite missing B.
+        let tags = [Tag::O, Tag::I(1), Tag::I(1), Tag::O];
+        assert_eq!(
+            tags_to_spans(&tags),
+            vec![SlotSpan {
+                start: 1,
+                end: 3,
+                slot: 1
+            }]
+        );
+        // B-0 I-1: slot switch without B opens a new entity.
+        let tags = [Tag::B(0), Tag::I(1)];
+        assert_eq!(
+            tags_to_spans(&tags),
+            vec![
+                SlotSpan {
+                    start: 0,
+                    end: 1,
+                    slot: 0
+                },
+                SlotSpan {
+                    start: 1,
+                    end: 2,
+                    slot: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn entity_running_to_sentence_end_is_closed() {
+        let tags = [Tag::O, Tag::B(2), Tag::I(2)];
+        assert_eq!(
+            tags_to_spans(&tags),
+            vec![SlotSpan {
+                start: 1,
+                end: 3,
+                slot: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn strict_validation() {
+        let set = ts();
+        assert!(validate_tags(&[Tag::I(0)], &set).is_err());
+        assert!(validate_tags(&[Tag::O, Tag::I(1)], &set).is_err());
+        assert!(validate_tags(&[Tag::B(0), Tag::I(1)], &set).is_err());
+        assert!(validate_tags(&[Tag::B(1), Tag::I(1), Tag::O], &set).is_ok());
+        assert!(validate_tags(&[], &set).is_ok());
+    }
+
+    #[test]
+    fn empty_sequence_decodes_to_no_spans() {
+        assert!(tags_to_spans(&[]).is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Sentences and entity spans.
+
+use fewner_util::{Error, Result};
+
+/// Identifier of a concrete entity type within a dataset's inventory
+/// (e.g. `PER`, `ProteinSubunit`, `LOC:Water-Body`).
+///
+/// Episodes map a handful of concrete types onto abstract class *slots*
+/// `0..N`; concrete identity never reaches the models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeId(pub u32);
+
+/// A gold entity: tokens `start..end` (end exclusive) of some type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntitySpan {
+    /// First token index.
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+    /// The entity's concrete type.
+    pub type_id: TypeId,
+}
+
+impl EntitySpan {
+    /// Creates a span, validating `start < end`.
+    pub fn new(start: usize, end: usize, type_id: TypeId) -> Result<EntitySpan> {
+        if start >= end {
+            return Err(Error::InvalidConfig(format!(
+                "entity span {start}..{end} is empty or inverted"
+            )));
+        }
+        Ok(EntitySpan {
+            start,
+            end,
+            type_id,
+        })
+    }
+
+    /// Number of tokens covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Spans cannot be empty, but the trait convention expects this.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True when the two spans share at least one token.
+    pub fn overlaps(&self, other: &EntitySpan) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// True when `self` lies strictly inside `other` (for nested-entity
+    /// flattening: the ACE2005 profile keeps only innermost entities, §4.3.1).
+    pub fn is_nested_in(&self, other: &EntitySpan) -> bool {
+        (other.start <= self.start && self.end < other.end)
+            || (other.start < self.start && self.end <= other.end)
+    }
+}
+
+/// A tokenised sentence with its gold entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sentence {
+    /// Surface tokens.
+    pub tokens: Vec<String>,
+    /// Gold entity spans; non-overlapping and sorted by start after
+    /// [`Sentence::new`] validation.
+    pub spans: Vec<EntitySpan>,
+}
+
+impl Sentence {
+    /// Creates a sentence, validating that spans are in range and
+    /// non-overlapping (sorting them by start position).
+    pub fn new(tokens: Vec<String>, mut spans: Vec<EntitySpan>) -> Result<Sentence> {
+        let len = tokens.len();
+        for s in &spans {
+            if s.end > len {
+                return Err(Error::InvalidConfig(format!(
+                    "span {}..{} exceeds sentence length {len}",
+                    s.start, s.end
+                )));
+            }
+        }
+        spans.sort_by_key(|s| (s.start, s.end));
+        for pair in spans.windows(2) {
+            if pair[0].overlaps(&pair[1]) {
+                return Err(Error::InvalidConfig(format!(
+                    "overlapping spans {:?} and {:?}",
+                    pair[0], pair[1]
+                )));
+            }
+        }
+        Ok(Sentence { tokens, spans })
+    }
+
+    /// Sentence length in tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True for a zero-token sentence.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The distinct entity types present, in first-appearance order.
+    pub fn present_types(&self) -> Vec<TypeId> {
+        let mut out: Vec<TypeId> = Vec::new();
+        for s in &self.spans {
+            if !out.contains(&s.type_id) {
+                out.push(s.type_id);
+            }
+        }
+        out
+    }
+
+    /// Number of mentions of a given type.
+    pub fn count_of(&self, t: TypeId) -> usize {
+        self.spans.iter().filter(|s| s.type_id == t).count()
+    }
+
+    /// Renders the sentence with bracketed entities, for reports and the
+    /// qualitative analysis table:
+    /// `"[Jordan]{3} is a [NBA]{7} player ."`.
+    pub fn display_with(&self, type_name: impl Fn(TypeId) -> String) -> String {
+        let mut out = String::new();
+        let mut i = 0;
+        while i < self.tokens.len() {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            if let Some(span) = self.spans.iter().find(|s| s.start == i) {
+                out.push('[');
+                out.push_str(&self.tokens[span.start..span.end].join(" "));
+                out.push(']');
+                out.push_str(&format!("{{{}}}", type_name(span.type_id)));
+                i = span.end;
+            } else {
+                out.push_str(&self.tokens[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn span_validation() {
+        assert!(EntitySpan::new(2, 2, TypeId(0)).is_err());
+        assert!(EntitySpan::new(3, 2, TypeId(0)).is_err());
+        let s = EntitySpan::new(1, 3, TypeId(4)).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn overlap_and_nesting() {
+        let a = EntitySpan::new(0, 3, TypeId(0)).unwrap();
+        let b = EntitySpan::new(2, 4, TypeId(0)).unwrap();
+        let c = EntitySpan::new(1, 2, TypeId(0)).unwrap();
+        let d = EntitySpan::new(4, 5, TypeId(0)).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&d));
+        assert!(c.is_nested_in(&a));
+        assert!(!a.is_nested_in(&a), "a span is not nested in itself");
+        assert!(!b.is_nested_in(&a));
+    }
+
+    #[test]
+    fn sentence_rejects_out_of_range_and_overlap() {
+        let t = toks(&["a", "b", "c"]);
+        assert!(Sentence::new(t.clone(), vec![EntitySpan::new(2, 4, TypeId(0)).unwrap()]).is_err());
+        assert!(Sentence::new(
+            t,
+            vec![
+                EntitySpan::new(0, 2, TypeId(0)).unwrap(),
+                EntitySpan::new(1, 3, TypeId(1)).unwrap(),
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sentence_sorts_spans_and_counts_types() {
+        let s = Sentence::new(
+            toks(&["w", "x", "y", "z"]),
+            vec![
+                EntitySpan::new(3, 4, TypeId(5)).unwrap(),
+                EntitySpan::new(0, 1, TypeId(5)).unwrap(),
+                EntitySpan::new(1, 3, TypeId(2)).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.spans[0].start, 0);
+        assert_eq!(s.present_types(), vec![TypeId(5), TypeId(2)]);
+        assert_eq!(s.count_of(TypeId(5)), 2);
+        assert_eq!(s.count_of(TypeId(9)), 0);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let s = Sentence::new(
+            toks(&["Jordan", "is", "a", "NBA", "player"]),
+            vec![
+                EntitySpan::new(0, 1, TypeId(1)).unwrap(),
+                EntitySpan::new(3, 4, TypeId(2)).unwrap(),
+            ],
+        )
+        .unwrap();
+        let rendered = s.display_with(|t| {
+            if t == TypeId(1) {
+                "PER".into()
+            } else {
+                "ORG".into()
+            }
+        });
+        assert_eq!(rendered, "[Jordan]{PER} is a [NBA]{ORG} player");
+    }
+}

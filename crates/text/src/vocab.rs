@@ -1,0 +1,209 @@
+//! Word and character vocabularies.
+//!
+//! The backbone consumes word ids (GloVe-style, uncased — §4.1.3) and
+//! character ids (cased). Index 0 is reserved for padding and index 1 for
+//! unknown tokens, so test-time out-of-training-vocabulary words — which the
+//! paper's ablation shows are the reason the character CNN matters — map to
+//! `UNK` at the word level while remaining fully visible at the character
+//! level.
+
+use std::collections::HashMap;
+
+/// Reserved padding index.
+pub const PAD: usize = 0;
+/// Reserved unknown-token index.
+pub const UNK: usize = 1;
+
+/// A frozen token → id mapping with `PAD`/`UNK` reserved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vocab {
+    items: Vec<String>,
+    index: HashMap<String, usize>,
+    lowercase: bool,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from tokens, keeping those with at least
+    /// `min_count` occurrences. `lowercase` folds case first (the paper's
+    /// word vocabulary is uncased; its character vocabulary is cased).
+    pub fn build<'a>(
+        tokens: impl IntoIterator<Item = &'a str>,
+        min_count: usize,
+        lowercase: bool,
+    ) -> Vocab {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for tok in tokens {
+            let key = if lowercase {
+                tok.to_lowercase()
+            } else {
+                tok.to_string()
+            };
+            match counts.get_mut(&key) {
+                Some(c) => *c += 1,
+                None => {
+                    counts.insert(key.clone(), 1);
+                    order.push(key);
+                }
+            }
+        }
+        let mut items = vec!["<pad>".to_string(), "<unk>".to_string()];
+        items.extend(order.into_iter().filter(|t| counts[t] >= min_count));
+        let index = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        Vocab {
+            items,
+            index,
+            lowercase,
+        }
+    }
+
+    /// Builds a character vocabulary from the same token stream.
+    pub fn build_chars<'a>(tokens: impl IntoIterator<Item = &'a str>) -> Vocab {
+        let mut seen: HashMap<char, ()> = HashMap::new();
+        let mut order: Vec<char> = Vec::new();
+        for tok in tokens {
+            for ch in tok.chars() {
+                if seen.insert(ch, ()).is_none() {
+                    order.push(ch);
+                }
+            }
+        }
+        let mut items = vec!["<pad>".to_string(), "<unk>".to_string()];
+        items.extend(order.into_iter().map(|c| c.to_string()));
+        let index = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        Vocab {
+            items,
+            index,
+            lowercase: false,
+        }
+    }
+
+    /// Number of entries including `PAD` and `UNK`.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Vocabularies always contain the two reserved entries.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Token → id, mapping unknown tokens to [`UNK`].
+    pub fn id(&self, token: &str) -> usize {
+        if self.lowercase {
+            let lowered = token.to_lowercase();
+            *self.index.get(&lowered).unwrap_or(&UNK)
+        } else {
+            *self.index.get(token).unwrap_or(&UNK)
+        }
+    }
+
+    /// Character → id for char vocabularies.
+    pub fn char_id(&self, ch: char) -> usize {
+        let mut buf = [0u8; 4];
+        *self.index.get(ch.encode_utf8(&mut buf)).unwrap_or(&UNK)
+    }
+
+    /// id → token string.
+    pub fn token(&self, id: usize) -> &str {
+        &self.items[id]
+    }
+
+    /// Encodes a token sequence to word ids.
+    pub fn encode<'a>(&self, tokens: impl IntoIterator<Item = &'a str>) -> Vec<usize> {
+        tokens.into_iter().map(|t| self.id(t)).collect()
+    }
+
+    /// Encodes one token to character ids, right-padded with [`PAD`] to at
+    /// least `min_len` (the char-CNN needs at least its widest filter).
+    pub fn encode_chars(&self, token: &str, min_len: usize) -> Vec<usize> {
+        let mut ids: Vec<usize> = token.chars().map(|c| self.char_id(c)).collect();
+        while ids.len() < min_len {
+            ids.push(PAD);
+        }
+        ids
+    }
+
+    /// Fraction of tokens in `sample` that are in-vocabulary (diagnostics).
+    pub fn coverage<'a>(&self, sample: impl IntoIterator<Item = &'a str>) -> f64 {
+        let mut total = 0usize;
+        let mut known = 0usize;
+        for t in sample {
+            total += 1;
+            if self.id(t) != UNK {
+                known += 1;
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            known as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_respects_min_count() {
+        let v = Vocab::build(["a", "b", "a", "c", "a", "b"], 2, false);
+        assert_eq!(v.len(), 4); // pad, unk, a, b
+        assert_ne!(v.id("a"), UNK);
+        assert_ne!(v.id("b"), UNK);
+        assert_eq!(v.id("c"), UNK);
+        assert_eq!(v.id("zzz"), UNK);
+    }
+
+    #[test]
+    fn lowercasing_folds_case() {
+        let v = Vocab::build(["Apple", "apple", "APPLE"], 1, true);
+        assert_eq!(v.id("Apple"), v.id("aPpLe"));
+        let cased = Vocab::build(["Apple", "apple"], 1, false);
+        assert_ne!(cased.id("Apple"), cased.id("apple"));
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        let v = Vocab::build(["x", "y"], 1, false);
+        let id = v.id("y");
+        assert_eq!(v.token(id), "y");
+        assert_eq!(v.token(PAD), "<pad>");
+        assert_eq!(v.token(UNK), "<unk>");
+    }
+
+    #[test]
+    fn char_encoding_pads() {
+        let v = Vocab::build_chars(["ab"]);
+        let ids = v.encode_chars("a", 4);
+        assert_eq!(ids.len(), 4);
+        assert_ne!(ids[0], PAD);
+        assert_eq!(&ids[1..], &[PAD, PAD, PAD]);
+        // Unknown characters map to UNK, not PAD.
+        assert_eq!(v.encode_chars("z", 1), vec![UNK]);
+    }
+
+    #[test]
+    fn encode_sequence() {
+        let v = Vocab::build(["the", "cat"], 1, false);
+        let ids = v.encode(["the", "dog", "cat"]);
+        assert_eq!(ids[1], UNK);
+        assert_ne!(ids[0], ids[2]);
+    }
+
+    #[test]
+    fn coverage_statistics() {
+        let v = Vocab::build(["a", "b"], 1, false);
+        assert!((v.coverage(["a", "b", "c", "d"]) - 0.5).abs() < 1e-12);
+        assert_eq!(v.coverage([]), 1.0);
+    }
+}

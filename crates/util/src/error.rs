@@ -1,0 +1,100 @@
+//! Library-wide error type.
+//!
+//! The FEWNER crates are a library first: fallible public APIs return
+//! [`Result`] rather than panicking, and the error variants carry enough
+//! context to act on programmatically (which dimension mismatched, which
+//! vocabulary was missing a token, why an episode could not be built).
+
+use std::fmt;
+
+/// Errors produced by the FEWNER crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A tensor operation received operands with incompatible shapes.
+    ShapeMismatch {
+        /// The operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Human-readable description of the offending shapes.
+        detail: String,
+    },
+    /// An index was out of bounds for the container it addressed.
+    IndexOutOfBounds {
+        /// What was being indexed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+    /// An N-way K-shot episode could not be constructed from the data given
+    /// (e.g. fewer than N classes present, or a class with < K mentions).
+    EpisodeConstruction(String),
+    /// A configuration value was invalid (zero ways, empty corpus, …).
+    InvalidConfig(String),
+    /// A tag sequence violated the BIO scheme in a way that cannot be
+    /// repaired (used by strict decoders; lenient decoding never fails).
+    InvalidTagSequence(String),
+    /// Numerical failure: a loss or gradient became non-finite.
+    NonFinite {
+        /// Where the non-finite value was observed.
+        context: String,
+    },
+    /// (De)serialisation failure.
+    Serde(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { op, detail } => {
+                write!(f, "shape mismatch in `{op}`: {detail}")
+            }
+            Error::IndexOutOfBounds { what, index, len } => {
+                write!(f, "index {index} out of bounds for {what} of length {len}")
+            }
+            Error::EpisodeConstruction(msg) => write!(f, "episode construction failed: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::InvalidTagSequence(msg) => write!(f, "invalid tag sequence: {msg}"),
+            Error::NonFinite { context } => write!(f, "non-finite value encountered: {context}"),
+            Error::Serde(msg) => write!(f, "serialisation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across all FEWNER crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::ShapeMismatch {
+            op: "matmul",
+            detail: "[2, 3] x [4, 5]".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn index_error_formats_fields() {
+        let e = Error::IndexOutOfBounds {
+            what: "vocab",
+            index: 7,
+            len: 3,
+        };
+        assert_eq!(e.to_string(), "index 7 out of bounds for vocab of length 3");
+    }
+}

@@ -1,0 +1,20 @@
+//! Shared utilities for the FEWNER reproduction.
+//!
+//! This crate deliberately has no dependencies: it provides
+//!
+//! * [`rng`] — a vendored, portable, seedable random number generator
+//!   (SplitMix64 seeding a xoshiro256\*\*). Episode sampling, corpus synthesis
+//!   and parameter initialisation must be bit-identical across runs and across
+//!   library-version upgrades, so we do not rely on an external RNG crate for
+//!   anything that affects reproducibility.
+//! * [`stats`] — the paper's episode statistics: mean F1 with a 95 % normal
+//!   confidence interval (mean ± 1.96·σ/√n, §4.1.1).
+//! * [`error`] — the library-wide error type.
+
+pub mod error;
+pub mod rng;
+pub mod stats;
+
+pub use error::{Error, Result};
+pub use rng::Rng;
+pub use stats::{ci95, mean, MeanCi, OnlineStats};

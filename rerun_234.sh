@@ -1,0 +1,8 @@
+#!/bin/bash
+set -u
+cd "$(dirname "$0")"
+for bin in table2 table3 table4; do
+  echo "=== $bin ($(date +%H:%M:%S)) ==="
+  ./target/release/$bin --scale small --iterations 150 --episodes 25 2>&1 | tee reports/${bin}.log
+done
+echo "RERUN DONE $(date +%H:%M:%S)"

@@ -1,0 +1,98 @@
+//! Model persistence: a trained θ serialised and loaded into a fresh model
+//! must reproduce bit-identical predictions.
+
+use fewner::prelude::*;
+use fewner::tensor::{ParamStore, SavedParams};
+
+#[test]
+fn saved_theta_reproduces_identical_predictions() {
+    let data = DatasetProfile::bionlp13cg().generate(0.05).unwrap();
+    let split = split_types(&data, (8, 3, 5), 42).unwrap();
+    let spec = EmbeddingSpec {
+        dim: 20,
+        ..EmbeddingSpec::default()
+    };
+    let enc = TokenEncoder::build(&[&data], &spec, 4);
+    let bb = BackboneConfig {
+        word_dim: 20,
+        hidden: 12,
+        phi_dim: 10,
+        slot_ctx_dim: 4,
+        ..BackboneConfig::default_for(3)
+    };
+    let cfg = MetaConfig {
+        meta_batch: 2,
+        meta_lr: 1e-2,
+        ..MetaConfig::default()
+    };
+    let mut trained = Fewner::new(bb.clone(), &enc, cfg.clone()).unwrap();
+    let schedule = TrainConfig {
+        iterations: 20,
+        n_ways: 3,
+        k_shots: 1,
+        query_size: 4,
+        seed: 9,
+    };
+    fewner::core::train(&mut trained, &split.train, &enc, &cfg, &schedule).unwrap();
+
+    // Serialise θ through JSON (the SavedParams wire format).
+    let saved = trained.theta.to_saved();
+    let json = serde_round_trip(&saved);
+
+    // A fresh model with the same architecture, loaded from the snapshot.
+    let mut restored = Fewner::new(bb, &enc, cfg).unwrap();
+    restored.theta.load_saved(&json).unwrap();
+
+    let sampler = EpisodeSampler::new(&split.test, 3, 1, 4).unwrap();
+    let tasks = sampler.eval_set(17, 5).unwrap();
+    for task in &tasks {
+        let a = trained.adapt_and_predict(task, &enc).unwrap();
+        let b = restored.adapt_and_predict(task, &enc).unwrap();
+        assert_eq!(a, b, "predictions diverged after a save/load round trip");
+    }
+}
+
+#[test]
+fn loading_into_wrong_architecture_is_rejected() {
+    let data = DatasetProfile::bionlp13cg().generate(0.02).unwrap();
+    let spec = EmbeddingSpec {
+        dim: 20,
+        ..EmbeddingSpec::default()
+    };
+    let enc = TokenEncoder::build(&[&data], &spec, 4);
+    let small = BackboneConfig {
+        word_dim: 20,
+        hidden: 10,
+        phi_dim: 8,
+        slot_ctx_dim: 4,
+        ..BackboneConfig::default_for(3)
+    };
+    let big = BackboneConfig {
+        hidden: 16,
+        ..small.clone()
+    };
+    let cfg = MetaConfig::default();
+    let a = Fewner::new(small, &enc, cfg.clone()).unwrap();
+    let mut b = Fewner::new(big, &enc, cfg).unwrap();
+    let saved = a.theta.to_saved();
+    assert!(
+        b.theta.load_saved(&saved).is_err(),
+        "shape mismatch must be rejected"
+    );
+}
+
+#[test]
+fn saved_params_json_is_stable() {
+    let mut store = ParamStore::new();
+    store.add("w", fewner::tensor::Array::from_vec(1, 2, vec![1.5, -2.5]));
+    let saved = store.to_saved();
+    let round = serde_round_trip(&saved);
+    assert_eq!(round.entries.len(), 1);
+    assert_eq!(round.entries[0].0, "w");
+    assert_eq!(round.entries[0].1.data(), &[1.5, -2.5]);
+}
+
+fn serde_round_trip(saved: &SavedParams) -> SavedParams {
+    let json = serde_json::to_string(saved).unwrap();
+    serde_json::from_str(&json).unwrap()
+}
