@@ -7,6 +7,7 @@
 
 use fewner_bench::{write_report, Scale};
 use fewner_corpus::{AceDomain, DatasetProfile};
+use fewner_util::{json, Json};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -40,7 +41,7 @@ fn main() {
             s.mentions,
             p.n_sentences
         );
-        rows.push(serde_json::json!({
+        rows.push(json!({
             "dataset": p.name, "genre": d.genre.name(), "types": s.types,
             "sentences": s.sentences, "mentions": s.mentions,
             "paper_sentences": p.n_sentences,
@@ -59,12 +60,11 @@ fn main() {
         "{:<12} {:>10} {:>8} {:>11} {:>10} {:>14}",
         "ACE2005", "Various", 54, total.0, total.1, 17_399
     );
-    rows.push(serde_json::json!({
+    rows.push(json!({
         "dataset": "ACE2005", "genre": "Various", "types": 54,
         "sentences": total.0, "mentions": total.1, "paper_sentences": 17_399,
     }));
 
-    let path =
-        write_report("table1.json", &serde_json::to_string_pretty(&rows).unwrap()).expect("report");
+    let path = write_report("table1.json", &Json::Arr(rows).to_string_pretty()).expect("report");
     println!("\nwrote {}", path.display());
 }

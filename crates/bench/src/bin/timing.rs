@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use fewner_bench::{backbone_config, embedding_spec, meta_config, Scale, EVAL_SEED};
-use fewner_core::{EpisodicLearner, Fewner, Maml};
+use fewner_core::{EpisodicLearner, Fewner, Maml, ParallelTrainer};
 use fewner_corpus::{split_types, DatasetProfile};
 use fewner_episode::EpisodeSampler;
 use fewner_models::{encode_task, Conditioning, TokenEncoder};
@@ -46,13 +46,21 @@ fn main() {
         }
         let inner_step = t0.elapsed().as_secs_f64() / reps as f64;
 
-        // Outer loop: one full meta-batch (clone the learner so runs are
-        // comparable).
+        // Outer loop: one full meta-batch, serially and fanned over worker
+        // threads (fresh learners so the runs are comparable — both start
+        // from the same initialisation and consume the same step seed).
         let mut trainee =
             Fewner::new(backbone_config(5, Conditioning::Film), &enc, meta.clone()).expect("build");
         let t0 = Instant::now();
         trainee.meta_step(&tasks, &enc).unwrap();
         let outer = t0.elapsed().as_secs_f64();
+
+        let pool = ParallelTrainer::new(4);
+        let mut trainee =
+            Fewner::new(backbone_config(5, Conditioning::Film), &enc, meta.clone()).expect("build");
+        let t0 = Instant::now();
+        pool.meta_step(&mut trainee, &tasks, &enc).unwrap();
+        let outer_parallel = t0.elapsed().as_secs_f64();
 
         // Test-time adaptation + evaluation per task.
         let eval_sampler =
@@ -73,8 +81,8 @@ fn main() {
         let eval_per_task = t0.elapsed().as_secs_f64() / eval_tasks.len() as f64;
 
         let line = format!(
-            "5-way {k}-shot: inner step {:.4}s | outer meta-batch {:.2}s | adapt/task {:.3}s | evaluate/task {:.3}s",
-            inner_step, outer, adapt, eval_per_task
+            "5-way {k}-shot: inner step {:.4}s | outer meta-batch {:.2}s serial / {:.2}s on {} threads | adapt/task {:.3}s | evaluate/task {:.3}s",
+            inner_step, outer, outer_parallel, pool.threads(), adapt, eval_per_task
         );
         println!("{line}");
         lines.push(line);

@@ -270,13 +270,14 @@ pub fn train_learner(
     scale: &Scale,
     meta: &MetaConfig,
 ) -> Result<()> {
-    let cfg = TrainConfig {
-        iterations: scale.iterations,
-        n_ways: cell.n_ways,
-        k_shots: cell.k_shots,
-        query_size: scale.query_size,
-        seed: meta.seed ^ 0x7271,
-    };
+    // threads(0) = all available cores; meta-gradients reduce in fixed
+    // task-index order, so table numbers are identical at any thread count
+    // (pin with FEWNER_THREADS=1 to verify).
+    let cfg = TrainConfig::new(cell.n_ways, cell.k_shots)
+        .iterations(scale.iterations)
+        .query_size(scale.query_size)
+        .seed(meta.seed ^ 0x7271)
+        .threads(0);
     fewner_core::train(learner, cell.train, cell.enc, meta, &cfg)?;
     Ok(())
 }

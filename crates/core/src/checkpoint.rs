@@ -11,15 +11,14 @@ use std::path::Path;
 
 use fewner_models::{BackboneConfig, Conditioning, EncoderKind, HeadKind, TokenEncoder};
 use fewner_tensor::SavedParams;
-use fewner_util::{Error, Result};
-use serde::{Deserialize, Serialize};
+use fewner_util::{Error, FromJson, Json, Result, ToJson};
 
 use crate::config::MetaConfig;
 use crate::fewner::Fewner;
 
 /// Serialisable mirror of [`BackboneConfig`] (the model crate stays
-/// serde-free; the mapping lives here with the checkpoint format).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+/// serialisation-free; the mapping lives here with the checkpoint format).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SavedBackboneConfig {
     /// See [`BackboneConfig::word_dim`].
     pub word_dim: usize,
@@ -124,8 +123,69 @@ impl SavedBackboneConfig {
     }
 }
 
+impl ToJson for SavedBackboneConfig {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("word_dim".into(), Json::from(self.word_dim)),
+            ("char_dim".into(), Json::from(self.char_dim)),
+            ("char_filters".into(), Json::from(self.char_filters)),
+            (
+                "char_widths".into(),
+                Json::Arr(self.char_widths.iter().map(|&w| Json::from(w)).collect()),
+            ),
+            ("hidden".into(), Json::from(self.hidden)),
+            ("phi_dim".into(), Json::from(self.phi_dim)),
+            ("slot_ctx_dim".into(), Json::from(self.slot_ctx_dim)),
+            (
+                "conditioning".into(),
+                Json::from(self.conditioning.as_str()),
+            ),
+            ("encoder".into(), Json::from(self.encoder.as_str())),
+            ("dropout".into(), Json::from(self.dropout)),
+            ("use_char_cnn".into(), Json::from(self.use_char_cnn)),
+            (
+                "head".into(),
+                Json::Obj(vec![
+                    ("kind".into(), Json::from(self.head.0.as_str())),
+                    ("a".into(), Json::from(self.head.1)),
+                    ("b".into(), Json::from(self.head.2)),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SavedBackboneConfig {
+    fn from_json(json: &Json) -> Result<SavedBackboneConfig> {
+        let head = json.field("head")?;
+        Ok(SavedBackboneConfig {
+            word_dim: json.field("word_dim")?.as_usize()?,
+            char_dim: json.field("char_dim")?.as_usize()?,
+            char_filters: json.field("char_filters")?.as_usize()?,
+            char_widths: json
+                .field("char_widths")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_usize)
+                .collect::<Result<Vec<_>>>()?,
+            hidden: json.field("hidden")?.as_usize()?,
+            phi_dim: json.field("phi_dim")?.as_usize()?,
+            slot_ctx_dim: json.field("slot_ctx_dim")?.as_usize()?,
+            conditioning: json.field("conditioning")?.as_str()?.to_string(),
+            encoder: json.field("encoder")?.as_str()?.to_string(),
+            dropout: json.field("dropout")?.as_f32()?,
+            use_char_cnn: json.field("use_char_cnn")?.as_bool()?,
+            head: (
+                head.field("kind")?.as_str()?.to_string(),
+                head.field("a")?.as_usize()?,
+                head.field("b")?.as_usize()?,
+            ),
+        })
+    }
+}
+
 /// A complete FEWNER checkpoint.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Checkpoint {
     /// Format version for forward compatibility.
     pub version: u32,
@@ -165,16 +225,38 @@ impl Checkpoint {
         Ok(learner)
     }
 
-    /// Writes pretty JSON to a file.
+    /// Writes JSON to a file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let json = serde_json::to_string(self).map_err(|e| Error::Serde(e.to_string()))?;
+        let json = self.to_json().to_string();
         std::fs::write(path, json).map_err(|e| Error::Serde(e.to_string()))
     }
 
     /// Reads a checkpoint file.
     pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint> {
         let json = std::fs::read_to_string(path).map_err(|e| Error::Serde(e.to_string()))?;
-        serde_json::from_str(&json).map_err(|e| Error::Serde(e.to_string()))
+        Checkpoint::from_json(&Json::parse(&json)?)
+    }
+}
+
+impl ToJson for Checkpoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::from(self.version as u64)),
+            ("backbone".into(), self.backbone.to_json()),
+            ("meta".into(), self.meta.to_json()),
+            ("theta".into(), self.theta.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Checkpoint {
+    fn from_json(json: &Json) -> Result<Checkpoint> {
+        Ok(Checkpoint {
+            version: json.field("version")?.as_u64()? as u32,
+            backbone: SavedBackboneConfig::from_json(json.field("backbone")?)?,
+            meta: MetaConfig::from_json(json.field("meta")?)?,
+            theta: SavedParams::from_json(json.field("theta")?)?,
+        })
     }
 }
 

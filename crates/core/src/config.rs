@@ -1,11 +1,10 @@
 //! Meta-learning hyper-parameters (paper §4.1.3).
 
-use fewner_util::{Error, Result};
-use serde::{Deserialize, Serialize};
+use fewner_util::{Error, FromJson, Json, Result, ToJson};
 
 /// How the outer-loop meta-gradient treats the inner-loop dependence of
 /// φ_k on θ (see `second_order` module docs).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SecondOrder {
     /// First-order approximation: φ_k is treated as a constant w.r.t. θ.
     /// The standard, cheap choice; matches FOMAML.
@@ -21,8 +20,36 @@ pub enum SecondOrder {
     },
 }
 
+impl ToJson for SecondOrder {
+    fn to_json(&self) -> Json {
+        match self {
+            SecondOrder::FirstOrder => Json::Str("first_order".into()),
+            SecondOrder::FiniteDiffHvp { epsilon } => Json::Obj(vec![
+                ("mode".into(), Json::Str("finite_diff_hvp".into())),
+                ("epsilon".into(), Json::from(*epsilon)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for SecondOrder {
+    fn from_json(json: &Json) -> Result<SecondOrder> {
+        match json {
+            Json::Str(s) if s == "first_order" => Ok(SecondOrder::FirstOrder),
+            Json::Obj(_)
+                if json.get("mode").and_then(|m| m.as_str().ok()) == Some("finite_diff_hvp") =>
+            {
+                Ok(SecondOrder::FiniteDiffHvp {
+                    epsilon: json.field("epsilon")?.as_f32()?,
+                })
+            }
+            other => Err(Error::Serde(format!("unknown SecondOrder: {other:?}"))),
+        }
+    }
+}
+
 /// Hyper-parameters shared by the episodic learners.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MetaConfig {
     /// Inner-loop learning rate α (paper: 0.1).
     pub inner_lr: f32,
@@ -63,6 +90,48 @@ impl Default for MetaConfig {
             second_order: SecondOrder::FirstOrder,
             seed: 0xF3A7,
         }
+    }
+}
+
+impl ToJson for MetaConfig {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("inner_lr".into(), Json::from(self.inner_lr)),
+            ("meta_lr".into(), Json::from(self.meta_lr)),
+            (
+                "inner_steps_train".into(),
+                Json::from(self.inner_steps_train),
+            ),
+            ("inner_steps_test".into(), Json::from(self.inner_steps_test)),
+            ("meta_batch".into(), Json::from(self.meta_batch)),
+            ("clip".into(), Json::from(self.clip)),
+            ("l2".into(), Json::from(self.l2)),
+            ("decay".into(), Json::from(self.decay)),
+            (
+                "decay_every_tasks".into(),
+                Json::from(self.decay_every_tasks),
+            ),
+            ("second_order".into(), self.second_order.to_json()),
+            ("seed".into(), Json::from(self.seed)),
+        ])
+    }
+}
+
+impl FromJson for MetaConfig {
+    fn from_json(json: &Json) -> Result<MetaConfig> {
+        Ok(MetaConfig {
+            inner_lr: json.field("inner_lr")?.as_f32()?,
+            meta_lr: json.field("meta_lr")?.as_f32()?,
+            inner_steps_train: json.field("inner_steps_train")?.as_usize()?,
+            inner_steps_test: json.field("inner_steps_test")?.as_usize()?,
+            meta_batch: json.field("meta_batch")?.as_usize()?,
+            clip: json.field("clip")?.as_f32()?,
+            l2: json.field("l2")?.as_f32()?,
+            decay: json.field("decay")?.as_f32()?,
+            decay_every_tasks: json.field("decay_every_tasks")?.as_usize()?,
+            second_order: SecondOrder::from_json(json.field("second_order")?)?,
+            seed: json.field("seed")?.as_u64()?,
+        })
     }
 }
 
@@ -123,13 +192,15 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let c = MetaConfig {
             second_order: SecondOrder::FiniteDiffHvp { epsilon: 1e-2 },
             ..MetaConfig::default()
         };
-        let json = serde_json::to_string(&c).unwrap();
-        let back: MetaConfig = serde_json::from_str(&json).unwrap();
+        let json = c.to_json().to_string();
+        let back = MetaConfig::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.second_order, c.second_order);
+        assert_eq!(back.meta_lr, c.meta_lr);
+        assert_eq!(back.seed, c.seed);
     }
 }

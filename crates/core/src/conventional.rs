@@ -10,7 +10,7 @@ use fewner_tensor::{Adam, Graph, ParamStore, Sgd};
 use fewner_util::{Error, Result, Rng};
 
 use crate::config::MetaConfig;
-use crate::learner::EpisodicLearner;
+use crate::learner::{EpisodicLearner, TaskOutcome};
 
 fn conditioning_free(bb_cfg: &BackboneConfig) -> Result<()> {
     if bb_cfg.conditioning != fewner_models::Conditioning::None {
@@ -59,32 +59,31 @@ impl EpisodicLearner for FineTuneLearner {
         "FineTune"
     }
 
-    fn meta_step(&mut self, tasks: &[Task], enc: &TokenEncoder) -> Result<f32> {
-        if tasks.is_empty() {
-            return Err(Error::InvalidConfig("empty batch".into()));
-        }
-        // Plain supervised step on the union of the tasks' support sets.
-        let mut acc = fewner_tensor::ParamGrads::zeros_like(&self.theta);
-        let weight = 1.0 / tasks.len() as f32;
-        let mut total = 0.0f32;
-        for task in tasks {
-            let tags = task.tag_set();
-            let (support, _) = encode_task(enc, task);
-            let g = Graph::new();
-            let loss = self.backbone.batch_loss(
-                &g,
-                &self.theta,
-                None,
-                &support,
-                &tags,
-                true,
-                &mut self.rng,
-            );
-            total += g.value(loss).scalar_value();
-            acc.axpy(weight, &g.backward(loss)?.for_store(&self.theta));
-        }
-        self.opt.step(&mut self.theta, &acc)?;
-        Ok(total / tasks.len() as f32)
+    fn step_seed(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    // Plain supervised step on the tasks' support sets.
+    fn task_grad(&self, task: &Task, enc: &TokenEncoder, rng: &mut Rng) -> Result<TaskOutcome> {
+        let tags = task.tag_set();
+        let (support, _) = encode_task(enc, task);
+        let g = Graph::new();
+        let loss = self
+            .backbone
+            .batch_loss(&g, &self.theta, None, &support, &tags, true, rng);
+        Ok(TaskOutcome {
+            loss: g.value(loss).scalar_value(),
+            grads: g.backward(loss)?.for_store(&self.theta),
+        })
+    }
+
+    fn apply_meta_grads(
+        &mut self,
+        mut grads: fewner_tensor::ParamGrads,
+        n_tasks: usize,
+    ) -> Result<()> {
+        grads.scale(1.0 / n_tasks.max(1) as f32);
+        self.opt.step(&mut self.theta, &grads)
     }
 
     fn adapt_and_predict(&self, task: &Task, enc: &TokenEncoder) -> Result<Vec<Vec<usize>>> {
@@ -146,31 +145,30 @@ impl EpisodicLearner for ProtoLearner {
         "ProtoNet"
     }
 
-    fn meta_step(&mut self, tasks: &[Task], enc: &TokenEncoder) -> Result<f32> {
-        if tasks.is_empty() {
-            return Err(Error::InvalidConfig("empty batch".into()));
-        }
-        let mut acc = fewner_tensor::ParamGrads::zeros_like(&self.theta);
-        let weight = 1.0 / tasks.len() as f32;
-        let mut total = 0.0f32;
-        for task in tasks {
-            let tags = task.tag_set();
-            let (support, query) = encode_task(enc, task);
-            let g = Graph::new();
-            let loss = self.model.episode_loss(
-                &g,
-                &self.theta,
-                &support,
-                &query,
-                &tags,
-                true,
-                &mut self.rng,
-            )?;
-            total += g.value(loss).scalar_value();
-            acc.axpy(weight, &g.backward(loss)?.for_store(&self.theta));
-        }
-        self.opt.step(&mut self.theta, &acc)?;
-        Ok(total / tasks.len() as f32)
+    fn step_seed(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn task_grad(&self, task: &Task, enc: &TokenEncoder, rng: &mut Rng) -> Result<TaskOutcome> {
+        let tags = task.tag_set();
+        let (support, query) = encode_task(enc, task);
+        let g = Graph::new();
+        let loss = self
+            .model
+            .episode_loss(&g, &self.theta, &support, &query, &tags, true, rng)?;
+        Ok(TaskOutcome {
+            loss: g.value(loss).scalar_value(),
+            grads: g.backward(loss)?.for_store(&self.theta),
+        })
+    }
+
+    fn apply_meta_grads(
+        &mut self,
+        mut grads: fewner_tensor::ParamGrads,
+        n_tasks: usize,
+    ) -> Result<()> {
+        grads.scale(1.0 / n_tasks.max(1) as f32);
+        self.opt.step(&mut self.theta, &grads)
     }
 
     fn adapt_and_predict(&self, task: &Task, enc: &TokenEncoder) -> Result<Vec<Vec<usize>>> {
@@ -227,31 +225,30 @@ impl EpisodicLearner for SnailLearner {
         "SNAIL"
     }
 
-    fn meta_step(&mut self, tasks: &[Task], enc: &TokenEncoder) -> Result<f32> {
-        if tasks.is_empty() {
-            return Err(Error::InvalidConfig("empty batch".into()));
-        }
-        let mut acc = fewner_tensor::ParamGrads::zeros_like(&self.theta);
-        let weight = 1.0 / tasks.len() as f32;
-        let mut total = 0.0f32;
-        for task in tasks {
-            let tags = task.tag_set();
-            let (support, query) = encode_task(enc, task);
-            let g = Graph::new();
-            let loss = self.model.episode_loss(
-                &g,
-                &self.theta,
-                &support,
-                &query,
-                &tags,
-                true,
-                &mut self.rng,
-            )?;
-            total += g.value(loss).scalar_value();
-            acc.axpy(weight, &g.backward(loss)?.for_store(&self.theta));
-        }
-        self.opt.step(&mut self.theta, &acc)?;
-        Ok(total / tasks.len() as f32)
+    fn step_seed(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn task_grad(&self, task: &Task, enc: &TokenEncoder, rng: &mut Rng) -> Result<TaskOutcome> {
+        let tags = task.tag_set();
+        let (support, query) = encode_task(enc, task);
+        let g = Graph::new();
+        let loss = self
+            .model
+            .episode_loss(&g, &self.theta, &support, &query, &tags, true, rng)?;
+        Ok(TaskOutcome {
+            loss: g.value(loss).scalar_value(),
+            grads: g.backward(loss)?.for_store(&self.theta),
+        })
+    }
+
+    fn apply_meta_grads(
+        &mut self,
+        mut grads: fewner_tensor::ParamGrads,
+        n_tasks: usize,
+    ) -> Result<()> {
+        grads.scale(1.0 / n_tasks.max(1) as f32);
+        self.opt.step(&mut self.theta, &grads)
     }
 
     fn adapt_and_predict(&self, task: &Task, enc: &TokenEncoder) -> Result<Vec<Vec<usize>>> {
@@ -303,26 +300,26 @@ impl EpisodicLearner for FrozenLmLearner {
         self.model.flavor().name()
     }
 
-    fn meta_step(&mut self, tasks: &[Task], enc: &TokenEncoder) -> Result<f32> {
-        if tasks.is_empty() {
-            return Err(Error::InvalidConfig("empty batch".into()));
-        }
-        let mut acc = fewner_tensor::ParamGrads::zeros_like(&self.model.head_params);
-        let weight = 1.0 / tasks.len() as f32;
-        let mut total = 0.0f32;
-        for task in tasks {
-            let tags = task.tag_set();
-            let (support, _) = encode_task(enc, task);
-            let g = Graph::new();
-            let loss = self.model.batch_loss(&g, &support, &tags)?;
-            total += g.value(loss).scalar_value();
-            acc.axpy(
-                weight,
-                &g.backward(loss)?.for_store(&self.model.head_params),
-            );
-        }
-        self.opt.step(&mut self.model.head_params, &acc)?;
-        Ok(total / tasks.len() as f32)
+    // The CRF-head loss is deterministic (no dropout), so the default
+    // `step_seed` of 0 is fine and `rng` goes unused.
+    fn task_grad(&self, task: &Task, enc: &TokenEncoder, _rng: &mut Rng) -> Result<TaskOutcome> {
+        let tags = task.tag_set();
+        let (support, _) = encode_task(enc, task);
+        let g = Graph::new();
+        let loss = self.model.batch_loss(&g, &support, &tags)?;
+        Ok(TaskOutcome {
+            loss: g.value(loss).scalar_value(),
+            grads: g.backward(loss)?.for_store(&self.model.head_params),
+        })
+    }
+
+    fn apply_meta_grads(
+        &mut self,
+        mut grads: fewner_tensor::ParamGrads,
+        n_tasks: usize,
+    ) -> Result<()> {
+        grads.scale(1.0 / n_tasks.max(1) as f32);
+        self.opt.step(&mut self.model.head_params, &grads)
     }
 
     fn adapt_and_predict(&self, task: &Task, enc: &TokenEncoder) -> Result<Vec<Vec<usize>>> {

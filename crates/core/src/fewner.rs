@@ -21,7 +21,7 @@ use fewner_text::TagSet;
 use fewner_util::{Error, Result, Rng};
 
 use crate::config::{MetaConfig, SecondOrder};
-use crate::learner::EpisodicLearner;
+use crate::learner::{EpisodicLearner, TaskOutcome};
 use crate::second_order;
 
 /// The FEWNER meta-learner.
@@ -117,58 +117,57 @@ impl EpisodicLearner for Fewner {
         "FewNER"
     }
 
-    fn meta_step(&mut self, tasks: &[Task], enc: &TokenEncoder) -> Result<f32> {
-        if tasks.is_empty() {
-            return Err(Error::InvalidConfig("empty meta batch".into()));
-        }
-        let mut acc = fewner_tensor::ParamGrads::zeros_like(&self.theta);
-        let weight = 1.0 / tasks.len() as f32;
-        let mut total_loss = 0.0f32;
+    fn step_seed(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
 
-        for task in tasks {
-            let tags = task.tag_set();
-            let (support, query) = encode_task(enc, task);
+    fn task_grad(&self, task: &Task, enc: &TokenEncoder, rng: &mut Rng) -> Result<TaskOutcome> {
+        let tags = task.tag_set();
+        let (support, query) = encode_task(enc, task);
 
-            // Inner loop on φ (Algorithm 1, lines 6–8).
-            let (phi_store, phi_id, trajectory) =
-                self.adapt_context(&support, &tags, self.cfg.inner_steps_train)?;
+        // Inner loop on φ (Algorithm 1, lines 6–8).
+        let (phi_store, phi_id, trajectory) =
+            self.adapt_context(&support, &tags, self.cfg.inner_steps_train)?;
 
-            // Query loss of the adapted model (line 9).
-            let g = Graph::new();
-            let phi = g.param(&phi_store, phi_id);
-            let loss = self.backbone.batch_loss(
-                &g,
-                &self.theta,
-                Some(phi),
-                &query,
-                &tags,
-                true,
-                &mut self.rng,
-            );
-            total_loss += g.value(loss).scalar_value();
-            let grads = g.backward(loss)?;
-            acc.axpy(weight, &grads.for_store(&self.theta));
+        // Query loss of the adapted model (line 9).
+        let g = Graph::new();
+        let phi = g.param(&phi_store, phi_id);
+        let loss = self
+            .backbone
+            .batch_loss(&g, &self.theta, Some(phi), &query, &tags, true, rng);
+        let loss_value = g.value(loss).scalar_value();
+        let grads = g.backward(loss)?;
+        let mut theta_grads = grads.for_store(&self.theta);
 
-            if let SecondOrder::FiniteDiffHvp { epsilon } = self.cfg.second_order {
-                let phi_grad = grads.for_store(&phi_store);
-                if let Some(v) = phi_grad.get(phi_id) {
-                    let correction = second_order::theta_correction(
-                        &self.backbone,
-                        &self.theta,
-                        &support,
-                        &tags,
-                        &trajectory,
-                        v,
-                        self.cfg.inner_lr,
-                        epsilon,
-                    )?;
-                    acc.axpy(weight, &correction);
-                }
+        if let SecondOrder::FiniteDiffHvp { epsilon } = self.cfg.second_order {
+            let phi_grad = grads.for_store(&phi_store);
+            if let Some(v) = phi_grad.get(phi_id) {
+                let correction = second_order::theta_correction(
+                    &self.backbone,
+                    &self.theta,
+                    &support,
+                    &tags,
+                    &trajectory,
+                    v,
+                    self.cfg.inner_lr,
+                    epsilon,
+                )?;
+                theta_grads.add_assign(&correction);
             }
         }
+        Ok(TaskOutcome {
+            loss: loss_value,
+            grads: theta_grads,
+        })
+    }
 
-        self.opt.step(&mut self.theta, &acc)?;
-        Ok(total_loss / tasks.len() as f32)
+    fn apply_meta_grads(
+        &mut self,
+        mut grads: fewner_tensor::ParamGrads,
+        n_tasks: usize,
+    ) -> Result<()> {
+        grads.scale(1.0 / n_tasks.max(1) as f32);
+        self.opt.step(&mut self.theta, &grads)
     }
 
     fn adapt_and_predict(&self, task: &Task, enc: &TokenEncoder) -> Result<Vec<Vec<usize>>> {

@@ -5,19 +5,120 @@
 //! set and predict its query set. [`EpisodicLearner`] captures exactly that
 //! protocol so the trainer, the evaluation harness and every table binary
 //! treat FEWNER and all nine baselines uniformly.
+//!
+//! # The task-gradient API
+//!
+//! A meta-iteration decomposes into three phases:
+//!
+//! 1. [`EpisodicLearner::step_seed`] — the only serial, mutating prologue:
+//!    learners that use dropout advance their RNG once per step here.
+//! 2. [`EpisodicLearner::task_grad`] — the per-task compute: loss plus
+//!    meta-gradients for **one** task, through `&self` with all randomness
+//!    coming from the caller-provided [`Rng`]. Because it never mutates the
+//!    learner, tasks of one meta-batch can run on any number of threads.
+//! 3. [`EpisodicLearner::apply_meta_grads`] — the serial epilogue: the
+//!    summed per-task gradients are averaged and fed to the optimizer.
+//!
+//! The provided [`EpisodicLearner::meta_step`] composes the three phases
+//! serially; the parallel trainer (`fewner_core::ParallelTrainer`) fans
+//! `task_grad` across scoped threads and reduces with the identical
+//! fixed-order code, so both paths are bitwise-identical for a fixed seed.
 
 use fewner_episode::Task;
 use fewner_models::TokenEncoder;
-use fewner_util::Result;
+use fewner_tensor::ParamGrads;
+use fewner_util::{Error, Result, Rng};
+
+/// What one task contributes to a meta-iteration: its query (or support)
+/// loss and the unweighted meta-gradients of that loss.
+#[derive(Debug, Clone)]
+pub struct TaskOutcome {
+    /// The task's scalar loss.
+    pub loss: f32,
+    /// Unweighted gradients w.r.t. the learner's meta-parameters.
+    pub grads: ParamGrads,
+}
+
+impl TaskOutcome {
+    /// Reduces a batch of outcomes in task-index order: mean loss and the
+    /// gradient sum (unscaled — [`EpisodicLearner::apply_meta_grads`]
+    /// divides by the task count).
+    ///
+    /// Both the serial default [`EpisodicLearner::meta_step`] and the
+    /// parallel trainer reduce through this one function, on one thread, in
+    /// task-index order. Floating-point addition is not associative, so the
+    /// shared fixed-order reduction is precisely what makes the two paths
+    /// bitwise-identical.
+    pub fn reduce(outcomes: Vec<TaskOutcome>) -> Result<(f32, ParamGrads)> {
+        let n = outcomes.len();
+        if n == 0 {
+            return Err(Error::InvalidConfig("empty meta batch".into()));
+        }
+        let loss = outcomes.iter().map(|o| o.loss).sum::<f32>() / n as f32;
+        let grads = ParamGrads::sum_in_order(outcomes.into_iter().map(|o| o.grads))
+            .expect("n > 0 outcomes");
+        Ok((loss, grads))
+    }
+}
+
+/// The dropout/sampling RNG for task `index` of a meta-batch drawn with
+/// `step_seed`.
+///
+/// A pure function of `(step_seed, index)`: every task gets an independent
+/// stream regardless of which thread computes it or in which order, which
+/// is one half of the serial/parallel bitwise-identity guarantee (the other
+/// half is [`TaskOutcome::reduce`]'s fixed-order summation).
+pub fn task_rng(step_seed: u64, index: usize) -> Rng {
+    Rng::new(step_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 /// A method that learns from episodes and adapts to new tasks.
 pub trait EpisodicLearner {
     /// Method name as printed in the paper's tables.
     fn name(&self) -> &'static str;
 
+    /// Draws the base seed for one meta-iteration's task RNGs.
+    ///
+    /// Called exactly once per meta-step, serially, before any task work.
+    /// Learners with an internal RNG override this with `rng.next_u64()` so
+    /// consecutive steps see fresh dropout; the default suits learners
+    /// whose `task_grad` is deterministic.
+    fn step_seed(&mut self) -> u64 {
+        0
+    }
+
+    /// Computes one task's loss and meta-gradients.
+    ///
+    /// Must not mutate the learner — all randomness comes from `rng`
+    /// (derive it with [`task_rng`]), so the same `(θ, task, rng)` triple
+    /// always produces the same outcome on any thread.
+    fn task_grad(&self, task: &Task, enc: &TokenEncoder, rng: &mut Rng) -> Result<TaskOutcome>;
+
+    /// Applies the summed per-task gradients of an `n_tasks`-task batch:
+    /// scales by `1 / n_tasks` and takes one optimizer step.
+    fn apply_meta_grads(&mut self, grads: ParamGrads, n_tasks: usize) -> Result<()>;
+
     /// One meta-iteration over a batch of training tasks; returns the
-    /// iteration's (mean) training loss.
-    fn meta_step(&mut self, tasks: &[Task], enc: &TokenEncoder) -> Result<f32>;
+    /// iteration's mean task loss.
+    ///
+    /// The provided implementation composes [`EpisodicLearner::step_seed`],
+    /// [`EpisodicLearner::task_grad`] and
+    /// [`EpisodicLearner::apply_meta_grads`] serially. Override only for
+    /// methods whose outer loop is not a per-task gradient average.
+    fn meta_step(&mut self, tasks: &[Task], enc: &TokenEncoder) -> Result<f32> {
+        if tasks.is_empty() {
+            return Err(Error::InvalidConfig("empty meta batch".into()));
+        }
+        let step_seed = self.step_seed();
+        let mut outcomes = Vec::with_capacity(tasks.len());
+        for (index, task) in tasks.iter().enumerate() {
+            let mut rng = task_rng(step_seed, index);
+            outcomes.push(self.task_grad(task, enc, &mut rng)?);
+        }
+        let (loss, grads) = TaskOutcome::reduce(outcomes)?;
+        self.apply_meta_grads(grads, tasks.len())?;
+        Ok(loss)
+    }
 
     /// Adapts to a held-out task on its support set and predicts tag
     /// indices for every query sentence.
@@ -28,4 +129,38 @@ pub trait EpisodicLearner {
 
     /// Learning-rate decay hook (×`factor`), driven by the trainer.
     fn decay_lr(&mut self, _factor: f32) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_rng_is_pure_and_per_index() {
+        let a = task_rng(42, 0).next_u64();
+        let b = task_rng(42, 0).next_u64();
+        assert_eq!(a, b, "same (seed, index) must give the same stream");
+        let c = task_rng(42, 1).next_u64();
+        assert_ne!(a, c, "different indices must give different streams");
+        let d = task_rng(43, 0).next_u64();
+        assert_ne!(a, d, "different step seeds must give different streams");
+    }
+
+    #[test]
+    fn reduce_rejects_empty_batches_and_averages_losses() {
+        assert!(TaskOutcome::reduce(Vec::new()).is_err());
+        let store = fewner_tensor::ParamStore::new();
+        let outcomes = vec![
+            TaskOutcome {
+                loss: 1.0,
+                grads: ParamGrads::zeros_like(&store),
+            },
+            TaskOutcome {
+                loss: 3.0,
+                grads: ParamGrads::zeros_like(&store),
+            },
+        ];
+        let (loss, _) = TaskOutcome::reduce(outcomes).unwrap();
+        assert_eq!(loss, 2.0);
+    }
 }

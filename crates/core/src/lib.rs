@@ -28,6 +28,6 @@ pub use checkpoint::Checkpoint;
 pub use config::{MetaConfig, SecondOrder};
 pub use conventional::{FineTuneLearner, FrozenLmLearner, ProtoLearner, SnailLearner};
 pub use fewner::Fewner;
-pub use learner::EpisodicLearner;
+pub use learner::{task_rng, EpisodicLearner, TaskOutcome};
 pub use maml::Maml;
-pub use trainer::{train, TrainConfig, TrainingLog};
+pub use trainer::{train, ParallelTrainer, TrainConfig, TrainingLog};

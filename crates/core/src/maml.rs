@@ -18,7 +18,7 @@ use fewner_text::TagSet;
 use fewner_util::{Error, Result, Rng};
 
 use crate::config::MetaConfig;
-use crate::learner::EpisodicLearner;
+use crate::learner::{EpisodicLearner, TaskOutcome};
 
 /// The MAML meta-learner over the same CNN-BiGRU-CRF backbone.
 pub struct Maml {
@@ -82,27 +82,33 @@ impl EpisodicLearner for Maml {
         "MAML"
     }
 
-    fn meta_step(&mut self, tasks: &[Task], enc: &TokenEncoder) -> Result<f32> {
-        if tasks.is_empty() {
-            return Err(Error::InvalidConfig("empty meta batch".into()));
-        }
-        let mut acc = fewner_tensor::ParamGrads::zeros_like(&self.theta);
-        let weight = 1.0 / tasks.len() as f32;
-        let mut total = 0.0f32;
-        for task in tasks {
-            let tags = task.tag_set();
-            let (support, query) = encode_task(enc, task);
-            let adapted = self.adapt_full(&support, &tags, self.cfg.inner_steps_train)?;
-            let g = Graph::new();
-            let loss =
-                self.backbone
-                    .batch_loss(&g, &adapted, None, &query, &tags, true, &mut self.rng);
-            total += g.value(loss).scalar_value();
-            // First-order MAML: gradients at θ′ applied to θ (same store id).
-            acc.axpy(weight, &g.backward(loss)?.for_store(&adapted));
-        }
-        self.opt.step(&mut self.theta, &acc)?;
-        Ok(total / tasks.len() as f32)
+    fn step_seed(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn task_grad(&self, task: &Task, enc: &TokenEncoder, rng: &mut Rng) -> Result<TaskOutcome> {
+        let tags = task.tag_set();
+        let (support, query) = encode_task(enc, task);
+        let adapted = self.adapt_full(&support, &tags, self.cfg.inner_steps_train)?;
+        let g = Graph::new();
+        let loss = self
+            .backbone
+            .batch_loss(&g, &adapted, None, &query, &tags, true, rng);
+        let loss_value = g.value(loss).scalar_value();
+        // First-order MAML: gradients at θ′ applied to θ (same store id).
+        Ok(TaskOutcome {
+            loss: loss_value,
+            grads: g.backward(loss)?.for_store(&adapted),
+        })
+    }
+
+    fn apply_meta_grads(
+        &mut self,
+        mut grads: fewner_tensor::ParamGrads,
+        n_tasks: usize,
+    ) -> Result<()> {
+        grads.scale(1.0 / n_tasks.max(1) as f32);
+        self.opt.step(&mut self.theta, &grads)
     }
 
     fn adapt_and_predict(&self, task: &Task, enc: &TokenEncoder) -> Result<Vec<Vec<usize>>> {

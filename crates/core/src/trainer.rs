@@ -4,16 +4,35 @@
 //! any [`EpisodicLearner`] through them, and applies the paper's
 //! learning-rate schedule (×0.9 every 5000 tasks, §4.1.3). Also records the
 //! per-phase timings behind the §4.5.2 analysis.
+//!
+//! # Threading
+//!
+//! The tasks of one meta-batch are independent given θ, so
+//! [`ParallelTrainer`] fans [`EpisodicLearner::task_grad`] across scoped
+//! worker threads and reduces the per-task gradients on one thread in
+//! task-index order ([`TaskOutcome::reduce`]). Randomness is pinned per
+//! task by [`crate::task_rng`], so the parallel loop is bitwise-identical
+//! to the serial one for a fixed seed, at any thread count. Configure with
+//! [`TrainConfig::threads`] or the `FEWNER_THREADS` environment variable.
 
 use std::time::Instant;
 
 use fewner_corpus::SplitView;
-use fewner_episode::EpisodeSampler;
+use fewner_episode::{EpisodeSampler, Task};
 use fewner_models::TokenEncoder;
-use fewner_util::{Result, Rng};
+use fewner_util::{Error, Result, Rng};
 
 use crate::config::MetaConfig;
-use crate::learner::EpisodicLearner;
+use crate::learner::{task_rng, EpisodicLearner, TaskOutcome};
+
+/// Thread count read from the `FEWNER_THREADS` environment variable, if
+/// set to a positive integer.
+fn env_threads() -> Option<usize> {
+    std::env::var("FEWNER_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
 
 /// Outer-loop training schedule.
 #[derive(Debug, Clone)]
@@ -28,17 +47,68 @@ pub struct TrainConfig {
     pub query_size: usize,
     /// Task-sampling seed (distinct from the evaluation seed).
     pub seed: u64,
+    /// Worker threads for the per-task meta-gradient fan-out: `1` trains
+    /// serially (the default), `0` uses the machine's available
+    /// parallelism, `n > 1` uses exactly `n` threads. The `FEWNER_THREADS`
+    /// environment variable overrides this at run time.
+    pub threads: usize,
 }
 
 impl TrainConfig {
-    /// A small default schedule used by tests and smoke benchmarks.
-    pub fn smoke(n_ways: usize, k_shots: usize) -> TrainConfig {
+    /// A schedule for N-way K-shot training with library defaults
+    /// (100 iterations, query size 8, seed `0x7E57`, serial). Refine with
+    /// the builder methods.
+    pub fn new(n_ways: usize, k_shots: usize) -> TrainConfig {
         TrainConfig {
-            iterations: 30,
+            iterations: 100,
             n_ways,
             k_shots,
             query_size: 8,
             seed: 0x7E57,
+            threads: 1,
+        }
+    }
+
+    /// A small default schedule used by tests and smoke benchmarks.
+    pub fn smoke(n_ways: usize, k_shots: usize) -> TrainConfig {
+        TrainConfig::new(n_ways, k_shots).iterations(30)
+    }
+
+    /// Sets the number of meta-iterations.
+    pub fn iterations(mut self, iterations: usize) -> TrainConfig {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the query sentences per training task.
+    pub fn query_size(mut self, query_size: usize) -> TrainConfig {
+        self.query_size = query_size;
+        self
+    }
+
+    /// Sets the task-sampling seed.
+    pub fn seed(mut self, seed: u64) -> TrainConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker thread count (see the `threads` field).
+    pub fn threads(mut self, threads: usize) -> TrainConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective thread count: the `FEWNER_THREADS` environment
+    /// variable if set, else the `threads` field, with `0` resolved to the
+    /// machine's available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        let requested = env_threads().unwrap_or(self.threads);
+        if requested == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            requested
         }
     }
 }
@@ -46,10 +116,13 @@ impl TrainConfig {
 /// What happened during training.
 #[derive(Debug, Clone)]
 pub struct TrainingLog {
-    /// Mean meta-batch loss per iteration.
+    /// Mean meta-batch loss per completed iteration.
     pub losses: Vec<f32>,
     /// Total tasks consumed.
     pub tasks_seen: usize,
+    /// Iterations skipped because the meta-batch produced a non-finite
+    /// loss or gradient (the optimizer refuses them, so θ stays clean).
+    pub skipped: usize,
     /// Wall-clock seconds for the whole loop.
     pub wall_secs: f64,
     /// Mean wall-clock seconds per meta-iteration (the §4.5.2 "outer
@@ -68,19 +141,113 @@ impl TrainingLog {
     }
 }
 
+/// Fans [`EpisodicLearner::task_grad`] over scoped worker threads.
+///
+/// Work is split into contiguous per-thread chunks of task indices; every
+/// worker returns its outcomes keyed by those indices, and the reduction
+/// ([`TaskOutcome::reduce`]) runs on the calling thread in task-index
+/// order. The result is bitwise-identical to the serial
+/// [`EpisodicLearner::meta_step`] for any thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelTrainer {
+    threads: usize,
+}
+
+impl ParallelTrainer {
+    /// A trainer over `threads` workers (`0` = available parallelism; both
+    /// overridden by `FEWNER_THREADS`).
+    pub fn new(threads: usize) -> ParallelTrainer {
+        let requested = env_threads().unwrap_or(threads);
+        let threads = if requested == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            requested
+        };
+        ParallelTrainer { threads }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// One meta-iteration with the per-task work fanned across workers.
+    ///
+    /// Falls back to the learner's own (serial) `meta_step` for one thread
+    /// or one task. A panicking worker surfaces as
+    /// [`fewner_util::Error::WorkerPanic`].
+    pub fn meta_step<L>(&self, learner: &mut L, tasks: &[Task], enc: &TokenEncoder) -> Result<f32>
+    where
+        L: EpisodicLearner + Sync + ?Sized,
+    {
+        if tasks.is_empty() {
+            return Err(Error::InvalidConfig("empty meta batch".into()));
+        }
+        if self.threads <= 1 || tasks.len() < 2 {
+            return learner.meta_step(tasks, enc);
+        }
+        let step_seed = learner.step_seed();
+        let shared: &L = learner;
+        let indexed: Vec<(usize, &Task)> = tasks.iter().enumerate().collect();
+        let chunk = indexed.len().div_ceil(self.threads);
+        let per_worker: Vec<Result<Vec<TaskOutcome>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = indexed
+                .chunks(chunk)
+                .map(|pairs| {
+                    scope.spawn(move || {
+                        pairs
+                            .iter()
+                            .map(|&(index, task)| {
+                                let mut rng = task_rng(step_seed, index);
+                                shared.task_grad(task, enc, &mut rng)
+                            })
+                            .collect::<Result<Vec<TaskOutcome>>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(Error::WorkerPanic {
+                            context: "parallel meta step".into(),
+                        })
+                    })
+                })
+                .collect()
+        });
+        // Workers hold contiguous index chunks, so flattening in worker
+        // order restores task-index order independent of thread timing.
+        let mut outcomes = Vec::with_capacity(tasks.len());
+        for worker_outcomes in per_worker {
+            outcomes.extend(worker_outcomes?);
+        }
+        let (loss, grads) = TaskOutcome::reduce(outcomes)?;
+        learner.apply_meta_grads(grads, tasks.len())?;
+        Ok(loss)
+    }
+}
+
 /// Meta-trains `learner` on tasks sampled from `view`.
-pub fn train(
-    learner: &mut dyn EpisodicLearner,
+pub fn train<L>(
+    learner: &mut L,
     view: &SplitView,
     enc: &TokenEncoder,
     meta: &MetaConfig,
     cfg: &TrainConfig,
-) -> Result<TrainingLog> {
+) -> Result<TrainingLog>
+where
+    L: EpisodicLearner + Sync + ?Sized,
+{
     meta.validate()?;
+    let pool = ParallelTrainer::new(cfg.threads);
     let sampler = EpisodeSampler::new(view, cfg.n_ways, cfg.k_shots, cfg.query_size)?;
     let mut rng = Rng::new(cfg.seed);
     let mut losses = Vec::with_capacity(cfg.iterations);
     let mut tasks_seen = 0usize;
+    let mut skipped = 0usize;
     let mut next_decay = meta.decay_every_tasks;
     let start = Instant::now();
 
@@ -100,11 +267,12 @@ pub fn train(
             return Err(last_err.expect("meta_batch > 0"));
         }
         // Likewise a transient numerical failure skips the batch (the
-        // optimizer refuses non-finite gradients, so state stays clean).
-        let loss = match learner.meta_step(&batch, enc) {
+        // optimizer refuses non-finite gradients, so state stays clean);
+        // the log counts the skip instead of recording a poisoned loss.
+        let loss = match pool.meta_step(learner, &batch, enc) {
             Ok(loss) => loss,
             Err(fewner_util::Error::NonFinite { .. }) => {
-                losses.push(f32::NAN);
+                skipped += 1;
                 continue;
             }
             Err(e) => return Err(e),
@@ -121,6 +289,7 @@ pub fn train(
         secs_per_iteration: wall_secs / cfg.iterations.max(1) as f64,
         losses,
         tasks_seen,
+        skipped,
         wall_secs,
     })
 }
@@ -132,6 +301,7 @@ mod tests {
     use crate::fewner::Fewner;
     use fewner_corpus::{split_types, DatasetProfile};
     use fewner_models::{BackboneConfig, Conditioning, HeadKind};
+    use fewner_tensor::ParamGrads;
     use fewner_text::embed::EmbeddingSpec;
 
     fn bb_cfg(cond: Conditioning, phi: usize) -> BackboneConfig {
@@ -169,19 +339,65 @@ mod tests {
             ..MetaConfig::default()
         };
         let mut learner = Fewner::new(bb_cfg(Conditioning::Film, 8), &enc, meta.clone()).unwrap();
-        let cfg = TrainConfig {
-            iterations: 3,
-            n_ways: 3,
-            k_shots: 1,
-            query_size: 4,
-            seed: 9,
-        };
+        let cfg = TrainConfig::new(3, 1).iterations(3).query_size(4).seed(9);
         let log = train(&mut learner, &split.train, &enc, &meta, &cfg).unwrap();
         assert_eq!(log.losses.len(), 3);
         assert_eq!(log.tasks_seen, 6);
+        assert_eq!(log.skipped, 0);
         assert!(log.losses.iter().all(|l| l.is_finite()));
         assert!(log.secs_per_iteration > 0.0);
         assert!(log.tail_loss(2).is_finite());
+    }
+
+    /// A learner whose task gradients blow up: the trainer must count the
+    /// skipped iterations instead of recording NaN losses.
+    struct Exploding;
+    impl EpisodicLearner for Exploding {
+        fn name(&self) -> &'static str {
+            "exploding"
+        }
+        fn task_grad(
+            &self,
+            _task: &Task,
+            _enc: &TokenEncoder,
+            _rng: &mut Rng,
+        ) -> Result<TaskOutcome> {
+            Err(Error::NonFinite {
+                context: "test gradient".into(),
+            })
+        }
+        fn apply_meta_grads(&mut self, _grads: ParamGrads, _n: usize) -> Result<()> {
+            Ok(())
+        }
+        fn adapt_and_predict(&self, _task: &Task, _enc: &TokenEncoder) -> Result<Vec<Vec<usize>>> {
+            Ok(vec![])
+        }
+    }
+
+    #[test]
+    fn non_finite_batches_are_counted_not_logged_as_nan() {
+        let d = DatasetProfile::bionlp13cg().generate(0.05).unwrap();
+        let split = split_types(&d, (8, 3, 5), 1).unwrap();
+        let enc = TokenEncoder::build(
+            &[&d],
+            &EmbeddingSpec {
+                dim: 20,
+                ..EmbeddingSpec::default()
+            },
+            4,
+        );
+        let meta = MetaConfig {
+            meta_batch: 2,
+            ..MetaConfig::default()
+        };
+        let cfg = TrainConfig::new(3, 1).iterations(4).query_size(4).seed(9);
+        let log = train(&mut Exploding, &split.train, &enc, &meta, &cfg).unwrap();
+        assert_eq!(log.skipped, 4, "every batch must be counted as skipped");
+        assert!(log.losses.is_empty(), "no loss entry for a skipped batch");
+        assert!(
+            log.losses.iter().all(|l| l.is_finite()),
+            "the loss log must never contain NaN"
+        );
     }
 
     #[test]
@@ -190,21 +406,31 @@ mod tests {
         // must fire after iterations 2 and 4.
         struct Probe {
             decays: usize,
+            // One shared store: every task's grads must reference the same
+            // parameter identity for the fixed-order reduction.
+            store: fewner_tensor::ParamStore,
         }
         impl EpisodicLearner for Probe {
             fn name(&self) -> &'static str {
                 "probe"
             }
-            fn meta_step(
-                &mut self,
-                _tasks: &[fewner_episode::Task],
+            fn task_grad(
+                &self,
+                _task: &Task,
                 _enc: &TokenEncoder,
-            ) -> Result<f32> {
-                Ok(0.0)
+                _rng: &mut Rng,
+            ) -> Result<TaskOutcome> {
+                Ok(TaskOutcome {
+                    loss: 0.0,
+                    grads: ParamGrads::zeros_like(&self.store),
+                })
+            }
+            fn apply_meta_grads(&mut self, _grads: ParamGrads, _n: usize) -> Result<()> {
+                Ok(())
             }
             fn adapt_and_predict(
                 &self,
-                _task: &fewner_episode::Task,
+                _task: &Task,
                 _enc: &TokenEncoder,
             ) -> Result<Vec<Vec<usize>>> {
                 Ok(vec![])
@@ -228,14 +454,11 @@ mod tests {
             decay_every_tasks: 4,
             ..MetaConfig::default()
         };
-        let mut probe = Probe { decays: 0 };
-        let cfg = TrainConfig {
-            iterations: 4,
-            n_ways: 3,
-            k_shots: 1,
-            query_size: 4,
-            seed: 9,
+        let mut probe = Probe {
+            decays: 0,
+            store: fewner_tensor::ParamStore::new(),
         };
+        let cfg = TrainConfig::new(3, 1).iterations(4).query_size(4).seed(9);
         train(&mut probe, &split.train, &enc, &meta, &cfg).unwrap();
         assert_eq!(probe.decays, 2);
     }
@@ -275,13 +498,7 @@ mod tests {
             loss
         };
         let before = probe_loss(&mut learner);
-        let cfg = TrainConfig {
-            iterations: 24,
-            n_ways: 3,
-            k_shots: 1,
-            query_size: 4,
-            seed: 10,
-        };
+        let cfg = TrainConfig::new(3, 1).iterations(24).query_size(4).seed(10);
         train(&mut learner, &split.train, &enc, &meta, &cfg).unwrap();
         let after = probe_loss(&mut learner);
         assert!(

@@ -1,0 +1,191 @@
+//! A dependency-free micro-benchmark shim.
+//!
+//! This workspace builds in fully offline environments, so it cannot pull
+//! the real `criterion` crate from a registry. This crate re-implements the
+//! small API subset the benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] — with
+//! wall-clock timing over a fixed sample count and a one-line report per
+//! benchmark. It produces honest timings, not criterion's statistics.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export so call sites may use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark driver: runs closures and prints per-iteration timings.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` (which must call [`Bencher::iter`]) and prints
+    /// `name ... median ± spread` per-iteration timing.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            nanos: Vec::new(),
+        };
+        f(&mut b);
+        b.nanos.sort_unstable();
+        if b.nanos.is_empty() {
+            println!("{name:<40} (no samples: Bencher::iter never called)");
+        } else {
+            let median = b.nanos[b.nanos.len() / 2];
+            let min = b.nanos[0];
+            let max = b.nanos[b.nanos.len() - 1];
+            println!(
+                "{name:<40} median {} / iter (min {}, max {}, n={})",
+                fmt_nanos(median),
+                fmt_nanos(min),
+                fmt_nanos(max),
+                b.nanos.len()
+            );
+        }
+        self
+    }
+
+    /// Starts a named group: benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named set of related benchmarks (`group/name` labels).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for the rest of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Like [`Criterion::bench_function`], labelled `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&label, f);
+        self
+    }
+
+    /// Ends the group (the real criterion finalises reports here).
+    pub fn finish(self) {}
+}
+
+/// Handed to the benchmark closure; owns the timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    nanos: Vec<u128>,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `samples` timed iterations.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        std_black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(f());
+            self.nanos.push(t0.elapsed().as_nanos());
+        }
+    }
+}
+
+fn fmt_nanos(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group function invoking each target with a shared
+/// [`Criterion`] built from `config`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        // 1 warm-up + 3 timed samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn nanos_format_is_scaled() {
+        assert_eq!(fmt_nanos(999), "999 ns");
+        assert!(fmt_nanos(2_500).contains("µs"));
+        assert!(fmt_nanos(2_500_000).contains("ms"));
+        assert!(fmt_nanos(2_500_000_000).contains(" s"));
+    }
+}

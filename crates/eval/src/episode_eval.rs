@@ -38,10 +38,12 @@ pub fn evaluate(
     Ok(stats.summary())
 }
 
-/// Evaluates in parallel over `threads` worker threads (crossbeam scoped
+/// Evaluates in parallel over `threads` worker threads (std scoped
 /// threads; adaptation never mutates the learner, so sharing is safe).
 ///
-/// Falls back to the serial path for a single thread.
+/// Falls back to the serial path for a single thread. A panicking worker
+/// surfaces as [`fewner_util::Error::WorkerPanic`] rather than poisoning
+/// the whole harness.
 pub fn evaluate_parallel<L>(
     learner: &L,
     tasks: &[Task],
@@ -55,11 +57,11 @@ where
         return evaluate(learner, tasks, enc);
     }
     let chunk = tasks.len().div_ceil(threads);
-    let results: Vec<Result<OnlineStats>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<OnlineStats>> = std::thread::scope(|scope| {
         let handles: Vec<_> = tasks
             .chunks(chunk)
             .map(|chunk_tasks| {
-                scope.spawn(move |_| -> Result<OnlineStats> {
+                scope.spawn(move || -> Result<OnlineStats> {
                     let mut stats = OnlineStats::new();
                     for task in chunk_tasks {
                         stats.push(score_task(learner, task, enc)?);
@@ -68,9 +70,17 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("evaluation worker panicked");
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(fewner_util::Error::WorkerPanic {
+                        context: "episode evaluation".into(),
+                    })
+                })
+            })
+            .collect()
+    });
 
     let mut total = OnlineStats::new();
     for r in results {
@@ -87,14 +97,32 @@ mod tests {
     use fewner_text::embed::EmbeddingSpec;
     use fewner_util::Rng;
 
+    use fewner_core::TaskOutcome;
+    use fewner_tensor::{ParamGrads, ParamStore};
+
+    fn zero_outcome() -> TaskOutcome {
+        TaskOutcome {
+            loss: 0.0,
+            grads: ParamGrads::zeros_like(&ParamStore::new()),
+        }
+    }
+
     /// An oracle learner that returns the gold tags — F1 must be 1.0.
     struct Oracle;
     impl EpisodicLearner for Oracle {
         fn name(&self) -> &'static str {
             "oracle"
         }
-        fn meta_step(&mut self, _t: &[Task], _e: &TokenEncoder) -> Result<f32> {
-            Ok(0.0)
+        fn task_grad(
+            &self,
+            _t: &Task,
+            _e: &TokenEncoder,
+            _rng: &mut fewner_util::Rng,
+        ) -> Result<TaskOutcome> {
+            Ok(zero_outcome())
+        }
+        fn apply_meta_grads(&mut self, _grads: ParamGrads, _n: usize) -> Result<()> {
+            Ok(())
         }
         fn adapt_and_predict(&self, task: &Task, _e: &TokenEncoder) -> Result<Vec<Vec<usize>>> {
             let tags = task.tag_set();
@@ -112,8 +140,16 @@ mod tests {
         fn name(&self) -> &'static str {
             "all-o"
         }
-        fn meta_step(&mut self, _t: &[Task], _e: &TokenEncoder) -> Result<f32> {
-            Ok(0.0)
+        fn task_grad(
+            &self,
+            _t: &Task,
+            _e: &TokenEncoder,
+            _rng: &mut fewner_util::Rng,
+        ) -> Result<TaskOutcome> {
+            Ok(zero_outcome())
+        }
+        fn apply_meta_grads(&mut self, _grads: ParamGrads, _n: usize) -> Result<()> {
+            Ok(())
         }
         fn adapt_and_predict(&self, task: &Task, _e: &TokenEncoder) -> Result<Vec<Vec<usize>>> {
             Ok(task.query.iter().map(|s| vec![0; s.len()]).collect())

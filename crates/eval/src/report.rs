@@ -6,11 +6,10 @@
 //! under `reports/` so EXPERIMENTS.md numbers stay regenerable.
 
 use fewner_text::Tag;
-use fewner_util::MeanCi;
-use serde::{Deserialize, Serialize};
+use fewner_util::{FromJson, Json, MeanCi, Result, ToJson};
 
 /// One table cell.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Cell {
     /// Mean episode F1.
     pub mean: f64,
@@ -37,8 +36,35 @@ impl Cell {
     }
 }
 
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("mean".into(), Json::from(self.mean)),
+            ("ci95".into(), Json::from(self.ci95)),
+            ("n".into(), Json::from(self.n)),
+        ])
+    }
+}
+
+impl FromJson for Cell {
+    fn from_json(json: &Json) -> Result<Cell> {
+        // Skipped cells carry NaN means, which JSON renders as `null`.
+        let num = |key: &str| -> Result<f64> {
+            match json.field(key)? {
+                Json::Null => Ok(f64::NAN),
+                v => v.as_f64(),
+            }
+        };
+        Ok(Cell {
+            mean: num("mean")?,
+            ci95: num("ci95")?,
+            n: json.field("n")?.as_usize()?,
+        })
+    }
+}
+
 /// A reproduction of one paper table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// e.g. `Table 2: intra-domain cross-type adaptation`.
     pub title: String,
@@ -103,7 +129,67 @@ impl Table {
 
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialisation")
+        Json::Obj(vec![
+            ("title".into(), Json::from(self.title.as_str())),
+            (
+                "columns".into(),
+                Json::Arr(
+                    self.columns
+                        .iter()
+                        .map(|c| Json::from(c.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "rows".into(),
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(method, cells)| {
+                            Json::Obj(vec![
+                                ("method".into(), Json::from(method.as_str())),
+                                (
+                                    "cells".into(),
+                                    Json::Arr(cells.iter().map(ToJson::to_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parses a table previously written by [`Table::to_json`].
+    pub fn from_json_str(text: &str) -> fewner_util::Result<Table> {
+        let json = Json::parse(text)?;
+        let columns = json
+            .field("columns")?
+            .as_arr()?
+            .iter()
+            .map(|c| Ok(c.as_str()?.to_string()))
+            .collect::<fewner_util::Result<Vec<_>>>()?;
+        let rows = json
+            .field("rows")?
+            .as_arr()?
+            .iter()
+            .map(|row| {
+                Ok((
+                    row.field("method")?.as_str()?.to_string(),
+                    row.field("cells")?
+                        .as_arr()?
+                        .iter()
+                        .map(Cell::from_json)
+                        .collect::<fewner_util::Result<Vec<_>>>()?,
+                ))
+            })
+            .collect::<fewner_util::Result<Vec<_>>>()?;
+        Ok(Table {
+            title: json.field("title")?.as_str()?.to_string(),
+            columns,
+            rows,
+        })
     }
 
     /// The cell for `(method, column)`, if present.
@@ -179,7 +265,7 @@ mod tests {
     fn json_round_trip_and_cell_lookup() {
         let mut t = Table::new("T", vec!["col".into()]);
         t.push_row("m", vec![cell(0.5, 0.01)]);
-        let back: Table = serde_json::from_str(&t.to_json()).unwrap();
+        let back = Table::from_json_str(&t.to_json()).unwrap();
         assert_eq!(back.title, "T");
         let c = back.cell("m", "col").unwrap();
         assert!((c.mean - 0.5).abs() < 1e-12);

@@ -68,10 +68,16 @@ impl TokenEncoder {
         let chars = Vocab::build_chars(all_tokens());
 
         // Merge cluster maps across corpora; lowercase keys to match the
-        // uncased word vocabulary.
+        // uncased word vocabulary. Case variants of one word ("IL-2" vs
+        // "Il-2") can carry different clusters, and first-wins over a
+        // HashMap's per-instance iteration order would let the merged entry
+        // — and that word's pretrained embedding row — differ between
+        // runs, so resolve collisions in sorted key order.
         let mut clusters: HashMap<String, u64> = HashMap::new();
         for d in datasets {
-            for (k, v) in d.clusters() {
+            let mut pairs: Vec<(&String, &u64)> = d.clusters().iter().collect();
+            pairs.sort_by(|a, b| a.0.cmp(b.0));
+            for (k, v) in pairs {
                 clusters.entry(k.to_lowercase()).or_insert(*v);
             }
         }
@@ -149,6 +155,42 @@ mod tests {
         assert_eq!(e.dim(), 16);
         // PAD row is zero.
         assert!(e.pretrained.row(0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pretrained_table_is_identical_across_builds() {
+        // Regression: the cluster merge lowercases keys, and case variants
+        // of one word ("IL-2" vs "Il-2") can map to different clusters.
+        // Resolving that collision by HashMap iteration order made one
+        // embedding row — and every checkpoint trained from it — differ
+        // from run to run. Two generations of the same profile hold
+        // identical cluster *contents* in independently seeded HashMaps,
+        // which is exactly the across-process situation.
+        let d1 = DatasetProfile::genia().generate(0.03).unwrap();
+        let mut lowered: HashMap<String, u64> = HashMap::new();
+        let mut conflicting = 0usize;
+        for (k, v) in d1.clusters() {
+            if let Some(prev) = lowered.insert(k.to_lowercase(), *v) {
+                if prev != *v {
+                    conflicting += 1;
+                }
+            }
+        }
+        assert!(
+            conflicting > 0,
+            "fixture must contain a case-variant cluster conflict; \
+             pick a profile/scale that has one"
+        );
+        let spec = EmbeddingSpec {
+            dim: 16,
+            ..EmbeddingSpec::default()
+        };
+        let first = TokenEncoder::build(&[&d1], &spec, 4);
+        for _ in 0..4 {
+            let dn = DatasetProfile::genia().generate(0.03).unwrap();
+            let again = TokenEncoder::build(&[&dn], &spec, 4);
+            assert_eq!(first.pretrained.data(), again.pretrained.data());
+        }
     }
 
     #[test]

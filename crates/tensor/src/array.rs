@@ -11,14 +11,47 @@
 //! [`crate::graph`] wraps it with gradient bookkeeping.
 
 use fewner_util::{Error, Result, Rng};
-use serde::{Deserialize, Serialize};
+use fewner_util::{FromJson, Json, ToJson};
 
 /// A dense, row-major `rows × cols` matrix of `f32`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Array {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl ToJson for Array {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rows".into(), Json::from(self.rows)),
+            ("cols".into(), Json::from(self.cols)),
+            (
+                "data".into(),
+                Json::Arr(self.data.iter().map(|&x| Json::from(x)).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Array {
+    fn from_json(json: &Json) -> Result<Array> {
+        let rows = json.field("rows")?.as_usize()?;
+        let cols = json.field("cols")?.as_usize()?;
+        let data = json
+            .field("data")?
+            .as_arr()?
+            .iter()
+            .map(Json::as_f32)
+            .collect::<Result<Vec<f32>>>()?;
+        if data.len() != rows * cols {
+            return Err(Error::Serde(format!(
+                "Array JSON holds {} values for shape [{rows}, {cols}]",
+                data.len()
+            )));
+        }
+        Ok(Array { rows, cols, data })
+    }
 }
 
 impl Array {
@@ -386,11 +419,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let mut rng = Rng::new(10);
         let a = Array::uniform(3, 4, -2.0, 2.0, &mut rng);
-        let json = serde_json::to_string(&a).unwrap();
-        let back: Array = serde_json::from_str(&json).unwrap();
+        let json = a.to_json().to_string();
+        let back = Array::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(a, back);
     }
 

@@ -12,8 +12,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use fewner_util::{Error, Result};
-use serde::{Deserialize, Serialize};
+use fewner_util::{Error, FromJson, Json, Result, ToJson};
 
 use crate::array::Array;
 
@@ -220,10 +219,42 @@ impl ParamStore {
 }
 
 /// Serialisable snapshot of a parameter store.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SavedParams {
     /// `(name, value)` in registration order.
     pub entries: Vec<(String, Array)>,
+}
+
+impl ToJson for SavedParams {
+    fn to_json(&self) -> Json {
+        Json::Arr(
+            self.entries
+                .iter()
+                .map(|(name, value)| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::from(name.as_str())),
+                        ("value".into(), value.to_json()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for SavedParams {
+    fn from_json(json: &Json) -> Result<SavedParams> {
+        let entries = json
+            .as_arr()?
+            .iter()
+            .map(|entry| {
+                Ok((
+                    entry.field("name")?.as_str()?.to_string(),
+                    Array::from_json(entry.field("value")?)?,
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SavedParams { entries })
+    }
 }
 
 /// Per-store gradient accumulator, indexable by [`ParamId`].
@@ -288,6 +319,31 @@ impl ParamGrads {
                 }
             }
         }
+    }
+
+    /// Adds `other` into this accumulator (`axpy` with α = 1).
+    pub fn add_assign(&mut self, other: &ParamGrads) {
+        self.axpy(1.0, other);
+    }
+
+    /// Sums accumulators **in iteration order** and returns the total.
+    ///
+    /// The parallel meta-batch engine collects one `ParamGrads` per task
+    /// (indexed by the task's position in the batch) and reduces them here
+    /// on a single thread. Because floating-point addition is not
+    /// associative, reducing in a fixed order is what makes the parallel
+    /// trainer bitwise-identical to the serial one: the summation order
+    /// depends only on task indices, never on thread completion order.
+    pub fn sum_in_order<I>(grads: I) -> Option<ParamGrads>
+    where
+        I: IntoIterator<Item = ParamGrads>,
+    {
+        let mut iter = grads.into_iter();
+        let mut acc = iter.next()?;
+        for g in iter {
+            acc.add_assign(&g);
+        }
+        Some(acc)
     }
 
     /// Scales all gradients in place.
@@ -395,8 +451,8 @@ mod tests {
         store.add("a", Array::from_vec(1, 2, vec![1.0, 2.0]));
         store.add("b", Array::from_vec(2, 1, vec![3.0, 4.0]));
         let saved = store.to_saved();
-        let json = serde_json::to_string(&saved).unwrap();
-        let back: SavedParams = serde_json::from_str(&json).unwrap();
+        let json = saved.to_json().to_string();
+        let back = SavedParams::from_json(&Json::parse(&json).unwrap()).unwrap();
 
         let mut store2 = ParamStore::new();
         store2.add("a", Array::zeros(1, 2));

@@ -42,6 +42,13 @@ pub enum Error {
     },
     /// (De)serialisation failure.
     Serde(String),
+    /// A worker thread panicked inside a parallel section. The panic is
+    /// contained and surfaced as an error so one bad episode or task cannot
+    /// abort a multi-hour table run.
+    WorkerPanic {
+        /// Which parallel section the worker belonged to.
+        context: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -58,6 +65,9 @@ impl fmt::Display for Error {
             Error::InvalidTagSequence(msg) => write!(f, "invalid tag sequence: {msg}"),
             Error::NonFinite { context } => write!(f, "non-finite value encountered: {context}"),
             Error::Serde(msg) => write!(f, "serialisation error: {msg}"),
+            Error::WorkerPanic { context } => {
+                write!(f, "worker thread panicked in {context}")
+            }
         }
     }
 }

@@ -10,11 +10,15 @@
 //! * [`stats`] — the paper's episode statistics: mean F1 with a 95 % normal
 //!   confidence interval (mean ± 1.96·σ/√n, §4.1.1).
 //! * [`error`] — the library-wide error type.
+//! * [`json`] — a small JSON value with parser/writers for reports and
+//!   checkpoints, so the workspace builds without registry access.
 
 pub mod error;
+pub mod json;
 pub mod rng;
 pub mod stats;
 
 pub use error::{Error, Result};
+pub use json::{FromJson, Json, ToJson};
 pub use rng::Rng;
 pub use stats::{ci95, mean, MeanCi, OnlineStats};

@@ -26,13 +26,7 @@ fn main() -> fewner::Result<()> {
         meta_batch: 4,
         ..MetaConfig::default()
     };
-    let schedule = TrainConfig {
-        iterations: 120,
-        n_ways: 5,
-        k_shots: 1,
-        query_size: 6,
-        seed: 4,
-    };
+    let schedule = TrainConfig::new(5, 1).iterations(120).query_size(6).seed(4);
     let sampler = EpisodeSampler::new(&split.test, 5, 1, 6)?;
     let tasks = sampler.eval_set(0xE7A1, 15)?;
 

@@ -40,13 +40,7 @@ fn main() -> fewner::Result<()> {
         conditioning: cond,
         ..BackboneConfig::default_for(5)
     };
-    let schedule = TrainConfig {
-        iterations: 150,
-        n_ways: 5,
-        k_shots: 1,
-        query_size: 6,
-        seed: 3,
-    };
+    let schedule = TrainConfig::new(5, 1).iterations(150).query_size(6).seed(3);
 
     let sampler = EpisodeSampler::new(&dst_split.test, 5, 1, 6)?;
     let tasks = sampler.eval_set(0xE7A1, 20)?;

@@ -49,13 +49,7 @@ fn main() -> fewner::Result<()> {
     };
     let mut fewner = Fewner::new(bb, &enc, meta.clone())?;
 
-    let schedule = TrainConfig {
-        iterations: 150,
-        n_ways: 5,
-        k_shots: 1,
-        query_size: 6,
-        seed: 2,
-    };
+    let schedule = TrainConfig::new(5, 1).iterations(150).query_size(6).seed(2);
     println!(
         "meta-training on {} source episodes…",
         schedule.iterations * meta.meta_batch

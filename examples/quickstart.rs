@@ -51,14 +51,8 @@ fn main() -> fewner::Result<()> {
     println!("episode F1 before meta-training: {}", before.as_percent());
 
     // Meta-train on 3-way 1-shot episodes of *training* types.
-    let schedule = TrainConfig {
-        iterations: 200,
-        n_ways: 3,
-        k_shots: 1,
-        query_size: 6,
-        seed: 1,
-    };
-    let log = fewner_core::train(&mut fewner, &split.train, &enc, &meta, &schedule)?;
+    let schedule = TrainConfig::new(3, 1).iterations(200).query_size(6).seed(1);
+    let log = train(&mut fewner, &split.train, &enc, &meta, &schedule)?;
     println!(
         "meta-trained {} tasks in {:.1}s (loss {:.3} -> {:.3})",
         log.tasks_seen,

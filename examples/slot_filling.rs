@@ -52,15 +52,9 @@ fn main() -> fewner::Result<()> {
         ..MetaConfig::default()
     };
     let mut fewner = Fewner::new(bb, &enc, meta.clone())?;
-    let schedule = TrainConfig {
-        iterations: 150,
-        n_ways: 3,
-        k_shots: 1,
-        query_size: 6,
-        seed: 6,
-    };
+    let schedule = TrainConfig::new(3, 1).iterations(150).query_size(6).seed(6);
     println!("\nmeta-training on 3-way 1-shot slot-tagging episodes…");
-    fewner_core::train(&mut fewner, &split.train, &enc, &meta, &schedule)?;
+    train(&mut fewner, &split.train, &enc, &meta, &schedule)?;
 
     let sampler = EpisodeSampler::new(&split.test, 3, 1, 6)?;
     let tasks = sampler.eval_set(0xE7A1, 20)?;

@@ -53,6 +53,8 @@ const USAGE: &str = "usage: fewner <corpus|train|evaluate|demo> [flags]
     --ways <N> --shots <K> (default 5, 1)
     --iterations <N>       meta-iterations (default 300)
     --episodes <N>         evaluation episodes (default 50)
+    --threads <N>          meta-gradient worker threads, 0 = all cores
+                           (default 1; FEWNER_THREADS overrides)
     --out/--model <path>   checkpoint file";
 
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
@@ -179,19 +181,18 @@ fn cmd_train(flags: &HashMap<String, String>) -> fewner::Result<()> {
     let ways = flag(flags, "ways", 5usize);
     let shots = flag(flags, "shots", 1usize);
     let iterations = flag(flags, "iterations", 300usize);
+    let threads = flag(flags, "threads", 1usize);
 
     let data = p.generate(scale)?;
     let split = split_for(&p, &data, seed)?;
     let enc = build_encoder(&data);
     let cfg = meta();
     let mut learner = Fewner::new(backbone(ways), &enc, cfg.clone())?;
-    let schedule = TrainConfig {
-        iterations,
-        n_ways: ways,
-        k_shots: shots,
-        query_size: 6,
-        seed,
-    };
+    let schedule = TrainConfig::new(ways, shots)
+        .iterations(iterations)
+        .query_size(6)
+        .seed(seed)
+        .threads(threads);
     println!(
         "meta-training FEWNER on {} ({} train sentences, {} train types)…",
         p.name,
@@ -255,13 +256,11 @@ fn cmd_demo(flags: &HashMap<String, String>) -> fewner::Result<()> {
     let enc = build_encoder(&data);
     let cfg = meta();
     let mut learner = Fewner::new(backbone(5), &enc, cfg.clone())?;
-    let schedule = TrainConfig {
-        iterations: flag(flags, "iterations", 150usize),
-        n_ways: 5,
-        k_shots: 1,
-        query_size: 6,
-        seed,
-    };
+    let schedule = TrainConfig::new(5, 1)
+        .iterations(flag(flags, "iterations", 150usize))
+        .query_size(6)
+        .seed(seed)
+        .threads(flag(flags, "threads", 1usize));
     println!("training briefly on {}…", p.name);
     fewner::core::train(&mut learner, &split.train, &enc, &cfg, &schedule)?;
 

@@ -46,8 +46,10 @@
 //! let mut fewner = Fewner::new(bb, &enc, meta.clone())?;
 //!
 //! // 4. Meta-train on 3-way 1-shot episodes from the training types…
-//! let schedule = TrainConfig { iterations: 2, n_ways: 3, k_shots: 1, query_size: 4, seed: 1 };
-//! fewner_core::train(&mut fewner, &split.train, &enc, &meta, &schedule)?;
+//! //    (`.threads(n)` fans the per-task meta-gradients across workers
+//! //    without changing the result — the reduction order is fixed.)
+//! let schedule = TrainConfig::new(3, 1).iterations(2).query_size(4).seed(1);
+//! train(&mut fewner, &split.train, &enc, &meta, &schedule)?;
 //!
 //! // 5. …and adapt to an unseen task: only φ changes, θ stays fixed.
 //! let sampler = EpisodeSampler::new(&split.test, 3, 1, 4)?;
@@ -73,8 +75,9 @@ pub use fewner_util::{Error, Result};
 /// Everything needed for the common workflows, in one import.
 pub mod prelude {
     pub use fewner_core::{
-        self, EpisodicLearner, Fewner, FineTuneLearner, FrozenLmLearner, Maml, MetaConfig,
-        ProtoLearner, SecondOrder, SnailLearner, TrainConfig,
+        self, task_rng, train, EpisodicLearner, Fewner, FineTuneLearner, FrozenLmLearner, Maml,
+        MetaConfig, ParallelTrainer, ProtoLearner, SecondOrder, SnailLearner, TaskOutcome,
+        TrainConfig, TrainingLog,
     };
     pub use fewner_corpus::{
         full_view, holdout_target, split_sentences, split_types, AceDomain, DatasetProfile, Family,

@@ -47,13 +47,10 @@ fn meta() -> MetaConfig {
 }
 
 fn schedule(iters: usize) -> TrainConfig {
-    TrainConfig {
-        iterations: iters,
-        n_ways: 3,
-        k_shots: 1,
-        query_size: 4,
-        seed: 9,
-    }
+    TrainConfig::new(3, 1)
+        .iterations(iters)
+        .query_size(4)
+        .seed(9)
 }
 
 #[test]
@@ -66,7 +63,7 @@ fn meta_training_improves_fewner_over_untrained() {
     let tasks = sampler.eval_set(77, 12).unwrap();
     let before = evaluate(&learner, &tasks, &enc).unwrap();
 
-    fewner::core::train(&mut learner, &split.train, &enc, &cfg, &schedule(120)).unwrap();
+    fewner::core::train(&mut learner, &split.train, &enc, &cfg, &schedule(200)).unwrap();
     let after = evaluate(&learner, &tasks, &enc).unwrap();
     assert!(
         after.mean > before.mean + 0.02,

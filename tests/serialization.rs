@@ -26,13 +26,7 @@ fn saved_theta_reproduces_identical_predictions() {
         ..MetaConfig::default()
     };
     let mut trained = Fewner::new(bb.clone(), &enc, cfg.clone()).unwrap();
-    let schedule = TrainConfig {
-        iterations: 20,
-        n_ways: 3,
-        k_shots: 1,
-        query_size: 4,
-        seed: 9,
-    };
+    let schedule = TrainConfig::new(3, 1).iterations(20).query_size(4).seed(9);
     fewner::core::train(&mut trained, &split.train, &enc, &cfg, &schedule).unwrap();
 
     // Serialise θ through JSON (the SavedParams wire format).
@@ -93,6 +87,7 @@ fn saved_params_json_is_stable() {
 }
 
 fn serde_round_trip(saved: &SavedParams) -> SavedParams {
-    let json = serde_json::to_string(saved).unwrap();
-    serde_json::from_str(&json).unwrap()
+    use fewner::util::{FromJson, Json, ToJson};
+    let json = saved.to_json().to_string();
+    SavedParams::from_json(&Json::parse(&json).unwrap()).unwrap()
 }
