@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the crash-safety machinery: CRC-32
+//! framing, verified reads, and the atomic write path behind rolling
+//! training snapshots. Checkpoint cost is training overhead — a snapshot
+//! every n iterations must stay a rounding error next to the meta-step —
+//! so these keep the durable layer honest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fewner_util::{crc32, durable, Rng};
+
+/// A payload about the size of a small model checkpoint (~256 KiB).
+fn payload() -> Vec<u8> {
+    let mut rng = Rng::new(7);
+    (0..256 * 1024).map(|_| rng.next_u64() as u8).collect()
+}
+
+fn bench_crc32(c: &mut Criterion) {
+    let bytes = payload();
+    c.bench_function("crc32_256k", |bench| {
+        bench.iter(|| black_box(crc32(&bytes)));
+    });
+}
+
+fn bench_frame_and_verify(c: &mut Criterion) {
+    let bytes = payload();
+    let framed = durable::frame(&bytes);
+    c.bench_function("durable_frame_256k", |bench| {
+        bench.iter(|| black_box(durable::frame(&bytes)));
+    });
+    let dir = std::env::temp_dir().join(format!("fewner-bench-durable-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("frame.bin");
+    std::fs::write(&path, &framed).unwrap();
+    c.bench_function("durable_read_verified_256k", |bench| {
+        bench.iter(|| black_box(durable::read_verified(&path).unwrap()));
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_atomic_write(c: &mut Criterion) {
+    let bytes = payload();
+    let dir = std::env::temp_dir().join(format!("fewner-bench-write-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snap.bin");
+    // Includes the fsync — this is the real per-snapshot cost a training
+    // run pays, not just the buffered write.
+    c.bench_function("durable_write_atomic_256k", |bench| {
+        bench.iter(|| durable::write_atomic(black_box(&path), black_box(&bytes)).unwrap());
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(
+    durability,
+    bench_crc32,
+    bench_frame_and_verify,
+    bench_atomic_write
+);
+criterion_main!(durability);

@@ -225,15 +225,22 @@ impl Checkpoint {
         Ok(learner)
     }
 
-    /// Writes JSON to a file.
+    /// Writes the checkpoint durably: the JSON payload is framed with a
+    /// versioned header and CRC-32, written to a temp file, fsynced, and
+    /// atomically renamed into place ([`fewner_util::durable`]). A reader
+    /// can never observe a torn checkpoint, and filesystem failures surface
+    /// as [`Error::Io`] with the offending path.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         let json = self.to_json().to_string();
-        std::fs::write(path, json).map_err(|e| Error::Serde(e.to_string()))
+        fewner_util::durable::write_atomic(path, json.as_bytes())
     }
 
-    /// Reads a checkpoint file.
+    /// Reads a checkpoint file, verifying the header and CRC before
+    /// parsing: a truncated or bit-flipped file is rejected with a precise
+    /// [`Error::Io`] instead of a confusing JSON parse error (or silently
+    /// wrong parameters).
     pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint> {
-        let json = std::fs::read_to_string(path).map_err(|e| Error::Serde(e.to_string()))?;
+        let json = fewner_util::durable::read_verified_string(path)?;
         Checkpoint::from_json(&Json::parse(&json)?)
     }
 }
@@ -311,6 +318,40 @@ mod tests {
         let restored = loaded.restore(&enc).unwrap();
         assert_eq!(learner.theta.snapshot(), restored.theta.snapshot());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_and_bit_flipped_files_are_rejected_with_io_errors() {
+        let (_, learner) = setup();
+        let dir = std::env::temp_dir().join(format!("fewner-ckpt-bits-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        Checkpoint::capture(&learner).save(&path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Truncation (a crash without atomic rename).
+        std::fs::write(&path, &pristine[..pristine.len() / 2]).unwrap();
+        assert!(matches!(Checkpoint::load(&path), Err(Error::Io { .. })));
+
+        // A single flipped payload bit (silent disk corruption).
+        let mut flipped = pristine.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x08;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(Checkpoint::load(&path), Err(Error::Io { .. })));
+
+        // The pristine bytes still load.
+        std::fs::write(&path, &pristine).unwrap();
+        Checkpoint::load(&path).unwrap();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error_with_the_path() {
+        match Checkpoint::load("/nonexistent/fewner/model.json") {
+            Err(Error::Io { path, .. }) => assert!(path.contains("model.json")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 
     #[test]

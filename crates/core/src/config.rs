@@ -73,6 +73,13 @@ pub struct MetaConfig {
     pub second_order: SecondOrder,
     /// Base seed for training-task sampling and dropout.
     pub seed: u64,
+    /// Divergence guard: abort training with [`Error::Diverged`] after this
+    /// many *consecutive* meta-batches are skipped for non-finite
+    /// losses/gradients, instead of silently spinning through the rest of
+    /// the schedule with θ frozen. `0` disables the guard.
+    ///
+    /// [`Error::Diverged`]: fewner_util::Error::Diverged
+    pub max_consecutive_skips: usize,
 }
 
 impl Default for MetaConfig {
@@ -89,6 +96,7 @@ impl Default for MetaConfig {
             decay_every_tasks: 5000,
             second_order: SecondOrder::FirstOrder,
             seed: 0xF3A7,
+            max_consecutive_skips: 64,
         }
     }
 }
@@ -113,6 +121,10 @@ impl ToJson for MetaConfig {
             ),
             ("second_order".into(), self.second_order.to_json()),
             ("seed".into(), Json::from(self.seed)),
+            (
+                "max_consecutive_skips".into(),
+                Json::from(self.max_consecutive_skips),
+            ),
         ])
     }
 }
@@ -131,6 +143,12 @@ impl FromJson for MetaConfig {
             decay_every_tasks: json.field("decay_every_tasks")?.as_usize()?,
             second_order: SecondOrder::from_json(json.field("second_order")?)?,
             seed: json.field("seed")?.as_u64()?,
+            // Absent in pre-divergence-guard checkpoints; default rather
+            // than reject so old files keep loading.
+            max_consecutive_skips: match json.get("max_consecutive_skips") {
+                Some(v) => v.as_usize()?,
+                None => MetaConfig::default().max_consecutive_skips,
+            },
         })
     }
 }
@@ -189,6 +207,23 @@ mod tests {
             ..MetaConfig::default()
         };
         assert!(bad_decay.validate().is_err());
+    }
+
+    #[test]
+    fn old_checkpoints_without_skip_guard_still_load() {
+        let c = MetaConfig {
+            max_consecutive_skips: 7,
+            ..MetaConfig::default()
+        };
+        let Json::Obj(mut fields) = c.to_json() else {
+            panic!("MetaConfig must serialise to an object");
+        };
+        fields.retain(|(k, _)| k != "max_consecutive_skips");
+        let back = MetaConfig::from_json(&Json::Obj(fields)).unwrap();
+        assert_eq!(
+            back.max_consecutive_skips,
+            MetaConfig::default().max_consecutive_skips
+        );
     }
 
     #[test]

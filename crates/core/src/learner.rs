@@ -27,7 +27,7 @@
 use fewner_episode::Task;
 use fewner_models::TokenEncoder;
 use fewner_tensor::ParamGrads;
-use fewner_util::{Error, Result, Rng};
+use fewner_util::{Error, Json, Result, Rng};
 
 /// What one task contributes to a meta-iteration: its query (or support)
 /// loss and the unweighted meta-gradients of that loss.
@@ -129,6 +129,26 @@ pub trait EpisodicLearner {
 
     /// Learning-rate decay hook (×`factor`), driven by the trainer.
     fn decay_lr(&mut self, _factor: f32) {}
+
+    /// Captures everything mutable the learner owns — parameters,
+    /// optimizer moments, internal RNG position — as one JSON document, so
+    /// a training snapshot can restore the learner mid-run. `None` (the
+    /// default) marks the learner as not checkpointable; `train` with
+    /// `checkpoint_every` set will refuse it up front.
+    fn export_state(&self) -> Option<Json> {
+        None
+    }
+
+    /// Restores state captured by [`EpisodicLearner::export_state`] into a
+    /// freshly constructed learner of the *same architecture and
+    /// configuration*. The default rejects the import (matching the
+    /// default `export_state`).
+    fn import_state(&mut self, _state: &Json) -> Result<()> {
+        Err(Error::InvalidConfig(format!(
+            "{} does not support training-state import",
+            self.name()
+        )))
+    }
 }
 
 #[cfg(test)]

@@ -9,8 +9,10 @@
 //!   Hessian-vector products along φ.
 //! * [`maml`] — full-network MAML (first-order), same backbone.
 //! * [`conventional`] — FineTune, ProtoNet, SNAIL and frozen-LM learners.
-//! * [`trainer`] — meta-batch loop with the paper's LR schedule.
+//! * [`trainer`] — meta-batch loop with the paper's LR schedule, rolling
+//!   training snapshots and crash-safe resumption.
 //! * [`checkpoint`] — persist and restore θ_Meta.
+//! * [`snapshot`] — full training-state snapshots behind [`resume`].
 //! * [`learner`] — the common protocol every method implements.
 
 #![warn(missing_docs)]
@@ -22,6 +24,7 @@ pub mod fewner;
 pub mod learner;
 pub mod maml;
 pub mod second_order;
+pub mod snapshot;
 pub mod trainer;
 
 pub use checkpoint::Checkpoint;
@@ -30,4 +33,5 @@ pub use conventional::{FineTuneLearner, FrozenLmLearner, ProtoLearner, SnailLear
 pub use fewner::Fewner;
 pub use learner::{task_rng, EpisodicLearner, TaskOutcome};
 pub use maml::Maml;
-pub use trainer::{train, ParallelTrainer, TrainConfig, TrainingLog};
+pub use snapshot::{RunFingerprint, TrainingSnapshot};
+pub use trainer::{resume, train, ParallelTrainer, TrainConfig, TrainingLog};

@@ -13,9 +13,9 @@
 
 use fewner_episode::Task;
 use fewner_models::{encode_task, Backbone, BackboneConfig, LabeledSentence, TokenEncoder};
-use fewner_tensor::{Adam, Graph, ParamStore, Sgd};
+use fewner_tensor::{Adam, Graph, ParamStore, SavedAdam, SavedParams, Sgd};
 use fewner_text::TagSet;
-use fewner_util::{Error, Result, Rng};
+use fewner_util::{Error, FromJson, Json, Result, Rng, ToJson};
 
 use crate::config::MetaConfig;
 use crate::learner::{EpisodicLearner, TaskOutcome};
@@ -123,6 +123,23 @@ impl EpisodicLearner for Maml {
 
     fn decay_lr(&mut self, factor: f32) {
         self.opt.decay_lr(factor);
+    }
+
+    fn export_state(&self) -> Option<Json> {
+        Some(Json::Obj(vec![
+            ("theta".into(), self.theta.to_saved().to_json()),
+            ("opt".into(), self.opt.to_saved().to_json()),
+            ("rng".into(), self.rng.to_json()),
+        ]))
+    }
+
+    fn import_state(&mut self, state: &Json) -> Result<()> {
+        self.theta
+            .load_saved(&SavedParams::from_json(state.field("theta")?)?)?;
+        self.opt
+            .load_saved(&SavedAdam::from_json(state.field("opt")?)?);
+        self.rng = Rng::from_json(state.field("rng")?)?;
+        Ok(())
     }
 }
 

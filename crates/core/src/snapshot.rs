@@ -1,0 +1,342 @@
+//! Full training-state snapshots and the rolling snapshot directory.
+//!
+//! A [`crate::Checkpoint`] holds θ_Meta — enough to *use* a trained model,
+//! but not enough to *continue* training it: bitwise-identical resumption
+//! also needs the optimizer moments, the task-sampler RNG position, the
+//! learner's internal RNG, the iteration counter and the LR-decay schedule
+//! position. [`TrainingSnapshot`] captures all of it, and the trainer
+//! writes snapshots as a *rolling pair* (`snap-<iteration>.fsnap`, newest
+//! two kept): even if a crash lands mid-write and tears the newest file,
+//! the verified predecessor is still on disk, so a run is never
+//! unresumable.
+//!
+//! Every snapshot file goes through [`fewner_util::durable`]
+//! (versioned header, CRC-32, write-temp/fsync/rename), and
+//! [`latest_valid`] walks the directory newest-first, skipping any file
+//! that fails verification.
+
+use std::path::{Path, PathBuf};
+
+use fewner_util::{durable, Error, FromJson, Json, Result, Rng, ToJson};
+
+/// Snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// File extension of training snapshots.
+pub const SNAPSHOT_EXT: &str = "fsnap";
+
+/// How many snapshots [`save_rolling`] keeps on disk.
+pub const SNAPSHOTS_KEPT: usize = 2;
+
+/// Identity of a training run; a snapshot refuses to resume under a
+/// different schedule (except for the total iteration count, which may
+/// legitimately be extended).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunFingerprint {
+    /// [`crate::EpisodicLearner::name`] of the learner being trained.
+    pub learner: String,
+    /// N.
+    pub n_ways: usize,
+    /// K.
+    pub k_shots: usize,
+    /// Query sentences per training task.
+    pub query_size: usize,
+    /// Task-sampling seed.
+    pub seed: u64,
+    /// Meta-batch size.
+    pub meta_batch: usize,
+}
+
+impl ToJson for RunFingerprint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("learner".into(), Json::from(self.learner.as_str())),
+            ("n_ways".into(), Json::from(self.n_ways)),
+            ("k_shots".into(), Json::from(self.k_shots)),
+            ("query_size".into(), Json::from(self.query_size)),
+            // Hex: seeds are full u64s, beyond JSON's exact-integer range.
+            ("seed".into(), Json::Str(format!("{:016x}", self.seed))),
+            ("meta_batch".into(), Json::from(self.meta_batch)),
+        ])
+    }
+}
+
+impl FromJson for RunFingerprint {
+    fn from_json(json: &Json) -> Result<RunFingerprint> {
+        Ok(RunFingerprint {
+            learner: json.field("learner")?.as_str()?.to_string(),
+            n_ways: json.field("n_ways")?.as_usize()?,
+            k_shots: json.field("k_shots")?.as_usize()?,
+            query_size: json.field("query_size")?.as_usize()?,
+            seed: u64::from_str_radix(json.field("seed")?.as_str()?, 16)
+                .map_err(|_| Error::Serde("bad fingerprint seed".into()))?,
+            meta_batch: json.field("meta_batch")?.as_usize()?,
+        })
+    }
+}
+
+/// The complete state of a meta-training run after some number of
+/// completed iterations.
+#[derive(Debug, Clone)]
+pub struct TrainingSnapshot {
+    /// Format version.
+    pub version: u32,
+    /// Completed meta-iterations (the loop resumes at this index).
+    pub iteration: usize,
+    /// Task-sampler stream position after iteration `iteration`.
+    pub sampler_rng: Rng,
+    /// Mean meta-batch loss per completed (non-skipped) iteration so far.
+    pub losses: Vec<f32>,
+    /// Tasks consumed so far.
+    pub tasks_seen: usize,
+    /// Iterations skipped for non-finite losses/gradients so far.
+    pub skipped: usize,
+    /// Consecutive skips at snapshot time (divergence-guard state).
+    pub consecutive_skips: usize,
+    /// Next `tasks_seen` threshold at which the LR decays.
+    pub next_decay: usize,
+    /// Wall-clock seconds accumulated before the snapshot (informational;
+    /// the only non-deterministic field, and not part of the model).
+    pub wall_secs: f64,
+    /// The run identity this snapshot belongs to.
+    pub fingerprint: RunFingerprint,
+    /// The learner's exported state
+    /// ([`crate::EpisodicLearner::export_state`]): parameters, optimizer
+    /// moments, internal RNG.
+    pub learner: Json,
+}
+
+impl ToJson for TrainingSnapshot {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::from(self.version as u64)),
+            ("iteration".into(), Json::from(self.iteration)),
+            ("sampler_rng".into(), self.sampler_rng.to_json()),
+            (
+                "losses".into(),
+                Json::Arr(self.losses.iter().map(|&l| Json::from(l)).collect()),
+            ),
+            ("tasks_seen".into(), Json::from(self.tasks_seen)),
+            ("skipped".into(), Json::from(self.skipped)),
+            (
+                "consecutive_skips".into(),
+                Json::from(self.consecutive_skips),
+            ),
+            ("next_decay".into(), Json::from(self.next_decay)),
+            ("wall_secs".into(), Json::from(self.wall_secs)),
+            ("fingerprint".into(), self.fingerprint.to_json()),
+            ("learner".into(), self.learner.clone()),
+        ])
+    }
+}
+
+impl FromJson for TrainingSnapshot {
+    fn from_json(json: &Json) -> Result<TrainingSnapshot> {
+        Ok(TrainingSnapshot {
+            version: json.field("version")?.as_u64()? as u32,
+            iteration: json.field("iteration")?.as_usize()?,
+            sampler_rng: Rng::from_json(json.field("sampler_rng")?)?,
+            losses: json
+                .field("losses")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_f32)
+                .collect::<Result<Vec<_>>>()?,
+            tasks_seen: json.field("tasks_seen")?.as_usize()?,
+            skipped: json.field("skipped")?.as_usize()?,
+            consecutive_skips: json.field("consecutive_skips")?.as_usize()?,
+            next_decay: json.field("next_decay")?.as_usize()?,
+            wall_secs: json.field("wall_secs")?.as_f64()?,
+            fingerprint: RunFingerprint::from_json(json.field("fingerprint")?)?,
+            learner: json.field("learner")?.clone(),
+        })
+    }
+}
+
+impl TrainingSnapshot {
+    /// Loads and verifies one snapshot file (header, CRC, format version).
+    pub fn load(path: impl AsRef<Path>) -> Result<TrainingSnapshot> {
+        let path = path.as_ref();
+        let json = durable::read_verified_string(path)?;
+        let snap = TrainingSnapshot::from_json(&Json::parse(&json)?)?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(Error::Serde(format!(
+                "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
+                snap.version
+            )));
+        }
+        Ok(snap)
+    }
+
+    /// Writes this snapshot durably to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        durable::write_atomic(path, self.to_json().to_string().as_bytes())
+    }
+}
+
+/// The snapshot file name for a given completed-iteration count.
+pub fn snapshot_path(dir: impl AsRef<Path>, iteration: usize) -> PathBuf {
+    dir.as_ref()
+        .join(format!("snap-{iteration:08}.{SNAPSHOT_EXT}"))
+}
+
+/// All snapshot files in `dir`, as `(iteration, path)` sorted ascending.
+pub fn list_snapshots(dir: impl AsRef<Path>) -> Result<Vec<(usize, PathBuf)>> {
+    let dir = dir.as_ref();
+    let entries = std::fs::read_dir(dir).map_err(|e| Error::Io {
+        path: dir.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    let mut found = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_prefix("snap-")
+            .and_then(|r| r.strip_suffix(&format!(".{SNAPSHOT_EXT}")))
+        else {
+            continue;
+        };
+        if let Ok(iteration) = stem.parse::<usize>() {
+            found.push((iteration, path));
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Writes `snap` into `dir` and prunes old snapshots, keeping the newest
+/// [`SNAPSHOTS_KEPT`]. The write is atomic and the prune runs only after
+/// it succeeds, so a crash at any point leaves at least one valid,
+/// most-recent-possible snapshot behind.
+pub fn save_rolling(dir: impl AsRef<Path>, snap: &TrainingSnapshot) -> Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).map_err(|e| Error::Io {
+        path: dir.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    let path = snapshot_path(dir, snap.iteration);
+    snap.save(&path)?;
+    let all = list_snapshots(dir)?;
+    if all.len() > SNAPSHOTS_KEPT {
+        for (_, old) in &all[..all.len() - SNAPSHOTS_KEPT] {
+            // Best effort: a stale extra snapshot is harmless.
+            std::fs::remove_file(old).ok();
+        }
+    }
+    Ok(path)
+}
+
+/// The newest snapshot in `dir` that passes verification, walking
+/// newest-first past any truncated or corrupted files. `Ok(None)` when the
+/// directory holds no snapshot files at all; an error when snapshots exist
+/// but none is loadable.
+pub fn latest_valid(dir: impl AsRef<Path>) -> Result<Option<(TrainingSnapshot, PathBuf)>> {
+    let mut all = list_snapshots(dir)?;
+    if all.is_empty() {
+        return Ok(None);
+    }
+    let mut last_err = None;
+    while let Some((_, path)) = all.pop() {
+        match TrainingSnapshot::load(&path) {
+            Ok(snap) => return Ok(Some((snap, path))),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("non-empty snapshot list"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(iteration: usize) -> TrainingSnapshot {
+        TrainingSnapshot {
+            version: SNAPSHOT_VERSION,
+            iteration,
+            sampler_rng: Rng::new(7),
+            losses: vec![1.5, 0.75, 0.5],
+            tasks_seen: iteration * 4,
+            skipped: 1,
+            consecutive_skips: 0,
+            next_decay: 5000,
+            wall_secs: 12.25,
+            fingerprint: RunFingerprint {
+                learner: "FewNER".into(),
+                n_ways: 5,
+                k_shots: 1,
+                query_size: 6,
+                seed: 0xDEAD_BEEF_DEAD_BEEF,
+                meta_batch: 8,
+            },
+            learner: Json::Obj(vec![("theta".into(), Json::Arr(vec![]))]),
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fewner-snap-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn json_round_trip_preserves_all_fields() {
+        let snap = sample(12);
+        let json = snap.to_json().to_string();
+        let back = TrainingSnapshot::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.iteration, 12);
+        assert_eq!(back.sampler_rng, snap.sampler_rng);
+        assert_eq!(back.losses, snap.losses);
+        assert_eq!(back.fingerprint, snap.fingerprint);
+        assert_eq!(back.next_decay, 5000);
+        assert_eq!(back.wall_secs, 12.25);
+    }
+
+    #[test]
+    fn rolling_save_keeps_the_newest_two() {
+        let dir = tmp_dir("rolling");
+        for it in [3, 6, 9, 12] {
+            save_rolling(&dir, &sample(it)).unwrap();
+        }
+        let kept: Vec<usize> = list_snapshots(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(kept, vec![9, 12]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn latest_valid_skips_a_corrupted_newest_file() {
+        let dir = tmp_dir("fallback");
+        save_rolling(&dir, &sample(6)).unwrap();
+        save_rolling(&dir, &sample(9)).unwrap();
+        // Tear the newest file in half.
+        let newest = snapshot_path(&dir, 9);
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            TrainingSnapshot::load(&newest),
+            Err(Error::Io { .. })
+        ));
+        let (snap, path) = latest_valid(&dir).unwrap().expect("predecessor survives");
+        assert_eq!(snap.iteration, 6);
+        assert_eq!(path, snapshot_path(&dir, 6));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_dir_is_none_and_all_corrupt_is_an_error() {
+        let dir = tmp_dir("empty");
+        assert!(latest_valid(&dir).unwrap().is_none());
+        save_rolling(&dir, &sample(3)).unwrap();
+        let path = snapshot_path(&dir, 3);
+        std::fs::write(&path, b"FEWNERD1 deadbeef 4\njunk-extra").unwrap();
+        assert!(latest_valid(&dir).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -14,16 +14,36 @@
 //! task by [`crate::task_rng`], so the parallel loop is bitwise-identical
 //! to the serial one for a fixed seed, at any thread count. Configure with
 //! [`TrainConfig::threads`] or the `FEWNER_THREADS` environment variable.
+//!
+//! # Crash safety
+//!
+//! With [`TrainConfig::checkpoint_every`] set, the loop writes a full
+//! [`TrainingSnapshot`] (θ, optimizer moments, both RNG streams, counters,
+//! decay position) into [`TrainConfig::checkpoint_dir`] every n completed
+//! iterations, as a rolling pair of durable files. [`resume`] restarts
+//! from the newest valid snapshot and — because every source of
+//! randomness is part of the snapshot — produces the bitwise-identical
+//! model a straight-through run would have, at any thread count.
+//!
+//! Non-finite meta-batches are skipped, and
+//! [`MetaConfig::max_consecutive_skips`] bounds how many may be skipped
+//! *in a row* before the loop aborts with [`Error::Diverged`] instead of
+//! burning the rest of the schedule on a ruined θ.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use fewner_corpus::SplitView;
 use fewner_episode::{EpisodeSampler, Task};
 use fewner_models::TokenEncoder;
-use fewner_util::{Error, Result, Rng};
+use fewner_util::{fault, Error, Result, Rng};
 
 use crate::config::MetaConfig;
 use crate::learner::{task_rng, EpisodicLearner, TaskOutcome};
+use crate::snapshot::{self, RunFingerprint, TrainingSnapshot, SNAPSHOT_VERSION};
+
+/// How many trailing finite losses [`Error::Diverged`] carries.
+const DIVERGED_TAIL: usize = 8;
 
 /// Thread count read from the `FEWNER_THREADS` environment variable, if
 /// set to a positive integer.
@@ -52,12 +72,20 @@ pub struct TrainConfig {
     /// parallelism, `n > 1` uses exactly `n` threads. The `FEWNER_THREADS`
     /// environment variable overrides this at run time.
     pub threads: usize,
+    /// Write a [`TrainingSnapshot`] after every this-many completed
+    /// iterations (`0`, the default, disables checkpointing). Requires
+    /// `checkpoint_dir` and a learner that implements
+    /// [`EpisodicLearner::export_state`].
+    pub checkpoint_every: usize,
+    /// Directory for rolling training snapshots (the newest
+    /// [`snapshot::SNAPSHOTS_KEPT`] are kept).
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl TrainConfig {
     /// A schedule for N-way K-shot training with library defaults
-    /// (100 iterations, query size 8, seed `0x7E57`, serial). Refine with
-    /// the builder methods.
+    /// (100 iterations, query size 8, seed `0x7E57`, serial, no
+    /// checkpoints). Refine with the builder methods.
     pub fn new(n_ways: usize, k_shots: usize) -> TrainConfig {
         TrainConfig {
             iterations: 100,
@@ -66,6 +94,8 @@ impl TrainConfig {
             query_size: 8,
             seed: 0x7E57,
             threads: 1,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
         }
     }
 
@@ -98,6 +128,18 @@ impl TrainConfig {
         self
     }
 
+    /// Sets the snapshot cadence (`0` disables checkpointing).
+    pub fn checkpoint_every(mut self, every: usize) -> TrainConfig {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Sets the rolling-snapshot directory.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> TrainConfig {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
     /// The effective thread count: the `FEWNER_THREADS` environment
     /// variable if set, else the `threads` field, with `0` resolved to the
     /// machine's available parallelism.
@@ -123,7 +165,7 @@ pub struct TrainingLog {
     /// Iterations skipped because the meta-batch produced a non-finite
     /// loss or gradient (the optimizer refuses them, so θ stays clean).
     pub skipped: usize,
-    /// Wall-clock seconds for the whole loop.
+    /// Wall-clock seconds for the whole loop (across all resumed legs).
     pub wall_secs: f64,
     /// Mean wall-clock seconds per meta-iteration (the §4.5.2 "outer
     /// loops" figure).
@@ -131,13 +173,27 @@ pub struct TrainingLog {
 }
 
 impl TrainingLog {
-    /// Mean of the last `n` losses (convergence diagnostics).
-    pub fn tail_loss(&self, n: usize) -> f32 {
+    /// Mean of the last `n` losses (convergence diagnostics), or `None`
+    /// when no iteration completed — e.g. every batch was skipped.
+    pub fn tail_loss(&self, n: usize) -> Option<f32> {
         let tail = &self.losses[self.losses.len().saturating_sub(n)..];
         if tail.is_empty() {
-            return f32::NAN;
+            return None;
         }
-        tail.iter().sum::<f32>() / tail.len() as f32
+        Some(tail.iter().sum::<f32>() / tail.len() as f32)
+    }
+}
+
+/// Maps an injected task-gradient fault to its observable behaviour:
+/// `Error` mimics a numerical blow-up (the trainer's skip path), `Panic`
+/// mimics a crash (a worker panic, or process death on the serial path).
+fn check_task_fault() -> Result<()> {
+    match fault::task_grad_fault() {
+        None => Ok(()),
+        Some(fault::TaskFault::Error) => Err(Error::NonFinite {
+            context: "injected fault: task_grad".into(),
+        }),
+        Some(fault::TaskFault::Panic) => panic!("injected fault: task_grad panic"),
     }
 }
 
@@ -178,6 +234,12 @@ impl ParallelTrainer {
     /// Falls back to the learner's own (serial) `meta_step` for one thread
     /// or one task. A panicking worker surfaces as
     /// [`fewner_util::Error::WorkerPanic`].
+    ///
+    /// When a [`fault::FaultPlan`] is armed the serial fall-back runs the
+    /// same decomposed loop as the parallel path so per-task fault hooks
+    /// fire on it too — there, an injected panic unwinds the calling
+    /// thread (i.e. kills the process), which is exactly the crash the CI
+    /// kill-and-resume smoke test wants.
     pub fn meta_step<L>(&self, learner: &mut L, tasks: &[Task], enc: &TokenEncoder) -> Result<f32>
     where
         L: EpisodicLearner + Sync + ?Sized,
@@ -185,10 +247,22 @@ impl ParallelTrainer {
         if tasks.is_empty() {
             return Err(Error::InvalidConfig("empty meta batch".into()));
         }
-        if self.threads <= 1 || tasks.len() < 2 {
+        let faults_armed = fault::active().is_some();
+        if (self.threads <= 1 || tasks.len() < 2) && !faults_armed {
             return learner.meta_step(tasks, enc);
         }
         let step_seed = learner.step_seed();
+        if self.threads <= 1 || tasks.len() < 2 {
+            let mut outcomes = Vec::with_capacity(tasks.len());
+            for (index, task) in tasks.iter().enumerate() {
+                check_task_fault()?;
+                let mut rng = task_rng(step_seed, index);
+                outcomes.push(learner.task_grad(task, enc, &mut rng)?);
+            }
+            let (loss, grads) = TaskOutcome::reduce(outcomes)?;
+            learner.apply_meta_grads(grads, tasks.len())?;
+            return Ok(loss);
+        }
         let shared: &L = learner;
         let indexed: Vec<(usize, &Task)> = tasks.iter().enumerate().collect();
         let chunk = indexed.len().div_ceil(self.threads);
@@ -200,6 +274,7 @@ impl ParallelTrainer {
                         pairs
                             .iter()
                             .map(|&(index, task)| {
+                                check_task_fault()?;
                                 let mut rng = task_rng(step_seed, index);
                                 shared.task_grad(task, enc, &mut rng)
                             })
@@ -230,7 +305,64 @@ impl ParallelTrainer {
     }
 }
 
+/// Everything the loop mutates between iterations: restoring this struct
+/// plus the learner's own state *is* resumption.
+struct LoopState {
+    iteration: usize,
+    rng: Rng,
+    losses: Vec<f32>,
+    tasks_seen: usize,
+    skipped: usize,
+    consecutive_skips: usize,
+    next_decay: usize,
+    prior_wall_secs: f64,
+}
+
+impl LoopState {
+    fn fresh(meta: &MetaConfig, cfg: &TrainConfig) -> LoopState {
+        LoopState {
+            iteration: 0,
+            rng: Rng::new(cfg.seed),
+            losses: Vec::with_capacity(cfg.iterations),
+            tasks_seen: 0,
+            skipped: 0,
+            consecutive_skips: 0,
+            next_decay: meta.decay_every_tasks,
+            prior_wall_secs: 0.0,
+        }
+    }
+
+    fn from_snapshot(snap: &TrainingSnapshot) -> LoopState {
+        LoopState {
+            iteration: snap.iteration,
+            rng: snap.sampler_rng.clone(),
+            losses: snap.losses.clone(),
+            tasks_seen: snap.tasks_seen,
+            skipped: snap.skipped,
+            consecutive_skips: snap.consecutive_skips,
+            next_decay: snap.next_decay,
+            prior_wall_secs: snap.wall_secs,
+        }
+    }
+}
+
+/// The run identity recorded into (and checked against) snapshots.
+fn fingerprint_of(name: &str, meta: &MetaConfig, cfg: &TrainConfig) -> RunFingerprint {
+    RunFingerprint {
+        learner: name.to_string(),
+        n_ways: cfg.n_ways,
+        k_shots: cfg.k_shots,
+        query_size: cfg.query_size,
+        seed: cfg.seed,
+        meta_batch: meta.meta_batch,
+    }
+}
+
 /// Meta-trains `learner` on tasks sampled from `view`.
+///
+/// With [`TrainConfig::checkpoint_every`] set, rolling
+/// [`TrainingSnapshot`]s land in [`TrainConfig::checkpoint_dir`]; a run
+/// killed at any point can be continued with [`resume`].
 pub fn train<L>(
     learner: &mut L,
     view: &SplitView,
@@ -242,23 +374,102 @@ where
     L: EpisodicLearner + Sync + ?Sized,
 {
     meta.validate()?;
+    let state = LoopState::fresh(meta, cfg);
+    run_loop(learner, view, enc, meta, cfg, state)
+}
+
+/// Continues a checkpointed run from the newest valid snapshot in `dir`.
+///
+/// `learner` must be freshly constructed with the same architecture and
+/// configuration as the original run (constructors are seed-deterministic);
+/// its mutable state is then replaced wholesale via
+/// [`EpisodicLearner::import_state`]. The snapshot's [`RunFingerprint`]
+/// must match the given schedule — except for
+/// [`TrainConfig::iterations`], which may differ so a finished run can be
+/// extended. Because the snapshot carries every source of randomness, the
+/// resumed run's final θ is bitwise-identical to a straight-through run's,
+/// at any thread count.
+pub fn resume<L>(
+    learner: &mut L,
+    view: &SplitView,
+    enc: &TokenEncoder,
+    meta: &MetaConfig,
+    cfg: &TrainConfig,
+    dir: impl AsRef<Path>,
+) -> Result<TrainingLog>
+where
+    L: EpisodicLearner + Sync + ?Sized,
+{
+    meta.validate()?;
+    let dir = dir.as_ref();
+    let (snap, path) = snapshot::latest_valid(dir)?.ok_or_else(|| Error::Io {
+        path: dir.display().to_string(),
+        detail: "no training snapshots found".into(),
+    })?;
+    let expected = fingerprint_of(learner.name(), meta, cfg);
+    if snap.fingerprint != expected {
+        return Err(Error::InvalidConfig(format!(
+            "snapshot `{}` belongs to a different run: {:?} vs {:?}",
+            path.display(),
+            snap.fingerprint,
+            expected
+        )));
+    }
+    learner.import_state(&snap.learner)?;
+    let state = LoopState::from_snapshot(&snap);
+    if state.iteration >= cfg.iterations {
+        // Nothing left to train; report the run as the snapshot recorded it.
+        return Ok(TrainingLog {
+            secs_per_iteration: state.prior_wall_secs / cfg.iterations.max(1) as f64,
+            losses: state.losses,
+            tasks_seen: state.tasks_seen,
+            skipped: state.skipped,
+            wall_secs: state.prior_wall_secs,
+        });
+    }
+    run_loop(learner, view, enc, meta, cfg, state)
+}
+
+/// The shared iteration loop behind [`train`] and [`resume`].
+fn run_loop<L>(
+    learner: &mut L,
+    view: &SplitView,
+    enc: &TokenEncoder,
+    meta: &MetaConfig,
+    cfg: &TrainConfig,
+    mut state: LoopState,
+) -> Result<TrainingLog>
+where
+    L: EpisodicLearner + Sync + ?Sized,
+{
     let pool = ParallelTrainer::new(cfg.threads);
     let sampler = EpisodeSampler::new(view, cfg.n_ways, cfg.k_shots, cfg.query_size)?;
-    let mut rng = Rng::new(cfg.seed);
-    let mut losses = Vec::with_capacity(cfg.iterations);
-    let mut tasks_seen = 0usize;
-    let mut skipped = 0usize;
-    let mut next_decay = meta.decay_every_tasks;
+    let ckpt_dir = if cfg.checkpoint_every > 0 {
+        let dir = cfg.checkpoint_dir.as_ref().ok_or_else(|| {
+            Error::InvalidConfig("checkpoint_every requires checkpoint_dir".into())
+        })?;
+        // Refuse up front, not at the first snapshot n iterations in.
+        if learner.export_state().is_none() {
+            return Err(Error::InvalidConfig(format!(
+                "{} does not support training-state export; disable checkpoint_every",
+                learner.name()
+            )));
+        }
+        Some(dir.clone())
+    } else {
+        None
+    };
+    let fingerprint = fingerprint_of(learner.name(), meta, cfg);
     let start = Instant::now();
 
-    for _ in 0..cfg.iterations {
+    while state.iteration < cfg.iterations {
         // A rare unconstructible task (possible on sparse splits) is
         // skipped rather than aborting a long run; a batch with no tasks at
         // all is a genuine configuration problem.
         let mut batch = Vec::with_capacity(meta.meta_batch);
         let mut last_err = None;
         for _ in 0..meta.meta_batch {
-            match sampler.sample(&mut rng) {
+            match sampler.sample(&mut state.rng) {
                 Ok(task) => batch.push(task),
                 Err(e) => last_err = Some(e),
             }
@@ -269,27 +480,68 @@ where
         // Likewise a transient numerical failure skips the batch (the
         // optimizer refuses non-finite gradients, so state stays clean);
         // the log counts the skip instead of recording a poisoned loss.
-        let loss = match pool.meta_step(learner, &batch, enc) {
-            Ok(loss) => loss,
-            Err(fewner_util::Error::NonFinite { .. }) => {
-                skipped += 1;
-                continue;
+        // But a long *unbroken* run of skips means θ is ruined, not
+        // unlucky: the divergence guard aborts rather than burning the
+        // rest of the schedule.
+        match pool.meta_step(learner, &batch, enc) {
+            Ok(loss) => {
+                state.losses.push(loss);
+                state.tasks_seen += batch.len();
+                state.consecutive_skips = 0;
+                while state.tasks_seen >= state.next_decay {
+                    learner.decay_lr(meta.decay);
+                    state.next_decay += meta.decay_every_tasks;
+                }
+            }
+            Err(Error::NonFinite { .. }) => {
+                state.skipped += 1;
+                state.consecutive_skips += 1;
+                if meta.max_consecutive_skips > 0
+                    && state.consecutive_skips >= meta.max_consecutive_skips
+                {
+                    let tail_from = state.losses.len().saturating_sub(DIVERGED_TAIL);
+                    return Err(Error::Diverged {
+                        consecutive_skips: state.consecutive_skips,
+                        loss_tail: state.losses[tail_from..].to_vec(),
+                    });
+                }
             }
             Err(e) => return Err(e),
-        };
-        losses.push(loss);
-        tasks_seen += batch.len();
-        while tasks_seen >= next_decay {
-            learner.decay_lr(meta.decay);
-            next_decay += meta.decay_every_tasks;
+        }
+        state.iteration += 1;
+        if let Some(dir) = &ckpt_dir {
+            if state.iteration.is_multiple_of(cfg.checkpoint_every) {
+                let learner_state = learner.export_state().ok_or_else(|| {
+                    Error::InvalidConfig(format!(
+                        "{} stopped exporting training state mid-run",
+                        learner.name()
+                    ))
+                })?;
+                let snap = TrainingSnapshot {
+                    version: SNAPSHOT_VERSION,
+                    iteration: state.iteration,
+                    sampler_rng: state.rng.clone(),
+                    losses: state.losses.clone(),
+                    tasks_seen: state.tasks_seen,
+                    skipped: state.skipped,
+                    consecutive_skips: state.consecutive_skips,
+                    next_decay: state.next_decay,
+                    wall_secs: state.prior_wall_secs + start.elapsed().as_secs_f64(),
+                    fingerprint: fingerprint.clone(),
+                    learner: learner_state,
+                };
+                // A failed snapshot write aborts the run: silently losing
+                // durability would defeat the point of checkpointing.
+                snapshot::save_rolling(dir, &snap)?;
+            }
         }
     }
-    let wall_secs = start.elapsed().as_secs_f64();
+    let wall_secs = state.prior_wall_secs + start.elapsed().as_secs_f64();
     Ok(TrainingLog {
         secs_per_iteration: wall_secs / cfg.iterations.max(1) as f64,
-        losses,
-        tasks_seen,
-        skipped,
+        losses: state.losses,
+        tasks_seen: state.tasks_seen,
+        skipped: state.skipped,
         wall_secs,
     })
 }
@@ -346,7 +598,7 @@ mod tests {
         assert_eq!(log.skipped, 0);
         assert!(log.losses.iter().all(|l| l.is_finite()));
         assert!(log.secs_per_iteration > 0.0);
-        assert!(log.tail_loss(2).is_finite());
+        assert!(log.tail_loss(2).unwrap().is_finite());
     }
 
     /// A learner whose task gradients blow up: the trainer must count the
@@ -394,10 +646,42 @@ mod tests {
         let log = train(&mut Exploding, &split.train, &enc, &meta, &cfg).unwrap();
         assert_eq!(log.skipped, 4, "every batch must be counted as skipped");
         assert!(log.losses.is_empty(), "no loss entry for a skipped batch");
-        assert!(
-            log.losses.iter().all(|l| l.is_finite()),
-            "the loss log must never contain NaN"
+        assert_eq!(
+            log.tail_loss(4),
+            None,
+            "tail loss over an all-skipped run must be None, not NaN"
         );
+    }
+
+    #[test]
+    fn unbroken_skips_trip_the_divergence_guard() {
+        let d = DatasetProfile::bionlp13cg().generate(0.05).unwrap();
+        let split = split_types(&d, (8, 3, 5), 1).unwrap();
+        let enc = TokenEncoder::build(
+            &[&d],
+            &EmbeddingSpec {
+                dim: 20,
+                ..EmbeddingSpec::default()
+            },
+            4,
+        );
+        let meta = MetaConfig {
+            meta_batch: 2,
+            max_consecutive_skips: 3,
+            ..MetaConfig::default()
+        };
+        let cfg = TrainConfig::new(3, 1).iterations(10).query_size(4).seed(9);
+        let err = train(&mut Exploding, &split.train, &enc, &meta, &cfg).unwrap_err();
+        match err {
+            Error::Diverged {
+                consecutive_skips,
+                loss_tail,
+            } => {
+                assert_eq!(consecutive_skips, 3);
+                assert!(loss_tail.is_empty(), "no finite loss ever landed");
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
     }
 
     #[test]
@@ -494,7 +778,7 @@ mod tests {
             // running a step on a clone of the parameters.
             let snapshot = l.theta.snapshot();
             let loss = l.meta_step(std::slice::from_ref(&probe), &enc).unwrap();
-            l.theta.restore(&snapshot);
+            l.theta.restore(&snapshot).unwrap();
             loss
         };
         let before = probe_loss(&mut learner);

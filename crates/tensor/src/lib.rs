@@ -50,5 +50,5 @@ pub mod params;
 
 pub use array::Array;
 pub use graph::{Gradients, Graph, Var};
-pub use optim::{Adam, Sgd};
+pub use optim::{Adam, SavedAdam, SavedSgd, Sgd};
 pub use params::{ParamGrads, ParamId, ParamStore, SavedParams};

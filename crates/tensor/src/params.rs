@@ -162,11 +162,39 @@ impl ParamStore {
     }
 
     /// Restores a snapshot taken with [`ParamStore::snapshot`].
-    pub fn restore(&mut self, snapshot: &[Array]) {
-        assert_eq!(snapshot.len(), self.values.len(), "snapshot length");
+    ///
+    /// A stale snapshot (wrong parameter count or tensor shapes) is
+    /// rejected with [`Error::ShapeMismatch`] rather than panicking, so a
+    /// bad restore cannot abort a long run; the store is left untouched on
+    /// error.
+    pub fn restore(&mut self, snapshot: &[Array]) -> Result<()> {
+        if snapshot.len() != self.values.len() {
+            return Err(Error::ShapeMismatch {
+                op: "ParamStore::restore",
+                detail: format!(
+                    "snapshot has {} tensors, store has {}",
+                    snapshot.len(),
+                    self.values.len()
+                ),
+            });
+        }
+        for (i, s) in snapshot.iter().enumerate() {
+            if s.shape() != self.values[i].shape() {
+                return Err(Error::ShapeMismatch {
+                    op: "ParamStore::restore",
+                    detail: format!(
+                        "parameter `{}`: snapshot {:?} vs store {:?}",
+                        self.names[i],
+                        s.shape(),
+                        self.values[i].shape()
+                    ),
+                });
+            }
+        }
         for (v, s) in self.values.iter_mut().zip(snapshot) {
             *v = Arc::new(s.clone());
         }
+        Ok(())
     }
 
     /// Serialises the store's names and values.
@@ -441,8 +469,30 @@ mod tests {
         let id = store.add("w", Array::from_vec(1, 2, vec![1.0, 2.0]));
         let snap = store.snapshot();
         store.set(id, Array::from_vec(1, 2, vec![9.0, 9.0]));
-        store.restore(&snap);
+        store.restore(&snap).unwrap();
         assert_eq!(store.value(id).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn stale_snapshot_is_rejected_not_a_panic() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Array::from_vec(1, 2, vec![1.0, 2.0]));
+
+        // Wrong tensor count.
+        let err = store.restore(&[]).unwrap_err();
+        assert!(matches!(
+            err,
+            fewner_util::Error::ShapeMismatch {
+                op: "ParamStore::restore",
+                ..
+            }
+        ));
+
+        // Wrong shape; the store must be left untouched.
+        store.set(id, Array::from_vec(1, 2, vec![5.0, 6.0]));
+        let err = store.restore(&[Array::zeros(2, 2)]).unwrap_err();
+        assert!(matches!(err, fewner_util::Error::ShapeMismatch { .. }));
+        assert_eq!(store.value(id).data(), &[5.0, 6.0]);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::fmt;
 
 /// Errors produced by the FEWNER crates.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Error {
     /// A tensor operation received operands with incompatible shapes.
@@ -42,6 +42,26 @@ pub enum Error {
     },
     /// (De)serialisation failure.
     Serde(String),
+    /// A filesystem operation failed. Distinct from [`Error::Serde`]: the
+    /// bytes never made it to or from disk intact (missing file, permission
+    /// problem, truncation, checksum mismatch), as opposed to well-read
+    /// bytes that failed to parse.
+    Io {
+        /// The path the operation concerned.
+        path: String,
+        /// What went wrong (usually the OS error or the integrity failure).
+        detail: String,
+    },
+    /// Meta-training diverged: every recent meta-batch produced a
+    /// non-finite loss or gradient and was skipped. Carries the tail of the
+    /// loss history so the abort message shows the trajectory into the
+    /// divergence.
+    Diverged {
+        /// How many consecutive meta-batches were skipped.
+        consecutive_skips: usize,
+        /// The most recent recorded (finite) losses, oldest first.
+        loss_tail: Vec<f32>,
+    },
     /// A worker thread panicked inside a parallel section. The panic is
     /// contained and surfaced as an error so one bad episode or task cannot
     /// abort a multi-hour table run.
@@ -65,6 +85,17 @@ impl fmt::Display for Error {
             Error::InvalidTagSequence(msg) => write!(f, "invalid tag sequence: {msg}"),
             Error::NonFinite { context } => write!(f, "non-finite value encountered: {context}"),
             Error::Serde(msg) => write!(f, "serialisation error: {msg}"),
+            Error::Io { path, detail } => write!(f, "io error on `{path}`: {detail}"),
+            Error::Diverged {
+                consecutive_skips,
+                loss_tail,
+            } => {
+                write!(
+                    f,
+                    "training diverged: {consecutive_skips} consecutive meta-batches skipped \
+                     (non-finite loss/gradient); last finite losses: {loss_tail:?}"
+                )
+            }
             Error::WorkerPanic { context } => {
                 write!(f, "worker thread panicked in {context}")
             }
@@ -96,6 +127,22 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn io_and_diverged_display_their_context() {
+        let e = Error::Io {
+            path: "/tmp/model.json".into(),
+            detail: "CRC mismatch".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("/tmp/model.json") && s.contains("CRC mismatch"));
+        let d = Error::Diverged {
+            consecutive_skips: 12,
+            loss_tail: vec![1.5, 2.0],
+        };
+        let s = d.to_string();
+        assert!(s.contains("12") && s.contains("1.5"));
     }
 
     #[test]

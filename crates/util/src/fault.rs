@@ -1,0 +1,270 @@
+//! Fault injection for crash-safety testing.
+//!
+//! A [`FaultPlan`] arms a small set of failure points that the training and
+//! persistence layers consult: the i-th [`task_grad`] call can fail or
+//! panic, and the i-th durable file write can fail outright, tear (leave a
+//! truncated file behind), or silently corrupt a byte. The
+//! `crash_recovery` test suite and the CI kill-and-resume smoke step drive
+//! these hooks to prove that an interrupted run is always resumable.
+//!
+//! The hooks are **zero-cost when off**: the fast path is a single relaxed
+//! atomic load. A plan is installed either programmatically
+//! ([`install`] / [`with_plan`]) or from the `FEWNER_FAULTS` environment
+//! variable, e.g.
+//!
+//! ```text
+//! FEWNER_FAULTS=task_grad_panic:40            # panic on the 40th task_grad
+//! FEWNER_FAULTS=ckpt_write_fail:2,ckpt_corrupt:3
+//! ```
+//!
+//! Counts are 1-based over the process lifetime.
+//!
+//! [`task_grad`]: https://docs.rs/fewner-core (EpisodicLearner::task_grad)
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+
+use crate::error::{Error, Result};
+
+/// What an armed `task_grad` fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskFault {
+    /// Return a non-finite-gradient error (exercises the skip/divergence
+    /// path: the trainer treats it like a numerical blow-up).
+    Error,
+    /// Panic (exercises the crash path: a worker panic in the parallel
+    /// trainer, or a process abort in the serial one).
+    Panic,
+}
+
+/// What an armed durable-write fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The write fails cleanly: nothing reaches disk, an error is returned.
+    Fail,
+    /// A torn write: half the framed bytes land at the final path, then the
+    /// write errors — simulating a crash on a filesystem without atomic
+    /// replace semantics.
+    Truncate,
+    /// Silent bit rot: the full frame is written with one payload byte
+    /// flipped, and the write *succeeds* — only the CRC check at load time
+    /// can catch it.
+    Corrupt,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    TaskGradError,
+    TaskGradPanic,
+    WriteFail,
+    WriteTruncate,
+    WriteCorrupt,
+}
+
+#[derive(Debug)]
+struct Arm {
+    kind: Kind,
+    /// Fires on the `at`-th matching call (1-based).
+    at: u64,
+    seen: AtomicU64,
+}
+
+impl Arm {
+    /// Counts one matching call; true exactly when this call is the
+    /// `at`-th.
+    fn tick(&self) -> bool {
+        self.seen.fetch_add(1, Ordering::Relaxed) + 1 == self.at
+    }
+}
+
+/// An armed set of failure points. See the module docs for the spec syntax.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    arms: Vec<Arm>,
+}
+
+impl FaultPlan {
+    /// Parses a comma-separated `kind:count` spec
+    /// (`task_grad_err | task_grad_panic | ckpt_write_fail | ckpt_truncate
+    /// | ckpt_corrupt`).
+    pub fn parse(spec: &str) -> Result<FaultPlan> {
+        let mut arms = Vec::new();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (kind, count) = part.trim().split_once(':').ok_or_else(|| {
+                Error::InvalidConfig(format!("fault spec `{part}` is not `kind:count`"))
+            })?;
+            let at: u64 = count.trim().parse().map_err(|_| {
+                Error::InvalidConfig(format!("fault count `{count}` is not an integer"))
+            })?;
+            if at == 0 {
+                return Err(Error::InvalidConfig(
+                    "fault counts are 1-based; 0 never fires".into(),
+                ));
+            }
+            let kind = match kind.trim() {
+                "task_grad_err" => Kind::TaskGradError,
+                "task_grad_panic" => Kind::TaskGradPanic,
+                "ckpt_write_fail" => Kind::WriteFail,
+                "ckpt_truncate" => Kind::WriteTruncate,
+                "ckpt_corrupt" => Kind::WriteCorrupt,
+                other => {
+                    return Err(Error::InvalidConfig(format!(
+                        "unknown fault kind `{other}`"
+                    )));
+                }
+            };
+            arms.push(Arm {
+                kind,
+                at,
+                seen: AtomicU64::new(0),
+            });
+        }
+        Ok(FaultPlan { arms })
+    }
+
+    /// Parses the `FEWNER_FAULTS` environment variable, if set and valid.
+    pub fn from_env() -> Option<FaultPlan> {
+        let spec = std::env::var("FEWNER_FAULTS").ok()?;
+        FaultPlan::parse(&spec).ok().filter(|p| !p.arms.is_empty())
+    }
+
+    /// Counts one `task_grad` call; returns a fault if one fires now.
+    pub fn on_task_grad(&self) -> Option<TaskFault> {
+        let mut fired = None;
+        for arm in &self.arms {
+            let matches = matches!(arm.kind, Kind::TaskGradError | Kind::TaskGradPanic);
+            if matches && arm.tick() {
+                fired = Some(match arm.kind {
+                    Kind::TaskGradError => TaskFault::Error,
+                    _ => TaskFault::Panic,
+                });
+            }
+        }
+        fired
+    }
+
+    /// Counts one durable write; returns a fault if one fires now.
+    pub fn on_durable_write(&self) -> Option<WriteFault> {
+        let mut fired = None;
+        for arm in &self.arms {
+            let matches = matches!(
+                arm.kind,
+                Kind::WriteFail | Kind::WriteTruncate | Kind::WriteCorrupt
+            );
+            if matches && arm.tick() {
+                fired = Some(match arm.kind {
+                    Kind::WriteFail => WriteFault::Fail,
+                    Kind::WriteTruncate => WriteFault::Truncate,
+                    _ => WriteFault::Corrupt,
+                });
+            }
+        }
+        fired
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+fn plan_slot() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static SLOT: Mutex<Option<Arc<FaultPlan>>> = Mutex::new(None);
+    &SLOT
+}
+
+fn lock_slot() -> std::sync::MutexGuard<'static, Option<Arc<FaultPlan>>> {
+    // A panicking fault *is* the point of this module; don't let the poison
+    // flag cascade into unrelated tests.
+    plan_slot().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs (or clears, with `None`) the process-wide fault plan.
+pub fn install(plan: Option<Arc<FaultPlan>>) {
+    // Make sure the env probe doesn't later overwrite an explicit install.
+    ENV_INIT.call_once(|| {});
+    let enabled = plan.is_some();
+    *lock_slot() = plan;
+    ENABLED.store(enabled, Ordering::Release);
+}
+
+/// The active plan, if any. First use probes `FEWNER_FAULTS`.
+pub fn active() -> Option<Arc<FaultPlan>> {
+    ENV_INIT.call_once(|| {
+        if let Some(plan) = FaultPlan::from_env() {
+            *lock_slot() = Some(Arc::new(plan));
+            ENABLED.store(true, Ordering::Release);
+        }
+    });
+    if !ENABLED.load(Ordering::Acquire) {
+        return None;
+    }
+    lock_slot().clone()
+}
+
+/// Fault check for one `task_grad` call (no-op without an active plan).
+pub fn task_grad_fault() -> Option<TaskFault> {
+    active()?.on_task_grad()
+}
+
+/// Fault check for one durable write (no-op without an active plan).
+pub fn durable_write_fault() -> Option<WriteFault> {
+    active()?.on_durable_write()
+}
+
+/// Runs `f` with `plan` installed, then clears it. Calls are serialised
+/// process-wide so concurrent tests cannot observe each other's faults.
+pub fn with_plan<T>(plan: FaultPlan, f: impl FnOnce() -> T) -> T {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    install(Some(Arc::new(plan)));
+    struct Clear;
+    impl Drop for Clear {
+        fn drop(&mut self) {
+            install(None);
+        }
+    }
+    let _clear = Clear;
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_kinds_and_rejects_junk() {
+        let plan = FaultPlan::parse("task_grad_err:3, ckpt_corrupt:1").unwrap();
+        assert_eq!(plan.arms.len(), 2);
+        assert!(FaultPlan::parse("task_grad_err").is_err());
+        assert!(FaultPlan::parse("task_grad_err:x").is_err());
+        assert!(FaultPlan::parse("task_grad_err:0").is_err());
+        assert!(FaultPlan::parse("explode:1").is_err());
+        assert!(FaultPlan::parse("").unwrap().arms.is_empty());
+    }
+
+    #[test]
+    fn arms_fire_exactly_once_at_their_count() {
+        let plan = FaultPlan::parse("task_grad_panic:3").unwrap();
+        assert_eq!(plan.on_task_grad(), None);
+        assert_eq!(plan.on_task_grad(), None);
+        assert_eq!(plan.on_task_grad(), Some(TaskFault::Panic));
+        assert_eq!(plan.on_task_grad(), None);
+    }
+
+    #[test]
+    fn task_and_write_counters_are_independent() {
+        let plan = FaultPlan::parse("task_grad_err:1,ckpt_write_fail:2").unwrap();
+        assert_eq!(plan.on_durable_write(), None);
+        assert_eq!(plan.on_task_grad(), Some(TaskFault::Error));
+        assert_eq!(plan.on_durable_write(), Some(WriteFault::Fail));
+    }
+
+    #[test]
+    fn with_plan_scopes_the_installation() {
+        assert!(task_grad_fault().is_none());
+        let fired = with_plan(FaultPlan::parse("task_grad_err:1").unwrap(), || {
+            task_grad_fault()
+        });
+        assert_eq!(fired, Some(TaskFault::Error));
+        assert!(task_grad_fault().is_none());
+    }
+}

@@ -12,12 +12,22 @@
 //! * [`error`] — the library-wide error type.
 //! * [`json`] — a small JSON value with parser/writers for reports and
 //!   checkpoints, so the workspace builds without registry access.
+//! * [`crc32`] + [`durable`] — integrity-checked, atomic (write-temp,
+//!   fsync, rename) file persistence for checkpoints and training
+//!   snapshots.
+//! * [`fault`] — zero-cost-when-off fault injection (failed/torn/corrupt
+//!   writes, failing or panicking task gradients) behind the
+//!   `FEWNER_FAULTS` environment variable, for crash-recovery testing.
 
+pub mod crc32;
+pub mod durable;
 pub mod error;
+pub mod fault;
 pub mod json;
 pub mod rng;
 pub mod stats;
 
+pub use crc32::{crc32, Crc32};
 pub use error::{Error, Result};
 pub use json::{FromJson, Json, ToJson};
 pub use rng::Rng;

@@ -11,6 +11,9 @@
 //! *same* 1000 tasks (§4.2.1); [`Rng::fork`] provides cheap independent
 //! streams for that purpose without consuming state from the parent.
 
+use crate::error::{Error, Result};
+use crate::json::{FromJson, Json, ToJson};
+
 /// A xoshiro256\*\* pseudo-random number generator.
 ///
 /// Not cryptographically secure; statistically excellent and extremely fast,
@@ -41,6 +44,21 @@ impl Rng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
+        Rng { s }
+    }
+
+    /// The raw 256-bit generator state — the stream position — for
+    /// training snapshots. A generator rebuilt with [`Rng::from_state`]
+    /// continues the stream exactly where this one stands.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured with [`Rng::state`].
+    ///
+    /// Note this is *not* [`Rng::new`]: the argument is the raw state, not
+    /// a seed, so the returned generator resumes mid-stream.
+    pub fn from_state(s: [u64; 4]) -> Rng {
         Rng { s }
     }
 
@@ -177,6 +195,38 @@ impl Rng {
     }
 }
 
+impl ToJson for Rng {
+    /// Serialises the stream position. The state words are full 64-bit
+    /// values, beyond JSON's exact-integer range, so they are written as
+    /// hex strings.
+    fn to_json(&self) -> Json {
+        Json::Arr(
+            self.s
+                .iter()
+                .map(|w| Json::Str(format!("{w:016x}")))
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for Rng {
+    fn from_json(json: &Json) -> Result<Rng> {
+        let words = json.as_arr()?;
+        if words.len() != 4 {
+            return Err(Error::Serde(format!(
+                "Rng state must have 4 words, got {}",
+                words.len()
+            )));
+        }
+        let mut s = [0u64; 4];
+        for (slot, word) in s.iter_mut().zip(words) {
+            *slot = u64::from_str_radix(word.as_str()?, 16)
+                .map_err(|_| Error::Serde(format!("bad Rng state word {word:?}")))?;
+        }
+        Ok(Rng { s })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +346,32 @@ mod tests {
         assert_eq!(counts[1], 0);
         let ratio = counts[2] as f64 / counts[0] as f64;
         assert!((2.6..3.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn state_round_trip_resumes_mid_stream() {
+        let mut a = Rng::new(99);
+        for _ in 0..37 {
+            a.next_u64();
+        }
+        // Through the raw state…
+        let mut b = Rng::from_state(a.state());
+        // …and through the JSON wire format.
+        let json = a.to_json().to_string();
+        let mut c = Rng::from_json(&crate::json::Json::parse(&json).unwrap()).unwrap();
+        for _ in 0..100 {
+            let expected = a.next_u64();
+            assert_eq!(b.next_u64(), expected);
+            assert_eq!(c.next_u64(), expected);
+        }
+    }
+
+    #[test]
+    fn malformed_state_json_is_rejected() {
+        let short = crate::json::Json::parse(r#"["0","0","0"]"#).unwrap();
+        assert!(Rng::from_json(&short).is_err());
+        let junk = crate::json::Json::parse(r#"["zz","0","0","0"]"#).unwrap();
+        assert!(Rng::from_json(&junk).is_err());
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn main() -> fewner::Result<()> {
         log.tasks_seen,
         log.wall_secs,
         log.losses.first().unwrap(),
-        log.tail_loss(10)
+        log.tail_loss(10).unwrap_or(f32::NAN)
     );
 
     let after = evaluate(&fewner, &tasks, &enc)?;

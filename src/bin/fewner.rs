@@ -55,7 +55,13 @@ const USAGE: &str = "usage: fewner <corpus|train|evaluate|demo> [flags]
     --episodes <N>         evaluation episodes (default 50)
     --threads <N>          meta-gradient worker threads, 0 = all cores
                            (default 1; FEWNER_THREADS overrides)
-    --out/--model <path>   checkpoint file";
+    --out/--model <path>   checkpoint file
+  train only:
+    --checkpoint-every <N> write a full training snapshot every N iterations
+                           (rolling, newest two kept; default 0 = off)
+    --checkpoint-dir <dir> snapshot directory (default `checkpoints`)
+    --resume <dir>         continue a killed run from the newest valid
+                           snapshot in <dir>";
 
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     let mut it = args.iter();
@@ -182,30 +188,49 @@ fn cmd_train(flags: &HashMap<String, String>) -> fewner::Result<()> {
     let shots = flag(flags, "shots", 1usize);
     let iterations = flag(flags, "iterations", 300usize);
     let threads = flag(flags, "threads", 1usize);
+    let checkpoint_every = flag(flags, "checkpoint-every", 0usize);
+    let resume_dir = flags.get("resume");
+    let ckpt_dir = flags
+        .get("checkpoint-dir")
+        .or(resume_dir)
+        .cloned()
+        .unwrap_or_else(|| "checkpoints".to_string());
 
     let data = p.generate(scale)?;
     let split = split_for(&p, &data, seed)?;
     let enc = build_encoder(&data);
     let cfg = meta();
     let mut learner = Fewner::new(backbone(ways), &enc, cfg.clone())?;
-    let schedule = TrainConfig::new(ways, shots)
+    let mut schedule = TrainConfig::new(ways, shots)
         .iterations(iterations)
         .query_size(6)
         .seed(seed)
         .threads(threads);
+    if checkpoint_every > 0 {
+        schedule = schedule
+            .checkpoint_every(checkpoint_every)
+            .checkpoint_dir(&ckpt_dir);
+        println!("rolling snapshots every {checkpoint_every} iterations in {ckpt_dir}/");
+    }
     println!(
         "meta-training FEWNER on {} ({} train sentences, {} train types)…",
         p.name,
         split.train.len(),
         split.train.types.len()
     );
-    let log = fewner::core::train(&mut learner, &split.train, &enc, &cfg, &schedule)?;
+    let log = match resume_dir {
+        Some(dir) => {
+            println!("resuming from the newest valid snapshot in {dir}/…");
+            fewner::core::resume(&mut learner, &split.train, &enc, &cfg, &schedule, dir)?
+        }
+        None => fewner::core::train(&mut learner, &split.train, &enc, &cfg, &schedule)?,
+    };
     println!(
         "trained {} tasks in {:.1}s; loss {:.3} → {:.3}",
         log.tasks_seen,
         log.wall_secs,
         log.losses.first().copied().unwrap_or(f32::NAN),
-        log.tail_loss(10)
+        log.tail_loss(10).unwrap_or(f32::NAN)
     );
     if let Some(path) = flags.get("out") {
         Checkpoint::capture(&learner).save(path)?;
