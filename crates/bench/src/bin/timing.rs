@@ -14,7 +14,9 @@ use fewner_bench::{backbone_config, embedding_spec, meta_config, Scale, EVAL_SEE
 use fewner_core::{EpisodicLearner, Fewner, Maml, ParallelTrainer};
 use fewner_corpus::{split_types, DatasetProfile};
 use fewner_episode::EpisodeSampler;
+use fewner_eval::{measure_predictions, Throughput};
 use fewner_models::{encode_task, Conditioning, TokenEncoder};
+use fewner_tensor::Graph;
 use fewner_util::Rng;
 
 fn main() {
@@ -119,6 +121,70 @@ fn main() {
         );
         println!("{line}");
         lines.push(line);
+    }
+
+    // Inference throughput: the serving path's gradient-free executor
+    // (`decode_task` on `Infer`, context hoisted per task) vs the tape's
+    // full forward (`batch_loss` on an eval-mode `Graph`) over the same
+    // adapted task — the unit `fewner predict` reports.
+    println!("\nInference throughput (5-way 1-shot query sweep, tape vs Infer):");
+    {
+        let learner = Fewner::new(backbone_config(5, Conditioning::Film), &enc, meta_config())
+            .expect("build");
+        let eval_sampler =
+            EpisodeSampler::new(&split.test, 5, 1, scale.query_size).expect("sampler");
+        let task = eval_sampler
+            .eval_set(EVAL_SEED, 1)
+            .expect("eval set")
+            .remove(0);
+        let (support, query) = encode_task(&enc, &task);
+        let tags = task.tag_set();
+        let (phi_store, phi_id, _) = learner
+            .adapt_context(&support, &tags, meta_config().inner_steps_test)
+            .expect("adapt");
+        let reps = 30;
+
+        let mut infer_t = Throughput::default();
+        for _ in 0..reps {
+            let (paths, t) = measure_predictions(|| {
+                Ok(learner.backbone.decode_task(
+                    &learner.theta,
+                    Some((&phi_store, phi_id)),
+                    query.iter().map(|(s, _)| s),
+                    &tags,
+                ))
+            })
+            .expect("decode");
+            std::hint::black_box(paths);
+            infer_t.merge(&t);
+        }
+
+        let tokens: usize = query.iter().map(|(s, _)| s.len()).sum();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let g = Graph::eval();
+            let phi = g.param(&phi_store, phi_id);
+            let mut rng = Rng::new(0);
+            let loss =
+                learner
+                    .backbone
+                    .batch_loss(&g, &learner.theta, Some(phi), &query, &tags, &mut rng);
+            std::hint::black_box(g.value(loss).scalar_value());
+        }
+        let tape_t = Throughput {
+            tokens: tokens * reps,
+            sentences: query.len() * reps,
+            seconds: t0.elapsed().as_secs_f64(),
+        };
+
+        for (name, t) in [
+            ("Infer decode_task", &infer_t),
+            ("tape batch forward", &tape_t),
+        ] {
+            let line = format!("  {name:<20} {}", t.render());
+            println!("{line}");
+            lines.push(line);
+        }
     }
 
     // Linearity in data size: adaptation time vs support-set multiples.

@@ -67,10 +67,10 @@ impl EpisodicLearner for FineTuneLearner {
     fn task_grad(&self, task: &Task, enc: &TokenEncoder, rng: &mut Rng) -> Result<TaskOutcome> {
         let tags = task.tag_set();
         let (support, _) = encode_task(enc, task);
-        let g = Graph::new();
+        let g = Graph::new(); // training mode: dropout active
         let loss = self
             .backbone
-            .batch_loss(&g, &self.theta, None, &support, &tags, true, rng);
+            .batch_loss(&g, &self.theta, None, &support, &tags, rng);
         Ok(TaskOutcome {
             loss: g.value(loss).scalar_value(),
             grads: g.backward(loss)?.for_store(&self.theta),
@@ -93,17 +93,16 @@ impl EpisodicLearner for FineTuneLearner {
         let mut sgd = Sgd::new(self.cfg.inner_lr);
         let mut rng = Rng::new(0);
         for _ in 0..self.cfg.inner_steps_test {
-            let g = Graph::new();
+            let g = Graph::eval(); // fine-tuning: dropout off, gradients on
             let loss = self
                 .backbone
-                .batch_loss(&g, &adapted, None, &support, &tags, false, &mut rng);
+                .batch_loss(&g, &adapted, None, &support, &tags, &mut rng);
             let grads = g.backward(loss)?.for_store(&adapted);
             sgd.step(&mut adapted, &grads)?;
         }
-        Ok(query
-            .iter()
-            .map(|(sent, _)| self.backbone.decode(&adapted, None, sent, &tags))
-            .collect())
+        Ok(self
+            .backbone
+            .decode_task(&adapted, None, query.iter().map(|(sent, _)| sent), &tags))
     }
 
     fn decay_lr(&mut self, factor: f32) {
@@ -155,7 +154,7 @@ impl EpisodicLearner for ProtoLearner {
         let g = Graph::new();
         let loss = self
             .model
-            .episode_loss(&g, &self.theta, &support, &query, &tags, true, rng)?;
+            .episode_loss(&g, &self.theta, &support, &query, &tags, rng)?;
         Ok(TaskOutcome {
             loss: g.value(loss).scalar_value(),
             grads: g.backward(loss)?.for_store(&self.theta),
@@ -174,10 +173,9 @@ impl EpisodicLearner for ProtoLearner {
     fn adapt_and_predict(&self, task: &Task, enc: &TokenEncoder) -> Result<Vec<Vec<usize>>> {
         let tags = task.tag_set();
         let (support, query) = encode_task(enc, task);
-        Ok(query
-            .iter()
-            .map(|q| self.model.predict(&self.theta, &support, q, &tags))
-            .collect())
+        Ok(self
+            .model
+            .predict_task(&self.theta, &support, &query, &tags))
     }
 
     fn decay_lr(&mut self, factor: f32) {
@@ -235,7 +233,7 @@ impl EpisodicLearner for SnailLearner {
         let g = Graph::new();
         let loss = self
             .model
-            .episode_loss(&g, &self.theta, &support, &query, &tags, true, rng)?;
+            .episode_loss(&g, &self.theta, &support, &query, &tags, rng)?;
         Ok(TaskOutcome {
             loss: g.value(loss).scalar_value(),
             grads: g.backward(loss)?.for_store(&self.theta),
@@ -254,10 +252,9 @@ impl EpisodicLearner for SnailLearner {
     fn adapt_and_predict(&self, task: &Task, enc: &TokenEncoder) -> Result<Vec<Vec<usize>>> {
         let tags = task.tag_set();
         let (support, query) = encode_task(enc, task);
-        Ok(query
-            .iter()
-            .map(|q| self.model.predict(&self.theta, &support, q, &tags))
-            .collect())
+        Ok(self
+            .model
+            .predict_task(&self.theta, &support, &query, &tags))
     }
 
     fn decay_lr(&mut self, factor: f32) {
@@ -333,10 +330,9 @@ impl EpisodicLearner for FrozenLmLearner {
             let grads = g.backward(loss)?.for_store(&head);
             sgd.step(&mut head, &grads)?;
         }
-        Ok(query
-            .iter()
-            .map(|(sent, _)| self.model.predict_with(&head, sent, &tags))
-            .collect())
+        Ok(self
+            .model
+            .predict_task_with(&head, query.iter().map(|(sent, _)| sent), &tags))
     }
 
     fn decay_lr(&mut self, factor: f32) {

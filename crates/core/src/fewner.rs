@@ -80,17 +80,11 @@ impl Fewner {
         let mut rng = Rng::new(0); // inner loop is dropout-free
         for _ in 0..steps {
             let snapshot = (**phi_store.value(phi_id)).clone();
-            let g = Graph::new();
+            let g = Graph::eval(); // inner loop: dropout off, gradients on
             let phi = g.param(&phi_store, phi_id);
-            let loss = self.backbone.batch_loss(
-                &g,
-                &self.theta,
-                Some(phi),
-                support,
-                tags,
-                false,
-                &mut rng,
-            );
+            let loss =
+                self.backbone
+                    .batch_loss(&g, &self.theta, Some(phi), support, tags, &mut rng);
             // A diverging inner loop (possible with many test-time steps on
             // a hard support set) stops early at the last finite φ rather
             // than poisoning the task. (A backtracking line search was
@@ -130,11 +124,11 @@ impl EpisodicLearner for Fewner {
             self.adapt_context(&support, &tags, self.cfg.inner_steps_train)?;
 
         // Query loss of the adapted model (line 9).
-        let g = Graph::new();
+        let g = Graph::new(); // training mode: dropout active
         let phi = g.param(&phi_store, phi_id);
         let loss = self
             .backbone
-            .batch_loss(&g, &self.theta, Some(phi), &query, &tags, true, rng);
+            .batch_loss(&g, &self.theta, Some(phi), &query, &tags, rng);
         let loss_value = g.value(loss).scalar_value();
         let grads = g.backward(loss)?;
         let mut theta_grads = grads.for_store(&self.theta);
@@ -175,13 +169,12 @@ impl EpisodicLearner for Fewner {
         let (support, query) = encode_task(enc, task);
         let (phi_store, phi_id, _) =
             self.adapt_context(&support, &tags, self.cfg.inner_steps_test)?;
-        Ok(query
-            .iter()
-            .map(|(sent, _)| {
-                self.backbone
-                    .decode(&self.theta, Some((&phi_store, phi_id)), sent, &tags)
-            })
-            .collect())
+        Ok(self.backbone.decode_task(
+            &self.theta,
+            Some((&phi_store, phi_id)),
+            query.iter().map(|(sent, _)| sent),
+            &tags,
+        ))
     }
 
     fn decay_lr(&mut self, factor: f32) {
@@ -284,18 +277,13 @@ mod tests {
         let tags = tasks[0].tag_set();
         let (support, _) = encode_task(&enc, &tasks[0]);
         let loss_at = |phi_store: &ParamStore, phi_id| {
-            let g = Graph::new();
+            let g = Graph::eval();
             let phi = g.param(phi_store, phi_id);
             let mut rng = Rng::new(0);
-            let l = fewner.backbone.batch_loss(
-                &g,
-                &fewner.theta,
-                Some(phi),
-                &support,
-                &tags,
-                false,
-                &mut rng,
-            );
+            let l =
+                fewner
+                    .backbone
+                    .batch_loss(&g, &fewner.theta, Some(phi), &support, &tags, &mut rng);
             g.value(l).scalar_value()
         };
         let (phi0, id0) = fewner.backbone.new_context();

@@ -66,10 +66,10 @@ impl Maml {
         let mut sgd = Sgd::new(self.cfg.inner_lr);
         let mut rng = Rng::new(0);
         for _ in 0..steps {
-            let g = Graph::new();
+            let g = Graph::eval(); // inner loop: dropout off, gradients on
             let loss = self
                 .backbone
-                .batch_loss(&g, &adapted, None, support, tags, false, &mut rng);
+                .batch_loss(&g, &adapted, None, support, tags, &mut rng);
             let grads = g.backward(loss)?.for_store(&adapted);
             sgd.step(&mut adapted, &grads)?;
         }
@@ -90,10 +90,10 @@ impl EpisodicLearner for Maml {
         let tags = task.tag_set();
         let (support, query) = encode_task(enc, task);
         let adapted = self.adapt_full(&support, &tags, self.cfg.inner_steps_train)?;
-        let g = Graph::new();
+        let g = Graph::new(); // training mode: dropout active
         let loss = self
             .backbone
-            .batch_loss(&g, &adapted, None, &query, &tags, true, rng);
+            .batch_loss(&g, &adapted, None, &query, &tags, rng);
         let loss_value = g.value(loss).scalar_value();
         // First-order MAML: gradients at θ′ applied to θ (same store id).
         Ok(TaskOutcome {
@@ -115,10 +115,9 @@ impl EpisodicLearner for Maml {
         let tags = task.tag_set();
         let (support, query) = encode_task(enc, task);
         let adapted = self.adapt_full(&support, &tags, self.cfg.inner_steps_test)?;
-        Ok(query
-            .iter()
-            .map(|(sent, _)| self.backbone.decode(&adapted, None, sent, &tags))
-            .collect())
+        Ok(self
+            .backbone
+            .decode_task(&adapted, None, query.iter().map(|(sent, _)| sent), &tags))
     }
 
     fn decay_lr(&mut self, factor: f32) {

@@ -41,10 +41,10 @@ fn grads_at(
 ) -> Result<(ParamGrads, Array)> {
     let (mut phi_store, phi_id) = backbone.new_context();
     phi_store.set(phi_id, phi_value.clone());
-    let g = Graph::new();
+    let g = Graph::eval();
     let phi = g.param(&phi_store, phi_id);
     let mut rng = Rng::new(0); // dropout-free, like the inner loop
-    let loss = backbone.batch_loss(&g, theta, Some(phi), support, tags, false, &mut rng);
+    let loss = backbone.batch_loss(&g, theta, Some(phi), support, tags, &mut rng);
     let grads = g.backward(loss)?;
     let theta_grads = grads.for_store(theta);
     let phi_grad = grads
@@ -159,18 +159,17 @@ mod tests {
             let (mut phi_store, phi_id) = backbone.new_context();
             let mut sgd = fewner_tensor::Sgd::new(alpha);
             for _ in 0..inner_steps {
-                let g = Graph::new();
+                let g = Graph::eval();
                 let phi = g.param(&phi_store, phi_id);
                 let mut r = Rng::new(0);
-                let loss =
-                    backbone.batch_loss(&g, theta, Some(phi), &support, &tags, false, &mut r);
+                let loss = backbone.batch_loss(&g, theta, Some(phi), &support, &tags, &mut r);
                 let grads = g.backward(loss).unwrap().for_store(&phi_store);
                 sgd.step(&mut phi_store, &grads).unwrap();
             }
-            let g = Graph::new();
+            let g = Graph::eval();
             let phi = g.param(&phi_store, phi_id);
             let mut r = Rng::new(0);
-            let loss = backbone.batch_loss(&g, theta, Some(phi), &query, &tags, false, &mut r);
+            let loss = backbone.batch_loss(&g, theta, Some(phi), &query, &tags, &mut r);
             g.value(loss).scalar_value()
         };
 
@@ -180,17 +179,17 @@ mod tests {
         let mut sgd = fewner_tensor::Sgd::new(alpha);
         for _ in 0..inner_steps {
             trajectory.push((**phi_store.value(phi_id)).clone());
-            let g = Graph::new();
+            let g = Graph::eval();
             let phi = g.param(&phi_store, phi_id);
             let mut r = Rng::new(0);
-            let loss = backbone.batch_loss(&g, &theta, Some(phi), &support, &tags, false, &mut r);
+            let loss = backbone.batch_loss(&g, &theta, Some(phi), &support, &tags, &mut r);
             let grads = g.backward(loss).unwrap().for_store(&phi_store);
             sgd.step(&mut phi_store, &grads).unwrap();
         }
-        let g = Graph::new();
+        let g = Graph::eval();
         let phi = g.param(&phi_store, phi_id);
         let mut r = Rng::new(0);
-        let loss = backbone.batch_loss(&g, &theta, Some(phi), &query, &tags, false, &mut r);
+        let loss = backbone.batch_loss(&g, &theta, Some(phi), &query, &tags, &mut r);
         let grads = g.backward(loss).unwrap();
         let first_order = grads.for_store(&theta);
         let v = grads.for_store(&phi_store).get(phi_id).cloned().unwrap();

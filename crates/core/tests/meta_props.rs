@@ -62,18 +62,13 @@ fn inner_loop_loss_is_monotone_enough() {
     let (support, _) = encode_task(&enc, &tasks[0]);
 
     let loss_with_phi = |phi_store: &fewner_tensor::ParamStore, phi_id| -> f32 {
-        let g = Graph::new();
+        let g = Graph::eval();
         let phi = g.param(phi_store, phi_id);
         let mut rng = Rng::new(0);
-        let l = learner.backbone.batch_loss(
-            &g,
-            &learner.theta,
-            Some(phi),
-            &support,
-            &tags,
-            false,
-            &mut rng,
-        );
+        let l =
+            learner
+                .backbone
+                .batch_loss(&g, &learner.theta, Some(phi), &support, &tags, &mut rng);
         g.value(l).scalar_value()
     };
 

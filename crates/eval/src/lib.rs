@@ -9,6 +9,8 @@
 //!   missed) behind the paper's qualitative-error claims (§4.5.3).
 //! * [`significance`] — paired t-test + bootstrap between methods scored on
 //!   the same episodes (the paper's "significant margins").
+//! * [`throughput`] — tokens/sec accounting for the inference/serving path
+//!   (`fewner predict`, the timing harness).
 
 #![warn(missing_docs)]
 
@@ -17,9 +19,11 @@ pub mod episode_eval;
 pub mod f1;
 pub mod report;
 pub mod significance;
+pub mod throughput;
 
 pub use breakdown::{DetectionVsTyping, ErrorBreakdown};
 pub use episode_eval::{evaluate, evaluate_parallel, score_task};
 pub use f1::F1Counts;
 pub use report::{qualitative_line, Cell, Table};
 pub use significance::{paired_compare, PairedComparison};
+pub use throughput::{measure_predictions, Throughput};

@@ -1,0 +1,119 @@
+//! Inference-throughput accounting for the serving path.
+//!
+//! Both the `fewner predict` CLI subcommand and the timing harness report
+//! decoding speed as tokens per second over the query sweep; this module is
+//! the shared bookkeeping: time a prediction closure, count the tokens it
+//! emitted, and render a one-line report.
+
+use std::time::Instant;
+
+use fewner_util::Result;
+
+/// Accumulated prediction-throughput counters for one or more tasks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Throughput {
+    /// Decoded tokens.
+    pub tokens: usize,
+    /// Decoded sentences.
+    pub sentences: usize,
+    /// Wall-clock seconds spent predicting.
+    pub seconds: f64,
+}
+
+impl Throughput {
+    /// Tokens per wall-clock second (0 when nothing was timed).
+    pub fn tokens_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.tokens as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds another measurement into this one.
+    pub fn merge(&mut self, other: &Throughput) {
+        self.tokens += other.tokens;
+        self.sentences += other.sentences;
+        self.seconds += other.seconds;
+    }
+
+    /// One-line human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "{} tokens / {} sentences in {:.1} ms — {:.0} tokens/sec",
+            self.tokens,
+            self.sentences,
+            self.seconds * 1e3,
+            self.tokens_per_sec()
+        )
+    }
+}
+
+/// Times a prediction closure and counts the tokens in its output.
+///
+/// The closure returns per-sentence tag-index paths (the shape of
+/// `EpisodicLearner::adapt_and_predict`); every path element is one decoded
+/// token.
+pub fn measure_predictions<F>(predict: F) -> Result<(Vec<Vec<usize>>, Throughput)>
+where
+    F: FnOnce() -> Result<Vec<Vec<usize>>>,
+{
+    let start = Instant::now();
+    let preds = predict()?;
+    let seconds = start.elapsed().as_secs_f64();
+    let tokens = preds.iter().map(Vec::len).sum();
+    let sentences = preds.len();
+    Ok((
+        preds,
+        Throughput {
+            tokens,
+            sentences,
+            seconds,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_tokens_and_sentences() {
+        let (preds, t) = measure_predictions(|| Ok(vec![vec![0, 1, 2], vec![1], vec![]])).unwrap();
+        assert_eq!(preds.len(), 3);
+        assert_eq!(t.tokens, 4);
+        assert_eq!(t.sentences, 3);
+        assert!(t.seconds >= 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_and_render_is_finite() {
+        let mut a = Throughput {
+            tokens: 100,
+            sentences: 10,
+            seconds: 0.5,
+        };
+        let b = Throughput {
+            tokens: 50,
+            sentences: 5,
+            seconds: 0.5,
+        };
+        a.merge(&b);
+        assert_eq!(a.tokens, 150);
+        assert_eq!(a.sentences, 15);
+        assert!((a.tokens_per_sec() - 150.0).abs() < 1e-9);
+        assert!(a.render().contains("tokens/sec"));
+    }
+
+    #[test]
+    fn zero_time_does_not_divide_by_zero() {
+        let t = Throughput::default();
+        assert_eq!(t.tokens_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let r = measure_predictions(|| Err(fewner_util::Error::InvalidConfig("boom".into())));
+        assert!(r.is_err());
+    }
+}

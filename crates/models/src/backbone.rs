@@ -17,7 +17,7 @@
 //! model-agnostic made concrete.
 
 use fewner_tensor::nn::{BiGru, BiLstm, Conv1d, Embedding, Linear};
-use fewner_tensor::{Graph, ParamId, ParamStore, Var};
+use fewner_tensor::{Exec, Infer, ParamId, ParamStore, Var};
 use fewner_text::TagSet;
 use fewner_util::{Error, Result, Rng};
 
@@ -161,12 +161,26 @@ enum SeqEncoder {
 }
 
 impl SeqEncoder {
-    fn apply(&self, g: &fewner_tensor::Graph, store: &ParamStore, x: Var) -> Var {
+    fn apply<E: Exec>(&self, g: &E, store: &ParamStore, x: Var) -> Var {
         match self {
             SeqEncoder::Gru(e) => e.apply(g, store, x),
             SeqEncoder::Lstm(e) => e.apply(g, store, x),
         }
     }
+}
+
+/// Sentence-independent, φ-conditioned quantities for one task.
+///
+/// Everything here depends only on φ (and the tag set), not on the
+/// sentence, so batched decoding computes it once per adapted task instead
+/// of once per query sentence.
+struct TaskCtx {
+    /// The global part of φ (`[1, phi_dim]`), for ConcatInput and FiLM.
+    global: Option<Var>,
+    /// FiLM rows `(γ, η)` with γ already offset by 1.
+    film: Option<(Var, Var)>,
+    /// Transposed active slot-context rows `[slot_ctx_dim, n]`.
+    active_t: Option<Var>,
 }
 
 /// The θ network: embeddings, char-CNN, BiGRU, FiLM generator and CRF head.
@@ -283,14 +297,63 @@ impl Backbone {
         (store, id)
     }
 
-    /// Token representations `[L, word_dim (+ char features) (+ φ)]`.
-    fn token_repr(
+    /// The φ-derived quantities that feed the input and recurrent layers
+    /// (no slot contexts — those additionally depend on the tag set).
+    fn phi_ctx<E: Exec>(&self, g: &E, theta: &ParamStore, phi: Option<Var>) -> TaskCtx {
+        let global = match self.cfg.conditioning {
+            Conditioning::None => None,
+            Conditioning::Film => {
+                let phi = phi.expect("Film conditioning requires phi");
+                Some(g.slice_cols(phi, 0, self.cfg.phi_dim))
+            }
+            Conditioning::ConcatInput => {
+                let phi = phi.expect("ConcatInput conditioning requires phi");
+                Some(g.slice_cols(phi, 0, self.cfg.phi_dim))
+            }
+        };
+        let film = self.film_gen.as_ref().map(|film| {
+            let ge = film.apply(g, theta, global.expect("Film conditioning requires phi"));
+            let gamma = g.add_scalar(g.slice_cols(ge, 0, 2 * self.cfg.hidden), 1.0);
+            let eta = g.slice_cols(ge, 2 * self.cfg.hidden, 2 * self.cfg.hidden);
+            (gamma, eta)
+        });
+        TaskCtx {
+            global,
+            film,
+            active_t: None,
+        }
+    }
+
+    /// Full per-task context: [`Backbone::phi_ctx`] plus the transposed
+    /// active slot-context rows used by the emission layer.
+    fn task_ctx<E: Exec>(
         &self,
-        g: &Graph,
+        g: &E,
         theta: &ParamStore,
         phi: Option<Var>,
+        tags: &TagSet,
+    ) -> TaskCtx {
+        let mut ctx = self.phi_ctx(g, theta, phi);
+        if let (Some(_), Some(phi)) = (&self.slot_ctx, phi) {
+            // φ's per-slot block, reshaped to [max_ways, slot_ctx_dim]; the
+            // active n slots score each token via a shared projection of h.
+            let n = tags.n_ways();
+            let ds = self.cfg.slot_ctx_dim;
+            let block = g.slice_cols(phi, self.cfg.phi_dim, self.cfg.max_ways() * ds);
+            let slots = g.reshape(block, self.cfg.max_ways(), ds);
+            let active = g.gather_rows(slots, &(0..n).collect::<Vec<_>>());
+            ctx.active_t = Some(g.transpose(active));
+        }
+        ctx
+    }
+
+    /// Token representations `[L, word_dim (+ char features) (+ φ)]`.
+    fn token_repr_ctx<E: Exec>(
+        &self,
+        g: &E,
+        theta: &ParamStore,
+        ctx: &TaskCtx,
         sent: &EncodedSentence,
-        train: bool,
         rng: &mut Rng,
     ) -> Var {
         let words = self.word_emb.apply(g, theta, &sent.word_ids);
@@ -304,8 +367,7 @@ impl Backbone {
             parts.push(g.concat_rows(&rows));
         }
         if self.cfg.conditioning == Conditioning::ConcatInput {
-            let phi = phi.expect("ConcatInput conditioning requires phi");
-            let global = g.slice_cols(phi, 0, self.cfg.phi_dim);
+            let global = ctx.global.expect("ConcatInput conditioning requires phi");
             // Broadcast φ over tokens by explicit row stacking.
             let copies: Vec<Var> = (0..sent.len()).map(|_| global).collect();
             parts.push(g.concat_rows(&copies));
@@ -315,40 +377,50 @@ impl Backbone {
         } else {
             g.concat_cols(&parts)
         };
-        g.dropout(x, self.cfg.dropout, train, rng)
+        g.dropout(x, self.cfg.dropout, rng)
     }
 
-    /// Contextual hidden states `[L, 2H]`, conditioned on φ when given.
-    pub fn hidden(
+    /// Contextual hidden states `[L, 2H]` under a pre-computed task context.
+    fn hidden_ctx<E: Exec>(
         &self,
-        g: &Graph,
+        g: &E,
         theta: &ParamStore,
-        phi: Option<Var>,
+        ctx: &TaskCtx,
         sent: &EncodedSentence,
-        train: bool,
         rng: &mut Rng,
     ) -> Var {
         assert!(!sent.is_empty(), "empty sentence");
-        let x = self.token_repr(g, theta, phi, sent, train, rng);
+        let x = self.token_repr_ctx(g, theta, ctx, sent, rng);
         let mut h = self.encoder.apply(g, theta, x);
-        h = g.dropout(h, self.cfg.dropout, train, rng);
-        if let Some(film) = &self.film_gen {
-            let phi = phi.expect("Film conditioning requires phi");
-            let global = g.slice_cols(phi, 0, self.cfg.phi_dim);
-            let ge = film.apply(g, theta, global); // [1, 4H]
-            let gamma = g.add_scalar(g.slice_cols(ge, 0, 2 * self.cfg.hidden), 1.0);
-            let eta = g.slice_cols(ge, 2 * self.cfg.hidden, 2 * self.cfg.hidden);
+        h = g.dropout(h, self.cfg.dropout, rng);
+        if let Some((gamma, eta)) = ctx.film {
             h = g.film(h, gamma, eta);
         }
         h
     }
 
-    /// Emission scores including the per-slot context conditioning.
-    fn emissions(
+    /// Contextual hidden states `[L, 2H]`, conditioned on φ when given.
+    ///
+    /// Dropout follows the executor's [`fewner_tensor::ExecMode`]: active on
+    /// a training tape (`Graph::new`), inert on `Graph::eval()` and [`Infer`].
+    pub fn hidden<E: Exec>(
         &self,
-        g: &Graph,
+        g: &E,
         theta: &ParamStore,
         phi: Option<Var>,
+        sent: &EncodedSentence,
+        rng: &mut Rng,
+    ) -> Var {
+        let ctx = self.phi_ctx(g, theta, phi);
+        self.hidden_ctx(g, theta, &ctx, sent, rng)
+    }
+
+    /// Emission scores including the per-slot context conditioning.
+    fn emissions_ctx<E: Exec>(
+        &self,
+        g: &E,
+        theta: &ParamStore,
+        ctx: &TaskCtx,
         h: Var,
         tags: &TagSet,
     ) -> Var {
@@ -357,20 +429,14 @@ impl Backbone {
             Head::Dense(c) => c.emissions(g, theta, h, tags),
             Head::SlotShared(c) => c.emissions(g, theta, h, tags),
         };
-        let (Some(slot_ctx), Some(phi)) = (&self.slot_ctx, phi) else {
+        let (Some(slot_ctx), Some(active_t)) = (&self.slot_ctx, ctx.active_t) else {
             return base;
         };
-        // φ's per-slot block, reshaped to [max_ways, slot_ctx_dim]; the
-        // active n slots score each token via a shared projection of h.
         let n = tags.n_ways();
-        let ds = self.cfg.slot_ctx_dim;
-        let block = g.slice_cols(phi, self.cfg.phi_dim, self.cfg.max_ways() * ds);
-        let slots = g.reshape(block, self.cfg.max_ways(), ds);
-        let active = g.gather_rows(slots, &(0..n).collect::<Vec<_>>());
         let proj = slot_ctx.apply(g, theta, h); // [L, ds]
-        let extra = g.matmul(proj, g.transpose(active)); // [L, n]
-                                                         // Expand to the tag layout [O, B-0, I-0, B-1, I-1, …]: the O column
-                                                         // is untouched; B and I of slot s share the slot's context score.
+        let extra = g.matmul(proj, active_t); // [L, n]
+                                              // Expand to the tag layout [O, B-0, I-0, B-1, I-1, …]: the O column
+                                              // is untouched; B and I of slot s share the slot's context score.
         let len = g.shape(h).0;
         let mut cols: Vec<Var> = Vec::with_capacity(tags.len());
         cols.push(g.constant(fewner_tensor::Array::zeros(len, 1)));
@@ -383,7 +449,7 @@ impl Backbone {
     }
 
     /// Transition scores from the head.
-    fn head_transitions(&self, g: &Graph, theta: &ParamStore, tags: &TagSet) -> (Var, Var) {
+    fn head_transitions<E: Exec>(&self, g: &E, theta: &ParamStore, tags: &TagSet) -> (Var, Var) {
         use crate::crf::CrfHead as _;
         match &self.head {
             Head::Dense(c) => c.transitions(g, theta, tags),
@@ -393,42 +459,76 @@ impl Backbone {
 
     /// Sequence NLL of one sentence (`gold` are tag indices).
     #[allow(clippy::too_many_arguments)]
-    pub fn nll(
+    pub fn nll<E: Exec>(
         &self,
-        g: &Graph,
+        g: &E,
         theta: &ParamStore,
         phi: Option<Var>,
         sent: &EncodedSentence,
         gold: &[usize],
         tags: &TagSet,
-        train: bool,
         rng: &mut Rng,
     ) -> Var {
-        let h = self.hidden(g, theta, phi, sent, train, rng);
-        let e = self.emissions(g, theta, phi, h, tags);
+        let ctx = self.task_ctx(g, theta, phi, tags);
+        let h = self.hidden_ctx(g, theta, &ctx, sent, rng);
+        let e = self.emissions_ctx(g, theta, &ctx, h, tags);
         let (trans, start) = self.head_transitions(g, theta, tags);
         crate::crf::crf_nll(g, e, trans, start, gold)
     }
 
     /// Mean sequence NLL over a batch — the per-task loss `L(θ, φ)`.
     #[allow(clippy::too_many_arguments)]
-    pub fn batch_loss(
+    pub fn batch_loss<E: Exec>(
         &self,
-        g: &Graph,
+        g: &E,
         theta: &ParamStore,
         phi: Option<Var>,
         batch: &[(EncodedSentence, Vec<usize>)],
         tags: &TagSet,
-        train: bool,
         rng: &mut Rng,
     ) -> Var {
         assert!(!batch.is_empty(), "empty batch");
         let losses: Vec<Var> = batch
             .iter()
-            .map(|(s, gold)| self.nll(g, theta, phi, s, gold, tags, train, rng))
+            .map(|(s, gold)| self.nll(g, theta, phi, s, gold, tags, rng))
             .collect();
         let total = g.concat_cols(&losses);
         g.mean_all(total)
+    }
+
+    /// Viterbi-decodes every sentence of one adapted task on the
+    /// gradient-free [`Infer`] executor.
+    ///
+    /// The φ-conditioned projections (FiLM rows, slot contexts) and the
+    /// head's transition scores are computed **once** for the whole task;
+    /// per-sentence scratch buffers are recycled between sentences via the
+    /// arena's mark/reset. Paths are bitwise identical to decoding each
+    /// sentence on its own tape.
+    pub fn decode_task<'a, I>(
+        &self,
+        theta: &ParamStore,
+        phi_store: Option<(&ParamStore, ParamId)>,
+        sents: I,
+        tags: &TagSet,
+    ) -> Vec<Vec<usize>>
+    where
+        I: IntoIterator<Item = &'a EncodedSentence>,
+    {
+        let ex = Infer::new();
+        let phi = phi_store.map(|(s, id)| ex.param(s, id));
+        let ctx = self.task_ctx(&ex, theta, phi, tags);
+        let (trans, start) = self.head_transitions(&ex, theta, tags);
+        let (trans, start) = (ex.value(trans), ex.value(start));
+        let mark = ex.mark();
+        let mut rng = Rng::new(0); // inference mode: dropout inert, rng unused
+        let mut paths = Vec::new();
+        for sent in sents {
+            let h = self.hidden_ctx(&ex, theta, &ctx, sent, &mut rng);
+            let e = self.emissions_ctx(&ex, theta, &ctx, h, tags);
+            paths.push(crate::crf::viterbi(&ex.value(e), &trans, &start, tags));
+            ex.reset_to(mark);
+        }
+        paths
     }
 
     /// Viterbi-decodes one sentence to tag indices.
@@ -439,13 +539,9 @@ impl Backbone {
         sent: &EncodedSentence,
         tags: &TagSet,
     ) -> Vec<usize> {
-        let g = Graph::new();
-        let phi = phi_store.map(|(s, id)| g.param(s, id));
-        let mut rng = Rng::new(0); // eval mode: dropout disabled, rng unused
-        let h = self.hidden(&g, theta, phi, sent, false, &mut rng);
-        let e = self.emissions(&g, theta, phi, h, tags);
-        let (trans, start) = self.head_transitions(&g, theta, tags);
-        crate::crf::viterbi(&g.value(e), &g.value(trans), &g.value(start), tags)
+        self.decode_task(theta, phi_store, std::iter::once(sent), tags)
+            .pop()
+            .expect("decode_task returns one path per sentence")
     }
 }
 
@@ -453,6 +549,7 @@ impl Backbone {
 mod tests {
     use super::*;
     use fewner_corpus::DatasetProfile;
+    use fewner_tensor::Graph;
     use fewner_text::embed::EmbeddingSpec;
 
     fn setup(cond: Conditioning) -> (TokenEncoder, Backbone, ParamStore, Rng) {
@@ -500,7 +597,7 @@ mod tests {
         ] {
             let (enc, bb, store, mut rng) = setup(cond);
             let sent = sample_sentence(&enc);
-            let g = Graph::new();
+            let g = Graph::eval();
             let phi = if cond == Conditioning::None {
                 None
             } else {
@@ -508,7 +605,7 @@ mod tests {
                 // Bind via constant copy (the store is dropped here).
                 Some(g.constant((**ps.value(id)).clone()))
             };
-            let h = bb.hidden(&g, &store, phi, &sent, false, &mut rng);
+            let h = bb.hidden(&g, &store, phi, &sent, &mut rng);
             assert_eq!(g.shape(h), (4, 24));
         }
     }
@@ -522,13 +619,18 @@ mod tests {
         let sent = sample_sentence(&enc);
         let (phi_store, phi_id) = bb.new_context();
 
-        let g = Graph::new();
+        let g = Graph::eval();
         let phi = g.param(&phi_store, phi_id);
-        let h_cond = bb.hidden(&g, &store, Some(phi), &sent, false, &mut rng);
+        let h_cond = bb.hidden(&g, &store, Some(phi), &sent, &mut rng);
 
         // Manually compute the unconditioned hidden state on a second graph.
-        let g2 = Graph::new();
-        let x = bb.token_repr(&g2, &store, None, &sent, false, &mut rng);
+        let g2 = Graph::eval();
+        let ctx = TaskCtx {
+            global: None,
+            film: None,
+            active_t: None,
+        };
+        let x = bb.token_repr_ctx(&g2, &store, &ctx, &sent, &mut rng);
         let h_plain = bb.encoder.apply(&g2, &store, x);
 
         let (a, b) = (g.value(h_cond), g2.value(h_plain));
@@ -542,13 +644,12 @@ mod tests {
         let (enc, bb, store, mut rng) = setup(Conditioning::Film);
         let sent = sample_sentence(&enc);
         let (mut phi_store, phi_id) = bb.new_context();
-        let g = Graph::new();
+        let g = Graph::eval();
         let h0 = bb.hidden(
             &g,
             &store,
             Some(g.param(&phi_store, phi_id)),
             &sent,
-            false,
             &mut rng,
         );
         let v0 = g.value(h0);
@@ -557,13 +658,12 @@ mod tests {
             phi_id,
             fewner_tensor::Array::full(1, bb.config().phi_total(), 0.5),
         );
-        let g1 = Graph::new();
+        let g1 = Graph::eval();
         let h1 = bb.hidden(
             &g1,
             &store,
             Some(g1.param(&phi_store, phi_id)),
             &sent,
-            false,
             &mut rng,
         );
         let v1 = g1.value(h1);
@@ -576,10 +676,10 @@ mod tests {
         let sent = sample_sentence(&enc);
         let tags = TagSet::new(3).unwrap();
         let (phi_store, phi_id) = bb.new_context();
-        let g = Graph::new();
+        let g = Graph::eval();
         let phi = g.param(&phi_store, phi_id);
         let gold = vec![0usize; sent.len()];
-        let nll = bb.nll(&g, &store, Some(phi), &sent, &gold, &tags, false, &mut rng);
+        let nll = bb.nll(&g, &store, Some(phi), &sent, &gold, &tags, &mut rng);
         let grads = g.backward(nll).unwrap();
         let phi_grads = grads.for_store(&phi_store);
         assert!(
@@ -622,12 +722,59 @@ mod tests {
             }
         };
         let bb = Backbone::new(cfg, &enc, &mut store, &mut rng).unwrap();
-        let g = Graph::new();
+        let g = Graph::eval();
         let (ps, id) = bb.new_context();
         let phi = g.param(&ps, id);
         let sent = enc.encode(&["alpha".to_string(), "beta".to_string()]);
-        let h = bb.hidden(&g, &store, Some(phi), &sent, false, &mut rng);
+        let h = bb.hidden(&g, &store, Some(phi), &sent, &mut rng);
         assert_eq!(g.shape(h).0, 2);
+    }
+
+    /// The batched-decode fast path (task context computed once) must
+    /// reproduce exactly the paths of a per-sentence tape decode.
+    #[test]
+    fn batched_decode_matches_per_sentence_tape_decode() {
+        for cond in [
+            Conditioning::None,
+            Conditioning::Film,
+            Conditioning::ConcatInput,
+        ] {
+            let (enc, bb, store, _) = setup(cond);
+            let tags = TagSet::new(3).unwrap();
+            let sents: Vec<EncodedSentence> = [
+                vec!["the", "Protein", "binding", "assay"],
+                vec!["Cells", "express", "kinase"],
+                vec!["a", "novel", "gene", "variant", "appears"],
+            ]
+            .iter()
+            .map(|ws| enc.encode(&ws.iter().map(|w| w.to_string()).collect::<Vec<_>>()))
+            .collect();
+            let (mut phi_store, phi_id) = bb.new_context();
+            phi_store.set(
+                phi_id,
+                fewner_tensor::Array::full(1, bb.config().phi_total(), 0.25),
+            );
+            let phi_ref = (cond != Conditioning::None).then_some((&phi_store, phi_id));
+
+            // Reference: decode each sentence on its own tape, recomputing
+            // the φ projections and transitions from scratch every time.
+            let mut rng = Rng::new(0);
+            let reference: Vec<Vec<usize>> = sents
+                .iter()
+                .map(|sent| {
+                    let g = Graph::eval();
+                    let phi = phi_ref.map(|(s, id)| g.param(s, id));
+                    let ctx = bb.task_ctx(&g, &store, phi, &tags);
+                    let h = bb.hidden_ctx(&g, &store, &ctx, sent, &mut rng);
+                    let e = bb.emissions_ctx(&g, &store, &ctx, h, &tags);
+                    let (trans, start) = bb.head_transitions(&g, &store, &tags);
+                    crate::crf::viterbi(&g.value(e), &g.value(trans), &g.value(start), &tags)
+                })
+                .collect();
+
+            let batched = bb.decode_task(&store, phi_ref, sents.iter(), &tags);
+            assert_eq!(batched, reference, "conditioning {cond:?}");
+        }
     }
 
     #[test]

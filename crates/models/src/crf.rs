@@ -17,7 +17,7 @@
 //!   (Table 5) requires exactly this property.
 
 use fewner_tensor::nn::Linear;
-use fewner_tensor::{Array, Graph, ParamId, ParamStore, Var};
+use fewner_tensor::{Array, Exec, ParamId, ParamStore, Var};
 use fewner_text::{Tag, TagSet};
 use fewner_util::Rng;
 
@@ -26,24 +26,34 @@ const FORBIDDEN: f32 = -1.0e4;
 
 /// A CRF head: produces emissions from hidden states, scores gold
 /// sequences, and decodes.
+///
+/// All methods are generic over the executor, so the same head definition
+/// serves tape-recorded training and gradient-free inference.
 pub trait CrfHead {
     /// Emission scores `[L, 2N+1]` from hidden states `[L, H]`.
-    fn emissions(&self, g: &Graph, store: &ParamStore, h: Var, tags: &TagSet) -> Var;
+    fn emissions<E: Exec>(&self, g: &E, store: &ParamStore, h: Var, tags: &TagSet) -> Var;
 
     /// The transition matrix (plus start vector) for an N-way tag set, as
     /// graph nodes so training differentiates through them.
-    fn transitions(&self, g: &Graph, store: &ParamStore, tags: &TagSet) -> (Var, Var);
+    fn transitions<E: Exec>(&self, g: &E, store: &ParamStore, tags: &TagSet) -> (Var, Var);
 
     /// Sequence negative log-likelihood of `gold` (tag indices) — the
     /// paper's `L = −log p(y|h)`.
-    fn nll(&self, g: &Graph, store: &ParamStore, h: Var, gold: &[usize], tags: &TagSet) -> Var {
+    fn nll<E: Exec>(
+        &self,
+        g: &E,
+        store: &ParamStore,
+        h: Var,
+        gold: &[usize],
+        tags: &TagSet,
+    ) -> Var {
         let emissions = self.emissions(g, store, h, tags);
         let (trans, start) = self.transitions(g, store, tags);
         crf_nll(g, emissions, trans, start, gold)
     }
 
     /// Viterbi decode under BIO constraints.
-    fn decode(&self, g: &Graph, store: &ParamStore, h: Var, tags: &TagSet) -> Vec<usize> {
+    fn decode<E: Exec>(&self, g: &E, store: &ParamStore, h: Var, tags: &TagSet) -> Vec<usize> {
         let emissions = self.emissions(g, store, h, tags);
         let (trans, start) = self.transitions(g, store, tags);
         viterbi(&g.value(emissions), &g.value(trans), &g.value(start), tags)
@@ -54,7 +64,7 @@ pub trait CrfHead {
 ///
 /// `alpha_t[j] = lse_i(alpha_{t-1}[i] + trans[i, j]) + emit_t[j]`, with
 /// `alpha_0 = start + emit_0`; the loss is `log Z − score(gold)`.
-pub fn crf_nll(g: &Graph, emissions: Var, trans: Var, start: Var, gold: &[usize]) -> Var {
+pub fn crf_nll<E: Exec>(g: &E, emissions: Var, trans: Var, start: Var, gold: &[usize]) -> Var {
     let len = g.shape(emissions).0;
     assert_eq!(len, gold.len(), "gold length mismatch");
     assert!(len > 0, "empty sequence");
@@ -184,7 +194,7 @@ impl DenseCrf {
 }
 
 impl CrfHead for DenseCrf {
-    fn emissions(&self, g: &Graph, store: &ParamStore, h: Var, tags: &TagSet) -> Var {
+    fn emissions<E: Exec>(&self, g: &E, store: &ParamStore, h: Var, tags: &TagSet) -> Var {
         assert_eq!(
             tags.len(),
             self.n_tags,
@@ -195,7 +205,7 @@ impl CrfHead for DenseCrf {
         self.emission.apply(g, store, h)
     }
 
-    fn transitions(&self, g: &Graph, store: &ParamStore, _tags: &TagSet) -> (Var, Var) {
+    fn transitions<E: Exec>(&self, g: &E, store: &ParamStore, _tags: &TagSet) -> (Var, Var) {
         (g.param(store, self.trans), g.param(store, self.start))
     }
 }
@@ -308,7 +318,7 @@ impl SlotSharedCrf {
 }
 
 impl CrfHead for SlotSharedCrf {
-    fn emissions(&self, g: &Graph, store: &ParamStore, h: Var, tags: &TagSet) -> Var {
+    fn emissions<E: Exec>(&self, g: &E, store: &ParamStore, h: Var, tags: &TagSet) -> Var {
         let n = tags.n_ways();
         assert!(
             n <= self.max_slots,
@@ -334,7 +344,7 @@ impl CrfHead for SlotSharedCrf {
         g.concat_cols(&cols)
     }
 
-    fn transitions(&self, g: &Graph, store: &ParamStore, tags: &TagSet) -> (Var, Var) {
+    fn transitions<E: Exec>(&self, g: &E, store: &ParamStore, tags: &TagSet) -> (Var, Var) {
         let t = tags.len();
         let roles = g.param(store, self.roles);
         // Gather one role score per (from, to) pair; forbidden pairs pull
@@ -374,6 +384,7 @@ impl CrfHead for SlotSharedCrf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fewner_tensor::Graph;
 
     fn setup(n_ways: usize, _hidden: usize) -> (ParamStore, Rng, TagSet) {
         (ParamStore::new(), Rng::new(3), TagSet::new(n_ways).unwrap())

@@ -14,7 +14,7 @@
 //! finer distinction is warranted.
 
 use fewner_tensor::nn::{BiGru, Embedding};
-use fewner_tensor::{Graph, ParamStore, Var};
+use fewner_tensor::{Exec, Infer, ParamStore, Var};
 use fewner_text::TagSet;
 use fewner_util::{Error, Result, Rng};
 
@@ -118,7 +118,7 @@ impl FrozenLm {
     }
 
     /// Frozen contextual features `[L, dim + 2H]`.
-    fn features(&self, g: &Graph, sent: &EncodedSentence) -> Var {
+    fn features<E: Exec>(&self, g: &E, sent: &EncodedSentence) -> Var {
         g.freeze(&self.frozen);
         let words = self.word_emb.apply(g, &self.frozen, &sent.word_ids);
         let ctx = self.contextualiser.apply(g, &self.frozen, words);
@@ -126,15 +126,20 @@ impl FrozenLm {
     }
 
     /// Mean sequence NLL of a batch, differentiable w.r.t. the head only.
-    pub fn batch_loss(&self, g: &Graph, batch: &[LabeledSentence], tags: &TagSet) -> Result<Var> {
+    pub fn batch_loss<E: Exec>(
+        &self,
+        g: &E,
+        batch: &[LabeledSentence],
+        tags: &TagSet,
+    ) -> Result<Var> {
         self.batch_loss_with(g, &self.head_params, batch, tags)
     }
 
     /// Like [`FrozenLm::batch_loss`] but against an external head store
     /// (e.g. a test-time fine-tuned copy; cloned stores keep their id).
-    pub fn batch_loss_with(
+    pub fn batch_loss_with<E: Exec>(
         &self,
-        g: &Graph,
+        g: &E,
         head: &ParamStore,
         batch: &[LabeledSentence],
         tags: &TagSet,
@@ -165,9 +170,39 @@ impl FrozenLm {
         sent: &EncodedSentence,
         tags: &TagSet,
     ) -> Vec<usize> {
-        let g = Graph::new();
-        let feats = self.features(&g, sent);
-        self.head.decode(&g, head, feats, tags)
+        self.predict_task_with(head, std::iter::once(sent), tags)
+            .pop()
+            .expect("predict_task_with returns one path per sentence")
+    }
+
+    /// Viterbi decode of every sentence of one task against an external
+    /// head store, on the gradient-free [`Infer`] executor.
+    ///
+    /// The head's transition scores are computed **once** per task;
+    /// per-sentence scratch buffers are recycled between sentences.
+    pub fn predict_task_with<'a, I>(
+        &self,
+        head: &ParamStore,
+        sents: I,
+        tags: &TagSet,
+    ) -> Vec<Vec<usize>>
+    where
+        I: IntoIterator<Item = &'a EncodedSentence>,
+    {
+        let ex = Infer::new();
+        let (trans, start) = self.head.transitions(&ex, head, tags);
+        let (trans, start) = (ex.value(trans), ex.value(start));
+        let mark = ex.mark();
+        sents
+            .into_iter()
+            .map(|sent| {
+                let feats = self.features(&ex, sent);
+                let e = self.head.emissions(&ex, head, feats, tags);
+                let path = crate::crf::viterbi(&ex.value(e), &trans, &start, tags);
+                ex.reset_to(mark);
+                path
+            })
+            .collect()
     }
 }
 
@@ -177,6 +212,7 @@ mod tests {
     use crate::prep::encode_task;
     use fewner_corpus::{split_types, DatasetProfile};
     use fewner_episode::EpisodeSampler;
+    use fewner_tensor::Graph;
     use fewner_text::embed::EmbeddingSpec;
 
     fn setup() -> (TokenEncoder, Vec<LabeledSentence>, TagSet) {

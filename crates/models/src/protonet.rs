@@ -7,7 +7,7 @@
 //! no CRF and no sequence structure, which is exactly the weakness the
 //! paper's comparison exposes.
 
-use fewner_tensor::{Graph, ParamStore, Var};
+use fewner_tensor::{Exec, Infer, ParamStore, Var};
 use fewner_text::TagSet;
 use fewner_util::{Error, Result, Rng};
 
@@ -34,20 +34,19 @@ impl ProtoNet {
     ///
     /// Returns one `[1, 2H]` prototype per tag class (`None` when the class
     /// has no support tokens).
-    fn prototypes(
+    fn prototypes<E: Exec>(
         &self,
-        g: &Graph,
+        g: &E,
         theta: &ParamStore,
         support: &[LabeledSentence],
         tags: &TagSet,
-        train: bool,
         rng: &mut Rng,
     ) -> Vec<Option<Var>> {
         let n_classes = tags.len();
         // Gather (sentence hidden, token index) per class.
         let mut class_rows: Vec<Vec<Var>> = vec![Vec::new(); n_classes];
         for (sent, gold) in support {
-            let h = self.encoder.hidden(g, theta, None, sent, train, rng);
+            let h = self.encoder.hidden(g, theta, None, sent, rng);
             for (t, &class) in gold.iter().enumerate() {
                 class_rows[class].push(g.row(h, t));
             }
@@ -68,7 +67,7 @@ impl ProtoNet {
     ///
     /// Distances are normalised by the feature dimensionality so the
     /// softmax temperature is independent of the encoder width.
-    fn logits(&self, g: &Graph, h: Var, prototypes: &[Option<Var>]) -> Var {
+    fn logits<E: Exec>(&self, g: &E, h: Var, prototypes: &[Option<Var>]) -> Var {
         let dim = g.shape(h).1 as f32;
         let cols: Vec<Var> = prototypes
             .iter()
@@ -89,20 +88,19 @@ impl ProtoNet {
     /// Episode loss: mean token cross-entropy on the query set given the
     /// support-set prototypes.
     #[allow(clippy::too_many_arguments)]
-    pub fn episode_loss(
+    pub fn episode_loss<E: Exec>(
         &self,
-        g: &Graph,
+        g: &E,
         theta: &ParamStore,
         support: &[LabeledSentence],
         query: &[LabeledSentence],
         tags: &TagSet,
-        train: bool,
         rng: &mut Rng,
     ) -> Result<Var> {
         if support.is_empty() || query.is_empty() {
             return Err(Error::InvalidConfig("empty episode".into()));
         }
-        let protos = self.prototypes(g, theta, support, tags, train, rng);
+        let protos = self.prototypes(g, theta, support, tags, rng);
         let mut losses = Vec::new();
         for (sent, gold) in query {
             // Tokens whose gold class has no support prototype cannot be
@@ -117,7 +115,7 @@ impl ProtoNet {
             if coords.is_empty() {
                 continue;
             }
-            let h = self.encoder.hidden(g, theta, None, sent, train, rng);
+            let h = self.encoder.hidden(g, theta, None, sent, rng);
             let logp = g.log_softmax_rows(self.logits(g, h, &protos));
             let nll = g.mul_scalar(g.gather_sum(logp, &coords), -1.0 / coords.len() as f32);
             losses.push(nll);
@@ -131,6 +129,34 @@ impl ProtoNet {
         Ok(g.mean_all(stacked))
     }
 
+    /// Predicts tag indices for every query sentence of one task on the
+    /// gradient-free [`Infer`] executor.
+    ///
+    /// The support prototypes are encoded **once** per task; per-query
+    /// scratch buffers are recycled between sentences.
+    pub fn predict_task(
+        &self,
+        theta: &ParamStore,
+        support: &[LabeledSentence],
+        queries: &[LabeledSentence],
+        tags: &TagSet,
+    ) -> Vec<Vec<usize>> {
+        let ex = Infer::new();
+        let mut rng = Rng::new(0); // inference mode: dropout inert, rng unused
+        let protos = self.prototypes(&ex, theta, support, tags, &mut rng);
+        let mark = ex.mark();
+        queries
+            .iter()
+            .map(|query| {
+                let h = self.encoder.hidden(&ex, theta, None, &query.0, &mut rng);
+                let logits = ex.value(self.logits(&ex, h, &protos));
+                let pred = (0..logits.rows()).map(|r| logits.argmax_row(r)).collect();
+                ex.reset_to(mark);
+                pred
+            })
+            .collect()
+    }
+
     /// Predicts tag indices for one query sentence (nearest prototype per
     /// token).
     pub fn predict(
@@ -140,14 +166,9 @@ impl ProtoNet {
         query: &LabeledSentence,
         tags: &TagSet,
     ) -> Vec<usize> {
-        let g = Graph::new();
-        let mut rng = Rng::new(0);
-        let protos = self.prototypes(&g, theta, support, tags, false, &mut rng);
-        let h = self
-            .encoder
-            .hidden(&g, theta, None, &query.0, false, &mut rng);
-        let logits = g.value(self.logits(&g, h, &protos));
-        (0..logits.rows()).map(|r| logits.argmax_row(r)).collect()
+        self.predict_task(theta, support, std::slice::from_ref(query), tags)
+            .pop()
+            .expect("predict_task returns one path per query")
     }
 }
 
@@ -159,6 +180,7 @@ mod tests {
     use crate::prep::encode_task;
     use fewner_corpus::{split_types, DatasetProfile};
     use fewner_episode::EpisodeSampler;
+    use fewner_tensor::Graph;
     use fewner_text::embed::EmbeddingSpec;
 
     fn setup() -> (
@@ -207,7 +229,7 @@ mod tests {
         let g = Graph::new();
         let mut rng = Rng::new(1);
         let loss = pn
-            .episode_loss(&g, &store, &support, &query, &tags, false, &mut rng)
+            .episode_loss(&g, &store, &support, &query, &tags, &mut rng)
             .unwrap();
         let v = g.value(loss).scalar_value();
         assert!(v.is_finite() && v > 0.0, "loss {v}");
@@ -234,7 +256,7 @@ mod tests {
             let g = Graph::new();
             let mut rng = Rng::new(2);
             let loss = pn
-                .episode_loss(&g, &store, &support, &query, &tags, false, &mut rng)
+                .episode_loss(&g, &store, &support, &query, &tags, &mut rng)
                 .unwrap();
             last = g.value(loss).scalar_value();
             first.get_or_insert(last);
@@ -250,7 +272,7 @@ mod tests {
         let g = Graph::new();
         let mut rng = Rng::new(3);
         assert!(pn
-            .episode_loss(&g, &store, &[], &query, &tags, false, &mut rng)
+            .episode_loss(&g, &store, &[], &query, &tags, &mut rng)
             .is_err());
     }
 }

@@ -10,7 +10,7 @@
 //! is episodic (no inner loop, no test-time gradient steps).
 
 use fewner_tensor::nn::{Embedding, Linear};
-use fewner_tensor::{Array, Graph, ParamStore, Var};
+use fewner_tensor::{Array, Exec, Infer, ParamStore, Var};
 use fewner_text::TagSet;
 use fewner_util::{Error, Result, Rng};
 
@@ -106,18 +106,17 @@ impl Snail {
     }
 
     /// Builds the support memory: keys `[M, h]`, values `[M, h+label]`.
-    fn memory(
+    fn memory<E: Exec>(
         &self,
-        g: &Graph,
+        g: &E,
         theta: &ParamStore,
         support: &[LabeledSentence],
-        train: bool,
         rng: &mut Rng,
     ) -> (Var, Var) {
         let mut key_rows = Vec::new();
         let mut val_rows = Vec::new();
         for (sent, gold) in support {
-            let h = self.encoder.hidden(g, theta, None, sent, train, rng);
+            let h = self.encoder.hidden(g, theta, None, sent, rng);
             let labels = self.label_emb.apply(g, theta, gold);
             key_rows.push(h);
             val_rows.push(g.concat_cols(&[h, labels]));
@@ -126,17 +125,16 @@ impl Snail {
     }
 
     /// Per-token logits `[L, 2N+1]` for one query sentence given a memory.
-    fn query_logits(
+    fn query_logits<E: Exec>(
         &self,
-        g: &Graph,
+        g: &E,
         theta: &ParamStore,
         memory: (Var, Var),
         sent: &crate::encoding::EncodedSentence,
-        train: bool,
         rng: &mut Rng,
     ) -> Var {
         let (mem_keys, mem_vals) = memory;
-        let h = self.encoder.hidden(g, theta, None, sent, train, rng);
+        let h = self.encoder.hidden(g, theta, None, sent, rng);
 
         // Causal attention over the support memory.
         let q = self.wq.apply(g, theta, h);
@@ -162,14 +160,13 @@ impl Snail {
 
     /// Episode loss: mean token cross-entropy on the query set.
     #[allow(clippy::too_many_arguments)]
-    pub fn episode_loss(
+    pub fn episode_loss<E: Exec>(
         &self,
-        g: &Graph,
+        g: &E,
         theta: &ParamStore,
         support: &[LabeledSentence],
         query: &[LabeledSentence],
         tags: &TagSet,
-        train: bool,
         rng: &mut Rng,
     ) -> Result<Var> {
         if support.is_empty() || query.is_empty() {
@@ -182,10 +179,10 @@ impl Snail {
                 tags.n_ways()
             )));
         }
-        let memory = self.memory(g, theta, support, train, rng);
+        let memory = self.memory(g, theta, support, rng);
         let mut losses = Vec::new();
         for (sent, gold) in query {
-            let logits = self.query_logits(g, theta, memory, sent, train, rng);
+            let logits = self.query_logits(g, theta, memory, sent, rng);
             let logp = g.log_softmax_rows(logits);
             // Class-weighted token cross-entropy: entity tokens count
             // `entity_weight` times as much as `O` tokens.
@@ -216,19 +213,44 @@ impl Snail {
         Ok(g.mean_all(stacked))
     }
 
+    /// Predicts tag indices for every query sentence of one task on the
+    /// gradient-free [`Infer`] executor.
+    ///
+    /// The support memory (keys and values) is encoded **once** per task;
+    /// per-query scratch buffers are recycled between sentences.
+    pub fn predict_task(
+        &self,
+        theta: &ParamStore,
+        support: &[LabeledSentence],
+        queries: &[LabeledSentence],
+        _tags: &TagSet,
+    ) -> Vec<Vec<usize>> {
+        let ex = Infer::new();
+        let mut rng = Rng::new(0); // inference mode: dropout inert, rng unused
+        let memory = self.memory(&ex, theta, support, &mut rng);
+        let mark = ex.mark();
+        queries
+            .iter()
+            .map(|query| {
+                let logits = ex.value(self.query_logits(&ex, theta, memory, &query.0, &mut rng));
+                let pred = (0..logits.rows()).map(|r| logits.argmax_row(r)).collect();
+                ex.reset_to(mark);
+                pred
+            })
+            .collect()
+    }
+
     /// Predicts tag indices for one query sentence.
     pub fn predict(
         &self,
         theta: &ParamStore,
         support: &[LabeledSentence],
         query: &LabeledSentence,
-        _tags: &TagSet,
+        tags: &TagSet,
     ) -> Vec<usize> {
-        let g = Graph::new();
-        let mut rng = Rng::new(0);
-        let memory = self.memory(&g, theta, support, false, &mut rng);
-        let logits = g.value(self.query_logits(&g, theta, memory, &query.0, false, &mut rng));
-        (0..logits.rows()).map(|r| logits.argmax_row(r)).collect()
+        self.predict_task(theta, support, std::slice::from_ref(query), tags)
+            .pop()
+            .expect("predict_task returns one path per query")
     }
 }
 
@@ -240,6 +262,7 @@ mod tests {
     use crate::prep::encode_task;
     use fewner_corpus::{split_types, DatasetProfile};
     use fewner_episode::EpisodeSampler;
+    use fewner_tensor::Graph;
     use fewner_text::embed::EmbeddingSpec;
 
     fn setup() -> (
@@ -289,7 +312,7 @@ mod tests {
         let g = Graph::new();
         let mut rng = Rng::new(1);
         let loss = m
-            .episode_loss(&g, &store, &support, &query, &tags, false, &mut rng)
+            .episode_loss(&g, &store, &support, &query, &tags, &mut rng)
             .unwrap();
         assert!(g.value(loss).scalar_value().is_finite());
         let grads = g.backward(loss).unwrap().for_store(&store);
@@ -316,7 +339,7 @@ mod tests {
             let g = Graph::new();
             let mut rng = Rng::new(2);
             let loss = m
-                .episode_loss(&g, &store, &support, &query, &tags, false, &mut rng)
+                .episode_loss(&g, &store, &support, &query, &tags, &mut rng)
                 .unwrap();
             last = g.value(loss).scalar_value();
             first.get_or_insert(last);
@@ -333,7 +356,7 @@ mod tests {
         let mut rng = Rng::new(3);
         let wrong = TagSet::new(5).unwrap();
         assert!(m
-            .episode_loss(&g, &store, &support, &query, &wrong, false, &mut rng)
+            .episode_loss(&g, &store, &support, &query, &wrong, &mut rng)
             .is_err());
     }
 }

@@ -124,12 +124,13 @@ proptest! {
         prop_assert!(g2.value(nll2).scalar_value() >= -1e-4);
         prop_assert!(g2.backward(nll2).is_ok());
 
-        // Both decode to BIO-valid sequences.
-        for (head, store, graph, hvar) in [
-            (&dense as &dyn CrfHead, &store, &g, h),
-            (&ss as &dyn CrfHead, &store2, &g2, h2),
+        // Both decode to BIO-valid sequences. (CrfHead is no longer
+        // dyn-compatible — its methods are generic over the executor — so
+        // decode each head statically.)
+        for path in [
+            dense.decode(&g, &store, h, &tags),
+            ss.decode(&g2, &store2, h2, &tags),
         ] {
-            let path = head.decode(graph, store, hvar, &tags);
             let decoded: Vec<Tag> = path.iter().map(|&i| tags.tag(i)).collect();
             validate_tags(&decoded, &tags).unwrap();
         }

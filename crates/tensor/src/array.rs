@@ -272,6 +272,12 @@ impl Array {
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
+
+    /// Consumes the array, returning its backing storage for reuse (the
+    /// inference arena's buffer pool).
+    pub(crate) fn take_data(self) -> Vec<f32> {
+        self.data
+    }
 }
 
 /// `out += a · b` (or `out = a · b` when `overwrite` is false means accumulate).

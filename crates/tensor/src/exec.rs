@@ -1,0 +1,170 @@
+//! The executor abstraction: one op vocabulary, two evaluation strategies.
+//!
+//! Model code is written once against the [`Exec`] trait and runs under two
+//! executors:
+//!
+//! * [`crate::Graph`] — the tape-recording autodiff executor. Every op is
+//!   evaluated eagerly *and* recorded so [`crate::Graph::backward`] can run a
+//!   reverse sweep. Used wherever gradients are needed: meta-training and the
+//!   inner-loop φ adaptation.
+//! * [`crate::Infer`] — the gradient-free executor. The same ops are
+//!   evaluated eagerly into a reusable scratch-buffer arena with no `Op`
+//!   nodes and no gradient bookkeeping. Used for the post-adaptation query
+//!   sweep, Viterbi decode and the `fewner predict` serving path.
+//!
+//! Both executors share the numeric kernels in [`crate::kernels`], so their
+//! forward values are **bitwise identical** — a property the test suite pins
+//! down. The executor also owns the train/eval distinction ([`ExecMode`]):
+//! [`Exec::dropout`] is the identity unless the executor is in
+//! [`ExecMode::Train`], which removes the error-prone `train: bool` flag
+//! from every model signature.
+
+use std::sync::Arc;
+
+use fewner_util::Rng;
+
+use crate::array::Array;
+use crate::params::{ParamId, ParamStore};
+
+/// Handle to a value owned by an executor.
+///
+/// A `Var` is only meaningful for the executor that created it; indices are
+/// positions in that executor's node list (tape) or slot arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// Whether stochastic regularisation (dropout) is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Training: dropout masks are sampled and applied.
+    Train,
+    /// Evaluation/inference: dropout is the identity.
+    Eval,
+}
+
+/// The op vocabulary shared by the tape ([`crate::Graph`]) and the
+/// gradient-free arena ([`crate::Infer`]).
+///
+/// Required methods mirror the tape's builder surface one-to-one; provided
+/// methods are pure compositions and therefore behave identically under any
+/// implementation. Shape errors panic with a descriptive message, exactly as
+/// on the tape (model architectures fix shapes at construction time).
+pub trait Exec {
+    /// Inserts a constant (no gradient will ever flow into it).
+    fn constant(&self, value: Array) -> Var;
+    /// Binds a parameter from a store; repeated binds return the same handle.
+    fn param(&self, store: &ParamStore, id: ParamId) -> Var;
+    /// Marks a store's parameters as gradient-free. A no-op on executors
+    /// that never compute gradients.
+    fn freeze(&self, store: &ParamStore);
+    /// The current value of a node (cheap `Arc` clone).
+    fn value(&self, v: Var) -> Arc<Array>;
+    /// Shape of a node's value.
+    fn shape(&self, v: Var) -> (usize, usize);
+    /// Whether dropout is active on this executor.
+    fn mode(&self) -> ExecMode;
+
+    /// Elementwise (broadcasting) addition.
+    fn add(&self, a: Var, b: Var) -> Var;
+    /// Elementwise (broadcasting) subtraction.
+    fn sub(&self, a: Var, b: Var) -> Var;
+    /// Elementwise (broadcasting) multiplication.
+    fn mul(&self, a: Var, b: Var) -> Var;
+    /// Adds a scalar to every element.
+    fn add_scalar(&self, a: Var, c: f32) -> Var;
+    /// Multiplies every element by a scalar.
+    fn mul_scalar(&self, a: Var, c: f32) -> Var;
+    /// Matrix product.
+    fn matmul(&self, a: Var, b: Var) -> Var;
+    /// Transpose.
+    fn transpose(&self, a: Var) -> Var;
+    /// Logistic sigmoid.
+    fn sigmoid(&self, a: Var) -> Var;
+    /// Hyperbolic tangent.
+    fn tanh(&self, a: Var) -> Var;
+    /// Rectified linear unit.
+    fn relu(&self, a: Var) -> Var;
+    /// Concatenates along columns: `[r, c1] ++ [r, c2] … → [r, Σci]`.
+    fn concat_cols(&self, parts: &[Var]) -> Var;
+    /// Stacks along rows: `[r1, c] ++ [r2, c] … → [Σri, c]`.
+    fn concat_rows(&self, parts: &[Var]) -> Var;
+    /// Extracts row `i` as a `[1, c]` node.
+    fn row(&self, a: Var, i: usize) -> Var;
+    /// Extracts columns `start..start+len`.
+    fn slice_cols(&self, a: Var, start: usize, len: usize) -> Var;
+    /// Sum of all elements → `[1, 1]`.
+    fn sum_all(&self, a: Var) -> Var;
+    /// Mean of all elements → `[1, 1]`.
+    fn mean_all(&self, a: Var) -> Var;
+    /// Column sums: `[r, c] → [1, c]`.
+    fn col_sum(&self, a: Var) -> Var;
+    /// Row sums: `[r, c] → [r, 1]`.
+    fn row_sum(&self, a: Var) -> Var;
+    /// Column-wise max: `[r, c] → [1, c]` (CNN max-over-time pooling).
+    fn col_max(&self, a: Var) -> Var;
+    /// Column-wise log-sum-exp: `[r, c] → [1, c]` (CRF forward recursion).
+    fn col_lse(&self, a: Var) -> Var;
+    /// Log-sum-exp over all elements → `[1, 1]` (CRF partition function).
+    fn lse_all(&self, a: Var) -> Var;
+    /// Row-wise log-softmax.
+    fn log_softmax_rows(&self, a: Var) -> Var;
+    /// Row-wise softmax.
+    fn softmax_rows(&self, a: Var) -> Var;
+    /// Sliding-window unfold (im2col for 1-D convolution).
+    fn unfold(&self, a: Var, k: usize) -> Var;
+    /// Gathers rows by index (embedding lookup): `[V, D] → [len(idx), D]`.
+    fn gather_rows(&self, a: Var, indices: &[usize]) -> Var;
+    /// Reinterprets the (row-major) data as a `rows × cols` matrix.
+    fn reshape(&self, a: Var, rows: usize, cols: usize) -> Var;
+    /// Sum of selected entries → `[1, 1]` (CRF gold-path scoring).
+    fn gather_sum(&self, a: Var, coords: &[(usize, usize)]) -> Var;
+
+    /// Inserts a 1×1 constant.
+    fn scalar(&self, value: f32) -> Var {
+        self.constant(Array::scalar(value))
+    }
+
+    /// Negation.
+    fn neg(&self, a: Var) -> Var {
+        self.mul_scalar(a, -1.0)
+    }
+
+    /// `1 − a`, elementwise (GRU update gate complement).
+    fn one_minus(&self, a: Var) -> Var {
+        self.add_scalar(self.mul_scalar(a, -1.0), 1.0)
+    }
+
+    /// FiLM conditioning (paper Eq. 8): `γ ⊙ h + η` with `γ`, `η` `[1, D]`
+    /// rows broadcast over `h`'s rows.
+    fn film(&self, h: Var, gamma: Var, eta: Var) -> Var {
+        self.add(self.mul(h, gamma), eta)
+    }
+
+    /// Mean over rows: `[r, c] → [1, c]` (prototype computation).
+    fn row_mean(&self, a: Var) -> Var {
+        let rows = self.shape(a).0;
+        self.mul_scalar(self.col_sum(a), 1.0 / rows as f32)
+    }
+
+    /// Inverted dropout. Identity unless the executor is in
+    /// [`ExecMode::Train`] and `rate > 0`; the mask consumes one `rng` draw
+    /// per element, so draw order is identical on every executor.
+    fn dropout(&self, a: Var, rate: f32, rng: &mut Rng) -> Var {
+        if self.mode() != ExecMode::Train || rate <= 0.0 {
+            return a;
+        }
+        assert!(rate < 1.0, "dropout rate must be < 1");
+        let keep = 1.0 - rate;
+        let (r, c) = self.shape(a);
+        let mut mask = Array::zeros(r, c);
+        for v in mask.data_mut() {
+            *v = if rng.chance(keep as f64) {
+                1.0 / keep
+            } else {
+                0.0
+            };
+        }
+        let m = self.constant(mask);
+        self.mul(a, m)
+    }
+}

@@ -25,12 +25,11 @@ use std::sync::Arc;
 use fewner_util::{Error, Result, Rng};
 
 use crate::array::{matmul_a_bt, matmul_at_b, matmul_into, Array};
+use crate::exec::{Exec, ExecMode};
 use crate::kernels;
 use crate::params::{ParamGrads, ParamId, ParamStore};
 
-/// Handle to a node in a [`Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Var(usize);
+pub use crate::exec::Var;
 
 #[derive(Debug)]
 enum Op {
@@ -118,6 +117,7 @@ pub struct Graph {
     nodes: RefCell<Vec<Node>>,
     bound_params: RefCell<HashMap<ParamId, Var>>,
     frozen_stores: RefCell<std::collections::HashSet<u64>>,
+    mode: ExecMode,
 }
 
 impl Default for Graph {
@@ -126,14 +126,71 @@ impl Default for Graph {
     }
 }
 
+// Graphs are built and dropped once per forward pass — thousands of times
+// per meta-iteration — so dropped tapes park their (cleared) node storage in
+// a small thread-local free list and `Graph::new` reclaims it, capacity
+// intact, instead of reallocating from 256 nodes every episode.
+const NODE_POOL_KEEP: usize = 8;
+
+thread_local! {
+    static NODE_POOL: RefCell<Vec<Vec<Node>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn recycled_nodes() -> Vec<Node> {
+    NODE_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_else(|| Vec::with_capacity(256))
+}
+
+impl Drop for Graph {
+    fn drop(&mut self) {
+        let mut nodes = std::mem::take(self.nodes.get_mut());
+        nodes.clear();
+        NODE_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < NODE_POOL_KEEP {
+                pool.push(nodes);
+            }
+        });
+    }
+}
+
 impl Graph {
-    /// Creates an empty tape.
+    /// Creates an empty tape in [`ExecMode::Train`] (dropout active).
+    ///
+    /// Tape storage is recycled from previously dropped graphs on the same
+    /// thread, so steady-state training does not pay a per-episode
+    /// reallocation of the node vector.
     pub fn new() -> Graph {
+        Graph::with_mode(ExecMode::Train)
+    }
+
+    /// Creates an empty tape in [`ExecMode::Eval`] (dropout is identity).
+    ///
+    /// Gradients remain fully available — this is the executor for
+    /// dropout-free adaptation losses (FEWNER's inner loop differentiates a
+    /// deterministic support loss).
+    pub fn eval() -> Graph {
+        Graph::with_mode(ExecMode::Eval)
+    }
+
+    fn with_mode(mode: ExecMode) -> Graph {
         Graph {
-            nodes: RefCell::new(Vec::with_capacity(256)),
+            nodes: RefCell::new(recycled_nodes()),
             bound_params: RefCell::new(HashMap::new()),
             frozen_stores: RefCell::new(std::collections::HashSet::new()),
+            mode,
         }
+    }
+
+    /// Whether dropout is active on this tape.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Node capacity currently reserved by the tape (diagnostics / tests).
+    pub fn capacity(&self) -> usize {
+        self.nodes.borrow().capacity()
     }
 
     fn push(&self, op: Op, value: Array) -> Var {
@@ -504,24 +561,10 @@ impl Graph {
         self.push(Op::GatherSum(a.0, coords.to_vec()), value)
     }
 
-    /// Inverted dropout. Identity when `train` is false or `rate == 0`.
-    pub fn dropout(&self, a: Var, rate: f32, train: bool, rng: &mut Rng) -> Var {
-        if !train || rate <= 0.0 {
-            return a;
-        }
-        assert!(rate < 1.0, "dropout rate must be < 1");
-        let keep = 1.0 - rate;
-        let (r, c) = self.shape(a);
-        let mut mask = Array::zeros(r, c);
-        for v in mask.data_mut() {
-            *v = if rng.chance(keep as f64) {
-                1.0 / keep
-            } else {
-                0.0
-            };
-        }
-        let m = self.constant(mask);
-        self.mul(a, m)
+    /// Inverted dropout. Identity unless the tape was built with
+    /// [`Graph::new`] (train mode) and `rate > 0`.
+    pub fn dropout(&self, a: Var, rate: f32, rng: &mut Rng) -> Var {
+        Exec::dropout(self, a, rate, rng)
     }
 
     /// FiLM conditioning (paper Eq. 8): `γ ⊙ h + η` with `γ`, `η` `[1, D]`
@@ -909,6 +952,165 @@ impl Graph {
     }
 }
 
+/// The tape is one of the two executors behind the shared [`Exec`] op
+/// vocabulary (the other is the gradient-free [`crate::Infer`] arena): every
+/// trait method delegates to the inherent builder of the same name, so
+/// generic model code instantiated with `Graph` records exactly the tape it
+/// always did.
+impl Exec for Graph {
+    fn constant(&self, value: Array) -> Var {
+        Graph::constant(self, value)
+    }
+
+    fn param(&self, store: &ParamStore, id: ParamId) -> Var {
+        Graph::param(self, store, id)
+    }
+
+    fn freeze(&self, store: &ParamStore) {
+        Graph::freeze(self, store)
+    }
+
+    fn value(&self, v: Var) -> Arc<Array> {
+        Graph::value(self, v)
+    }
+
+    fn shape(&self, v: Var) -> (usize, usize) {
+        Graph::shape(self, v)
+    }
+
+    fn mode(&self) -> ExecMode {
+        Graph::mode(self)
+    }
+
+    fn add(&self, a: Var, b: Var) -> Var {
+        Graph::add(self, a, b)
+    }
+
+    fn sub(&self, a: Var, b: Var) -> Var {
+        Graph::sub(self, a, b)
+    }
+
+    fn mul(&self, a: Var, b: Var) -> Var {
+        Graph::mul(self, a, b)
+    }
+
+    fn add_scalar(&self, a: Var, c: f32) -> Var {
+        Graph::add_scalar(self, a, c)
+    }
+
+    fn mul_scalar(&self, a: Var, c: f32) -> Var {
+        Graph::mul_scalar(self, a, c)
+    }
+
+    fn matmul(&self, a: Var, b: Var) -> Var {
+        Graph::matmul(self, a, b)
+    }
+
+    fn transpose(&self, a: Var) -> Var {
+        Graph::transpose(self, a)
+    }
+
+    fn sigmoid(&self, a: Var) -> Var {
+        Graph::sigmoid(self, a)
+    }
+
+    fn tanh(&self, a: Var) -> Var {
+        Graph::tanh(self, a)
+    }
+
+    fn relu(&self, a: Var) -> Var {
+        Graph::relu(self, a)
+    }
+
+    fn concat_cols(&self, parts: &[Var]) -> Var {
+        Graph::concat_cols(self, parts)
+    }
+
+    fn concat_rows(&self, parts: &[Var]) -> Var {
+        Graph::concat_rows(self, parts)
+    }
+
+    fn row(&self, a: Var, i: usize) -> Var {
+        Graph::row(self, a, i)
+    }
+
+    fn slice_cols(&self, a: Var, start: usize, len: usize) -> Var {
+        Graph::slice_cols(self, a, start, len)
+    }
+
+    fn sum_all(&self, a: Var) -> Var {
+        Graph::sum_all(self, a)
+    }
+
+    fn mean_all(&self, a: Var) -> Var {
+        Graph::mean_all(self, a)
+    }
+
+    fn col_sum(&self, a: Var) -> Var {
+        Graph::col_sum(self, a)
+    }
+
+    fn row_sum(&self, a: Var) -> Var {
+        Graph::row_sum(self, a)
+    }
+
+    fn col_max(&self, a: Var) -> Var {
+        Graph::col_max(self, a)
+    }
+
+    fn col_lse(&self, a: Var) -> Var {
+        Graph::col_lse(self, a)
+    }
+
+    fn lse_all(&self, a: Var) -> Var {
+        Graph::lse_all(self, a)
+    }
+
+    fn log_softmax_rows(&self, a: Var) -> Var {
+        Graph::log_softmax_rows(self, a)
+    }
+
+    fn softmax_rows(&self, a: Var) -> Var {
+        Graph::softmax_rows(self, a)
+    }
+
+    fn unfold(&self, a: Var, k: usize) -> Var {
+        Graph::unfold(self, a, k)
+    }
+
+    fn gather_rows(&self, a: Var, indices: &[usize]) -> Var {
+        Graph::gather_rows(self, a, indices)
+    }
+
+    fn reshape(&self, a: Var, rows: usize, cols: usize) -> Var {
+        Graph::reshape(self, a, rows, cols)
+    }
+
+    fn gather_sum(&self, a: Var, coords: &[(usize, usize)]) -> Var {
+        Graph::gather_sum(self, a, coords)
+    }
+
+    fn scalar(&self, value: f32) -> Var {
+        Graph::scalar(self, value)
+    }
+
+    fn neg(&self, a: Var) -> Var {
+        Graph::neg(self, a)
+    }
+
+    fn one_minus(&self, a: Var) -> Var {
+        Graph::one_minus(self, a)
+    }
+
+    fn film(&self, h: Var, gamma: Var, eta: Var) -> Var {
+        Graph::film(self, h, gamma, eta)
+    }
+
+    fn row_mean(&self, a: Var) -> Var {
+        Graph::row_mean(self, a)
+    }
+}
+
 /// The result of a backward sweep.
 pub struct Gradients {
     grads: Vec<Option<Array>>,
@@ -1051,10 +1253,10 @@ mod tests {
 
     #[test]
     fn dropout_eval_mode_is_identity() {
-        let g = Graph::new();
+        let g = Graph::eval();
         let mut rng = Rng::new(3);
         let x = g.constant(Array::from_vec(1, 4, vec![1., 2., 3., 4.]));
-        let y = g.dropout(x, 0.5, false, &mut rng);
+        let y = g.dropout(x, 0.5, &mut rng);
         assert_eq!(y, x);
     }
 
@@ -1063,9 +1265,40 @@ mod tests {
         let (store, id) = store_with("w", Array::full(1, 1000, 1.0));
         let mut rng = Rng::new(4);
         let g = Graph::new();
+        assert_eq!(g.mode(), ExecMode::Train);
         let w = g.param(&store, id);
-        let y = g.dropout(w, 0.3, true, &mut rng);
+        let y = g.dropout(w, 0.3, &mut rng);
         let mean = g.value(y).sum() / 1000.0;
         assert!((mean - 1.0).abs() < 0.1, "inverted dropout mean {mean}");
+    }
+
+    #[test]
+    fn eval_mode_tape_still_computes_gradients() {
+        let (store, id) = store_with("w", Array::from_vec(1, 2, vec![1.0, 2.0]));
+        let g = Graph::eval();
+        let w = g.param(&store, id);
+        let loss = g.sum_all(g.mul_scalar(w, 3.0));
+        let grads = g.backward(loss).unwrap().for_store(&store);
+        assert_eq!(grads.get(id).unwrap().data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn dropped_tapes_donate_their_capacity() {
+        let cap = {
+            let g = Graph::new();
+            for _ in 0..600 {
+                g.constant(Array::scalar(1.0));
+            }
+            g.capacity()
+        };
+        assert!(cap >= 600);
+        // The next tape on this thread starts from the recycled storage.
+        let g = Graph::new();
+        assert!(
+            g.capacity() >= cap,
+            "fresh tape capacity {} below recycled {cap}",
+            g.capacity()
+        );
+        assert!(g.is_empty(), "recycled tape must start empty");
     }
 }

@@ -31,6 +31,19 @@ pub fn broadcast_shape(a: (usize, usize), b: (usize, usize), op: &str) -> (usize
 pub fn bcast_zip(a: &Array, b: &Array, op: &str, f: impl Fn(f32, f32) -> f32) -> Array {
     let (r, c) = broadcast_shape(a.shape(), b.shape(), op);
     let mut out = Array::zeros(r, c);
+    bcast_zip_into(a, b, &mut out, f);
+    out
+}
+
+/// [`bcast_zip`] writing into a caller-provided output of the broadcast
+/// shape — the allocation-free variant used by the inference arena. Every
+/// output element is overwritten.
+pub fn bcast_zip_into(a: &Array, b: &Array, out: &mut Array, f: impl Fn(f32, f32) -> f32) {
+    let (r, c) = out.shape();
+    debug_assert_eq!(
+        (r, c),
+        broadcast_shape(a.shape(), b.shape(), "bcast_zip_into")
+    );
     let (ar, ac) = a.shape();
     let (br, bc) = b.shape();
     for i in 0..r {
@@ -45,7 +58,6 @@ pub fn bcast_zip(a: &Array, b: &Array, op: &str, f: impl Fn(f32, f32) -> f32) ->
             *o = f(av, bv);
         }
     }
-    out
 }
 
 /// Reduces `grad` (shape of a broadcast output) back to `shape` by summing

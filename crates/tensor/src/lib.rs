@@ -7,11 +7,17 @@
 //!
 //! * [`Array`] — dense row-major matrices with the handful of BLAS-like
 //!   kernels the models are hot on ([`mod@array`]).
-//! * [`Graph`]/[`Var`] — an eager autodiff tape with broadcasting
-//!   elementwise ops, matmul, gather/scatter, stable log-space reductions
-//!   (the CRF's forward recursion differentiates through
+//! * [`Exec`] — the executor trait: the op vocabulary models are written
+//!   against once, evaluated by two interchangeable executors whose forward
+//!   values are bitwise identical ([`exec`]).
+//! * [`Graph`]/[`Var`] — the tape executor: an eager autodiff tape with
+//!   broadcasting elementwise ops, matmul, gather/scatter, stable log-space
+//!   reductions (the CRF's forward recursion differentiates through
 //!   [`Graph::col_lse`]), unfold/max-pool for the character CNN, dropout and
 //!   FiLM conditioning ([`graph`]).
+//! * [`Infer`] — the gradient-free executor: the same ops evaluated into a
+//!   reusable scratch-buffer arena with no tape and no gradient surface,
+//!   for the post-adaptation query sweep and serving ([`infer`]).
 //! * [`ParamStore`]/[`ParamGrads`] — named parameter stores. FEWNER's split
 //!   between task-independent θ and task-specific φ is expressed as two
 //!   stores bound into the same graph, with gradients routed per store
@@ -42,13 +48,17 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod exec;
 pub mod graph;
+pub mod infer;
 pub mod kernels;
 pub mod nn;
 pub mod optim;
 pub mod params;
 
 pub use array::Array;
-pub use graph::{Gradients, Graph, Var};
+pub use exec::{Exec, ExecMode, Var};
+pub use graph::{Gradients, Graph};
+pub use infer::Infer;
 pub use optim::{Adam, SavedAdam, SavedSgd, Sgd};
 pub use params::{ParamGrads, ParamId, ParamStore, SavedParams};

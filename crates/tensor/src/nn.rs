@@ -10,7 +10,7 @@
 use fewner_util::Rng;
 
 use crate::array::Array;
-use crate::graph::{Graph, Var};
+use crate::exec::{Exec, Var};
 use crate::params::{ParamId, ParamStore};
 
 /// Fully-connected layer `y = x·W (+ b)`.
@@ -43,7 +43,7 @@ impl Linear {
     }
 
     /// `[L, in] → [L, out]`.
-    pub fn apply(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
+    pub fn apply<E: Exec>(&self, g: &E, store: &ParamStore, x: Var) -> Var {
         debug_assert_eq!(g.shape(x).1, self.in_dim, "Linear input dim");
         let w = g.param(store, self.w);
         let y = g.matmul(x, w);
@@ -91,7 +91,7 @@ impl Embedding {
     }
 
     /// Looks up `ids` → `[len(ids), dim]`.
-    pub fn apply(&self, g: &Graph, store: &ParamStore, ids: &[usize]) -> Var {
+    pub fn apply<E: Exec>(&self, g: &E, store: &ParamStore, ids: &[usize]) -> Var {
         let table = g.param(store, self.table);
         g.gather_rows(table, ids)
     }
@@ -142,7 +142,7 @@ impl GruCell {
     }
 
     /// One step: `x [1, in]`, `h [1, H]` → `h' [1, H]`.
-    pub fn step(&self, g: &Graph, store: &ParamStore, x: Var, h: Var) -> Var {
+    pub fn step<E: Exec>(&self, g: &E, store: &ParamStore, x: Var, h: Var) -> Var {
         let hdim = self.hidden;
         let sx = g.add(g.matmul(x, g.param(store, self.wx)), g.param(store, self.b));
         let sh = g.matmul(h, g.param(store, self.wh));
@@ -187,7 +187,7 @@ impl BiGru {
     }
 
     /// Encodes a sequence; output row `t` is `[h⃗_t ; h⃖_t]`.
-    pub fn apply(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
+    pub fn apply<E: Exec>(&self, g: &E, store: &ParamStore, x: Var) -> Var {
         let len = g.shape(x).0;
         assert!(len > 0, "BiGru over empty sequence");
         let zero = g.constant(Array::zeros(1, self.hidden));
@@ -257,7 +257,7 @@ impl LstmCell {
     }
 
     /// One step: `x [1, in]`, state `(h, c)` → `(h', c')`.
-    pub fn step(&self, g: &Graph, store: &ParamStore, x: Var, h: Var, c: Var) -> (Var, Var) {
+    pub fn step<E: Exec>(&self, g: &E, store: &ParamStore, x: Var, h: Var, c: Var) -> (Var, Var) {
         let hd = self.hidden;
         let s = g.add(
             g.add(
@@ -310,7 +310,7 @@ impl BiLstm {
     }
 
     /// Encodes a sequence; output row `t` is `[h⃗_t ; h⃖_t]`.
-    pub fn apply(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
+    pub fn apply<E: Exec>(&self, g: &E, store: &ParamStore, x: Var) -> Var {
         let len = g.shape(x).0;
         assert!(len > 0, "BiLstm over empty sequence");
         let zero = g.constant(Array::zeros(1, self.hidden));
@@ -390,7 +390,7 @@ impl Conv1d {
     }
 
     /// `[W, in] → [1, out_dim]`; `W` must be ≥ [`Conv1d::max_width`].
-    pub fn apply(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
+    pub fn apply<E: Exec>(&self, g: &E, store: &ParamStore, x: Var) -> Var {
         let rows = g.shape(x).0;
         assert!(
             rows >= self.max_width(),
@@ -418,6 +418,7 @@ impl Conv1d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
 
     fn setup() -> (ParamStore, Rng) {
         (ParamStore::new(), Rng::new(77))

@@ -7,6 +7,8 @@
 //! fewner evaluate --profile genia --scale 0.05 --model model.json \
 //!                 --episodes 100                        # score on held-out tasks
 //! fewner demo     --profile bionlp13cg --scale 0.2      # train briefly, show output
+//! fewner predict  --profile genia --scale 0.05 --model model.json \
+//!                 --episodes 3                           # serve: adapt + stream predictions
 //! ```
 //!
 //! Every run is deterministic given its flags; profiles are the six paper
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "demo" => cmd_demo(&flags),
+        "predict" => cmd_predict(&flags),
         _ => {
             eprintln!("unknown command `{command}`\n{USAGE}");
             return ExitCode::FAILURE;
@@ -43,7 +46,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: fewner <corpus|train|evaluate|demo> [flags]
+const USAGE: &str = "usage: fewner <corpus|train|evaluate|demo|predict> [flags]
   common flags:
     --profile <nne|fg-ner|genia|ontonotes|bionlp13cg|slot-filling|conll-like|
                ace-bc|ace-bn|ace-cts|ace-nw|ace-un|ace-wl>
@@ -61,7 +64,10 @@ const USAGE: &str = "usage: fewner <corpus|train|evaluate|demo> [flags]
                            (rolling, newest two kept; default 0 = off)
     --checkpoint-dir <dir> snapshot directory (default `checkpoints`)
     --resume <dir>         continue a killed run from the newest valid
-                           snapshot in <dir>";
+                           snapshot in <dir>
+  predict only:
+    --episodes <N>         tasks to serve (default 3)
+    --show <N>             query sentences to print per task (default 5)";
 
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     let mut it = args.iter();
@@ -269,6 +275,60 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> fewner::Result<()> {
         episodes,
         score.as_percent()
     );
+    Ok(())
+}
+
+/// `fewner predict` — the serving path: load a trained checkpoint, adapt the
+/// task context φ to each sampled support set, and stream query predictions
+/// with a tokens/sec report. Decoding runs on the gradient-free [`Infer`]
+/// executor (no tape, recycled buffers); only φ-adaptation builds tapes.
+///
+/// [`Infer`]: fewner::tensor::Infer
+fn cmd_predict(flags: &HashMap<String, String>) -> fewner::Result<()> {
+    let p = profile(flags)?;
+    let scale = flag(flags, "scale", 0.05f64);
+    let seed = flag(flags, "seed", 42u64);
+    let ways = flag(flags, "ways", 5usize);
+    let shots = flag(flags, "shots", 1usize);
+    let episodes = flag(flags, "episodes", 3usize);
+    let show = flag(flags, "show", 5usize);
+
+    let data = p.generate(scale)?;
+    let split = split_for(&p, &data, seed)?;
+    let enc = build_encoder(&data);
+    let learner = match flags.get("model") {
+        Some(path) => Checkpoint::load(path)?.restore(&enc)?,
+        None => {
+            return Err(fewner::Error::InvalidConfig(
+                "predict requires --model <checkpoint>".into(),
+            ))
+        }
+    };
+    let sampler = EpisodeSampler::new(&split.test, ways, shots, 6)?;
+    let tasks = sampler.eval_set(0xE7A1, episodes)?;
+    let mut total = Throughput::default();
+    for (i, task) in tasks.iter().enumerate() {
+        let (preds, t) = measure_predictions(|| learner.adapt_and_predict(task, &enc))?;
+        total.merge(&t);
+        let tags = task.tag_set();
+        println!(
+            "task {}/{}: adapted φ to {} support sentences; {}",
+            i + 1,
+            tasks.len(),
+            task.support.len(),
+            t.render()
+        );
+        for (pred_idx, sent) in preds.iter().zip(&task.query).take(show) {
+            let pred: Vec<Tag> = pred_idx.iter().map(|&j| tags.tag(j)).collect();
+            println!(
+                "  {}",
+                qualitative_line(&sent.tokens, &sent.tags, &pred, |slot| {
+                    data.type_name(task.slot_types[slot]).to_string()
+                })
+            );
+        }
+    }
+    println!("\nserved {} tasks: {}", tasks.len(), total.render());
     Ok(())
 }
 

@@ -84,7 +84,10 @@ pub mod prelude {
         Genre,
     };
     pub use fewner_episode::{EpisodeSampler, Task};
-    pub use fewner_eval::{evaluate, evaluate_parallel, qualitative_line, F1Counts, Table};
+    pub use fewner_eval::{
+        evaluate, evaluate_parallel, measure_predictions, qualitative_line, F1Counts, Table,
+        Throughput,
+    };
     pub use fewner_models::{
         Backbone, BackboneConfig, Conditioning, EncoderKind, HeadKind, LmFlavor, SnailConfig,
         TokenEncoder,
