@@ -16,6 +16,7 @@
 
 use fewner_episode::Task;
 use fewner_models::{encode_task, Backbone, BackboneConfig, LabeledSentence, TokenEncoder};
+use fewner_obs::Tracer;
 use fewner_tensor::{Adam, Graph, ParamId, ParamStore, SavedAdam, SavedParams, Sgd};
 use fewner_text::TagSet;
 use fewner_util::{Error, FromJson, Json, Result, Rng, ToJson};
@@ -104,6 +105,47 @@ impl Fewner {
         }
         Ok((phi_store, phi_id, trajectory))
     }
+
+    /// [`adapt_and_predict`](EpisodicLearner::adapt_and_predict) with
+    /// observability: the paper's §4.5.2 serving cost split, recorded as a
+    /// `serve/adapt` span (the φ inner loop) separate from a `serve/predict`
+    /// span (query decoding), plus task and token counters. Tracing reads no
+    /// RNG state — a traced prediction is bitwise identical to an untraced
+    /// one.
+    pub fn serve_task(
+        &self,
+        task: &Task,
+        enc: &TokenEncoder,
+        tracer: &Tracer,
+    ) -> Result<Vec<Vec<usize>>> {
+        let tags = task.tag_set();
+        let (support, query) = encode_task(enc, task);
+        let (phi_store, phi_id) = {
+            let mut adapt_span = tracer.span("serve/adapt");
+            adapt_span.set("ways", task.n_ways);
+            adapt_span.set("shots", task.k_shots);
+            adapt_span.set("support", support.len());
+            adapt_span.set("steps", self.cfg.inner_steps_test);
+            let (phi_store, phi_id, _) =
+                self.adapt_context(&support, &tags, self.cfg.inner_steps_test)?;
+            (phi_store, phi_id)
+        };
+        let tokens: usize = query.iter().map(|(sent, _)| sent.len()).sum();
+        let predictions = {
+            let mut predict_span = tracer.span("serve/predict");
+            predict_span.set("sentences", query.len());
+            predict_span.set("tokens", tokens);
+            self.backbone.decode_task(
+                &self.theta,
+                Some((&phi_store, phi_id)),
+                query.iter().map(|(sent, _)| sent),
+                &tags,
+            )
+        };
+        tracer.incr("serve/tasks", 1);
+        tracer.incr("serve/tokens", tokens as u64);
+        Ok(predictions)
+    }
 }
 
 impl EpisodicLearner for Fewner {
@@ -165,16 +207,7 @@ impl EpisodicLearner for Fewner {
     }
 
     fn adapt_and_predict(&self, task: &Task, enc: &TokenEncoder) -> Result<Vec<Vec<usize>>> {
-        let tags = task.tag_set();
-        let (support, query) = encode_task(enc, task);
-        let (phi_store, phi_id, _) =
-            self.adapt_context(&support, &tags, self.cfg.inner_steps_test)?;
-        Ok(self.backbone.decode_task(
-            &self.theta,
-            Some((&phi_store, phi_id)),
-            query.iter().map(|(sent, _)| sent),
-            &tags,
-        ))
+        self.serve_task(task, enc, &Tracer::disabled())
     }
 
     fn decay_lr(&mut self, factor: f32) {

@@ -34,4 +34,6 @@ pub use fewner::Fewner;
 pub use learner::{task_rng, EpisodicLearner, TaskOutcome};
 pub use maml::Maml;
 pub use snapshot::{RunFingerprint, TrainingSnapshot};
-pub use trainer::{resume, train, ParallelTrainer, TrainConfig, TrainingLog};
+pub use trainer::{
+    resume, resume_traced, train, train_traced, ParallelTrainer, TrainConfig, TrainingLog,
+};

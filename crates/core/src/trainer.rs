@@ -36,7 +36,8 @@ use std::time::Instant;
 use fewner_corpus::SplitView;
 use fewner_episode::{EpisodeSampler, Task};
 use fewner_models::TokenEncoder;
-use fewner_util::{fault, Error, Result, Rng};
+use fewner_obs::Tracer;
+use fewner_util::{fault, Error, Json, Result, Rng};
 
 use crate::config::MetaConfig;
 use crate::learner::{task_rng, EpisodicLearner, TaskOutcome};
@@ -80,6 +81,11 @@ pub struct TrainConfig {
     /// Directory for rolling training snapshots (the newest
     /// [`snapshot::SNAPSHOTS_KEPT`] are kept).
     pub checkpoint_dir: Option<PathBuf>,
+    /// Write a structured trace (spans, events, metric snapshots) to this
+    /// JSONL file. `None` (the default) traces nothing and costs nothing.
+    /// Tracing never changes the numbers: checkpoints are bitwise
+    /// identical with tracing on or off, at any thread count.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl TrainConfig {
@@ -96,6 +102,7 @@ impl TrainConfig {
             threads: 1,
             checkpoint_every: 0,
             checkpoint_dir: None,
+            trace_path: None,
         }
     }
 
@@ -138,6 +145,22 @@ impl TrainConfig {
     pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> TrainConfig {
         self.checkpoint_dir = Some(dir.into());
         self
+    }
+
+    /// Enables structured tracing to a durable JSONL file (see the
+    /// `trace_path` field).
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> TrainConfig {
+        self.trace_path = Some(path.into());
+        self
+    }
+
+    /// The tracer this schedule asks for: a JSONL tracer when
+    /// `trace_path` is set, the free no-op tracer otherwise.
+    pub fn tracer(&self) -> Tracer {
+        match &self.trace_path {
+            Some(path) => Tracer::jsonl(path),
+            None => Tracer::disabled(),
+        }
     }
 
     /// The effective thread count: the `FEWNER_THREADS` environment
@@ -244,62 +267,93 @@ impl ParallelTrainer {
     where
         L: EpisodicLearner + Sync + ?Sized,
     {
+        self.meta_step_traced(learner, tasks, enc, &Tracer::disabled())
+    }
+
+    /// [`ParallelTrainer::meta_step`] with per-task losses and the
+    /// meta-gradient norm recorded into `tracer`.
+    ///
+    /// An enabled tracer forces the decomposed task-gradient loop even on
+    /// the serial path — the same already-bitwise-identical code the
+    /// parallel and fault-armed paths use — so the per-task outcomes are
+    /// observable without asking learners to instrument their own
+    /// `meta_step` overrides.
+    pub fn meta_step_traced<L>(
+        &self,
+        learner: &mut L,
+        tasks: &[Task],
+        enc: &TokenEncoder,
+        tracer: &Tracer,
+    ) -> Result<f32>
+    where
+        L: EpisodicLearner + Sync + ?Sized,
+    {
         if tasks.is_empty() {
             return Err(Error::InvalidConfig("empty meta batch".into()));
         }
         let faults_armed = fault::active().is_some();
-        if (self.threads <= 1 || tasks.len() < 2) && !faults_armed {
+        if (self.threads <= 1 || tasks.len() < 2) && !faults_armed && !tracer.enabled() {
             return learner.meta_step(tasks, enc);
         }
         let step_seed = learner.step_seed();
-        if self.threads <= 1 || tasks.len() < 2 {
+        let outcomes: Vec<TaskOutcome> = if self.threads <= 1 || tasks.len() < 2 {
             let mut outcomes = Vec::with_capacity(tasks.len());
             for (index, task) in tasks.iter().enumerate() {
                 check_task_fault()?;
                 let mut rng = task_rng(step_seed, index);
                 outcomes.push(learner.task_grad(task, enc, &mut rng)?);
             }
-            let (loss, grads) = TaskOutcome::reduce(outcomes)?;
-            learner.apply_meta_grads(grads, tasks.len())?;
-            return Ok(loss);
-        }
-        let shared: &L = learner;
-        let indexed: Vec<(usize, &Task)> = tasks.iter().enumerate().collect();
-        let chunk = indexed.len().div_ceil(self.threads);
-        let per_worker: Vec<Result<Vec<TaskOutcome>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = indexed
-                .chunks(chunk)
-                .map(|pairs| {
-                    scope.spawn(move || {
-                        pairs
-                            .iter()
-                            .map(|&(index, task)| {
-                                check_task_fault()?;
-                                let mut rng = task_rng(step_seed, index);
-                                shared.task_grad(task, enc, &mut rng)
-                            })
-                            .collect::<Result<Vec<TaskOutcome>>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(Error::WorkerPanic {
-                            context: "parallel meta step".into(),
+            outcomes
+        } else {
+            let shared: &L = learner;
+            let indexed: Vec<(usize, &Task)> = tasks.iter().enumerate().collect();
+            let chunk = indexed.len().div_ceil(self.threads);
+            let per_worker: Vec<Result<Vec<TaskOutcome>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = indexed
+                    .chunks(chunk)
+                    .map(|pairs| {
+                        scope.spawn(move || {
+                            pairs
+                                .iter()
+                                .map(|&(index, task)| {
+                                    check_task_fault()?;
+                                    let mut rng = task_rng(step_seed, index);
+                                    shared.task_grad(task, enc, &mut rng)
+                                })
+                                .collect::<Result<Vec<TaskOutcome>>>()
                         })
                     })
-                })
-                .collect()
-        });
-        // Workers hold contiguous index chunks, so flattening in worker
-        // order restores task-index order independent of thread timing.
-        let mut outcomes = Vec::with_capacity(tasks.len());
-        for worker_outcomes in per_worker {
-            outcomes.extend(worker_outcomes?);
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(Error::WorkerPanic {
+                                context: "parallel meta step".into(),
+                            })
+                        })
+                    })
+                    .collect()
+            });
+            // Workers hold contiguous index chunks, so flattening in worker
+            // order restores task-index order independent of thread timing.
+            let mut outcomes = Vec::with_capacity(tasks.len());
+            for worker_outcomes in per_worker {
+                outcomes.extend(worker_outcomes?);
+            }
+            outcomes
+        };
+        if tracer.enabled() {
+            for outcome in &outcomes {
+                tracer.observe("train/task_loss", f64::from(outcome.loss));
+            }
+            tracer.incr("train/tasks", outcomes.len() as u64);
         }
         let (loss, grads) = TaskOutcome::reduce(outcomes)?;
+        if tracer.enabled() {
+            // Read-only over the reduced gradients; never touches an RNG.
+            tracer.observe("train/grad_norm", f64::from(grads.global_norm()));
+        }
         learner.apply_meta_grads(grads, tasks.len())?;
         Ok(loss)
     }
@@ -373,9 +427,30 @@ pub fn train<L>(
 where
     L: EpisodicLearner + Sync + ?Sized,
 {
+    train_traced(learner, view, enc, meta, cfg, &cfg.tracer())
+}
+
+/// [`train`] with an explicit tracer (tests inject a manual clock and an
+/// in-memory sink here; [`train`] itself derives the tracer from
+/// [`TrainConfig::trace_path`]).
+///
+/// The tracer is flushed when the loop ends — normally *or* with
+/// [`Error::Diverged`] — so the trace survives a diverged run.
+pub fn train_traced<L>(
+    learner: &mut L,
+    view: &SplitView,
+    enc: &TokenEncoder,
+    meta: &MetaConfig,
+    cfg: &TrainConfig,
+    tracer: &Tracer,
+) -> Result<TrainingLog>
+where
+    L: EpisodicLearner + Sync + ?Sized,
+{
     meta.validate()?;
     let state = LoopState::fresh(meta, cfg);
-    run_loop(learner, view, enc, meta, cfg, state)
+    let result = run_loop(learner, view, enc, meta, cfg, state, tracer);
+    finish_trace(result, tracer)
 }
 
 /// Continues a checkpointed run from the newest valid snapshot in `dir`.
@@ -400,6 +475,23 @@ pub fn resume<L>(
 where
     L: EpisodicLearner + Sync + ?Sized,
 {
+    resume_traced(learner, view, enc, meta, cfg, dir, &cfg.tracer())
+}
+
+/// [`resume`] with an explicit tracer (see [`train_traced`]). Records a
+/// `train/resume` event carrying the snapshot's iteration and path.
+pub fn resume_traced<L>(
+    learner: &mut L,
+    view: &SplitView,
+    enc: &TokenEncoder,
+    meta: &MetaConfig,
+    cfg: &TrainConfig,
+    dir: impl AsRef<Path>,
+    tracer: &Tracer,
+) -> Result<TrainingLog>
+where
+    L: EpisodicLearner + Sync + ?Sized,
+{
     meta.validate()?;
     let dir = dir.as_ref();
     let (snap, path) = snapshot::latest_valid(dir)?.ok_or_else(|| Error::Io {
@@ -417,17 +509,38 @@ where
     }
     learner.import_state(&snap.learner)?;
     let state = LoopState::from_snapshot(&snap);
+    tracer.event(
+        "train/resume",
+        &[
+            ("iteration", Json::from(snap.iteration)),
+            ("snapshot", Json::from(path.display().to_string())),
+        ],
+    );
     if state.iteration >= cfg.iterations {
         // Nothing left to train; report the run as the snapshot recorded it.
-        return Ok(TrainingLog {
-            secs_per_iteration: state.prior_wall_secs / cfg.iterations.max(1) as f64,
-            losses: state.losses,
-            tasks_seen: state.tasks_seen,
-            skipped: state.skipped,
-            wall_secs: state.prior_wall_secs,
-        });
+        return finish_trace(
+            Ok(TrainingLog {
+                secs_per_iteration: state.prior_wall_secs / cfg.iterations.max(1) as f64,
+                losses: state.losses,
+                tasks_seen: state.tasks_seen,
+                skipped: state.skipped,
+                wall_secs: state.prior_wall_secs,
+            }),
+            tracer,
+        );
     }
-    run_loop(learner, view, enc, meta, cfg, state)
+    let result = run_loop(learner, view, enc, meta, cfg, state, tracer);
+    finish_trace(result, tracer)
+}
+
+/// Flushes the tracer once a run ends, preserving the run's own error over
+/// a trace-write failure (but surfacing the latter when the run was fine —
+/// a requested trace that silently vanished would be worse than an error).
+fn finish_trace(result: Result<TrainingLog>, tracer: &Tracer) -> Result<TrainingLog> {
+    let flushed = tracer.flush();
+    let log = result?;
+    flushed?;
+    Ok(log)
 }
 
 /// The shared iteration loop behind [`train`] and [`resume`].
@@ -438,6 +551,7 @@ fn run_loop<L>(
     meta: &MetaConfig,
     cfg: &TrainConfig,
     mut state: LoopState,
+    tracer: &Tracer,
 ) -> Result<TrainingLog>
 where
     L: EpisodicLearner + Sync + ?Sized,
@@ -463,16 +577,22 @@ where
     let start = Instant::now();
 
     while state.iteration < cfg.iterations {
+        let mut iter_span = tracer.span("train/iteration");
+        iter_span.set("iter", state.iteration);
         // A rare unconstructible task (possible on sparse splits) is
         // skipped rather than aborting a long run; a batch with no tasks at
         // all is a genuine configuration problem.
         let mut batch = Vec::with_capacity(meta.meta_batch);
         let mut last_err = None;
-        for _ in 0..meta.meta_batch {
-            match sampler.sample(&mut state.rng) {
-                Ok(task) => batch.push(task),
-                Err(e) => last_err = Some(e),
+        {
+            let mut sample_span = tracer.span("train/sample_batch");
+            for _ in 0..meta.meta_batch {
+                match sampler.sample_traced(&mut state.rng, tracer) {
+                    Ok(task) => batch.push(task),
+                    Err(e) => last_err = Some(e),
+                }
             }
+            sample_span.set("tasks", batch.len());
         }
         if batch.is_empty() {
             return Err(last_err.expect("meta_batch > 0"));
@@ -483,8 +603,10 @@ where
         // But a long *unbroken* run of skips means θ is ruined, not
         // unlucky: the divergence guard aborts rather than burning the
         // rest of the schedule.
-        match pool.meta_step(learner, &batch, enc) {
+        match pool.meta_step_traced(learner, &batch, enc, tracer) {
             Ok(loss) => {
+                iter_span.set("loss", loss);
+                tracer.observe("train/outer_loss", f64::from(loss));
                 state.losses.push(loss);
                 state.tasks_seen += batch.len();
                 state.consecutive_skips = 0;
@@ -494,11 +616,18 @@ where
                 }
             }
             Err(Error::NonFinite { .. }) => {
+                iter_span.set("skipped", true);
+                tracer.event("train/skip", &[("iter", Json::from(state.iteration))]);
+                tracer.incr("train/skipped", 1);
                 state.skipped += 1;
                 state.consecutive_skips += 1;
                 if meta.max_consecutive_skips > 0
                     && state.consecutive_skips >= meta.max_consecutive_skips
                 {
+                    tracer.event(
+                        "train/diverged",
+                        &[("consecutive_skips", Json::from(state.consecutive_skips))],
+                    );
                     let tail_from = state.losses.len().saturating_sub(DIVERGED_TAIL);
                     return Err(Error::Diverged {
                         consecutive_skips: state.consecutive_skips,
@@ -509,8 +638,11 @@ where
             Err(e) => return Err(e),
         }
         state.iteration += 1;
+        tracer.incr("train/iterations", 1);
         if let Some(dir) = &ckpt_dir {
             if state.iteration.is_multiple_of(cfg.checkpoint_every) {
+                let mut ckpt_span = tracer.span("train/checkpoint");
+                ckpt_span.set("iter", state.iteration);
                 let learner_state = learner.export_state().ok_or_else(|| {
                     Error::InvalidConfig(format!(
                         "{} stopped exporting training state mid-run",
@@ -533,6 +665,7 @@ where
                 // A failed snapshot write aborts the run: silently losing
                 // durability would defeat the point of checkpointing.
                 snapshot::save_rolling(dir, &snap)?;
+                tracer.incr("train/checkpoints", 1);
             }
         }
     }

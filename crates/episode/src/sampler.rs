@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 
 use fewner_corpus::SplitView;
+use fewner_obs::Tracer;
 use fewner_text::{TagSet, TypeId};
 use fewner_util::{Error, Result, Rng};
 
@@ -97,14 +98,37 @@ impl<'a> EpisodeSampler<'a> {
     /// Samples one task. Retries a few shuffles before giving up, then
     /// reports a construction error (e.g. a class-starved split).
     pub fn sample(&self, rng: &mut Rng) -> Result<Task> {
+        self.sample_traced(rng, &Tracer::disabled())
+    }
+
+    /// [`sample`](Self::sample) with observability: records a
+    /// `sampler/sample` span, draw/retry/failure counters and a support-set
+    /// size histogram. Tracing never touches `rng`, so a traced draw is
+    /// bitwise identical to an untraced one.
+    pub fn sample_traced(&self, rng: &mut Rng, tracer: &Tracer) -> Result<Task> {
         const ATTEMPTS: usize = 8;
+        let mut span = tracer.span("sampler/sample");
+        span.set("ways", self.n_ways);
+        span.set("shots", self.k_shots);
         let mut last_err = None;
-        for _ in 0..ATTEMPTS {
+        for attempt in 0..ATTEMPTS {
             match self.try_sample(rng) {
-                Ok(task) => return Ok(task),
+                Ok(task) => {
+                    span.set("attempts", attempt + 1);
+                    span.set("support", task.support.len());
+                    span.set("query", task.query.len());
+                    tracer.incr("sampler/tasks_drawn", 1);
+                    tracer.incr("sampler/retries", attempt as u64);
+                    tracer.observe("sampler/support_sentences", task.support.len() as f64);
+                    return Ok(task);
+                }
                 Err(e) => last_err = Some(e),
             }
         }
+        span.set("attempts", ATTEMPTS);
+        span.set("failed", true);
+        tracer.incr("sampler/retries", ATTEMPTS as u64);
+        tracer.incr("sampler/failures", 1);
         Err(last_err
             .unwrap_or_else(|| Error::EpisodeConstruction("episode sampling failed".into())))
     }

@@ -21,12 +21,20 @@ pub struct Throughput {
 }
 
 impl Throughput {
-    /// Tokens per wall-clock second (0 when nothing was timed).
+    /// Tokens per wall-clock second.
+    ///
+    /// Never divides zero by zero: an empty measurement (no tokens) is
+    /// `0.0`, while tokens decoded in less than the clock's resolution
+    /// report `f64::INFINITY` rather than a silent `0.0` that would hide a
+    /// *fast* run as a stalled one ([`render`](Self::render) prints the
+    /// distinguishable `fast` marker for that case).
     pub fn tokens_per_sec(&self) -> f64 {
-        if self.seconds > 0.0 {
+        if self.tokens == 0 {
+            0.0
+        } else if self.seconds > 0.0 {
             self.tokens as f64 / self.seconds
         } else {
-            0.0
+            f64::INFINITY
         }
     }
 
@@ -39,12 +47,18 @@ impl Throughput {
 
     /// One-line human-readable summary.
     pub fn render(&self) -> String {
+        let rate = self.tokens_per_sec();
+        let rate = if rate.is_finite() {
+            format!("{rate:.0} tokens/sec")
+        } else {
+            "faster than the clock resolution".to_string()
+        };
         format!(
-            "{} tokens / {} sentences in {:.1} ms — {:.0} tokens/sec",
+            "{} tokens / {} sentences in {:.1} ms — {}",
             self.tokens,
             self.sentences,
             self.seconds * 1e3,
-            self.tokens_per_sec()
+            rate
         )
     }
 }
@@ -109,6 +123,50 @@ mod tests {
     fn zero_time_does_not_divide_by_zero() {
         let t = Throughput::default();
         assert_eq!(t.tokens_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn zero_tokens_with_time_is_zero_not_nan() {
+        // A run that decoded nothing (every query path empty) still burned
+        // wall-clock; the rate is an honest 0, never NaN.
+        let t = Throughput {
+            tokens: 0,
+            sentences: 3,
+            seconds: 0.25,
+        };
+        assert_eq!(t.tokens_per_sec(), 0.0);
+        assert!(t.render().contains("0 tokens/sec"));
+    }
+
+    #[test]
+    fn tokens_in_zero_time_report_infinity_not_zero() {
+        // Regression: a sub-resolution measurement used to report 0.0,
+        // indistinguishable from a stall. It must read as infinitely fast
+        // and render without printing `inf`.
+        let t = Throughput {
+            tokens: 42,
+            sentences: 2,
+            seconds: 0.0,
+        };
+        assert_eq!(t.tokens_per_sec(), f64::INFINITY);
+        let line = t.render();
+        assert!(!line.contains("inf"), "no raw float INF in output: {line}");
+        assert!(line.contains("faster than the clock resolution"));
+    }
+
+    #[test]
+    fn merged_zero_duration_measurements_stay_finite_once_time_accrues() {
+        let mut total = Throughput {
+            tokens: 10,
+            sentences: 1,
+            seconds: 0.0,
+        };
+        total.merge(&Throughput {
+            tokens: 10,
+            sentences: 1,
+            seconds: 0.1,
+        });
+        assert!((total.tokens_per_sec() - 200.0).abs() < 1e-9);
     }
 
     #[test]

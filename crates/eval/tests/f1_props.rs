@@ -1,0 +1,203 @@
+//! Property tests for entity-level F1 (ISSUE 4, satellite 1).
+//!
+//! Two attack surfaces:
+//!
+//! 1. **Malformed BIO input** — model decoders are CRF-constrained, but the
+//!    scorer must also survive raw sequences: `I-` with no opening `B-`, a
+//!    slot change mid-span, empty predictions. The repair convention under
+//!    test is conll-style: a dangling `I-s` *opens* a span, a slot change
+//!    closes the running span and opens a new one.
+//! 2. **Differential micro-F1** — on small random label grids, the
+//!    accumulator's micro-F1 must equal a brute-force oracle that extracts
+//!    spans with an independent (local, per-position) rule and scores them
+//!    with the paper's `2c / (g + r)` directly.
+
+use fewner_eval::F1Counts;
+use fewner_text::span::SlotSpan;
+use fewner_text::{tags_to_spans, Tag};
+use fewner_util::Rng;
+use proptest::prelude::*;
+
+const SLOTS: usize = 3;
+
+/// A random tag sequence with **no validity constraints**: any of O, B-s,
+/// I-s at every position, so malformed shapes (leading `I`, slot flips
+/// inside a run) occur constantly.
+fn random_tags(len: usize, rng: &mut Rng) -> Vec<Tag> {
+    (0..len)
+        .map(|_| match rng.below(1 + 2 * SLOTS) {
+            0 => Tag::O,
+            k if k <= SLOTS => Tag::B(k - 1),
+            k => Tag::I(k - SLOTS - 1),
+        })
+        .collect()
+}
+
+/// Independent span oracle. Position `i` **starts** a span of slot `s`
+/// when the tag is `B(s)`, or when it is `I(s)` that nothing extends
+/// (sequence start, after `O`, or after a different slot). The span then
+/// runs through every following `I(s)`. This is a local, per-position
+/// restatement of the repair convention, deliberately unlike the
+/// open-span state machine in `tags_to_spans`.
+fn oracle_spans(tags: &[Tag]) -> Vec<SlotSpan> {
+    let slot_of = |t: Tag| match t {
+        Tag::O => None,
+        Tag::B(s) | Tag::I(s) => Some(s),
+    };
+    let mut spans = Vec::new();
+    for (i, &tag) in tags.iter().enumerate() {
+        let starts = match tag {
+            Tag::O => None,
+            Tag::B(s) => Some(s),
+            Tag::I(s) => (i == 0 || slot_of(tags[i - 1]) != Some(s)).then_some(s),
+        };
+        let Some(s) = starts else { continue };
+        let mut end = i + 1;
+        while end < tags.len() && tags[end] == Tag::I(s) {
+            end += 1;
+        }
+        spans.push(SlotSpan {
+            start: i,
+            end,
+            slot: s,
+        });
+    }
+    spans
+}
+
+/// Brute-force micro-F1 over a grid of sentences: count spans and exact
+/// matches per sentence, then apply `2c / (g + r)` once at the end.
+fn oracle_micro_f1(grid: &[(Vec<Tag>, Vec<Tag>)]) -> f64 {
+    let (mut g, mut r, mut c) = (0usize, 0usize, 0usize);
+    for (gold, pred) in grid {
+        let gs = oracle_spans(gold);
+        let ps = oracle_spans(pred);
+        g += gs.len();
+        r += ps.len();
+        c += ps.iter().filter(|p| gs.contains(p)).count();
+    }
+    if g + r == 0 {
+        1.0
+    } else {
+        2.0 * c as f64 / (g + r) as f64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary (including malformed) tag sequences never panic the
+    /// scorer, and its scores stay inside [0, 1] with the precision /
+    /// recall / F1 ordering intact.
+    #[test]
+    fn malformed_sequences_never_panic_and_scores_stay_bounded(
+        seed in 0u64..5000,
+        len in 0usize..12,
+    ) {
+        let mut rng = Rng::new(seed);
+        let gold = random_tags(len, &mut rng);
+        let pred = random_tags(len, &mut rng);
+        let mut counts = F1Counts::default();
+        counts.add_tags(&gold, &pred);
+        let (p, r, f1) = (counts.precision(), counts.recall(), counts.f1());
+        prop_assert!((0.0..=1.0).contains(&p), "precision {p}");
+        prop_assert!((0.0..=1.0).contains(&r), "recall {r}");
+        prop_assert!((0.0..=1.0).contains(&f1), "f1 {f1}");
+        prop_assert!(counts.correct <= counts.gold.min(counts.predicted));
+        // F1 is the harmonic mean: it cannot exceed either component.
+        prop_assert!(f1 <= p + 1e-12 || f1 <= r + 1e-12);
+    }
+
+    /// Scoring a sequence against itself is always a perfect 1.0, no
+    /// matter how malformed the BIO shape is — both sides repair it the
+    /// same way.
+    #[test]
+    fn self_comparison_is_always_perfect(seed in 0u64..5000, len in 0usize..12) {
+        let mut rng = Rng::new(seed);
+        let tags = random_tags(len, &mut rng);
+        let mut counts = F1Counts::default();
+        counts.add_tags(&tags, &tags);
+        prop_assert_eq!(counts.gold, counts.predicted);
+        prop_assert_eq!(counts.correct, counts.gold);
+        prop_assert!((counts.f1() - 1.0).abs() < 1e-12);
+    }
+
+    /// F1 is symmetric in (gold, pred): `2c / (g + r)` does not care which
+    /// side predicted (exact-match `c` is itself symmetric).
+    #[test]
+    fn f1_is_symmetric(seed in 0u64..5000, len in 0usize..12) {
+        let mut rng = Rng::new(seed);
+        let a = random_tags(len, &mut rng);
+        let b = random_tags(len, &mut rng);
+        let mut ab = F1Counts::default();
+        ab.add_tags(&a, &b);
+        let mut ba = F1Counts::default();
+        ba.add_tags(&b, &a);
+        prop_assert_eq!(ab.correct, ba.correct);
+        prop_assert!((ab.f1() - ba.f1()).abs() < 1e-12);
+    }
+
+    /// Differential check: over a random grid of sentences, the
+    /// accumulator's micro-F1 equals the brute-force oracle's, and the
+    /// span extraction itself agrees sentence by sentence.
+    #[test]
+    fn micro_f1_matches_brute_force_oracle(
+        seed in 0u64..5000,
+        sentences in 1usize..6,
+        len in 0usize..10,
+    ) {
+        let mut rng = Rng::new(seed);
+        let grid: Vec<(Vec<Tag>, Vec<Tag>)> = (0..sentences)
+            .map(|_| (random_tags(len, &mut rng), random_tags(len, &mut rng)))
+            .collect();
+        let mut counts = F1Counts::default();
+        for (gold, pred) in &grid {
+            prop_assert_eq!(tags_to_spans(gold), oracle_spans(gold));
+            counts.add_tags(gold, pred);
+        }
+        let expected = oracle_micro_f1(&grid);
+        prop_assert!(
+            (counts.f1() - expected).abs() < 1e-12,
+            "micro-F1 {} != oracle {}",
+            counts.f1(),
+            expected
+        );
+    }
+}
+
+/// The named malformed shapes from the issue, pinned as plain unit cases
+/// so a repair-convention change fails with a readable diff.
+#[test]
+fn dangling_i_and_mid_span_slot_change_repair_deterministically() {
+    // I- with no opening B-: opens a span at position 0.
+    assert_eq!(
+        tags_to_spans(&[Tag::I(1), Tag::I(1), Tag::O]),
+        vec![SlotSpan {
+            start: 0,
+            end: 2,
+            slot: 1
+        }]
+    );
+    // Slot change mid-span: closes [0,1) slot 0, opens [1,3) slot 2.
+    assert_eq!(
+        tags_to_spans(&[Tag::B(0), Tag::I(2), Tag::I(2)]),
+        vec![
+            SlotSpan {
+                start: 0,
+                end: 1,
+                slot: 0
+            },
+            SlotSpan {
+                start: 1,
+                end: 3,
+                slot: 2
+            },
+        ]
+    );
+    // Empty prediction against real gold: defined scores, zero F1.
+    let mut counts = F1Counts::default();
+    counts.add_tags(&[Tag::B(0), Tag::I(0)], &[Tag::O, Tag::O]);
+    assert_eq!(counts.predicted, 0);
+    assert_eq!(counts.precision(), 0.0);
+    assert_eq!(counts.f1(), 0.0);
+}

@@ -1,0 +1,95 @@
+//! Hand-computed paired-comparison cases (ISSUE 4, satellite 2).
+//!
+//! Each test pins `paired_compare` against values derived on paper, so a
+//! regression in the t-statistic, the normal-approximation p-value, or the
+//! bootstrap loop shows up as a concrete number mismatch rather than a
+//! loosely-bounded "still significant" assertion.
+
+use fewner_eval::paired_compare;
+
+/// Identical score vectors: every difference is exactly 0, so se = 0 and
+/// mean = 0 → t = 0 → p = 2·(1 − Φ(0)) ≈ 1 (the Abramowitz–Stegun erf
+/// approximation puts Φ(0) within 1e-8 of 1/2), and no bootstrap resample
+/// can total > 0.
+#[test]
+fn identical_methods_give_p_of_one() {
+    let a: Vec<f64> = (0..30).map(|i| 0.4 + 0.01 * (i % 7) as f64).collect();
+    let c = paired_compare(&a, &a, 11).unwrap();
+    assert_eq!(c.mean_diff, 0.0);
+    assert_eq!(c.t_statistic, 0.0);
+    assert!((c.p_value - 1.0).abs() < 1e-6, "p = {}", c.p_value);
+    assert_eq!(c.bootstrap_win_rate, 0.0);
+    assert_eq!(c.n, 30);
+}
+
+/// A constant positive difference has zero variance: the t statistic
+/// diverges to +∞ and the p-value collapses to exactly 0, while every
+/// bootstrap resample sums to a positive total (win rate exactly 1).
+/// (0.75 − 0.25 = 0.5 is exactly representable, so the per-episode
+/// differences — and hence the variance's zero — are exact.)
+#[test]
+fn disjoint_constant_wins_drive_p_to_zero() {
+    let a = vec![0.75; 40];
+    let b = vec![0.25; 40];
+    let c = paired_compare(&a, &b, 12).unwrap();
+    assert_eq!(c.mean_diff, 0.5);
+    assert!(c.t_statistic.is_infinite() && c.t_statistic > 0.0);
+    assert_eq!(c.p_value, 0.0);
+    assert_eq!(c.bootstrap_win_rate, 1.0);
+    assert!(c.significant_at(0.05));
+}
+
+/// Same degenerate case mirrored: B beats A everywhere, t = −∞, p = 0 —
+/// but `significant_at` must still reject because the advantage is B's.
+#[test]
+fn disjoint_losses_are_never_significant_for_a() {
+    let a = vec![0.25; 40];
+    let b = vec![0.75; 40];
+    let c = paired_compare(&a, &b, 13).unwrap();
+    assert!(c.t_statistic.is_infinite() && c.t_statistic < 0.0);
+    assert_eq!(c.p_value, 0.0);
+    assert_eq!(c.bootstrap_win_rate, 0.0);
+    assert!(!c.significant_at(0.05));
+}
+
+/// Fully hand-computed two-episode case. Differences are [0.1, 0.3]:
+///   mean = 0.2
+///   var  = ((0.1−0.2)² + (0.3−0.2)²) / (2−1) = 0.02
+///   se   = sqrt(0.02 / 2) = 0.1
+///   t    = 0.2 / 0.1 = 2.0
+///   p    = 2·(1 − Φ(2)) ≈ 0.0455  (normal approximation)
+/// Both differences are positive, so every bootstrap resample wins.
+#[test]
+fn hand_computed_t_statistic_and_p_value() {
+    let a = [0.6, 0.9];
+    let b = [0.5, 0.6];
+    let c = paired_compare(&a, &b, 14).unwrap();
+    assert!((c.mean_diff - 0.2).abs() < 1e-12);
+    assert!((c.t_statistic - 2.0).abs() < 1e-12, "t = {}", c.t_statistic);
+    assert!(
+        (c.p_value - 0.0455).abs() < 5e-4,
+        "2(1 − Φ(2)) ≈ 0.0455, got {}",
+        c.p_value
+    );
+    assert_eq!(c.bootstrap_win_rate, 1.0);
+}
+
+/// The bootstrap is a pure function of (scores, seed): the same seed must
+/// reproduce the identical win rate, and a different seed may move it only
+/// within resampling noise.
+#[test]
+fn bootstrap_is_seed_deterministic() {
+    let a: Vec<f64> = (0..25).map(|i| 0.5 + 0.02 * ((i * 7) % 5) as f64).collect();
+    let b: Vec<f64> = (0..25)
+        .map(|i| 0.48 + 0.02 * ((i * 3) % 5) as f64)
+        .collect();
+    let first = paired_compare(&a, &b, 99).unwrap();
+    let again = paired_compare(&a, &b, 99).unwrap();
+    assert_eq!(first.bootstrap_win_rate, again.bootstrap_win_rate);
+    assert_eq!(first.p_value, again.p_value);
+    let other = paired_compare(&a, &b, 100).unwrap();
+    assert!(
+        (first.bootstrap_win_rate - other.bootstrap_win_rate).abs() < 0.1,
+        "different seeds agree to within resampling noise"
+    );
+}

@@ -1,0 +1,110 @@
+//! Injectable clocks.
+//!
+//! Every timestamp the tracer records comes through the [`Clock`] trait so
+//! tests can drive time by hand ([`ManualClock`]) and assert exact span
+//! durations, while production uses the monotonic wall clock
+//! ([`MonotonicClock`]). Clocks report nanoseconds since an arbitrary
+//! per-clock origin — trace timestamps are only ever compared *within* one
+//! trace, never across processes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A source of monotonic nanosecond timestamps.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's origin. Must be monotonic
+    /// non-decreasing.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: `Instant`-based, origin at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // Saturates at u64::MAX after ~584 years of uptime.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-driven clock for deterministic tests: time only moves when the
+/// test calls [`ManualClock::advance`] (or [`ManualClock::set`]).
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at 0 ns.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Starts the clock at `ns`.
+    pub fn starting_at(ns: u64) -> ManualClock {
+        ManualClock {
+            now: AtomicU64::new(ns),
+        }
+    }
+
+    /// Moves time forward by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Jumps to an absolute time (must not move backwards in sane tests;
+    /// the clock does not enforce it).
+    pub fn set(&self, ns: u64) {
+        self.now.store(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_on_demand() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0, "reading must not advance time");
+        c.advance(250);
+        assert_eq!(c.now_ns(), 250);
+        c.set(1_000);
+        assert_eq!(c.now_ns(), 1_000);
+        let d = ManualClock::starting_at(42);
+        assert_eq!(d.now_ns(), 42);
+    }
+}

@@ -1,0 +1,46 @@
+//! Structured tracing + metrics for the FEWNER stack.
+//!
+//! The §4.5.2 cost analysis (adaptation ≪ training, inner-step cost ~flat
+//! in K) was first reproduced with one-off timing binaries; a system meant
+//! to serve real traffic needs the same numbers *from the running system*.
+//! This crate is that observability layer:
+//!
+//! * [`Tracer`] — the one handle the rest of the workspace holds. A
+//!   disabled tracer ([`Tracer::disabled`]) is a `None` behind an `Option`:
+//!   every call site reduces to one branch, no allocation, no dispatch, so
+//!   instrumented code pays ~nothing when tracing is off.
+//! * [`Span`] / events — RAII timing: a span records its duration into the
+//!   trace when dropped. Timestamps come from an injectable [`Clock`]
+//!   ([`ManualClock`] in tests, [`MonotonicClock`] in production), so span
+//!   durations are *exactly* assertable.
+//! * [`Metrics`] — counters, gauges and fixed-bucket histograms, keyed by
+//!   name in sorted order so snapshots are deterministic.
+//! * [`Sink`] — where trace records go: [`NoopSink`], an in-memory
+//!   [`MemorySink`] for tests, or [`JsonlSink`] writing one compact JSON
+//!   object per line through `fewner-util`'s durable (CRC-framed, atomic)
+//!   writer.
+//! * [`TraceSummary`] — reads a trace back and renders per-phase latency
+//!   percentiles, counter totals and the adaptation-vs-training cost split
+//!   (the `fewner trace summarize` subcommand).
+//!
+//! # Determinism contract
+//!
+//! Emission never touches an [`fewner_util::Rng`] stream and never changes
+//! what the instrumented code computes: training checkpoints are bitwise
+//! identical with tracing on or off, at any thread count. (The trainer
+//! keeps this honest by routing traced runs through the same decomposed
+//! task-gradient path the parallel and fault-injected paths already use.)
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod sink;
+pub mod summary;
+pub mod trace;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use sink::{JsonlSink, MemorySink, NoopSink, Sink};
+pub use summary::{SpanStats, TraceSummary};
+pub use trace::{Span, Tracer};

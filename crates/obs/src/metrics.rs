@@ -1,0 +1,184 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! All three families are keyed by name in a `BTreeMap` so a snapshot
+//! always enumerates in one deterministic (sorted) order — trace files are
+//! diffable and tests can assert on exact output. The registry is
+//! internally locked; instrumented code only ever sees it through
+//! [`crate::Tracer`], which skips the lock entirely when tracing is
+//! disabled.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Histogram bucket upper bounds: log-decade from 1 µs to 100 s (in ns),
+/// plus the implicit overflow bucket. One fixed scale for every histogram
+/// keeps snapshots comparable across runs and avoids per-metric
+/// configuration drift; exact percentiles for spans come from the raw span
+/// records, not from these buckets.
+pub const BUCKET_BOUNDS: [f64; 9] = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11];
+
+/// One histogram's accumulated state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations per bucket (`BUCKET_BOUNDS.len() + 1` entries; the
+    /// last one counts observations above every bound).
+    pub bucket_counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (`+inf` when empty).
+    pub min: f64,
+    /// Largest observed value (`-inf` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    fn new() -> HistogramSnapshot {
+        HistogramSnapshot {
+            bucket_counts: vec![0; BUCKET_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let bucket = BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.bucket_counts[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every metric, in sorted name order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// The thread-safe metrics registry behind a [`crate::Tracer`].
+#[derive(Default)]
+pub struct Metrics {
+    registry: Mutex<Registry>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `by` to the counter `name` (created at 0).
+    pub fn incr(&self, name: &str, by: u64) {
+        let mut r = self.registry.lock().expect("metrics lock");
+        *r.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge(&self, name: &str, value: f64) {
+        let mut r = self.registry.lock().expect("metrics lock");
+        r.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut r = self.registry.lock().expect("metrics lock");
+        r.histograms
+            .entry(name.to_string())
+            .or_insert_with(HistogramSnapshot::new)
+            .observe(value);
+    }
+
+    /// Copies out every metric, names sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let r = self.registry.lock().expect("metrics lock");
+        MetricsSnapshot {
+            counters: r.counters.clone(),
+            gauges: r.gauges.clone(),
+            histograms: r.histograms.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_in_sorted_order() {
+        let m = Metrics::new();
+        m.incr("b/second", 2);
+        m.incr("a/first", 1);
+        m.incr("b/second", 3);
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.counters.keys().map(String::as_str).collect();
+        assert_eq!(names, ["a/first", "b/second"]);
+        assert_eq!(snap.counters["b/second"], 5);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let m = Metrics::new();
+        m.gauge("g", 1.0);
+        m.gauge("g", -4.5);
+        assert_eq!(m.snapshot().gauges["g"], -4.5);
+    }
+
+    #[test]
+    fn histogram_buckets_count_and_bound_correctly() {
+        let m = Metrics::new();
+        // 500 ns → bucket 0 (≤ 1e3); 5e5 → bucket 2 (≤ 1e5)? No: 5e5 ≤ 1e6
+        // is bucket 3. 1e12 overflows every bound.
+        m.observe("h", 500.0);
+        m.observe("h", 5e5);
+        m.observe("h", 1e12);
+        let h = &m.snapshot().histograms["h"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.bucket_counts[0], 1);
+        assert_eq!(h.bucket_counts[3], 1);
+        assert_eq!(*h.bucket_counts.last().unwrap(), 1);
+        assert_eq!(h.min, 500.0);
+        assert_eq!(h.max, 1e12);
+        assert!((h.mean() - (500.0 + 5e5 + 1e12) / 3.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        assert_eq!(HistogramSnapshot::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn exact_bound_lands_in_its_bucket() {
+        let m = Metrics::new();
+        m.observe("h", 1e3); // exactly the first bound → bucket 0
+        assert_eq!(m.snapshot().histograms["h"].bucket_counts[0], 1);
+    }
+}

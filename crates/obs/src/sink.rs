@@ -1,0 +1,149 @@
+//! Trace record sinks.
+//!
+//! A sink receives complete, already-rendered trace lines (one compact
+//! JSON object each) and decides where they go: nowhere ([`NoopSink`]), a
+//! shared in-memory buffer for tests ([`MemorySink`]), or a durable JSONL
+//! file ([`JsonlSink`]). Records are buffered in memory and only hit the
+//! filesystem on [`Sink::flush`], through `fewner-util`'s atomic
+//! CRC-framed writer — so a crashed run loses its unflushed trace tail,
+//! but never leaves a torn or unverifiable trace file. (The checkpoint
+//! story is unaffected: traces are diagnostics, snapshots are the source
+//! of truth.)
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use fewner_util::{durable, Result};
+
+/// Receives rendered trace lines.
+pub trait Sink: Send + Sync {
+    /// Accepts one trace record (a complete JSON object, no newline).
+    fn record(&self, line: &str);
+
+    /// Persists everything recorded so far, if this sink persists at all.
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _line: &str) {}
+}
+
+/// Collects lines in memory behind a shared handle; clone it before moving
+/// one copy into the tracer and read the other from the test.
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// An empty shared buffer.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A copy of every line recorded so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("memory sink lock").clone()
+    }
+
+    /// All recorded lines joined with newlines (the shape
+    /// [`crate::TraceSummary::parse`] takes).
+    pub fn text(&self) -> String {
+        self.lines().join("\n")
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, line: &str) {
+        self.lines
+            .lock()
+            .expect("memory sink lock")
+            .push(line.to_string());
+    }
+}
+
+/// Buffers lines and flushes them as one durable JSONL document.
+///
+/// Every flush rewrites the whole accumulated trace atomically (traces are
+/// diagnostic-sized, not log-pipeline-sized), so the file on disk is always
+/// a complete, CRC-verified prefix of the run.
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    buffer: Mutex<String>,
+}
+
+impl JsonlSink {
+    /// A sink that will write to `path` on flush.
+    pub fn new(path: impl Into<PathBuf>) -> JsonlSink {
+        JsonlSink {
+            path: path.into(),
+            buffer: Mutex::new(String::new()),
+        }
+    }
+
+    /// The flush target.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, line: &str) {
+        let mut buf = self.buffer.lock().expect("jsonl sink lock");
+        buf.push_str(line);
+        buf.push('\n');
+    }
+
+    fn flush(&self) -> Result<()> {
+        let buf = self.buffer.lock().expect("jsonl sink lock");
+        durable::write_atomic(&self.path, buf.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_shares_lines_across_clones() {
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        sink.record(r#"{"t":"event","name":"a"}"#);
+        sink.record(r#"{"t":"event","name":"b"}"#);
+        assert_eq!(handle.lines().len(), 2);
+        assert!(handle.text().contains("\"b\""));
+    }
+
+    #[test]
+    fn noop_sink_accepts_and_flushes() {
+        let sink = NoopSink;
+        sink.record("ignored");
+        sink.flush().unwrap();
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_a_durable_verified_file() {
+        let path =
+            std::env::temp_dir().join(format!("fewner-obs-sink-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::new(&path);
+        sink.record(r#"{"t":"counter","name":"x","v":1}"#);
+        sink.record(r#"{"t":"counter","name":"y","v":2}"#);
+        sink.flush().unwrap();
+        let text = durable::read_verified_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{')));
+        // A later flush rewrites the full accumulated trace.
+        sink.record(r#"{"t":"counter","name":"z","v":3}"#);
+        sink.flush().unwrap();
+        let text = durable::read_verified_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

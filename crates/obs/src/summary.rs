@@ -1,0 +1,348 @@
+//! Reading a trace back: per-phase latency percentiles, counter totals,
+//! and the §4.5.2 adaptation-vs-training cost split.
+//!
+//! The summary is computed from the *raw span records* (exact percentiles
+//! by sorting durations), not from the fixed histogram buckets — the
+//! buckets exist for cheap steady-state aggregation, the span lines for
+//! precise post-hoc analysis. Counter/gauge lines are flush snapshots, so
+//! the *last* occurrence of each name wins.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use fewner_util::{durable, Error, Json, Result};
+
+/// Aggregated durations of one span name.
+#[derive(Debug, Clone, Default)]
+pub struct SpanStats {
+    durs_ns: Vec<u64>, // kept sorted by finish()
+    total_ns: u64,
+}
+
+impl SpanStats {
+    /// Number of recorded spans.
+    pub fn count(&self) -> usize {
+        self.durs_ns.len()
+    }
+
+    /// Total nanoseconds across all spans of this name.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.durs_ns.is_empty() {
+            0.0
+        } else {
+            self.total_ns as f64 / self.durs_ns.len() as f64
+        }
+    }
+
+    /// Exact percentile (nearest-rank on the sorted durations); `p` in
+    /// [0, 100].
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.durs_ns.is_empty() {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0 * (self.durs_ns.len() - 1) as f64).round() as usize;
+        self.durs_ns[rank]
+    }
+
+    /// Largest duration.
+    pub fn max_ns(&self) -> u64 {
+        self.durs_ns.last().copied().unwrap_or(0)
+    }
+
+    fn push(&mut self, dur: u64) {
+        self.durs_ns.push(dur);
+        self.total_ns += dur;
+    }
+
+    fn finish(&mut self) {
+        self.durs_ns.sort_unstable();
+    }
+}
+
+/// A parsed trace, ready to render.
+#[derive(Debug, Default)]
+pub struct TraceSummary {
+    /// Span stats keyed by span name (sorted).
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Counter totals (last flush snapshot wins).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values (last flush snapshot wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Event counts per event name.
+    pub events: BTreeMap<String, usize>,
+    /// Total records parsed.
+    pub records: usize,
+}
+
+impl TraceSummary {
+    /// Parses a trace from JSONL text; every non-empty line must be a
+    /// valid record.
+    pub fn parse(text: &str) -> Result<TraceSummary> {
+        let mut summary = TraceSummary::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let rec = Json::parse(line)
+                .map_err(|e| Error::Serde(format!("trace line {}: {e}", lineno + 1)))?;
+            let kind = rec.field("t")?.as_str()?.to_string();
+            let name = rec.field("name")?.as_str()?.to_string();
+            match kind.as_str() {
+                "span" => {
+                    let dur = rec.field("dur")?.as_u64()?;
+                    summary.spans.entry(name).or_default().push(dur);
+                }
+                "event" => *summary.events.entry(name).or_insert(0) += 1,
+                "counter" => {
+                    summary.counters.insert(name, rec.field("v")?.as_u64()?);
+                }
+                "gauge" => {
+                    summary.gauges.insert(name, rec.field("v")?.as_f64()?);
+                }
+                "hist" => {} // aggregates of the span records already held
+                other => {
+                    return Err(Error::Serde(format!(
+                        "trace line {}: unknown record type `{other}`",
+                        lineno + 1
+                    )))
+                }
+            }
+            summary.records += 1;
+        }
+        for stats in summary.spans.values_mut() {
+            stats.finish();
+        }
+        Ok(summary)
+    }
+
+    /// Reads and parses a trace file — either a durable CRC-framed file
+    /// (as [`crate::JsonlSink`] writes) or plain JSONL text.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<TraceSummary> {
+        TraceSummary::parse(&read_trace_text(path.as_ref())?)
+    }
+
+    /// Reads several trace files into one merged summary — e.g. a training
+    /// trace plus a serving trace, so the §4.5.2 cost split covers both
+    /// phases in a single report. Records are concatenated in argument
+    /// order (so for counters the *last file's* snapshot wins).
+    pub fn from_files<P: AsRef<Path>>(paths: &[P]) -> Result<TraceSummary> {
+        let mut text = String::new();
+        for path in paths {
+            text.push_str(&read_trace_text(path.as_ref())?);
+            text.push('\n');
+        }
+        TraceSummary::parse(&text)
+    }
+
+    /// The §4.5.2 cost split: total time in meta-training iterations vs
+    /// total time adapting φ at serve time. `None` until the trace holds
+    /// at least one of the two phases.
+    pub fn cost_split(&self) -> Option<(u64, u64)> {
+        let train = self.spans.get("train/iteration").map(SpanStats::total_ns);
+        let adapt = self.spans.get("serve/adapt").map(SpanStats::total_ns);
+        if train.is_none() && adapt.is_none() {
+            return None;
+        }
+        Some((train.unwrap_or(0), adapt.unwrap_or(0)))
+    }
+
+    /// The human-readable report `fewner trace summarize` prints.
+    pub fn render(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::new();
+        out.push_str(&format!("trace summary: {} records\n", self.records));
+        if !self.spans.is_empty() {
+            out.push_str("\nper-phase latency (ms)\n");
+            out.push_str(&format!(
+                "  {:<22} {:>7} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+                "phase", "count", "total", "mean", "p50", "p90", "p99", "max"
+            ));
+            for (name, s) in &self.spans {
+                out.push_str(&format!(
+                    "  {:<22} {:>7} {:>11.2} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+                    name,
+                    s.count(),
+                    ms(s.total_ns()),
+                    s.mean_ns() / 1e6,
+                    ms(s.percentile_ns(50.0)),
+                    ms(s.percentile_ns(90.0)),
+                    ms(s.percentile_ns(99.0)),
+                    ms(s.max_ns()),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<30} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<30} {v}\n"));
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("\nevents\n");
+            for (name, v) in &self.events {
+                out.push_str(&format!("  {name:<30} ×{v}\n"));
+            }
+        }
+        if let Some((train_ns, adapt_ns)) = self.cost_split() {
+            out.push_str("\nadaptation vs training cost (paper §4.5.2)\n");
+            let train_spans = self.spans.get("train/iteration");
+            let adapt_spans = self.spans.get("serve/adapt");
+            out.push_str(&format!(
+                "  training   (train/iteration): {:>10.2} ms over {} iterations\n",
+                ms(train_ns),
+                train_spans.map_or(0, SpanStats::count)
+            ));
+            out.push_str(&format!(
+                "  adaptation (serve/adapt):     {:>10.2} ms over {} tasks\n",
+                ms(adapt_ns),
+                adapt_spans.map_or(0, SpanStats::count)
+            ));
+            if train_ns > 0 && adapt_ns > 0 {
+                let per_iter = train_spans.map_or(0.0, SpanStats::mean_ns);
+                let per_task = adapt_spans.map_or(0.0, SpanStats::mean_ns);
+                if per_iter > 0.0 {
+                    out.push_str(&format!(
+                        "  per-task adaptation / per-iteration training: {:.4}\n",
+                        per_task / per_iter
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The raw JSONL payload of a trace file, unwrapping the durable frame
+/// when present.
+fn read_trace_text(path: &Path) -> Result<String> {
+    let head = std::fs::read(path).map_err(|e| Error::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    if head.starts_with(durable::MAGIC.as_bytes()) {
+        durable::read_verified_string(path)
+    } else {
+        String::from_utf8(head).map_err(|_| Error::Io {
+            path: path.display().to_string(),
+            detail: "trace file is not UTF-8".into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(name: &str, start: u64, dur: u64) -> String {
+        format!(r#"{{"t":"span","name":"{name}","start":{start},"dur":{dur}}}"#)
+    }
+
+    #[test]
+    fn percentiles_are_exact_on_known_durations() {
+        let text: String = (1..=100u64)
+            .map(|i| span_line("train/iteration", i, i * 1000))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let s = TraceSummary::parse(&text).unwrap();
+        let stats = &s.spans["train/iteration"];
+        assert_eq!(stats.count(), 100);
+        assert_eq!(stats.percentile_ns(0.0), 1_000);
+        assert_eq!(stats.percentile_ns(50.0), 51_000); // nearest-rank on 0..=99
+        assert_eq!(stats.percentile_ns(100.0), 100_000);
+        assert_eq!(stats.max_ns(), 100_000);
+        assert_eq!(stats.total_ns(), 5_050_000);
+    }
+
+    #[test]
+    fn counters_take_the_last_snapshot_and_events_count() {
+        let text = [
+            r#"{"t":"counter","name":"sampler/tasks_drawn","v":10}"#,
+            r#"{"t":"event","name":"train/skip","at":5}"#,
+            r#"{"t":"event","name":"train/skip","at":9}"#,
+            r#"{"t":"counter","name":"sampler/tasks_drawn","v":32}"#,
+        ]
+        .join("\n");
+        let s = TraceSummary::parse(&text).unwrap();
+        assert_eq!(s.counters["sampler/tasks_drawn"], 32);
+        assert_eq!(s.events["train/skip"], 2);
+        assert_eq!(s.records, 4);
+    }
+
+    #[test]
+    fn cost_split_reports_both_phases() {
+        let text = [
+            span_line("train/iteration", 0, 8_000_000),
+            span_line("train/iteration", 1, 12_000_000),
+            span_line("serve/adapt", 2, 1_000_000),
+        ]
+        .join("\n");
+        let s = TraceSummary::parse(&text).unwrap();
+        assert_eq!(s.cost_split(), Some((20_000_000, 1_000_000)));
+        let report = s.render();
+        assert!(report.contains("per-phase latency"));
+        assert!(report.contains("train/iteration"));
+        assert!(report.contains("adaptation vs training cost"));
+        assert!(report.contains("over 2 iterations"));
+        assert!(report.contains("over 1 tasks"));
+    }
+
+    #[test]
+    fn empty_trace_has_no_cost_split() {
+        let s = TraceSummary::parse("").unwrap();
+        assert_eq!(s.records, 0);
+        assert!(s.cost_split().is_none());
+        assert!(s.render().contains("0 records"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        let err = TraceSummary::parse("{\"t\":\"span\"").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = TraceSummary::parse(r#"{"t":"mystery","name":"x"}"#).unwrap_err();
+        assert!(err.to_string().contains("unknown record type"), "{err}");
+        // A span without `dur` is malformed too.
+        assert!(TraceSummary::parse(r#"{"t":"span","name":"x","start":1}"#).is_err());
+    }
+
+    #[test]
+    fn from_file_reads_plain_and_durable_framed_traces() {
+        let dir = std::env::temp_dir();
+        let plain = dir.join(format!("fewner-obs-plain-{}.jsonl", std::process::id()));
+        std::fs::write(&plain, span_line("a", 0, 5)).unwrap();
+        assert_eq!(TraceSummary::from_file(&plain).unwrap().records, 1);
+
+        let framed = dir.join(format!("fewner-obs-framed-{}.jsonl", std::process::id()));
+        durable::write_atomic(&framed, span_line("b", 0, 7).as_bytes()).unwrap();
+        let s = TraceSummary::from_file(&framed).unwrap();
+        assert_eq!(s.spans["b"].total_ns(), 7);
+
+        // Merging a train-phase and a serve-phase trace yields a combined
+        // cost split (mixed framing is fine).
+        let train = dir.join(format!("fewner-obs-train-{}.jsonl", std::process::id()));
+        durable::write_atomic(
+            &train,
+            span_line("train/iteration", 0, 9_000_000).as_bytes(),
+        )
+        .unwrap();
+        let serve = dir.join(format!("fewner-obs-serve-{}.jsonl", std::process::id()));
+        std::fs::write(&serve, span_line("serve/adapt", 0, 3_000_000)).unwrap();
+        let merged = TraceSummary::from_files(&[&train, &serve]).unwrap();
+        assert_eq!(merged.cost_split(), Some((9_000_000, 3_000_000)));
+
+        for p in [&plain, &framed, &train, &serve] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

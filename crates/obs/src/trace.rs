@@ -1,0 +1,324 @@
+//! The tracer: spans, events, and the metric entry points.
+//!
+//! Record shapes (one compact JSON object per line):
+//!
+//! ```text
+//! {"t":"span","name":"train/iteration","start":<ns>,"dur":<ns>,"iter":3,...}
+//! {"t":"event","name":"train/resume","at":<ns>,"iteration":6,...}
+//! {"t":"counter","name":"sampler/tasks_drawn","v":128}      (flush snapshot)
+//! {"t":"gauge","name":"infer/pool_hits","v":512}            (flush snapshot)
+//! {"t":"hist","name":"train/outer_loss","count":16,"sum":…} (flush snapshot)
+//! ```
+//!
+//! Span and event fields are flattened into the record object; field names
+//! therefore must not collide with `t`/`name`/`start`/`dur`/`at` (the
+//! instrumentation sites use short plain keys like `iter`, `loss`,
+//! `tokens`).
+
+use std::sync::Arc;
+
+use fewner_util::{Json, Result};
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::metrics::Metrics;
+use crate::sink::{JsonlSink, Sink};
+
+struct Inner {
+    clock: Box<dyn Clock>,
+    sink: Box<dyn Sink>,
+    metrics: Metrics,
+}
+
+/// The handle instrumented code holds.
+///
+/// Cheap to clone and thread-safe; a disabled tracer is a `None` and every
+/// operation on it is a single branch. All constructors are explicit —
+/// there is no global tracer, so tests and parallel runs cannot interfere
+/// through hidden state.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Tracer {
+    /// The no-op tracer: records nothing, costs ~nothing.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A tracer with an explicit clock and sink (tests use
+    /// [`crate::ManualClock`] + [`crate::MemorySink`] here).
+    pub fn new(clock: impl Clock + 'static, sink: impl Sink + 'static) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                clock: Box::new(clock),
+                sink: Box::new(sink),
+                metrics: Metrics::new(),
+            })),
+        }
+    }
+
+    /// The production configuration: monotonic clock, durable JSONL file
+    /// at `path` (written on [`Tracer::flush`]).
+    pub fn jsonl(path: impl Into<std::path::PathBuf>) -> Tracer {
+        Tracer::new(MonotonicClock::new(), JsonlSink::new(path))
+    }
+
+    /// True when records are being collected.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span; its duration is recorded when the guard drops. Attach
+    /// context with [`Span::set`].
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            state: self.inner.as_deref().map(|inner| SpanState {
+                inner,
+                name,
+                start: inner.clock.now_ns(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Records an instantaneous event with the given extra fields.
+    pub fn event(&self, name: &str, fields: &[(&str, Json)]) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        let mut obj: Vec<(String, Json)> = vec![
+            ("t".into(), Json::Str("event".into())),
+            ("name".into(), Json::Str(name.into())),
+            ("at".into(), Json::Num(inner.clock.now_ns() as f64)),
+        ];
+        for (k, v) in fields {
+            obj.push(((*k).into(), v.clone()));
+        }
+        inner.sink.record(&Json::Obj(obj).to_string());
+    }
+
+    /// Adds `by` to the counter `name`.
+    pub fn incr(&self, name: &str, by: u64) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.metrics.incr(name, by);
+        }
+    }
+
+    /// Sets the gauge `name`.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.metrics.gauge(name, value);
+        }
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.metrics.observe(name, value);
+        }
+    }
+
+    /// Emits the current metrics snapshot as trace records, then persists
+    /// the sink. Call once at the end of a run (and after any event worth
+    /// surviving a later crash).
+    pub fn flush(&self) -> Result<()> {
+        let Some(inner) = self.inner.as_deref() else {
+            return Ok(());
+        };
+        let snap = inner.metrics.snapshot();
+        for (name, v) in &snap.counters {
+            let line = Json::Obj(vec![
+                ("t".into(), Json::Str("counter".into())),
+                ("name".into(), Json::Str(name.clone())),
+                ("v".into(), Json::Num(*v as f64)),
+            ]);
+            inner.sink.record(&line.to_string());
+        }
+        for (name, v) in &snap.gauges {
+            let line = Json::Obj(vec![
+                ("t".into(), Json::Str("gauge".into())),
+                ("name".into(), Json::Str(name.clone())),
+                ("v".into(), Json::Num(*v)),
+            ]);
+            inner.sink.record(&line.to_string());
+        }
+        for (name, h) in &snap.histograms {
+            let line = Json::Obj(vec![
+                ("t".into(), Json::Str("hist".into())),
+                ("name".into(), Json::Str(name.clone())),
+                ("count".into(), Json::Num(h.count as f64)),
+                ("sum".into(), Json::Num(h.sum)),
+                (
+                    "min".into(),
+                    Json::Num(if h.count == 0 { 0.0 } else { h.min }),
+                ),
+                (
+                    "max".into(),
+                    Json::Num(if h.count == 0 { 0.0 } else { h.max }),
+                ),
+                (
+                    "buckets".into(),
+                    Json::Arr(
+                        h.bucket_counts
+                            .iter()
+                            .map(|&c| Json::Num(c as f64))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            inner.sink.record(&line.to_string());
+        }
+        inner.sink.flush()
+    }
+}
+
+struct SpanState<'a> {
+    inner: &'a Inner,
+    name: &'static str,
+    start: u64,
+    fields: Vec<(String, Json)>,
+}
+
+/// An open span; dropping it records the duration (also observed into the
+/// histogram of the span's name, so flush snapshots carry per-phase
+/// aggregates even if the raw records are discarded).
+pub struct Span<'a> {
+    state: Option<SpanState<'a>>,
+}
+
+impl Span<'_> {
+    /// Attaches a context field to the span record.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        if let Some(state) = &mut self.state {
+            state.fields.push((key.to_string(), value.into()));
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        let end = state.inner.clock.now_ns();
+        let dur = end.saturating_sub(state.start);
+        let mut obj: Vec<(String, Json)> = vec![
+            ("t".into(), Json::Str("span".into())),
+            ("name".into(), Json::Str(state.name.into())),
+            ("start".into(), Json::Num(state.start as f64)),
+            ("dur".into(), Json::Num(dur as f64)),
+        ];
+        obj.extend(state.fields);
+        state.inner.sink.record(&Json::Obj(obj).to_string());
+        state.inner.metrics.observe(state.name, dur as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        let mut s = t.span("x");
+        s.set("k", 1u64);
+        drop(s);
+        t.event("e", &[("a", Json::Num(1.0))]);
+        t.incr("c", 1);
+        t.gauge("g", 1.0);
+        t.observe("h", 1.0);
+        t.flush().unwrap();
+    }
+
+    #[test]
+    fn span_duration_is_exactly_the_clock_delta() {
+        let clock = ManualClock::starting_at(100);
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        let t = Tracer::new(clock, sink);
+        {
+            let mut span = t.span("phase/work");
+            span.set("iter", 7u64);
+        }
+        // The clock never advanced, so dur is 0 and start is 100.
+        let lines = handle.lines();
+        assert_eq!(lines.len(), 1);
+        let rec = Json::parse(&lines[0]).unwrap();
+        assert_eq!(rec.field("t").unwrap().as_str().unwrap(), "span");
+        assert_eq!(rec.field("name").unwrap().as_str().unwrap(), "phase/work");
+        assert_eq!(rec.field("start").unwrap().as_u64().unwrap(), 100);
+        assert_eq!(rec.field("dur").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(rec.field("iter").unwrap().as_u64().unwrap(), 7);
+    }
+
+    #[test]
+    fn manual_clock_advancing_inside_a_span_is_measured() {
+        // Share the clock through an Arc so the test can advance it while
+        // the tracer holds it.
+        #[derive(Clone)]
+        struct SharedClock(Arc<ManualClock>);
+        impl Clock for SharedClock {
+            fn now_ns(&self) -> u64 {
+                self.0.now_ns()
+            }
+        }
+        let clock = SharedClock(Arc::new(ManualClock::new()));
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        let t = Tracer::new(clock.clone(), sink);
+        {
+            let _span = t.span("adapt");
+            clock.0.advance(42_000);
+        }
+        let rec = Json::parse(&handle.lines()[0]).unwrap();
+        assert_eq!(rec.field("dur").unwrap().as_u64().unwrap(), 42_000);
+        // The duration also landed in the span-name histogram.
+        let snap_lines = {
+            t.flush().unwrap();
+            handle.lines()
+        };
+        let hist = snap_lines
+            .iter()
+            .find(|l| l.contains(r#""t":"hist""#) && l.contains(r#""name":"adapt""#))
+            .expect("histogram snapshot line");
+        let h = Json::parse(hist).unwrap();
+        assert_eq!(h.field("count").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(h.field("sum").unwrap().as_f64().unwrap(), 42_000.0);
+    }
+
+    #[test]
+    fn events_and_flush_snapshot_are_recorded_in_order() {
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        let t = Tracer::new(ManualClock::starting_at(5), sink);
+        t.event("train/resume", &[("iteration", Json::Num(6.0))]);
+        t.incr("zeta", 2);
+        t.incr("alpha", 1);
+        t.gauge("mid", 0.5);
+        t.flush().unwrap();
+        let lines = handle.lines();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains(r#""t":"event""#) && lines[0].contains(r#""at":5"#));
+        // Counters enumerate sorted: alpha before zeta.
+        assert!(lines[1].contains(r#""name":"alpha""#));
+        assert!(lines[2].contains(r#""name":"zeta""#));
+        assert!(lines[3].contains(r#""t":"gauge""#));
+    }
+
+    #[test]
+    fn tracer_clones_share_one_trace() {
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        let t = Tracer::new(ManualClock::new(), sink);
+        let t2 = t.clone();
+        t.incr("n", 1);
+        t2.incr("n", 1);
+        t2.flush().unwrap();
+        assert!(handle.text().contains(r#""v":2"#));
+    }
+}

@@ -27,14 +27,50 @@
 //! ex.backward(y); // ERROR: no method `backward` on `Infer`
 //! ```
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::array::{matmul_into, Array};
 use crate::exec::{Exec, ExecMode, Var};
 use crate::kernels;
 use crate::params::{ParamId, ParamStore};
+
+/// Buffer-pool and arena statistics for one [`Infer`] executor.
+///
+/// `pool_hits` / `pool_misses` count [`Infer`] scratch-buffer requests
+/// served from the recycle pool versus fresh heap allocations; their ratio
+/// is the direct measure of how well the serving path amortises allocation.
+/// `high_water` is the largest number of live arena slots observed, i.e.
+/// the executor's peak working-set in buffers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InferStats {
+    /// Scratch-buffer requests satisfied by recycling a pooled buffer.
+    pub pool_hits: u64,
+    /// Scratch-buffer requests that had to allocate fresh memory.
+    pub pool_misses: u64,
+    /// Peak number of live arena slots over the executor's lifetime.
+    pub high_water: u64,
+}
+
+/// Process-wide accumulation of every dropped [`Infer`]'s statistics, so
+/// serving code can report pool behaviour without threading each executor's
+/// stats outward. Relaxed ordering suffices: these are monotone counters
+/// read for diagnostics, never for synchronisation.
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_HIGH_WATER: AtomicU64 = AtomicU64::new(0);
+
+/// Aggregate statistics from every [`Infer`] dropped so far in this process
+/// (`high_water` is the max across executors, the counters are sums).
+pub fn global_stats() -> InferStats {
+    InferStats {
+        pool_hits: GLOBAL_HITS.load(Ordering::Relaxed),
+        pool_misses: GLOBAL_MISSES.load(Ordering::Relaxed),
+        high_water: GLOBAL_HIGH_WATER.load(Ordering::Relaxed),
+    }
+}
 
 /// A slot either owns its buffer (recyclable) or shares a parameter /
 /// extracted value behind an `Arc`.
@@ -62,11 +98,21 @@ pub struct Infer {
     slots: RefCell<Vec<Slot>>,
     pool: RefCell<Vec<Vec<f32>>>,
     bound: RefCell<HashMap<ParamId, Var>>,
+    stats: Cell<InferStats>,
 }
 
 impl Default for Infer {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Drop for Infer {
+    fn drop(&mut self) {
+        let s = self.stats.get();
+        GLOBAL_HITS.fetch_add(s.pool_hits, Ordering::Relaxed);
+        GLOBAL_MISSES.fetch_add(s.pool_misses, Ordering::Relaxed);
+        GLOBAL_HIGH_WATER.fetch_max(s.high_water, Ordering::Relaxed);
     }
 }
 
@@ -77,7 +123,19 @@ impl Infer {
             slots: RefCell::new(Vec::with_capacity(256)),
             pool: RefCell::new(Vec::new()),
             bound: RefCell::new(HashMap::new()),
+            stats: Cell::new(InferStats::default()),
         }
+    }
+
+    /// This executor's buffer-pool statistics so far.
+    pub fn stats(&self) -> InferStats {
+        self.stats.get()
+    }
+
+    fn note_high_water(&self, live: usize) {
+        let mut s = self.stats.get();
+        s.high_water = s.high_water.max(live as u64);
+        self.stats.set(s);
     }
 
     /// Fences the arena: slots created so far survive [`Infer::reset_to`].
@@ -118,21 +176,30 @@ impl Infer {
     /// is available. Zero-filling keeps accumulating kernels (matmul)
     /// bitwise identical to the tape's `Array::zeros` starting point.
     fn alloc(&self, rows: usize, cols: usize) -> Array {
+        let mut stats = self.stats.get();
         let data = match self.pool.borrow_mut().pop() {
             Some(mut buf) => {
+                stats.pool_hits += 1;
                 buf.clear();
                 buf.resize(rows * cols, 0.0);
                 buf
             }
-            None => vec![0.0; rows * cols],
+            None => {
+                stats.pool_misses += 1;
+                vec![0.0; rows * cols]
+            }
         };
+        self.stats.set(stats);
         Array::from_vec(rows, cols, data)
     }
 
     fn push(&self, value: Array) -> Var {
         let mut slots = self.slots.borrow_mut();
         slots.push(Slot::Owned(value));
-        Var(slots.len() - 1)
+        let live = slots.len();
+        drop(slots);
+        self.note_high_water(live);
+        Var(live - 1)
     }
 
     /// Unary op into a recycled buffer.
@@ -167,11 +234,13 @@ impl Exec for Infer {
         if let Some(&v) = self.bound.borrow().get(&id) {
             return v;
         }
-        let v = {
+        let live = {
             let mut slots = self.slots.borrow_mut();
             slots.push(Slot::Shared(Arc::clone(store.value(id))));
-            Var(slots.len() - 1)
+            slots.len()
         };
+        self.note_high_water(live);
+        let v = Var(live - 1);
         self.bound.borrow_mut().insert(id, v);
         v
     }
@@ -517,6 +586,27 @@ mod tests {
         assert_eq!(kept.data(), &[10.0, 20.0]);
         // The shared buffer was not recycled into the pool.
         assert_eq!(ex.pooled_buffers(), 1);
+    }
+
+    #[test]
+    fn stats_track_pool_hits_misses_and_high_water() {
+        let ex = Infer::new();
+        let base = ex.constant(Array::full(2, 2, 1.0));
+        let mark = ex.mark();
+        let a = ex.add_scalar(base, 1.0);
+        let _ = ex.mul(a, a);
+        let s = ex.stats();
+        assert_eq!(s.pool_misses, 2, "empty pool: every alloc is a miss");
+        assert_eq!(s.pool_hits, 0);
+        assert_eq!(s.high_water, 3, "constant + two scratch results");
+        ex.reset_to(mark);
+        let _ = ex.add_scalar(base, 2.0);
+        let s = ex.stats();
+        assert_eq!(s.pool_hits, 1, "post-reset alloc recycles a buffer");
+        assert_eq!(s.pool_misses, 2);
+        drop(ex);
+        let g = global_stats();
+        assert!(g.pool_hits >= 1 && g.pool_misses >= 2 && g.high_water >= 3);
     }
 
     #[test]

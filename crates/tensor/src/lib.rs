@@ -59,6 +59,6 @@ pub mod params;
 pub use array::Array;
 pub use exec::{Exec, ExecMode, Var};
 pub use graph::{Gradients, Graph};
-pub use infer::Infer;
+pub use infer::{global_stats as infer_global_stats, Infer, InferStats};
 pub use optim::{Adam, SavedAdam, SavedSgd, Sgd};
 pub use params::{ParamGrads, ParamId, ParamStore, SavedParams};

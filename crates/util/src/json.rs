@@ -38,10 +38,14 @@ pub enum Json {
 
 impl Json {
     /// Parses a JSON document (the whole input must be one value).
+    ///
+    /// Nesting is capped at [`MAX_DEPTH`] containers: the parser recurses
+    /// per `[`/`{`, so without the cap a hostile `[[[[…` document would
+    /// overflow the stack instead of returning `Err`.
     pub fn parse(text: &str) -> Result<Json> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(Error::Serde(format!(
@@ -240,7 +244,17 @@ fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<()> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json> {
+/// Deepest container nesting [`Json::parse`] accepts. Far beyond anything
+/// the writers emit, and small enough that the recursive parser stays well
+/// inside even a conservative thread stack.
+pub const MAX_DEPTH: usize = 512;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json> {
+    if depth > MAX_DEPTH {
+        return Err(Error::Serde(format!(
+            "JSON nesting deeper than {MAX_DEPTH} at byte {pos}"
+        )));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(Error::Serde("unexpected end of JSON input".into())),
@@ -257,7 +271,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -282,7 +296,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, ":")?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 fields.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {

@@ -1,0 +1,152 @@
+//! Negative-path tests for the hand-rolled JSON parser (ISSUE 4,
+//! satellite 3): malformed, truncated, and adversarially nested input must
+//! return `Err` — never panic, never overflow the stack.
+//!
+//! The fuzz-style loops mutate *valid* documents (truncation at every byte
+//! boundary, single-byte substitutions) because mutations of near-valid
+//! input reach far deeper into the parser than random byte soup.
+
+use fewner_util::json::MAX_DEPTH;
+use fewner_util::{Json, Rng};
+
+/// A representative valid document exercising every value type, escapes,
+/// nesting and number shapes.
+const VALID: &str = r#"{"name":"trace \"x\" é","on":true,"off":false,"none":null,"n":-12.5e-3,"list":[1,2,[3,{"k":"v"}]],"empty":{},"blank":[]}"#;
+
+#[test]
+fn the_reference_document_parses() {
+    let v = Json::parse(VALID).unwrap();
+    assert!(v.get("list").is_some());
+}
+
+/// Every proper prefix of a valid document is itself invalid JSON (the
+/// document only closes at the final byte) — each must be a clean `Err`.
+#[test]
+fn every_truncation_errors_without_panicking() {
+    for cut in 0..VALID.len() {
+        if !VALID.is_char_boundary(cut) {
+            continue;
+        }
+        let prefix = &VALID[..cut];
+        assert!(
+            Json::parse(prefix).is_err(),
+            "prefix of {cut} bytes parsed: {prefix:?}"
+        );
+    }
+}
+
+/// Single-byte substitutions over the whole document: any outcome is
+/// allowed (some mutations stay valid JSON) but the parser must return,
+/// not panic. ~3k mutated documents.
+#[test]
+fn byte_mutations_never_panic() {
+    let mut rng = Rng::new(0xF00D);
+    let bytes = VALID.as_bytes();
+    for i in 0..bytes.len() {
+        for _ in 0..12 {
+            let mut mutated = bytes.to_vec();
+            mutated[i] = rng.below(256) as u8;
+            // Only valid UTF-8 can reach Json::parse (&str input); invalid
+            // mutations are exactly the ones the type system already stops.
+            if let Ok(text) = std::str::from_utf8(&mutated) {
+                let _ = Json::parse(text);
+            }
+        }
+    }
+}
+
+/// Structural characters are the highest-value mutation targets: flip each
+/// brace/bracket/quote/comma/colon to each other structural character.
+#[test]
+fn structural_swaps_never_panic() {
+    let structural = [b'{', b'}', b'[', b']', b'"', b',', b':'];
+    let bytes = VALID.as_bytes();
+    for i in 0..bytes.len() {
+        if !structural.contains(&bytes[i]) {
+            continue;
+        }
+        for &alt in &structural {
+            let mut mutated = bytes.to_vec();
+            mutated[i] = alt;
+            if let Ok(text) = std::str::from_utf8(&mutated) {
+                let _ = Json::parse(text);
+            }
+        }
+    }
+}
+
+/// 100k unclosed `[`: without the depth cap this is a stack overflow
+/// (an abort, not a catchable panic); with it, a plain `Err`.
+#[test]
+fn deep_array_nesting_errors_instead_of_overflowing() {
+    let deep = "[".repeat(100_000);
+    assert!(Json::parse(&deep).is_err());
+    // Same attack, properly closed — still rejected, not parsed slowly.
+    let closed = format!("{}{}", "[".repeat(100_000), "]".repeat(100_000));
+    assert!(Json::parse(&closed).is_err());
+    // Objects recurse through the same path.
+    let objs = r#"{"k":"#.repeat(100_000);
+    assert!(Json::parse(&objs).is_err());
+}
+
+/// Nesting exactly at the cap parses; one past it errors. Pins the cap so
+/// a refactor can't silently lower it below what the writers emit.
+#[test]
+fn depth_limit_is_exact() {
+    let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+    assert!(Json::parse(&ok).is_ok(), "depth {MAX_DEPTH} must parse");
+    let too_deep = format!(
+        "{}0{}",
+        "[".repeat(MAX_DEPTH + 1),
+        "]".repeat(MAX_DEPTH + 1)
+    );
+    assert!(Json::parse(&too_deep).is_err());
+}
+
+/// Classic malformed shapes, each a specific parser branch.
+#[test]
+fn malformed_documents_error_cleanly() {
+    for doc in [
+        "",
+        "   ",
+        "nul",
+        "tru",
+        "falsy",
+        "1.2.3",
+        "1e",
+        "--5",
+        "\"unterminated",
+        "\"bad \\q escape\"",
+        "\"trunc \\u12",
+        "\"lone surrogate ok\\ud800\"", // must not panic even if accepted
+        "[1,]",
+        "[1 2]",
+        "{\"a\"}",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "{a:1}",
+        "{\"a\":1 \"b\":2}",
+        "[}",
+        "{]",
+        "1 2",
+        "[1] []",
+    ] {
+        // Every document must return; all but the lone-surrogate case err.
+        let parsed = Json::parse(doc);
+        if doc.contains("surrogate") {
+            let _ = parsed;
+        } else {
+            assert!(parsed.is_err(), "`{doc}` should not parse");
+        }
+    }
+}
+
+/// Documented leniency: numbers delegate to Rust's `f64` grammar, which is
+/// a superset of JSON's (`+1`, `.5`, `5.` parse). Pinned so a future
+/// strictness change is a conscious one.
+#[test]
+fn number_parsing_is_lenient_by_design() {
+    assert_eq!(Json::parse("+1").unwrap(), Json::Num(1.0));
+    assert_eq!(Json::parse(".5").unwrap(), Json::Num(0.5));
+    assert_eq!(Json::parse("5.").unwrap(), Json::Num(5.0));
+}

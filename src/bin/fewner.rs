@@ -22,6 +22,17 @@ use fewner::prelude::*;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `trace` takes positional arguments (`fewner trace summarize <path>`),
+    // unlike the flag-driven commands.
+    if args.first().map(String::as_str) == Some("trace") {
+        return match cmd_trace(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let Some((command, flags)) = parse(&args) else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -46,7 +57,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: fewner <corpus|train|evaluate|demo|predict> [flags]
+const USAGE: &str = "usage: fewner <corpus|train|evaluate|demo|predict|trace> [flags]
   common flags:
     --profile <nne|fg-ner|genia|ontonotes|bionlp13cg|slot-filling|conll-like|
                ace-bc|ace-bn|ace-cts|ace-nw|ace-un|ace-wl>
@@ -65,9 +76,14 @@ const USAGE: &str = "usage: fewner <corpus|train|evaluate|demo|predict> [flags]
     --checkpoint-dir <dir> snapshot directory (default `checkpoints`)
     --resume <dir>         continue a killed run from the newest valid
                            snapshot in <dir>
+    --trace <path>         write a structured JSONL trace of the run
   predict only:
     --episodes <N>         tasks to serve (default 3)
-    --show <N>             query sentences to print per task (default 5)";
+    --show <N>             query sentences to print per task (default 5)
+    --trace <path>         write a structured JSONL trace of the run
+  trace:
+    fewner trace summarize <path>   per-phase latency percentiles, counters,
+                                    and the adaptation-vs-training cost split";
 
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     let mut it = args.iter();
@@ -218,6 +234,10 @@ fn cmd_train(flags: &HashMap<String, String>) -> fewner::Result<()> {
             .checkpoint_dir(&ckpt_dir);
         println!("rolling snapshots every {checkpoint_every} iterations in {ckpt_dir}/");
     }
+    if let Some(path) = flags.get("trace") {
+        schedule = schedule.trace(path);
+        println!("tracing to {path}");
+    }
     println!(
         "meta-training FEWNER on {} ({} train sentences, {} train types)…",
         p.name,
@@ -304,12 +324,17 @@ fn cmd_predict(flags: &HashMap<String, String>) -> fewner::Result<()> {
             ))
         }
     };
+    let tracer = match flags.get("trace") {
+        Some(path) => Tracer::jsonl(path),
+        None => Tracer::disabled(),
+    };
     let sampler = EpisodeSampler::new(&split.test, ways, shots, 6)?;
     let tasks = sampler.eval_set(0xE7A1, episodes)?;
     let mut total = Throughput::default();
     for (i, task) in tasks.iter().enumerate() {
-        let (preds, t) = measure_predictions(|| learner.adapt_and_predict(task, &enc))?;
+        let (preds, t) = measure_predictions(|| learner.serve_task(task, &enc, &tracer))?;
         total.merge(&t);
+        tracer.observe("serve/tokens_per_sec", t.tokens_per_sec());
         let tags = task.tag_set();
         println!(
             "task {}/{}: adapted φ to {} support sentences; {}",
@@ -328,8 +353,36 @@ fn cmd_predict(flags: &HashMap<String, String>) -> fewner::Result<()> {
             );
         }
     }
+    // Buffer-pool behaviour of the gradient-free executor, accumulated over
+    // every per-task `Infer` dropped during serving.
+    let pool = fewner::tensor::infer_global_stats();
+    tracer.gauge("infer/pool_hits", pool.pool_hits as f64);
+    tracer.gauge("infer/pool_misses", pool.pool_misses as f64);
+    tracer.gauge("infer/arena_high_water", pool.high_water as f64);
+    tracer.flush()?;
     println!("\nserved {} tasks: {}", tasks.len(), total.render());
+    println!(
+        "infer arena: {} pool hits, {} misses, high-water {} slots",
+        pool.pool_hits, pool.pool_misses, pool.high_water
+    );
     Ok(())
+}
+
+/// `fewner trace summarize <path>...` — render trace files written by
+/// `--trace`: per-phase latency percentiles, counters, gauges, events, and
+/// the paper's §4.5.2 adaptation-vs-training cost split. Passing both a
+/// training and a serving trace merges them into one report, which is how
+/// the split covers both phases.
+fn cmd_trace(args: &[String]) -> fewner::Result<()> {
+    match args {
+        [verb, paths @ ..] if verb == "summarize" && !paths.is_empty() => {
+            print!("{}", TraceSummary::from_files(paths)?.render());
+            Ok(())
+        }
+        _ => Err(fewner::Error::InvalidConfig(
+            "usage: fewner trace summarize <path>...".into(),
+        )),
+    }
 }
 
 fn cmd_demo(flags: &HashMap<String, String>) -> fewner::Result<()> {

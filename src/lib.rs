@@ -20,6 +20,7 @@
 //! | [`models`] | `fewner-models` | backbone, CRFs, ProtoNet, SNAIL, frozen LMs |
 //! | [`core`] | `fewner-core` | FEWNER (Algorithm 1), MAML, trainers |
 //! | [`eval`] | `fewner-eval` | entity-level F1, episode evaluation, reports |
+//! | [`obs`] | `fewner-obs` | structured tracing + metrics (spans, sinks, summaries) |
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,7 @@ pub use fewner_corpus as corpus;
 pub use fewner_episode as episode;
 pub use fewner_eval as eval;
 pub use fewner_models as models;
+pub use fewner_obs as obs;
 pub use fewner_tensor as tensor;
 pub use fewner_text as text;
 pub use fewner_util as util;
@@ -92,6 +94,7 @@ pub mod prelude {
         Backbone, BackboneConfig, Conditioning, EncoderKind, HeadKind, LmFlavor, SnailConfig,
         TokenEncoder,
     };
+    pub use fewner_obs::{TraceSummary, Tracer};
     pub use fewner_text::embed::EmbeddingSpec;
     pub use fewner_text::{Tag, TagSet};
     pub use fewner_util::{MeanCi, Rng};
