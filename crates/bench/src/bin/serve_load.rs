@@ -1,0 +1,229 @@
+//! `serve_load` — an open-loop load generator for `fewner serve`.
+//!
+//! Samples real N-way K-shot tasks from a corpus profile, then drives a
+//! running daemon from concurrent client connections: the first request per
+//! task carries an inline support set (adapt-on-miss), the rest are plain
+//! predicts that should hit the φ-cache. Arrivals are paced by `--rate`
+//! (per-client requests/sec) independent of completions — open loop — so
+//! an overloaded server shows up as shed requests, not a slower generator.
+//! (Each connection is synchronous NDJSON, so a response slower than the
+//! period delays that client's schedule; add clients to keep pressure up.)
+//!
+//! ```text
+//! serve_load --addr 127.0.0.1:4077 [--clients 4] [--requests 50]
+//!            [--tasks 4] [--rate 0 (= as fast as possible)]
+//!            [--scale 0.05] [--seed 42] [--shutdown true]
+//! ```
+//!
+//! Reports p50/p99 request latency, tokens/sec, shed/failure counts, and
+//! the server's own counters (cache hits, queue depth) from the `stats` op.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use fewner_corpus::{split_types, DatasetProfile};
+use fewner_episode::{EpisodeSampler, Task};
+use fewner_serve::{Client, SupportSentence};
+use fewner_util::Error;
+
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse() -> Flags {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let (Some(key), Some(value)) = (key.strip_prefix("--"), it.next()) else {
+                eprintln!(
+                    "usage: serve_load --addr <ip:port> [--clients N] [--requests N] \
+                           [--tasks N] [--rate RPS] [--scale F] [--seed N] [--shutdown true]"
+                );
+                std::process::exit(2);
+            };
+            map.insert(key.to_string(), value.clone());
+        }
+        Flags(map)
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.0
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// One client's tally.
+#[derive(Default)]
+struct Tally {
+    latencies_us: Vec<u64>,
+    tokens: u64,
+    ok: u64,
+    shed: u64,
+    failed: u64,
+}
+
+fn wire_support(task: &Task) -> Vec<SupportSentence> {
+    task.support
+        .iter()
+        .map(|s| SupportSentence {
+            tokens: s.tokens.clone(),
+            tags: s.tags.clone(),
+        })
+        .collect()
+}
+
+fn run_client(
+    addr: &str,
+    id: usize,
+    requests: usize,
+    rate: f64,
+    tasks: &[Task],
+) -> Result<Tally, Error> {
+    let mut client = Client::connect(addr)?;
+    let mut tally = Tally::default();
+    let mut adapted = vec![false; tasks.len()];
+    let start = Instant::now();
+    for i in 0..requests {
+        if rate > 0.0 {
+            // Open-loop pacing: request i is *scheduled* at i/rate seconds,
+            // regardless of how long earlier requests took.
+            let due = Duration::from_secs_f64(i as f64 / rate);
+            if let Some(wait) = due.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+        }
+        let ti = (id + i) % tasks.len();
+        let task = &tasks[ti];
+        let name = format!("task-{ti}");
+        let sentences: Vec<Vec<String>> = task
+            .query
+            .iter()
+            .cycle()
+            .skip(i % task.query.len())
+            .take(2)
+            .map(|s| s.tokens.clone())
+            .collect();
+        let sent_tokens: u64 = sentences.iter().map(|s| s.len() as u64).sum();
+        let t0 = Instant::now();
+        let outcome = if adapted[ti] {
+            client.predict("load", &name, &sentences)
+        } else {
+            client.predict_with_support("load", &name, &sentences, task.n_ways, wire_support(task))
+        };
+        let us = t0.elapsed().as_micros() as u64;
+        match outcome {
+            Ok(_) => {
+                adapted[ti] = true;
+                tally.ok += 1;
+                tally.tokens += sent_tokens;
+                tally.latencies_us.push(us);
+            }
+            Err(Error::Overloaded { .. }) => tally.shed += 1,
+            Err(_) => tally.failed += 1,
+        }
+    }
+    Ok(tally)
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx] as f64 / 1000.0
+}
+
+fn main() {
+    let flags = Flags::parse();
+    let Some(addr) = flags.0.get("addr").cloned() else {
+        eprintln!("serve_load: --addr <ip:port> is required");
+        std::process::exit(2);
+    };
+    let clients = flags.get("clients", 4usize).max(1);
+    let requests = flags.get("requests", 50usize);
+    let n_tasks = flags.get("tasks", 4usize).max(1);
+    let rate = flags.get("rate", 0.0f64);
+    let scale = flags.get("scale", 0.05f64);
+    let seed = flags.get("seed", 42u64);
+
+    // Real episodic traffic: the same profile/split conventions as the CLI,
+    // so the server's encoder knows these tokens.
+    let data = DatasetProfile::genia().generate(scale).expect("corpus");
+    let split = split_types(&data, (18, 8, 10), seed).expect("split");
+    let sampler = EpisodeSampler::new(&split.test, 5, 1, 6).expect("sampler");
+    let tasks = sampler.eval_set(0xE7A1, n_tasks).expect("tasks");
+
+    println!(
+        "serve_load: {clients} clients x {requests} requests against {addr} ({n_tasks} tasks)"
+    );
+    let wall = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|id| {
+                let addr = addr.as_str();
+                let tasks = tasks.as_slice();
+                s.spawn(move || run_client(addr, id, requests, rate, tasks))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(Ok(t)) => t,
+                Ok(Err(e)) => {
+                    eprintln!("client error: {e}");
+                    Tally::default()
+                }
+                Err(_) => {
+                    eprintln!("client panicked");
+                    Tally::default()
+                }
+            })
+            .collect()
+    });
+    let elapsed = wall.elapsed().as_secs_f64().max(1e-9);
+
+    let mut latencies: Vec<u64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_us.clone())
+        .collect();
+    latencies.sort_unstable();
+    let ok: u64 = tallies.iter().map(|t| t.ok).sum();
+    let shed: u64 = tallies.iter().map(|t| t.shed).sum();
+    let failed: u64 = tallies.iter().map(|t| t.failed).sum();
+    let tokens: u64 = tallies.iter().map(|t| t.tokens).sum();
+
+    println!(
+        "  requests: {ok} ok, {shed} shed, {failed} failed in {elapsed:.2}s ({:.1} req/s)",
+        (ok + shed + failed) as f64 / elapsed
+    );
+    println!(
+        "  latency: p50 {:.1}ms p99 {:.1}ms",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99)
+    );
+    println!(
+        "  throughput: {tokens} tokens in {elapsed:.2}s ({:.1} tokens/sec)",
+        tokens as f64 / elapsed
+    );
+
+    match Client::connect(&addr).and_then(|mut c| c.stats()) {
+        Ok(counters) => {
+            let rendered: Vec<String> = counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!("  server counters: {}", rendered.join(" "));
+        }
+        Err(e) => eprintln!("  (stats unavailable: {e})"),
+    }
+
+    if flags.get("shutdown", false) {
+        match Client::connect(&addr).and_then(|mut c| c.shutdown()) {
+            Ok(()) => println!("  sent shutdown"),
+            Err(e) => eprintln!("  shutdown failed: {e}"),
+        }
+    }
+
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -24,6 +24,7 @@ use fewner_util::{Error, FromJson, Json, Result, Rng, ToJson};
 use crate::config::{MetaConfig, SecondOrder};
 use crate::learner::{EpisodicLearner, TaskOutcome};
 use crate::second_order;
+use crate::serve::{AdaptedCtx, ServeOptions};
 
 /// The FEWNER meta-learner.
 pub struct Fewner {
@@ -106,45 +107,137 @@ impl Fewner {
         Ok((phi_store, phi_id, trajectory))
     }
 
-    /// [`adapt_and_predict`](EpisodicLearner::adapt_and_predict) with
-    /// observability: the paper's §4.5.2 serving cost split, recorded as a
-    /// `serve/adapt` span (the φ inner loop) separate from a `serve/predict`
-    /// span (query decoding), plus task and token counters. Tracing reads no
-    /// RNG state — a traced prediction is bitwise identical to an untraced
-    /// one.
+    /// Adapts a fresh φ to `task`'s support set and returns it as a
+    /// first-class [`AdaptedCtx`] (paper: the adapting procedure of
+    /// Algorithm 1; θ is read, never written).
+    ///
+    /// Observability: the inner loop is recorded as a `serve/adapt` span
+    /// with way/shot/support/step context plus a `serve/tasks` counter on
+    /// the tracer carried by `opts`. Tracing reads no RNG state — a traced
+    /// adaptation is bitwise identical to an untraced one.
+    pub fn adapt(
+        &self,
+        task: &Task,
+        enc: &TokenEncoder,
+        opts: &ServeOptions,
+    ) -> Result<AdaptedCtx> {
+        let tags = task.tag_set();
+        let support = fewner_models::encode_batch(enc, &task.support, &tags);
+        self.adapt_encoded(&support, task.n_ways, Some(task.k_shots), opts)
+    }
+
+    /// [`Fewner::adapt`] over already-encoded support sentences — the entry
+    /// point for serving daemons whose support sets arrive over the wire
+    /// rather than as sampled [`Task`]s.
+    pub fn adapt_support(
+        &self,
+        support: &[LabeledSentence],
+        n_ways: usize,
+        opts: &ServeOptions,
+    ) -> Result<AdaptedCtx> {
+        self.adapt_encoded(support, n_ways, None, opts)
+    }
+
+    fn adapt_encoded(
+        &self,
+        support: &[LabeledSentence],
+        n_ways: usize,
+        shots: Option<usize>,
+        opts: &ServeOptions,
+    ) -> Result<AdaptedCtx> {
+        let tags = TagSet::new(n_ways)?;
+        let tracer = opts.tracer_ref();
+        let span = {
+            let mut span = tracer.span("serve/adapt");
+            span.set("ways", n_ways);
+            if let Some(k) = shots {
+                span.set("shots", k);
+            }
+            span.set("support", support.len());
+            span.set("steps", self.cfg.inner_steps_test);
+            span
+        };
+        let (phi_store, phi_id, _) =
+            self.adapt_context(support, &tags, self.cfg.inner_steps_test)?;
+        drop(span);
+        tracer.incr("serve/tasks", 1);
+        Ok(AdaptedCtx::new(n_ways, phi_store, phi_id))
+    }
+
+    /// Decodes `sentences` under a previously adapted context on the
+    /// gradient-free `Infer` executor (φ-conditioned work hoisted once per
+    /// call — passing many sentences amortises it, which is what the
+    /// serving daemon's micro-batching exploits).
+    ///
+    /// Validates that `ctx` shape-matches this model: a context adapted (or
+    /// reloaded from disk) against a different backbone is rejected instead
+    /// of silently mis-decoding. Recorded as a `serve/predict` span plus a
+    /// `serve/tokens` counter.
+    pub fn predict(
+        &self,
+        ctx: &AdaptedCtx,
+        sentences: &[fewner_models::EncodedSentence],
+        opts: &ServeOptions,
+    ) -> Result<Vec<Vec<usize>>> {
+        let expected = self.backbone.config().phi_total();
+        let actual = ctx.phi_values().len();
+        if actual != expected {
+            return Err(Error::ShapeMismatch {
+                op: "predict",
+                detail: format!("adapted context has {actual} φ values, model expects {expected}"),
+            });
+        }
+        if ctx.n_ways() > self.backbone.config().max_ways() {
+            return Err(Error::InvalidConfig(format!(
+                "adapted context has {} ways, model supports at most {}",
+                ctx.n_ways(),
+                self.backbone.config().max_ways()
+            )));
+        }
+        let tags = ctx.tag_set();
+        let tracer = opts.tracer_ref();
+        let tokens: usize = sentences.iter().map(|s| s.len()).sum();
+        let predictions = {
+            let mut span = tracer.span("serve/predict");
+            span.set("sentences", sentences.len());
+            span.set("tokens", tokens);
+            self.backbone
+                .decode_task(&self.theta, Some(ctx.phi()), sentences.iter(), &tags)
+        };
+        tracer.incr("serve/tokens", tokens as u64);
+        Ok(predictions)
+    }
+
+    /// The pre-[`ServeOptions`] serving entry point: adapt and decode in
+    /// one shot, discarding the adapted φ afterwards.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Fewner::adapt` + `Fewner::predict` with `ServeOptions`; \
+                the returned `AdaptedCtx` is reusable and cacheable"
+    )]
     pub fn serve_task(
         &self,
         task: &Task,
         enc: &TokenEncoder,
         tracer: &Tracer,
     ) -> Result<Vec<Vec<usize>>> {
-        let tags = task.tag_set();
-        let (support, query) = encode_task(enc, task);
-        let (phi_store, phi_id) = {
-            let mut adapt_span = tracer.span("serve/adapt");
-            adapt_span.set("ways", task.n_ways);
-            adapt_span.set("shots", task.k_shots);
-            adapt_span.set("support", support.len());
-            adapt_span.set("steps", self.cfg.inner_steps_test);
-            let (phi_store, phi_id, _) =
-                self.adapt_context(&support, &tags, self.cfg.inner_steps_test)?;
-            (phi_store, phi_id)
-        };
-        let tokens: usize = query.iter().map(|(sent, _)| sent.len()).sum();
-        let predictions = {
-            let mut predict_span = tracer.span("serve/predict");
-            predict_span.set("sentences", query.len());
-            predict_span.set("tokens", tokens);
-            self.backbone.decode_task(
-                &self.theta,
-                Some((&phi_store, phi_id)),
-                query.iter().map(|(sent, _)| sent),
-                &tags,
-            )
-        };
-        tracer.incr("serve/tasks", 1);
-        tracer.incr("serve/tokens", tokens as u64);
-        Ok(predictions)
+        let opts = ServeOptions::new().tracer(tracer.clone());
+        self.adapt_then_predict(task, enc, &opts)
+    }
+
+    /// Adapt + predict over a task's own query set (the episodic
+    /// evaluation shape). Prefer [`Fewner::adapt`] + [`Fewner::predict`]
+    /// when the context will be reused.
+    pub fn adapt_then_predict(
+        &self,
+        task: &Task,
+        enc: &TokenEncoder,
+        opts: &ServeOptions,
+    ) -> Result<Vec<Vec<usize>>> {
+        let ctx = self.adapt(task, enc, opts)?;
+        let query: Vec<fewner_models::EncodedSentence> =
+            task.query.iter().map(|s| enc.encode(&s.tokens)).collect();
+        self.predict(&ctx, &query, opts)
     }
 }
 
@@ -207,7 +300,7 @@ impl EpisodicLearner for Fewner {
     }
 
     fn adapt_and_predict(&self, task: &Task, enc: &TokenEncoder) -> Result<Vec<Vec<usize>>> {
-        self.serve_task(task, enc, &Tracer::disabled())
+        self.adapt_then_predict(task, enc, &ServeOptions::new())
     }
 
     fn decay_lr(&mut self, factor: f32) {

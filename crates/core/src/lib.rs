@@ -14,6 +14,8 @@
 //! * [`checkpoint`] — persist and restore θ_Meta.
 //! * [`snapshot`] — full training-state snapshots behind [`resume`].
 //! * [`learner`] — the common protocol every method implements.
+//! * [`serve`] — the serving surface: [`ServeOptions`], adapt-once /
+//!   predict-many via first-class [`AdaptedCtx`] handles.
 
 #![warn(missing_docs)]
 
@@ -24,6 +26,7 @@ pub mod fewner;
 pub mod learner;
 pub mod maml;
 pub mod second_order;
+pub mod serve;
 pub mod snapshot;
 pub mod trainer;
 
@@ -33,6 +36,7 @@ pub use conventional::{FineTuneLearner, FrozenLmLearner, ProtoLearner, SnailLear
 pub use fewner::Fewner;
 pub use learner::{task_rng, EpisodicLearner, TaskOutcome};
 pub use maml::Maml;
+pub use serve::{AdaptedCtx, CachePolicy, ServeOptions};
 pub use snapshot::{RunFingerprint, TrainingSnapshot};
 pub use trainer::{
     resume, resume_traced, train, train_traced, ParallelTrainer, TrainConfig, TrainingLog,

@@ -1,0 +1,313 @@
+//! The serving surface: adapt once, predict many times.
+//!
+//! The paper's cost argument (§4.5.2) is that adapting the low-dimensional
+//! context parameters φ is cheap *relative to training* — which only pays
+//! off operationally if an adapted φ is **reused** across requests instead
+//! of recomputed per call. This module makes that reuse structural:
+//!
+//! * [`Fewner::adapt`] runs the inner loop once and returns an
+//!   [`AdaptedCtx`] — a first-class, serialisable handle to the adapted φ.
+//! * [`Fewner::predict`] decodes any number of query sentences under a
+//!   borrowed [`AdaptedCtx`] on the gradient-free `Infer` executor.
+//! * [`ServeOptions`] carries the cross-cutting serving knobs (tracer,
+//!   cache policy, micro-batch size) so entry points stay stable as knobs
+//!   accrue.
+//!
+//! The split is the cache boundary the `fewner-serve` daemon builds on: an
+//! `AdaptedCtx` can be held in an LRU cache keyed by `(tenant, task)`,
+//! persisted through the durable-write layer, and reloaded after a restart
+//! bitwise-identically — a reloaded context decodes exactly like the fresh
+//! adapt that produced it.
+
+use std::path::{Path, PathBuf};
+
+use fewner_obs::Tracer;
+use fewner_tensor::{Array, ParamId, ParamStore};
+use fewner_text::TagSet;
+use fewner_util::{Error, FromJson, Json, Result, ToJson};
+
+/// Eviction and persistence policy for an adapted-context (φ) cache.
+///
+/// Plain data: the policy lives here so every layer (core API, serving
+/// daemon, CLI flags) speaks the same vocabulary; the cache *mechanism*
+/// lives in `fewner-serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachePolicy {
+    /// Maximum resident contexts before least-recently-used eviction.
+    pub capacity: usize,
+    /// Time-to-live in nanoseconds; `None` = contexts never expire.
+    pub ttl_ns: Option<u64>,
+    /// Directory for durable φ persistence; `None` = memory only.
+    pub persist_dir: Option<PathBuf>,
+}
+
+impl CachePolicy {
+    /// An LRU policy holding at most `capacity` contexts (≥ 1 enforced),
+    /// with no TTL and no persistence.
+    pub fn lru(capacity: usize) -> CachePolicy {
+        CachePolicy {
+            capacity: capacity.max(1),
+            ttl_ns: None,
+            persist_dir: None,
+        }
+    }
+
+    /// Expires contexts `secs` seconds after (re-)insertion.
+    pub fn ttl_secs(mut self, secs: u64) -> CachePolicy {
+        self.ttl_ns = Some(secs.saturating_mul(1_000_000_000));
+        self
+    }
+
+    /// Expires contexts `ns` nanoseconds after (re-)insertion (tests drive
+    /// this with a manual clock).
+    pub fn ttl_ns(mut self, ns: u64) -> CachePolicy {
+        self.ttl_ns = Some(ns);
+        self
+    }
+
+    /// Persists adapted contexts under `dir` so a restarted server can skip
+    /// re-adaptation for warm keys.
+    pub fn persist_dir(mut self, dir: impl Into<PathBuf>) -> CachePolicy {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+}
+
+impl Default for CachePolicy {
+    /// 64 resident contexts, no TTL, no persistence.
+    fn default() -> CachePolicy {
+        CachePolicy::lru(64)
+    }
+}
+
+/// Builder-style options shared by every serving entry point.
+///
+/// ```
+/// use fewner_core::serve::{CachePolicy, ServeOptions};
+/// let opts = ServeOptions::new()
+///     .cache(CachePolicy::lru(128).ttl_secs(300))
+///     .batch(64);
+/// assert_eq!(opts.batch_size(), 64);
+/// ```
+#[derive(Clone, Default)]
+pub struct ServeOptions {
+    tracer: Tracer,
+    cache: CachePolicy,
+    batch: usize,
+}
+
+impl ServeOptions {
+    /// Defaults: disabled tracer, [`CachePolicy::default`], micro-batches
+    /// of up to 32 sentences.
+    pub fn new() -> ServeOptions {
+        ServeOptions {
+            tracer: Tracer::disabled(),
+            cache: CachePolicy::default(),
+            batch: 32,
+        }
+    }
+
+    /// Routes serve spans and counters through `tracer`.
+    pub fn tracer(mut self, tracer: Tracer) -> ServeOptions {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Sets the φ-cache policy.
+    pub fn cache(mut self, cache: CachePolicy) -> ServeOptions {
+        self.cache = cache;
+        self
+    }
+
+    /// Caps cross-request micro-batches at `n` sentences (≥ 1 enforced).
+    pub fn batch(mut self, n: usize) -> ServeOptions {
+        self.batch = n.max(1);
+        self
+    }
+
+    /// The tracer serving code records through.
+    pub fn tracer_ref(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The φ-cache policy.
+    pub fn cache_policy(&self) -> &CachePolicy {
+        &self.cache
+    }
+
+    /// Maximum sentences per micro-batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch.max(1)
+    }
+}
+
+/// Format version of persisted adapted contexts.
+pub const ADAPTED_CTX_VERSION: u32 = 1;
+
+/// An adapted task context: the φ produced by the inner loop, packaged as a
+/// first-class value.
+///
+/// This is the unit the serving daemon caches, persists, and shares across
+/// requests. It is deliberately *small* — for the paper's configurations φ
+/// is a few hundred floats — which is what makes caching millions of task
+/// contexts plausible where caching full models is not.
+#[derive(Debug, Clone)]
+pub struct AdaptedCtx {
+    n_ways: usize,
+    phi_store: ParamStore,
+    phi_id: ParamId,
+}
+
+impl AdaptedCtx {
+    /// Packages an adapted φ store (one `"phi"` parameter) with its task
+    /// arity.
+    pub(crate) fn new(n_ways: usize, phi_store: ParamStore, phi_id: ParamId) -> AdaptedCtx {
+        AdaptedCtx {
+            n_ways,
+            phi_store,
+            phi_id,
+        }
+    }
+
+    /// The task's way count (fixes the tag inventory).
+    pub fn n_ways(&self) -> usize {
+        self.n_ways
+    }
+
+    /// The task's BIO tag inventory (`2N + 1` tags).
+    pub fn tag_set(&self) -> TagSet {
+        TagSet::new(self.n_ways).expect("AdaptedCtx has ≥ 1 way")
+    }
+
+    /// The φ parameter binding, in the shape `Backbone::decode_task` takes.
+    pub fn phi(&self) -> (&ParamStore, ParamId) {
+        (&self.phi_store, self.phi_id)
+    }
+
+    /// The raw φ values (tests use this to pin bitwise identity).
+    pub fn phi_values(&self) -> &[f32] {
+        self.phi_store.value(self.phi_id).data()
+    }
+
+    /// Serialises the context (version, way count, φ tensor).
+    pub fn to_json(&self) -> Json {
+        let phi = self.phi_store.value(self.phi_id);
+        Json::Obj(vec![
+            ("version".into(), Json::from(ADAPTED_CTX_VERSION as u64)),
+            ("n_ways".into(), Json::from(self.n_ways)),
+            ("phi".into(), phi.to_json()),
+        ])
+    }
+
+    /// Deserialises a context written by [`AdaptedCtx::to_json`]. The φ
+    /// values round-trip bitwise; shape compatibility with a particular
+    /// model is checked at [`Fewner::predict`] time, not here.
+    pub fn from_json(json: &Json) -> Result<AdaptedCtx> {
+        let version = json.field("version")?.as_u64()? as u32;
+        if version != ADAPTED_CTX_VERSION {
+            return Err(Error::Serde(format!(
+                "unsupported adapted-context version {version} (expected {ADAPTED_CTX_VERSION})"
+            )));
+        }
+        let n_ways = json.field("n_ways")?.as_usize()?;
+        if n_ways == 0 {
+            return Err(Error::Serde("adapted context with 0 ways".into()));
+        }
+        let phi = Array::from_json(json.field("phi")?)?;
+        let mut phi_store = ParamStore::new();
+        let phi_id = phi_store.add("phi", phi);
+        Ok(AdaptedCtx {
+            n_ways,
+            phi_store,
+            phi_id,
+        })
+    }
+
+    /// Writes the context durably (CRC-framed, atomic rename) so a
+    /// restarted server can reload it instead of re-adapting.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        fewner_util::durable::write_atomic(path, self.to_json().to_string().as_bytes())
+    }
+
+    /// Reads a context written by [`AdaptedCtx::save`], verifying the frame
+    /// before parsing. The reloaded φ is bitwise identical to the saved one.
+    pub fn load(path: impl AsRef<Path>) -> Result<AdaptedCtx> {
+        let text = fewner_util::durable::read_verified_string(path)?;
+        AdaptedCtx::from_json(&Json::parse(&text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_policy_builder_composes() {
+        let p = CachePolicy::lru(8).ttl_secs(2).persist_dir("/tmp/phis");
+        assert_eq!(p.capacity, 8);
+        assert_eq!(p.ttl_ns, Some(2_000_000_000));
+        assert_eq!(p.persist_dir.as_deref(), Some(Path::new("/tmp/phis")));
+        assert_eq!(CachePolicy::lru(0).capacity, 1, "capacity floor");
+    }
+
+    #[test]
+    fn serve_options_enforce_floors() {
+        let o = ServeOptions::new().batch(0);
+        assert_eq!(o.batch_size(), 1);
+        assert!(!o.tracer_ref().enabled());
+        assert_eq!(o.cache_policy().capacity, 64);
+    }
+
+    #[test]
+    fn adapted_ctx_json_round_trip_is_bitwise() {
+        let mut store = ParamStore::new();
+        let id = store.add(
+            "phi",
+            Array::from_vec(1, 5, vec![0.1, -2.5e-8, 3.25, f32::MIN_POSITIVE, 0.0]),
+        );
+        let ctx = AdaptedCtx::new(3, store, id);
+        let back = AdaptedCtx::from_json(&ctx.to_json()).unwrap();
+        assert_eq!(back.n_ways(), 3);
+        assert_eq!(back.phi_values(), ctx.phi_values());
+        assert_eq!(back.tag_set().len(), 7);
+    }
+
+    #[test]
+    fn adapted_ctx_file_round_trip_and_corruption() {
+        let dir = std::env::temp_dir().join(format!("fewner-actx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ctx.phi");
+        let mut store = ParamStore::new();
+        let id = store.add("phi", Array::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let ctx = AdaptedCtx::new(2, store, id);
+        ctx.save(&path).unwrap();
+        let back = AdaptedCtx::load(&path).unwrap();
+        assert_eq!(back.phi_values(), ctx.phi_values());
+
+        // A flipped byte is caught by the durable frame, not the parser.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(AdaptedCtx::load(&path), Err(Error::Io { .. })));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn wrong_version_and_zero_ways_are_rejected() {
+        let mut store = ParamStore::new();
+        let id = store.add("phi", Array::zeros(1, 2));
+        let ctx = AdaptedCtx::new(1, store, id);
+        let mut json = ctx.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::from(99u64);
+        }
+        assert!(AdaptedCtx::from_json(&json).is_err());
+
+        let mut json = ctx.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[1].1 = Json::from(0usize);
+        }
+        assert!(AdaptedCtx::from_json(&json).is_err());
+    }
+}

@@ -1,0 +1,416 @@
+//! The adapted-context (φ) cache.
+//!
+//! A multi-tenant server sees the same `(tenant, task)` pair over and over;
+//! re-running the inner loop per request would throw away the paper's cost
+//! argument (§4.5.2: adaptation is cheap *once*, not per query). [`PhiCache`]
+//! makes the adapted [`AdaptedCtx`] a shared, cached resource:
+//!
+//! * **Single-flight**: concurrent lookups of the same key block on one
+//!   `OnceLock` — the inner loop runs *exactly once* per resident key, and
+//!   every waiter gets the same `Arc<AdaptedCtx>`.
+//! * **LRU + TTL**: bounded residency ([`CachePolicy::capacity`]) with
+//!   least-recently-used eviction, plus optional expiry
+//!   ([`CachePolicy::ttl_ns`]) driven by an injectable [`Clock`] so tests
+//!   assert expiry deterministically.
+//! * **Durable warm restarts**: with [`CachePolicy::persist_dir`] set,
+//!   freshly adapted contexts are written through the CRC-framed atomic
+//!   writer; a restarted server reloads them **bitwise identically** instead
+//!   of re-adapting ([`Lookup::Warm`] vs [`Lookup::Cold`]).
+//!
+//! Every outcome is counted — in a [`CacheStats`] snapshot for the `stats`
+//! protocol op, and as `serve/cache_*` tracer counters so `fewner trace
+//! summarize` shows the hit/miss/eviction profile next to the warm/cold
+//! adapt latency split.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use fewner_core::{AdaptedCtx, CachePolicy};
+use fewner_obs::{Clock, MonotonicClock, Tracer};
+use fewner_util::{crc32, Error, Result};
+
+/// Cache key: `(tenant, task)`. Tenants namespace task ids so two customers
+/// with a task both named `"triage"` never share a φ.
+pub type CacheKey = (String, String);
+
+/// How a lookup obtained its context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Resident in memory (or another request adapted it while we waited).
+    Hit,
+    /// Reloaded from the persistence directory — a restart-warm key, no
+    /// inner loop run.
+    Warm,
+    /// Freshly adapted: the full inner loop ran.
+    Cold,
+}
+
+impl Lookup {
+    /// Wire name (`hot` / `warm` / `cold`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Lookup::Hit => "hot",
+            Lookup::Warm => "warm",
+            Lookup::Cold => "cold",
+        }
+    }
+}
+
+/// Monotonic counters describing cache behaviour since construction.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory (including joins on an in-flight adapt).
+    pub hits: u64,
+    /// Lookups that had to produce the context (warm reload or cold adapt).
+    pub misses: u64,
+    /// Entries dropped by LRU capacity pressure.
+    pub evictions: u64,
+    /// Entries dropped because their TTL elapsed.
+    pub expirations: u64,
+    /// Misses satisfied by reloading a persisted φ instead of re-adapting.
+    pub reloads: u64,
+    /// Freshly adapted contexts written to the persistence directory.
+    pub persists: u64,
+}
+
+type CtxResult = std::result::Result<Arc<AdaptedCtx>, Error>;
+type Cell = Arc<OnceLock<CtxResult>>;
+
+struct EntryMeta {
+    cell: Cell,
+    /// LRU tick of the most recent lookup.
+    last_used: u64,
+    /// Absolute expiry instant (clock ns); `None` = never.
+    expires_at: Option<u64>,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, EntryMeta>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// A bounded, single-flight, optionally persistent cache of adapted
+/// contexts. Shared by reference across server threads.
+pub struct PhiCache {
+    policy: CachePolicy,
+    clock: Arc<dyn Clock>,
+    tracer: Tracer,
+    inner: Mutex<Inner>,
+}
+
+impl PhiCache {
+    /// A cache on the production monotonic clock. Creates the persistence
+    /// directory if the policy names one.
+    pub fn new(policy: CachePolicy, tracer: Tracer) -> Result<PhiCache> {
+        PhiCache::with_clock(policy, tracer, Arc::new(MonotonicClock::new()))
+    }
+
+    /// A cache on an injected clock (tests drive TTLs with
+    /// [`fewner_obs::ManualClock`]).
+    pub fn with_clock(
+        policy: CachePolicy,
+        tracer: Tracer,
+        clock: Arc<dyn Clock>,
+    ) -> Result<PhiCache> {
+        if let Some(dir) = &policy.persist_dir {
+            std::fs::create_dir_all(dir).map_err(|e| Error::Io {
+                path: dir.display().to_string(),
+                detail: e.to_string(),
+            })?;
+        }
+        Ok(PhiCache {
+            policy,
+            clock,
+            tracer,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A poisoned cache mutex means a panic elsewhere; the map itself is
+        // always in a consistent state between operations.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The context for `key`, running `adapt` at most once across all
+    /// concurrent callers. Returns the shared context plus how it was
+    /// obtained. On adapt failure the entry is removed so a later request
+    /// retries, and every waiter receives the same error.
+    pub fn get_or_adapt(
+        &self,
+        key: &CacheKey,
+        adapt: impl FnOnce() -> Result<AdaptedCtx>,
+    ) -> Result<(Arc<AdaptedCtx>, Lookup)> {
+        let now = self.clock.now_ns();
+        let cell = self.slot(key, now);
+
+        // Exactly one caller runs this closure (std::sync::OnceLock
+        // guarantee); everyone else blocks until it finishes and then reads
+        // the shared result.
+        let mut outcome = Lookup::Hit;
+        let mut persisted = false;
+        let result = cell.get_or_init(|| {
+            if let Some(ctx) = self.reload(key) {
+                outcome = Lookup::Warm;
+                return Ok(Arc::new(ctx));
+            }
+            outcome = Lookup::Cold;
+            let ctx = adapt()?;
+            if let Some(path) = self.persist_path(key) {
+                match ctx.save(&path) {
+                    Ok(()) => persisted = true,
+                    // Persistence is an optimisation for the *next* boot;
+                    // a full disk must not fail the request in hand.
+                    Err(e) => self.tracer.event(
+                        "serve/phi_persist_failed",
+                        &[
+                            ("path", path.display().to_string().into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    ),
+                }
+            }
+            Ok(Arc::new(ctx))
+        });
+
+        {
+            let mut inner = self.lock();
+            match outcome {
+                Lookup::Hit => inner.stats.hits += 1,
+                Lookup::Warm => {
+                    inner.stats.misses += 1;
+                    inner.stats.reloads += 1;
+                }
+                Lookup::Cold => inner.stats.misses += 1,
+            }
+            if persisted {
+                inner.stats.persists += 1;
+            }
+            if result.is_err() {
+                // Drop the failed entry (only if the map still points at this
+                // cell) so the next lookup gets a fresh attempt.
+                if let Some(meta) = inner.map.get(key) {
+                    if Arc::ptr_eq(&meta.cell, &cell) {
+                        inner.map.remove(key);
+                    }
+                }
+            }
+        }
+        match outcome {
+            Lookup::Hit => self.tracer.incr("serve/cache_hits", 1),
+            Lookup::Warm => {
+                self.tracer.incr("serve/cache_misses", 1);
+                self.tracer.incr("serve/phi_reloads", 1);
+            }
+            Lookup::Cold => self.tracer.incr("serve/cache_misses", 1),
+        }
+        if persisted {
+            self.tracer.incr("serve/phi_persists", 1);
+        }
+
+        match result {
+            Ok(ctx) => Ok((Arc::clone(ctx), outcome)),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Locked section of a lookup: expiry check, LRU touch, insert + evict.
+    /// Returns the cell to resolve *outside* the lock, so a slow adapt never
+    /// blocks lookups of other keys.
+    fn slot(&self, key: &CacheKey, now: u64) -> Cell {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(meta) = inner.map.get_mut(key) {
+            // An in-flight entry is never expired out from under its waiters.
+            let expired = meta.cell.get().is_some() && meta.expires_at.is_some_and(|t| now >= t);
+            if !expired {
+                meta.last_used = tick;
+                return meta.cell.clone();
+            }
+            inner.map.remove(key);
+            inner.stats.expirations += 1;
+            self.tracer.incr("serve/cache_expirations", 1);
+        }
+        let cell: Cell = Arc::new(OnceLock::new());
+        inner.map.insert(
+            key.clone(),
+            EntryMeta {
+                cell: cell.clone(),
+                last_used: tick,
+                expires_at: self.policy.ttl_ns.map(|t| now.saturating_add(t)),
+            },
+        );
+        while inner.map.len() > self.policy.capacity {
+            // LRU among settled entries; in-flight adapts are never evicted
+            // (their work would be wasted), so the map may briefly overshoot
+            // capacity under a thundering herd of distinct keys.
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, m)| *k != key && m.cell.get().is_some())
+                .min_by_key(|(_, m)| m.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    inner.map.remove(&k);
+                    inner.stats.evictions += 1;
+                    self.tracer.incr("serve/cache_evictions", 1);
+                }
+                None => break,
+            }
+        }
+        cell
+    }
+
+    /// Attempts a warm reload from the persistence directory. Timed as a
+    /// `serve/adapt_warm` span so trace summaries show the warm-vs-cold
+    /// adapt latency split (`serve/adapt` stays the cold inner loop).
+    fn reload(&self, key: &CacheKey) -> Option<AdaptedCtx> {
+        let path = self.persist_path(key)?;
+        if !path.exists() {
+            return None;
+        }
+        let mut span = self.tracer.span("serve/adapt_warm");
+        span.set("tenant", key.0.as_str());
+        span.set("task", key.1.as_str());
+        match AdaptedCtx::load(&path) {
+            Ok(ctx) => Some(ctx),
+            Err(e) => {
+                // A torn or stale file falls back to a fresh adapt.
+                span.set("reload_error", e.to_string());
+                None
+            }
+        }
+    }
+
+    fn persist_path(&self, key: &CacheKey) -> Option<PathBuf> {
+        let dir = self.policy.persist_dir.as_ref()?;
+        Some(dir.join(Self::file_name(key)))
+    }
+
+    /// Persisted-φ file name: readable sanitised prefix plus a CRC32 of the
+    /// exact key, so distinct keys never collide after sanitisation.
+    fn file_name(key: &CacheKey) -> String {
+        fn sanitize(s: &str) -> String {
+            s.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .take(32)
+                .collect()
+        }
+        let mut keyed = key.0.clone().into_bytes();
+        keyed.push(0);
+        keyed.extend_from_slice(key.1.as_bytes());
+        format!(
+            "{}-{}-{:08x}.phi",
+            sanitize(&key.0),
+            sanitize(&key.1),
+            crc32(&keyed)
+        )
+    }
+
+    /// Whether `key` is resident in memory.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.lock().map.contains_key(key)
+    }
+
+    /// Whether `key` has a persisted φ on disk (existence only; integrity is
+    /// checked at reload).
+    pub fn has_persisted(&self, key: &CacheKey) -> bool {
+        self.persist_path(key).is_some_and(|p| p.exists())
+    }
+
+    /// Whether a lookup without a support set could succeed.
+    pub fn known(&self, key: &CacheKey) -> bool {
+        self.contains(key) || self.has_persisted(key)
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops `key` from memory *and* deletes its persisted φ — a true
+    /// invalidation (e.g. the tenant changed the task's support set).
+    pub fn invalidate(&self, key: &CacheKey) {
+        self.lock().map.remove(key);
+        if let Some(path) = self.persist_path(key) {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fewner_tensor::{Array, ParamStore};
+    use fewner_util::ToJson;
+
+    fn ctx(seed: f32) -> AdaptedCtx {
+        let mut store = ParamStore::new();
+        let id = store.add(
+            "phi",
+            Array::from_vec(1, 3, vec![seed, seed + 1.0, seed + 2.0]),
+        );
+        let json = fewner_util::Json::Obj(vec![
+            ("version".into(), fewner_util::Json::from(1u64)),
+            ("n_ways".into(), fewner_util::Json::from(2usize)),
+            ("phi".into(), store.value(id).to_json()),
+        ]);
+        AdaptedCtx::from_json(&json).unwrap()
+    }
+
+    fn key(s: &str) -> CacheKey {
+        ("t".into(), s.into())
+    }
+
+    #[test]
+    fn file_names_distinguish_sanitised_collisions() {
+        let a = PhiCache::file_name(&("a/b".into(), "c".into()));
+        let b = PhiCache::file_name(&("a.b".into(), "c".into()));
+        assert_ne!(a, b, "CRC suffix must disambiguate `a_b`");
+        assert!(a.starts_with("a_b-c-"));
+    }
+
+    #[test]
+    fn single_key_adapts_once_then_hits() {
+        let cache = PhiCache::new(CachePolicy::lru(4), Tracer::disabled()).unwrap();
+        let k = key("x");
+        let (c1, l1) = cache.get_or_adapt(&k, || Ok(ctx(0.0))).unwrap();
+        assert_eq!(l1, Lookup::Cold);
+        let (c2, l2) = cache
+            .get_or_adapt(&k, || panic!("must not re-adapt"))
+            .unwrap();
+        assert_eq!(l2, Lookup::Hit);
+        assert!(Arc::ptr_eq(&c1, &c2));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn failed_adapt_is_retried() {
+        let cache = PhiCache::new(CachePolicy::lru(4), Tracer::disabled()).unwrap();
+        let k = key("x");
+        let err = cache.get_or_adapt(&k, || Err(Error::InvalidConfig("no support".into())));
+        assert!(err.is_err());
+        assert!(!cache.contains(&k), "failed entry must not stay resident");
+        let (_, l) = cache.get_or_adapt(&k, || Ok(ctx(1.0))).unwrap();
+        assert_eq!(l, Lookup::Cold, "second attempt runs the adapt");
+    }
+}

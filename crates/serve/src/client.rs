@@ -1,0 +1,165 @@
+//! A small blocking client for the NDJSON serving protocol.
+//!
+//! Used by the CLI, the load generator and the end-to-end tests; external
+//! callers can treat it as reference documentation for the wire format.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use fewner_util::{Error, Json, Result};
+
+use crate::protocol::{Request, Response, SupportSentence};
+
+/// One connection to a running `fewner serve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn io_err(what: &str, e: std::io::Error) -> Error {
+    Error::Io {
+        path: what.to_string(),
+        detail: e.to_string(),
+    }
+}
+
+impl Client {
+    /// Connects to a serving daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone().map_err(|e| io_err("connect", e))?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        let mut line = req.to_json().to_string();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err("send", e))?;
+        self.writer.flush().map_err(|e| io_err("send", e))?;
+        let mut buf = String::new();
+        let n = self
+            .reader
+            .read_line(&mut buf)
+            .map_err(|e| io_err("recv", e))?;
+        if n == 0 {
+            return Err(Error::Io {
+                path: "recv".into(),
+                detail: "server closed the connection".into(),
+            });
+        }
+        Response::from_json(&Json::parse(buf.trim())?)
+    }
+
+    /// Sends a request and converts error responses into typed errors
+    /// (`overloaded` becomes [`Error::Overloaded`]).
+    fn request_ok(&mut self, req: &Request) -> Result<Response> {
+        let resp = self.request(req)?;
+        match resp.to_error() {
+            Some(e) => Err(e),
+            None => Ok(resp),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.request_ok(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Adapts (or warms) `(tenant, task)` from a support set; returns the
+    /// context source (`hot`, `warm` or `cold`).
+    pub fn adapt(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        ways: usize,
+        support: Vec<SupportSentence>,
+    ) -> Result<String> {
+        let req = Request::Adapt {
+            tenant: tenant.to_string(),
+            task: task.to_string(),
+            ways,
+            support,
+        };
+        match self.request_ok(&req)? {
+            Response::Adapted { source } => Ok(source),
+            other => Err(unexpected("adapt ack", &other)),
+        }
+    }
+
+    /// Predicts tags for query sentences under an already-adapted task.
+    pub fn predict(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        sentences: &[Vec<String>],
+    ) -> Result<Vec<Vec<String>>> {
+        self.predict_req(tenant, task, sentences, None)
+    }
+
+    /// Predicts with an inline support set (adapt-on-miss in one round
+    /// trip).
+    pub fn predict_with_support(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        sentences: &[Vec<String>],
+        ways: usize,
+        support: Vec<SupportSentence>,
+    ) -> Result<Vec<Vec<String>>> {
+        self.predict_req(tenant, task, sentences, Some((ways, support)))
+    }
+
+    fn predict_req(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        sentences: &[Vec<String>],
+        inline: Option<(usize, Vec<SupportSentence>)>,
+    ) -> Result<Vec<Vec<String>>> {
+        let (ways, support) = match inline {
+            Some((w, s)) => (Some(w), Some(s)),
+            None => (None, None),
+        };
+        let req = Request::Predict {
+            tenant: tenant.to_string(),
+            task: task.to_string(),
+            sentences: sentences.to_vec(),
+            ways,
+            support,
+        };
+        match self.request_ok(&req)? {
+            Response::Predictions { tags } => Ok(tags),
+            other => Err(unexpected("predictions", &other)),
+        }
+    }
+
+    /// Counter snapshot (cache + queue), sorted by name.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>> {
+        match self.request_ok(&Request::Stats)? {
+            Response::Stats { counters } => Ok(counters),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Requests an orderly shutdown of the daemon.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.request_ok(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutdown ack", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> Error {
+    Error::Serde(format!("expected {wanted}, got {:?}", got))
+}

@@ -1,0 +1,532 @@
+//! The serving daemon: worker pool, bounded admission, micro-batching.
+//!
+//! A [`Server`] owns one frozen θ ([`Fewner`]) and shares it — `ParamStore`
+//! is plain data — across a pool of scoped worker threads. Request flow:
+//!
+//! 1. Connection threads parse NDJSON lines ([`crate::protocol`]), encode
+//!    sentences, and enqueue prediction jobs. The queue is **bounded**: at
+//!    the admission limit a request is shed immediately with
+//!    [`Error::Overloaded`] instead of waiting — bounded latency beats
+//!    unbounded queueing.
+//! 2. Workers pop a job and *drain every queued job for the same `(tenant,
+//!    task)`* up to the micro-batch sentence cap, then decode the merged
+//!    batch with **one** [`Fewner::predict`] call — one gradient-free
+//!    `Infer` arena, the φ-conditioned work hoisted once for the whole
+//!    batch.
+//! 3. Adaptation goes through the shared [`PhiCache`]: memory hit, warm
+//!    disk reload, or a single-flight cold adapt.
+//!
+//! Shutdown is orderly: the `shutdown` op stops the accept loop, workers
+//! drain the queue, connection threads notice via read timeouts, and the
+//! final [`Server::run`] return flushes the tracer.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use fewner_core::{Fewner, ServeOptions};
+use fewner_models::{EncodedSentence, LabeledSentence, TokenEncoder};
+use fewner_obs::Tracer;
+use fewner_text::TagSet;
+use fewner_util::{Error, Json, Result};
+
+use crate::cache::{CacheKey, PhiCache};
+use crate::protocol::{Request, Response, SupportSentence};
+
+/// Pool and admission knobs (the φ-cache knobs live in
+/// [`fewner_core::CachePolicy`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Prediction worker threads (≥ 1 enforced).
+    pub workers: usize,
+    /// Maximum queued prediction jobs before admission sheds.
+    pub queue_limit: usize,
+}
+
+impl ServerConfig {
+    /// Defaults: 2 workers, 64 queued jobs.
+    pub fn new() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_limit: 64,
+        }
+    }
+
+    /// Sets the worker-thread count (≥ 1 enforced).
+    pub fn workers(mut self, n: usize) -> ServerConfig {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Sets the admission limit (≥ 1 enforced).
+    pub fn queue_limit(mut self, n: usize) -> ServerConfig {
+        self.queue_limit = n.max(1);
+        self
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig::new()
+    }
+}
+
+/// One queued prediction request. The response channel carries the decoded
+/// index sequences plus the way count needed to render tag names.
+struct Job {
+    key: CacheKey,
+    ways: Option<usize>,
+    support: Option<Vec<LabeledSentence>>,
+    sentences: Vec<EncodedSentence>,
+    resp: mpsc::Sender<Result<(Vec<Vec<usize>>, usize)>>,
+}
+
+/// A multi-tenant FEWNER serving daemon. Construct once, then [`Server::run`]
+/// on a bound listener; all state is shared by reference across the scoped
+/// worker and connection threads.
+pub struct Server {
+    learner: Fewner,
+    enc: TokenEncoder,
+    opts: ServeOptions,
+    cfg: ServerConfig,
+    cache: PhiCache,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// Builds a server around a trained learner. The φ-cache policy and
+    /// tracer come from `opts`; the persistence directory (if any) is
+    /// created here.
+    pub fn new(
+        learner: Fewner,
+        enc: TokenEncoder,
+        opts: ServeOptions,
+        cfg: ServerConfig,
+    ) -> Result<Server> {
+        let cache = PhiCache::new(opts.cache_policy().clone(), opts.tracer_ref().clone())?;
+        Ok(Server {
+            learner,
+            enc,
+            opts,
+            cfg,
+            cache,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The shared φ-cache (tests inspect stats through this).
+    pub fn cache(&self) -> &PhiCache {
+        &self.cache
+    }
+
+    /// The tracer every span and counter goes through.
+    pub fn tracer(&self) -> &Tracer {
+        self.opts.tracer_ref()
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests an orderly shutdown: stop accepting, drain the queue, join.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Take the lock so a worker between its empty-check and its wait
+        // cannot miss the wakeup.
+        let _q = self.lock_queue();
+        self.available.notify_all();
+    }
+
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Serves until a `shutdown` request arrives. Spawns the worker pool and
+    /// one thread per connection inside a scope, so `run` returns only after
+    /// every thread has exited; the tracer is flushed on the way out.
+    pub fn run(&self, listener: TcpListener) -> Result<()> {
+        listener.set_nonblocking(true).map_err(|e| Error::Io {
+            path: "listener".into(),
+            detail: e.to_string(),
+        })?;
+        std::thread::scope(|s| {
+            for _ in 0..self.cfg.workers.max(1) {
+                s.spawn(|| self.worker());
+            }
+            while !self.shutting_down() {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        s.spawn(move || self.handle_conn(stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    // Transient accept errors (e.g. ECONNABORTED) are not
+                    // fatal to the daemon.
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            self.available.notify_all();
+        });
+        self.tracer().flush()
+    }
+
+    // ------------------------------------------------------------------
+    // Worker pool
+    // ------------------------------------------------------------------
+
+    fn worker(&self) {
+        loop {
+            let first = {
+                let mut q = self.lock_queue();
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break Some(job);
+                    }
+                    if self.shutting_down() {
+                        break None;
+                    }
+                    q = self.available.wait(q).unwrap_or_else(|p| p.into_inner());
+                }
+            };
+            let Some(first) = first else { return };
+
+            // Micro-batch: steal every queued job for the same key, up to
+            // the sentence cap. The whole merged batch then shares one
+            // `Infer` arena and one φ hoist.
+            let mut jobs = vec![first];
+            let mut sentences = jobs[0].sentences.len();
+            {
+                let mut q = self.lock_queue();
+                let mut i = 0;
+                while i < q.len() {
+                    let same = q[i].key == jobs[0].key;
+                    let fits = sentences + q[i].sentences.len() <= self.opts.batch_size();
+                    if same && fits {
+                        let job = q.remove(i).expect("index in bounds");
+                        sentences += job.sentences.len();
+                        jobs.push(job);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            self.process_batch(jobs);
+        }
+    }
+
+    fn process_batch(&self, jobs: Vec<Job>) {
+        let key = jobs[0].key.clone();
+        // Any job in the batch may carry the support set that makes a cold
+        // adapt possible; first one wins (single-flight runs it once).
+        let inline = jobs
+            .iter()
+            .find_map(|j| Some((j.support.clone()?, j.ways?)));
+        let adapt = || match inline {
+            Some((support, ways)) => self.learner.adapt_support(&support, ways, &self.opts),
+            None => Err(Error::InvalidConfig(format!(
+                "no adapted context for `{}/{}` and no support provided",
+                key.0, key.1
+            ))),
+        };
+        match self.cache.get_or_adapt(&key, adapt) {
+            Ok((ctx, _source)) => {
+                if jobs.len() > 1 {
+                    self.tracer()
+                        .incr("serve/batch_merged", (jobs.len() - 1) as u64);
+                }
+                let all: Vec<EncodedSentence> = jobs
+                    .iter()
+                    .flat_map(|j| j.sentences.iter().cloned())
+                    .collect();
+                match self.learner.predict(&ctx, &all, &self.opts) {
+                    Ok(mut preds) => {
+                        for job in jobs {
+                            let rest = preds.split_off(job.sentences.len());
+                            let mine = std::mem::replace(&mut preds, rest);
+                            job.resp.send(Ok((mine, ctx.n_ways()))).ok();
+                        }
+                    }
+                    Err(e) => {
+                        for job in jobs {
+                            job.resp.send(Err(e.clone())).ok();
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                for job in jobs {
+                    job.resp.send(Err(e.clone())).ok();
+                }
+            }
+        }
+    }
+
+    /// Admission control: bounded queue, shed-don't-wait.
+    fn submit(&self, job: Job) -> Result<()> {
+        let mut q = self.lock_queue();
+        if self.shutting_down() {
+            return Err(Error::InvalidConfig("server is shutting down".into()));
+        }
+        if q.len() >= self.cfg.queue_limit {
+            let queue_depth = q.len();
+            drop(q);
+            self.tracer().incr("serve/shed", 1);
+            return Err(Error::Overloaded {
+                queue_depth,
+                limit: self.cfg.queue_limit,
+            });
+        }
+        q.push_back(job);
+        drop(q);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Connections
+    // ------------------------------------------------------------------
+
+    fn handle_conn(&self, stream: TcpStream) {
+        // Read timeouts let a conn thread notice shutdown instead of
+        // blocking forever on an idle client.
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .ok();
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = loop {
+                match reader.read_line(&mut line) {
+                    Ok(n) => break n,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        // `read_line` keeps any partial bytes in `line`;
+                        // retrying continues the same line.
+                        if self.shutting_down() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            };
+            if n == 0 {
+                return; // client closed
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let resp = self.handle_line(trimmed);
+            let done = matches!(resp, Response::ShuttingDown);
+            if writeln!(writer, "{}", resp.to_json()).is_err() || writer.flush().is_err() {
+                return;
+            }
+            if done {
+                return;
+            }
+        }
+    }
+
+    fn handle_line(&self, line: &str) -> Response {
+        let req = match Json::parse(line).and_then(|j| Request::from_json(&j)) {
+            Ok(req) => req,
+            Err(e) => return Response::from_error(&e),
+        };
+        self.tracer().incr("serve/requests", 1);
+        match req {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats {
+                counters: self.counters(),
+            },
+            Request::Shutdown => {
+                self.begin_shutdown();
+                Response::ShuttingDown
+            }
+            Request::Adapt {
+                tenant,
+                task,
+                ways,
+                support,
+            } => match self.do_adapt(tenant, task, ways, &support) {
+                Ok(source) => Response::Adapted {
+                    source: source.to_string(),
+                },
+                Err(e) => Response::from_error(&e),
+            },
+            Request::Predict {
+                tenant,
+                task,
+                sentences,
+                ways,
+                support,
+            } => match self.do_predict(tenant, task, sentences, ways, support) {
+                Ok(tags) => Response::Predictions { tags },
+                Err(PredictFailure::Unknown { tenant, task }) => {
+                    Response::unknown_task(&tenant, &task)
+                }
+                Err(PredictFailure::Error(e)) => Response::from_error(&e),
+            },
+        }
+    }
+
+    /// Validates a wire support set against the model and converts it to
+    /// the encoded form the inner loop takes.
+    fn encode_support(
+        &self,
+        ways: usize,
+        support: &[SupportSentence],
+    ) -> Result<Vec<LabeledSentence>> {
+        let max = self.learner.backbone.config().max_ways();
+        if ways == 0 || ways > max {
+            return Err(Error::InvalidConfig(format!(
+                "ways must be in 1..={max}, got {ways}"
+            )));
+        }
+        let tags = TagSet::new(ways)?;
+        support
+            .iter()
+            .map(|s| {
+                for t in &s.tags {
+                    if t.slot().is_some_and(|slot| slot >= ways) {
+                        return Err(Error::InvalidConfig(format!(
+                            "tag slot out of range for {ways}-way task"
+                        )));
+                    }
+                }
+                let indices = s.tags.iter().map(|t| tags.index(*t)).collect();
+                Ok((self.enc.encode(&s.tokens), indices))
+            })
+            .collect()
+    }
+
+    fn do_adapt(
+        &self,
+        tenant: String,
+        task: String,
+        ways: usize,
+        support: &[SupportSentence],
+    ) -> Result<&'static str> {
+        let encoded = self.encode_support(ways, support)?;
+        let key: CacheKey = (tenant, task);
+        // Adaptation runs inline on the connection thread; the cache's
+        // single-flight cell dedups a herd of identical adapt requests.
+        let (_ctx, lookup) = self.cache.get_or_adapt(&key, || {
+            self.learner.adapt_support(&encoded, ways, &self.opts)
+        })?;
+        Ok(lookup.as_str())
+    }
+
+    fn do_predict(
+        &self,
+        tenant: String,
+        task: String,
+        sentences: Vec<Vec<String>>,
+        ways: Option<usize>,
+        support: Option<Vec<SupportSentence>>,
+    ) -> std::result::Result<Vec<Vec<String>>, PredictFailure> {
+        if sentences.is_empty() || sentences.iter().any(Vec::is_empty) {
+            return Err(Error::InvalidConfig("empty query sentence".into()).into());
+        }
+        let key: CacheKey = (tenant, task);
+        let encoded_support = match (&support, ways) {
+            (Some(s), Some(w)) => Some(self.encode_support(w, s).map_err(PredictFailure::Error)?),
+            (Some(_), None) => {
+                return Err(Error::InvalidConfig("inline support requires `ways`".into()).into())
+            }
+            (None, _) => None,
+        };
+        if encoded_support.is_none() && !self.cache.known(&key) {
+            return Err(PredictFailure::Unknown {
+                tenant: key.0,
+                task: key.1,
+            });
+        }
+        let encoded: Vec<EncodedSentence> = sentences.iter().map(|s| self.enc.encode(s)).collect();
+        let (tx, rx) = mpsc::channel();
+        self.submit(Job {
+            key,
+            ways,
+            support: encoded_support,
+            sentences: encoded,
+            resp: tx,
+        })
+        .map_err(PredictFailure::Error)?;
+        let (preds, n_ways) = rx
+            .recv()
+            .map_err(|_| {
+                PredictFailure::Error(Error::WorkerPanic {
+                    context: "serve worker".into(),
+                })
+            })?
+            .map_err(PredictFailure::Error)?;
+        let tags = TagSet::new(n_ways).map_err(PredictFailure::Error)?;
+        Ok(preds
+            .iter()
+            .map(|sent| sent.iter().map(|&i| tags.name(i)).collect())
+            .collect())
+    }
+
+    /// Cache + queue counters for the `stats` op, sorted by name.
+    fn counters(&self) -> Vec<(String, u64)> {
+        let s = self.cache.stats();
+        let depth = self.lock_queue().len() as u64;
+        let mut counters = vec![
+            ("cache_evictions".to_string(), s.evictions),
+            ("cache_expirations".to_string(), s.expirations),
+            ("cache_hits".to_string(), s.hits),
+            ("cache_misses".to_string(), s.misses),
+            ("phi_persists".to_string(), s.persists),
+            ("phi_reloads".to_string(), s.reloads),
+            ("queue_depth".to_string(), depth),
+            ("resident_contexts".to_string(), self.cache.len() as u64),
+        ];
+        counters.sort();
+        counters
+    }
+}
+
+/// Predict failures split the `unknown_task` wire error from ordinary
+/// library errors.
+enum PredictFailure {
+    Unknown { tenant: String, task: String },
+    Error(Error),
+}
+
+impl From<Error> for PredictFailure {
+    fn from(e: Error) -> PredictFailure {
+        PredictFailure::Error(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_is_shareable_across_threads() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<Server>();
+    }
+
+    #[test]
+    fn server_config_floors() {
+        let cfg = ServerConfig::new().workers(0).queue_limit(0);
+        assert_eq!((cfg.workers, cfg.queue_limit), (1, 1));
+    }
+}

@@ -1,0 +1,272 @@
+//! End-to-end daemon tests over real TCP: protocol round trips, restart
+//! warm-start from persisted φ, micro-batching, and overload shedding.
+
+mod common;
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use fewner_core::{CachePolicy, MetaConfig, ServeOptions};
+use fewner_episode::Task;
+use fewner_obs::{MemorySink, MonotonicClock, TraceSummary, Tracer};
+use fewner_serve::{Client, Request, Response, Server, ServerConfig, SupportSentence};
+use fewner_util::Error;
+
+fn wire_support(task: &Task) -> Vec<SupportSentence> {
+    task.support
+        .iter()
+        .map(|s| SupportSentence {
+            tokens: s.tokens.clone(),
+            tags: s.tags.clone(),
+        })
+        .collect()
+}
+
+fn query_sentences(task: &Task) -> Vec<Vec<String>> {
+    task.query.iter().map(|s| s.tokens.clone()).collect()
+}
+
+/// Boots `server` on an ephemeral port, runs `drive` against it, sends
+/// shutdown, and joins everything before returning.
+fn with_server<T: Send>(server: &Server, drive: impl FnOnce(&str) -> T + Send) -> T {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    std::thread::scope(|s| {
+        let daemon = s.spawn(|| server.run(listener));
+        let out = drive(&addr);
+        if !server.shutting_down() {
+            Client::connect(&addr)
+                .and_then(|mut c| c.shutdown())
+                .expect("clean shutdown");
+        }
+        daemon.join().expect("daemon thread").expect("run");
+        out
+    })
+}
+
+#[test]
+fn protocol_round_trip_over_tcp() {
+    let (learner, enc, tasks) = common::tiny();
+    let task = &tasks[0];
+    let server = Server::new(
+        learner,
+        enc,
+        ServeOptions::new(),
+        ServerConfig::new().workers(2),
+    )
+    .unwrap();
+
+    with_server(&server, |addr| {
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().unwrap();
+
+        // Unknown task without support: typed error, not a hang.
+        let err = client.predict("acme", "nope", &[vec!["x".to_string()]]);
+        assert!(matches!(err, Err(Error::InvalidConfig(msg)) if msg.contains("unknown_task")));
+
+        // Adapt, then predict over the same connection.
+        let source = client
+            .adapt("acme", "t0", task.n_ways, wire_support(task))
+            .unwrap();
+        assert_eq!(source, "cold");
+        let preds = client
+            .predict("acme", "t0", &query_sentences(task))
+            .unwrap();
+        assert_eq!(preds.len(), task.query.len());
+        for (pred, sent) in preds.iter().zip(&task.query) {
+            assert_eq!(pred.len(), sent.tokens.len(), "one tag per token");
+            for tag in pred {
+                assert!(fewner_text::Tag::parse(tag).is_ok(), "wire tags parse");
+            }
+        }
+
+        // A second adapt of the same key is a cache hit.
+        let source = client
+            .adapt("acme", "t0", task.n_ways, wire_support(task))
+            .unwrap();
+        assert_eq!(source, "hot");
+
+        // Another tenant with the same task id gets its own context.
+        let source = client
+            .adapt("zeta", "t0", task.n_ways, wire_support(task))
+            .unwrap();
+        assert_eq!(source, "cold", "tenants must not share φ");
+
+        let stats = client.stats().unwrap();
+        let get = |k: &str| stats.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(get("cache_hits"), Some(2), "adapt hit + predict hit");
+        assert_eq!(get("cache_misses"), Some(2), "two cold adapts");
+        assert_eq!(get("resident_contexts"), Some(2));
+
+        // Malformed lines get a typed bad_request, not a dropped connection.
+        let resp = client
+            .request(&Request::Predict {
+                tenant: "acme".into(),
+                task: "t0".into(),
+                sentences: vec![],
+                ways: None,
+                support: None,
+            })
+            .unwrap();
+        assert!(matches!(resp, Response::Error { ref kind, .. } if kind == "bad_request"));
+    });
+}
+
+#[test]
+fn restart_reuses_persisted_phi_with_identical_predictions() {
+    let (learner, enc, tasks) = common::tiny();
+    let task = &tasks[0];
+    let dir = std::env::temp_dir().join(format!("fewner-e2e-phi-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let policy = CachePolicy::lru(8).persist_dir(&dir);
+
+    // First boot: adapt-on-miss predict persists the φ.
+    let server1 = Server::new(
+        learner,
+        enc,
+        ServeOptions::new().cache(policy.clone()),
+        ServerConfig::new(),
+    )
+    .unwrap();
+    let first = with_server(&server1, |addr| {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .predict_with_support(
+                "acme",
+                "t0",
+                &query_sentences(task),
+                task.n_ways,
+                wire_support(task),
+            )
+            .unwrap()
+    });
+    assert_eq!(server1.cache().stats().persists, 1);
+
+    // Second boot over the same directory: NO support is sent, yet the
+    // predict succeeds (warm reload) and the predictions are identical —
+    // the persisted φ round-tripped bitwise. Fewner init is seed-driven,
+    // so rebuilding the fixture reproduces the exact same frozen θ.
+    let (learner2, enc2, _) = common::tiny();
+    let server2 = Server::new(
+        learner2,
+        enc2,
+        ServeOptions::new().cache(policy),
+        ServerConfig::new(),
+    )
+    .unwrap();
+    let second = with_server(&server2, |addr| {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .predict("acme", "t0", &query_sentences(task))
+            .unwrap()
+    });
+    assert_eq!(first, second, "restart must not change predictions");
+    let stats = server2.cache().stats();
+    assert_eq!(stats.reloads, 1, "the context came from disk");
+    assert_eq!(stats.misses, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn overload_sheds_with_typed_error_and_batching_merges_queued_work() {
+    let (enc, tasks, learner) = {
+        let (l, e, t) = common::tiny();
+        (e, t, l)
+    };
+    let task = &tasks[0];
+    // A deliberately slow adapt (many inner steps) wedges the single worker
+    // long enough for queued predicts to pile up deterministically.
+    let slow = {
+        let cfg = MetaConfig {
+            inner_steps_test: 300,
+            meta_batch: 2,
+            ..MetaConfig::default()
+        };
+        let mut bb = learner.backbone.config().clone();
+        bb.dropout = 0.0;
+        fewner_core::Fewner::new(bb, &enc, cfg).unwrap()
+    };
+    let sink = MemorySink::new();
+    let tracer = Tracer::new(MonotonicClock::new(), sink.clone());
+    let server = Arc::new(
+        Server::new(
+            slow,
+            enc,
+            ServeOptions::new().tracer(tracer).batch(64),
+            ServerConfig::new().workers(1).queue_limit(2),
+        )
+        .unwrap(),
+    );
+
+    let (ok, shed) = with_server(&server, |addr| {
+        // Request 1: adapt-on-miss — the worker starts the slow inner loop.
+        let addr = addr.to_string();
+        let opener = {
+            let addr = addr.clone();
+            let sentences = query_sentences(task);
+            let ways = task.n_ways;
+            let support = wire_support(task);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                c.predict_with_support("acme", "slow", &sentences, ways, support)
+            })
+        };
+        // Give the worker time to dequeue request 1 and enter the adapt.
+        std::thread::sleep(std::time::Duration::from_millis(150));
+
+        // A burst of follow-up predicts: queue_limit is 2, so at most two
+        // queue behind the wedged worker and the rest shed immediately.
+        let burst = 6;
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..burst)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let sentences = query_sentences(task);
+                    s.spawn(move || {
+                        let mut c = Client::connect(&addr).unwrap();
+                        c.predict("acme", "slow", &sentences)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        opener.join().unwrap().unwrap();
+
+        let mut ok = 0u64;
+        let mut shed = 0u64;
+        for r in results {
+            match r {
+                Ok(preds) => {
+                    assert_eq!(preds.len(), task.query.len());
+                    ok += 1;
+                }
+                Err(Error::Overloaded { queue_depth, limit }) => {
+                    assert_eq!(limit, 2, "limit travels over the wire");
+                    assert!(queue_depth >= limit);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        (ok, shed)
+    });
+
+    assert!(shed >= 1, "bounded queue must shed under overload");
+    assert_eq!(ok + shed, 6);
+    // The queued (non-shed) predicts were drained as one micro-batch when
+    // the worker finally freed up: the trace shows merged requests.
+    let summary = TraceSummary::parse(&sink.text()).unwrap();
+    if ok >= 2 {
+        assert!(
+            summary
+                .counters
+                .get("serve/batch_merged")
+                .copied()
+                .unwrap_or(0)
+                >= 1,
+            "same-key queued jobs must merge into one decode"
+        );
+    }
+    assert!(summary.counters.get("serve/shed").copied().unwrap_or(0) >= 1);
+    assert!(summary.spans.contains_key("serve/adapt"), "cold adapt span");
+}

@@ -27,6 +27,28 @@ impl Tag {
             Tag::B(s) | Tag::I(s) => Some(*s),
         }
     }
+
+    /// Parses the textual form [`TagSet::name`] produces (`O`, `B-3`,
+    /// `I-0`). This is the wire format of the serving protocol, so the
+    /// parser is strict: no whitespace, no case-folding, no empty slots.
+    pub fn parse(s: &str) -> Result<Tag> {
+        if s == "O" {
+            return Ok(Tag::O);
+        }
+        let slot = |rest: &str| {
+            rest.parse::<usize>()
+                .map_err(|_| Error::InvalidTagSequence(format!("bad tag slot in `{s}`")))
+        };
+        if let Some(rest) = s.strip_prefix("B-") {
+            Ok(Tag::B(slot(rest)?))
+        } else if let Some(rest) = s.strip_prefix("I-") {
+            Ok(Tag::I(slot(rest)?))
+        } else {
+            Err(Error::InvalidTagSequence(format!(
+                "unparseable tag `{s}` (expected O, B-<slot> or I-<slot>)"
+            )))
+        }
+    }
 }
 
 /// The tag inventory for an `n_ways`-way episode.
@@ -168,6 +190,23 @@ mod tests {
         assert!(ts.allowed_at_start(Tag::O));
         assert!(ts.allowed_at_start(Tag::B(2)));
         assert!(!ts.allowed_at_start(Tag::I(0)));
+    }
+
+    #[test]
+    fn parse_round_trips_every_name() {
+        let ts = TagSet::new(7).unwrap();
+        for i in 0..ts.len() {
+            assert_eq!(Tag::parse(&ts.name(i)).unwrap(), ts.tag(i));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tags() {
+        for bad in [
+            "", "o", "B", "B-", "I--1", "B-x", "B- 1", " O", "Q-2", "B-1x",
+        ] {
+            assert!(Tag::parse(bad).is_err(), "`{bad}` must not parse");
+        }
     }
 
     #[test]

@@ -69,6 +69,16 @@ pub enum Error {
         /// Which parallel section the worker belonged to.
         context: String,
     },
+    /// A serving request was shed by admission control: the work queue was
+    /// at capacity, and waiting would trade bounded latency for unbounded.
+    /// The caller should back off and retry; this is load shedding, not a
+    /// fault.
+    Overloaded {
+        /// Queue depth observed at admission time.
+        queue_depth: usize,
+        /// The configured admission limit the depth hit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -98,6 +108,13 @@ impl fmt::Display for Error {
             }
             Error::WorkerPanic { context } => {
                 write!(f, "worker thread panicked in {context}")
+            }
+            Error::Overloaded { queue_depth, limit } => {
+                write!(
+                    f,
+                    "server overloaded: queue depth {queue_depth} at admission limit {limit}; \
+                     request shed, retry with backoff"
+                )
             }
         }
     }
@@ -143,6 +160,16 @@ mod tests {
         };
         let s = d.to_string();
         assert!(s.contains("12") && s.contains("1.5"));
+    }
+
+    #[test]
+    fn overloaded_reports_depth_and_limit() {
+        let e = Error::Overloaded {
+            queue_depth: 64,
+            limit: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("overloaded") && s.contains("64"));
     }
 
     #[test]

@@ -75,6 +75,23 @@ fn main() -> fewner::Result<()> {
         tasks.len()
     );
 
+    // The serving surface: adapt once, then reuse the context for as many
+    // predict calls as traffic brings — this is what `fewner serve` caches.
+    let opts = ServeOptions::new();
+    let task = &tasks[0];
+    let ctx = fewner.adapt(task, &enc, &opts)?;
+    let queries: Vec<_> = task.query.iter().map(|s| enc.encode(&s.tokens)).collect();
+    let (first, second) = (
+        fewner.predict(&ctx, &queries, &opts)?,
+        fewner.predict(&ctx, &queries, &opts)?,
+    );
+    assert_eq!(first, second, "a frozen context decodes deterministically");
+    println!(
+        "reused one adapted context ({} φ values) across {} query sentences twice",
+        ctx.phi_values().len(),
+        queries.len()
+    );
+
     // Zero-shot comparison: predictions *without* the inner loop, i.e. φ=0.
     let mut zero_shot = F1Counts::default();
     for task in &tasks {

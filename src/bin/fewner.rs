@@ -3,20 +3,27 @@
 //! ```text
 //! fewner corpus   --profile genia --scale 0.05          # corpus statistics
 //! fewner train    --profile genia --scale 0.05 --iterations 300 \
-//!                 --out model.json                      # meta-train + checkpoint
+//!                 --model model.json                    # meta-train + checkpoint
 //! fewner evaluate --profile genia --scale 0.05 --model model.json \
 //!                 --episodes 100                        # score on held-out tasks
 //! fewner demo     --profile bionlp13cg --scale 0.2      # train briefly, show output
 //! fewner predict  --profile genia --scale 0.05 --model model.json \
-//!                 --episodes 3                           # serve: adapt + stream predictions
+//!                 --episodes 3                          # adapt + stream predictions
+//! fewner serve    --profile genia --scale 0.05 --model model.json \
+//!                 --addr 127.0.0.1:0 --phi-dir phis     # multi-tenant daemon
 //! ```
 //!
 //! Every run is deterministic given its flags; profiles are the six paper
-//! datasets plus the ACE sub-domains (`ace-bc`, `ace-bn`, …).
+//! datasets plus the ACE sub-domains (`ace-bc`, `ace-bn`, …). Flag names are
+//! shared across subcommands (`--model`, `--trace`, `--seed` always mean the
+//! same thing) and defined once in [`fewner::cli`].
 
 use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::TcpListener;
 use std::process::ExitCode;
 
+use fewner::cli::{backbone, build_encoder, flag, meta, parse_args, profile, split_for, USAGE};
 use fewner::core::Checkpoint;
 use fewner::prelude::*;
 
@@ -33,7 +40,7 @@ fn main() -> ExitCode {
             }
         };
     }
-    let Some((command, flags)) = parse(&args) else {
+    let Some((command, flags)) = parse_args(&args) else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
@@ -43,6 +50,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&flags),
         "demo" => cmd_demo(&flags),
         "predict" => cmd_predict(&flags),
+        "serve" => cmd_serve(&flags),
         _ => {
             eprintln!("unknown command `{command}`\n{USAGE}");
             return ExitCode::FAILURE;
@@ -57,127 +65,25 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: fewner <corpus|train|evaluate|demo|predict|trace> [flags]
-  common flags:
-    --profile <nne|fg-ner|genia|ontonotes|bionlp13cg|slot-filling|conll-like|
-               ace-bc|ace-bn|ace-cts|ace-nw|ace-un|ace-wl>
-    --scale <f64>          corpus scale, 1.0 = paper size (default 0.05)
-    --seed <u64>           experiment seed (default 42)
-  train/evaluate/demo:
-    --ways <N> --shots <K> (default 5, 1)
-    --iterations <N>       meta-iterations (default 300)
-    --episodes <N>         evaluation episodes (default 50)
-    --threads <N>          meta-gradient worker threads, 0 = all cores
-                           (default 1; FEWNER_THREADS overrides)
-    --out/--model <path>   checkpoint file
-  train only:
-    --checkpoint-every <N> write a full training snapshot every N iterations
-                           (rolling, newest two kept; default 0 = off)
-    --checkpoint-dir <dir> snapshot directory (default `checkpoints`)
-    --resume <dir>         continue a killed run from the newest valid
-                           snapshot in <dir>
-    --trace <path>         write a structured JSONL trace of the run
-  predict only:
-    --episodes <N>         tasks to serve (default 3)
-    --show <N>             query sentences to print per task (default 5)
-    --trace <path>         write a structured JSONL trace of the run
-  trace:
-    fewner trace summarize <path>   per-phase latency percentiles, counters,
-                                    and the adaptation-vs-training cost split";
-
-fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
-    let mut it = args.iter();
-    let command = it.next()?.clone();
-    let mut flags = HashMap::new();
-    while let Some(flag) = it.next() {
-        let key = flag.strip_prefix("--")?;
-        let value = it.next()?;
-        flags.insert(key.to_string(), value.clone());
-    }
-    Some((command, flags))
-}
-
-fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
-    flags
-        .get(key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn profile(flags: &HashMap<String, String>) -> fewner::Result<DatasetProfile> {
-    let name = flags.get("profile").map(String::as_str).unwrap_or("genia");
-    Ok(match name {
-        "nne" => DatasetProfile::nne(),
-        "fg-ner" => DatasetProfile::fg_ner(),
-        "genia" => DatasetProfile::genia(),
-        "ontonotes" => DatasetProfile::ontonotes(),
-        "bionlp13cg" => DatasetProfile::bionlp13cg(),
-        "slot-filling" => DatasetProfile::slot_filling(),
-        "conll-like" => DatasetProfile::conll_like(),
-        "ace-bc" => DatasetProfile::ace2005(AceDomain::Bc),
-        "ace-bn" => DatasetProfile::ace2005(AceDomain::Bn),
-        "ace-cts" => DatasetProfile::ace2005(AceDomain::Cts),
-        "ace-nw" => DatasetProfile::ace2005(AceDomain::Nw),
-        "ace-un" => DatasetProfile::ace2005(AceDomain::Un),
-        "ace-wl" => DatasetProfile::ace2005(AceDomain::Wl),
-        other => {
-            return Err(fewner::Error::InvalidConfig(format!(
-                "unknown profile `{other}`"
-            )))
-        }
-    })
-}
-
-/// A type split sized to the profile (paper splits where defined, a 60/15/25
-/// type partition otherwise).
-fn split_for(
-    p: &DatasetProfile,
-    data: &fewner::corpus::Dataset,
-    seed: u64,
-) -> fewner::Result<fewner::corpus::TypeSplit> {
-    let counts = match p.name {
-        "NNE" => (52, 10, 15),
-        "FG-NER" => (163, 15, 20),
-        "GENIA" => (18, 8, 10),
-        _ => {
-            let n = data.types.len();
-            let train = (n * 3) / 5;
-            let val = n / 5;
-            (train, val, n - train - val)
-        }
-    };
-    split_types(data, counts, seed)
-}
-
-fn build_encoder(data: &fewner::corpus::Dataset) -> TokenEncoder {
-    let spec = EmbeddingSpec {
-        dim: 32,
-        ..EmbeddingSpec::default()
-    };
-    TokenEncoder::build(&[data], &spec, 4)
-}
-
-fn backbone(ways: usize) -> BackboneConfig {
-    BackboneConfig {
-        word_dim: 32,
-        char_dim: 10,
-        char_filters: 8,
-        char_widths: vec![2, 3],
-        hidden: 24,
-        phi_dim: 24,
-        slot_ctx_dim: 8,
-        ..BackboneConfig::default_for(ways)
+/// The `--trace` flag, shared by train/predict/serve.
+fn tracer_for(flags: &HashMap<String, String>) -> Tracer {
+    match flags.get("trace") {
+        Some(path) => Tracer::jsonl(path),
+        None => Tracer::disabled(),
     }
 }
 
-fn meta() -> MetaConfig {
-    MetaConfig {
-        meta_lr: 1e-2,
-        inner_lr: 0.25,
-        inner_steps_train: 3,
-        inner_steps_test: 10,
-        meta_batch: 4,
-        ..MetaConfig::default()
+/// Loads the checkpoint named by the unified `--model` flag.
+fn load_model(
+    flags: &HashMap<String, String>,
+    enc: &TokenEncoder,
+    what: &str,
+) -> fewner::Result<Fewner> {
+    match flags.get("model") {
+        Some(path) => Checkpoint::load(path)?.restore(enc),
+        None => Err(fewner::Error::InvalidConfig(format!(
+            "{what} requires --model <checkpoint>"
+        ))),
     }
 }
 
@@ -258,7 +164,9 @@ fn cmd_train(flags: &HashMap<String, String>) -> fewner::Result<()> {
         log.losses.first().copied().unwrap_or(f32::NAN),
         log.tail_loss(10).unwrap_or(f32::NAN)
     );
-    if let Some(path) = flags.get("out") {
+    // `--out` was the historical name for the checkpoint path; `--model` is
+    // the unified flag (what train writes is what the others read).
+    if let Some(path) = flags.get("model").or_else(|| flags.get("out")) {
         Checkpoint::capture(&learner).save(path)?;
         println!("checkpoint written to {path}");
     }
@@ -276,14 +184,7 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> fewner::Result<()> {
     let data = p.generate(scale)?;
     let split = split_for(&p, &data, seed)?;
     let enc = build_encoder(&data);
-    let learner = match flags.get("model") {
-        Some(path) => Checkpoint::load(path)?.restore(&enc)?,
-        None => {
-            return Err(fewner::Error::InvalidConfig(
-                "evaluate requires --model <checkpoint>".into(),
-            ))
-        }
-    };
+    let learner = load_model(flags, &enc, "evaluate")?;
     let sampler = EpisodeSampler::new(&split.test, ways, shots, 6)?;
     let tasks = sampler.eval_set(0xE7A1, episodes)?;
     let score = evaluate(&learner, &tasks, &enc)?;
@@ -298,10 +199,11 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> fewner::Result<()> {
     Ok(())
 }
 
-/// `fewner predict` — the serving path: load a trained checkpoint, adapt the
-/// task context φ to each sampled support set, and stream query predictions
-/// with a tokens/sec report. Decoding runs on the gradient-free [`Infer`]
-/// executor (no tape, recycled buffers); only φ-adaptation builds tapes.
+/// `fewner predict` — the one-shot serving path: load a trained checkpoint,
+/// adapt a reusable [`AdaptedCtx`] per sampled task, and stream query
+/// predictions with a tokens/sec report. Decoding runs on the gradient-free
+/// [`Infer`] executor (no tape, recycled buffers); only φ-adaptation builds
+/// tapes. For a long-running multi-tenant daemon, see `fewner serve`.
 ///
 /// [`Infer`]: fewner::tensor::Infer
 fn cmd_predict(flags: &HashMap<String, String>) -> fewner::Result<()> {
@@ -316,23 +218,21 @@ fn cmd_predict(flags: &HashMap<String, String>) -> fewner::Result<()> {
     let data = p.generate(scale)?;
     let split = split_for(&p, &data, seed)?;
     let enc = build_encoder(&data);
-    let learner = match flags.get("model") {
-        Some(path) => Checkpoint::load(path)?.restore(&enc)?,
-        None => {
-            return Err(fewner::Error::InvalidConfig(
-                "predict requires --model <checkpoint>".into(),
-            ))
-        }
-    };
-    let tracer = match flags.get("trace") {
-        Some(path) => Tracer::jsonl(path),
-        None => Tracer::disabled(),
-    };
+    let learner = load_model(flags, &enc, "predict")?;
+    let opts = ServeOptions::new().tracer(tracer_for(flags));
+    let tracer = opts.tracer_ref();
     let sampler = EpisodeSampler::new(&split.test, ways, shots, 6)?;
     let tasks = sampler.eval_set(0xE7A1, episodes)?;
     let mut total = Throughput::default();
     for (i, task) in tasks.iter().enumerate() {
-        let (preds, t) = measure_predictions(|| learner.serve_task(task, &enc, &tracer))?;
+        // Adapt once, predict under the reusable context — the same split
+        // the serving daemon caches across requests.
+        let (preds, t) = measure_predictions(|| {
+            let ctx = learner.adapt(task, &enc, &opts)?;
+            let query: Vec<fewner::models::EncodedSentence> =
+                task.query.iter().map(|s| enc.encode(&s.tokens)).collect();
+            learner.predict(&ctx, &query, &opts)
+        })?;
         total.merge(&t);
         tracer.observe("serve/tokens_per_sec", t.tokens_per_sec());
         let tags = task.tag_set();
@@ -365,6 +265,58 @@ fn cmd_predict(flags: &HashMap<String, String>) -> fewner::Result<()> {
         "infer arena: {} pool hits, {} misses, high-water {} slots",
         pool.pool_hits, pool.pool_misses, pool.high_water
     );
+    Ok(())
+}
+
+/// `fewner serve` — the long-running multi-tenant daemon: one frozen θ, an
+/// adapted-context (φ) cache keyed by `(tenant, task)` with LRU + TTL and
+/// optional durable persistence (`--phi-dir`), cross-request micro-batching,
+/// and bounded admission (overload sheds instead of queueing without limit).
+/// Speaks newline-delimited JSON over TCP; see `fewner::serve::protocol`.
+fn cmd_serve(flags: &HashMap<String, String>) -> fewner::Result<()> {
+    let p = profile(flags)?;
+    let scale = flag(flags, "scale", 0.05f64);
+    let data = p.generate(scale)?;
+    let enc = build_encoder(&data);
+    let learner = load_model(flags, &enc, "serve")?;
+
+    let mut policy = CachePolicy::lru(flag(flags, "cache-capacity", 64usize));
+    if let Some(secs) = flags.get("ttl-secs") {
+        let secs: u64 = secs
+            .parse()
+            .map_err(|_| fewner::Error::InvalidConfig("--ttl-secs must be a u64".into()))?;
+        policy = policy.ttl_secs(secs);
+    }
+    if let Some(dir) = flags.get("phi-dir") {
+        policy = policy.persist_dir(dir);
+    }
+    let opts = ServeOptions::new()
+        .tracer(tracer_for(flags))
+        .cache(policy)
+        .batch(flag(flags, "batch", 32usize));
+    let cfg = ServerConfig::new()
+        .workers(flag(flags, "workers", 2usize))
+        .queue_limit(flag(flags, "queue-limit", 64usize));
+
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let listener = TcpListener::bind(&addr).map_err(|e| fewner::Error::Io {
+        path: addr.clone(),
+        detail: e.to_string(),
+    })?;
+    let local = listener.local_addr().map_err(|e| fewner::Error::Io {
+        path: addr,
+        detail: e.to_string(),
+    })?;
+
+    let server = Server::new(learner, enc, opts, cfg)?;
+    // Scripts scrape this line for the (possibly ephemeral) port.
+    println!("listening on {local}");
+    std::io::stdout().flush().ok();
+    server.run(listener)?;
+    println!("server drained and shut down");
     Ok(())
 }
 

@@ -1,0 +1,211 @@
+//! Shared command-line conventions for the `fewner` binary and tools.
+//!
+//! One place defines flag parsing, the unified flag vocabulary (`--model`,
+//! `--trace`, `--checkpoint-dir`, `--seed` mean the same thing in every
+//! subcommand) and the reproduction's model-scale conventions (encoder
+//! spec, backbone dimensions, meta-configuration). `fewner train`,
+//! `fewner predict`, `fewner serve` and the bench tools all call these
+//! helpers, so a checkpoint written by one subcommand always matches the
+//! encoder another one builds from the same `--profile`/`--scale` flags.
+//!
+//! The help text ([`USAGE`]) is pinned by a snapshot test
+//! (`tests/cli_help.rs`): flag renames are a deliberate, reviewed act.
+
+use std::collections::HashMap;
+
+use fewner_core::MetaConfig;
+use fewner_corpus::{split_types, AceDomain, Dataset, DatasetProfile, TypeSplit};
+use fewner_models::{BackboneConfig, TokenEncoder};
+use fewner_text::embed::EmbeddingSpec;
+use fewner_util::{Error, Result};
+
+/// The `fewner` binary's help text. Kept here (not in the binary) so the
+/// snapshot test and external tools see the same source of truth.
+pub const USAGE: &str = "usage: fewner <corpus|train|evaluate|demo|predict|serve|trace> [flags]
+  common flags:
+    --profile <nne|fg-ner|genia|ontonotes|bionlp13cg|slot-filling|conll-like|
+               ace-bc|ace-bn|ace-cts|ace-nw|ace-un|ace-wl>
+    --scale <f64>          corpus scale, 1.0 = paper size (default 0.05)
+    --seed <u64>           experiment seed (default 42)
+    --model <path>         checkpoint file (written by train, read by the rest)
+    --trace <path>         write a structured JSONL trace of the run
+  train/evaluate/demo:
+    --ways <N> --shots <K> (default 5, 1)
+    --iterations <N>       meta-iterations (default 300)
+    --episodes <N>         evaluation episodes (default 50)
+    --threads <N>          meta-gradient worker threads, 0 = all cores
+                           (default 1; FEWNER_THREADS overrides)
+  train only:
+    --checkpoint-every <N> write a full training snapshot every N iterations
+                           (rolling, newest two kept; default 0 = off)
+    --checkpoint-dir <dir> snapshot directory (default `checkpoints`)
+    --resume <dir>         continue a killed run from the newest valid
+                           snapshot in <dir>
+  predict only:
+    --episodes <N>         tasks to serve (default 3)
+    --show <N>             query sentences to print per task (default 5)
+  serve only:
+    --addr <ip:port>       listen address (default 127.0.0.1:0 = ephemeral;
+                           the bound address is printed on stdout)
+    --workers <N>          prediction worker threads (default 2)
+    --queue-limit <N>      queued jobs before admission sheds (default 64)
+    --batch <N>            micro-batch sentence cap (default 32)
+    --cache-capacity <N>   resident adapted contexts before LRU eviction
+                           (default 64)
+    --ttl-secs <N>         adapted-context TTL (default: never expires)
+    --phi-dir <dir>        persist adapted contexts for warm restarts
+  trace:
+    fewner trace summarize <path>...  per-phase latency percentiles, counters,
+                                      and the adaptation-vs-serving cost split";
+
+/// Splits `args` into a subcommand plus `--key value` flags. Returns `None`
+/// on malformed input (missing value, flag without `--`).
+pub fn parse_args(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+    let mut it = args.iter();
+    let command = it.next()?.clone();
+    let mut flags = HashMap::new();
+    while let Some(flag) = it.next() {
+        let key = flag.strip_prefix("--")?;
+        let value = it.next()?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Some((command, flags))
+}
+
+/// A typed flag with a default; unparseable values fall back to the default.
+pub fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Resolves `--profile` to one of the paper's dataset profiles
+/// (default `genia`).
+pub fn profile(flags: &HashMap<String, String>) -> Result<DatasetProfile> {
+    let name = flags.get("profile").map(String::as_str).unwrap_or("genia");
+    Ok(match name {
+        "nne" => DatasetProfile::nne(),
+        "fg-ner" => DatasetProfile::fg_ner(),
+        "genia" => DatasetProfile::genia(),
+        "ontonotes" => DatasetProfile::ontonotes(),
+        "bionlp13cg" => DatasetProfile::bionlp13cg(),
+        "slot-filling" => DatasetProfile::slot_filling(),
+        "conll-like" => DatasetProfile::conll_like(),
+        "ace-bc" => DatasetProfile::ace2005(AceDomain::Bc),
+        "ace-bn" => DatasetProfile::ace2005(AceDomain::Bn),
+        "ace-cts" => DatasetProfile::ace2005(AceDomain::Cts),
+        "ace-nw" => DatasetProfile::ace2005(AceDomain::Nw),
+        "ace-un" => DatasetProfile::ace2005(AceDomain::Un),
+        "ace-wl" => DatasetProfile::ace2005(AceDomain::Wl),
+        other => return Err(Error::InvalidConfig(format!("unknown profile `{other}`"))),
+    })
+}
+
+/// A type split sized to the profile (paper splits where defined, a
+/// 60/15/25 type partition otherwise).
+pub fn split_for(p: &DatasetProfile, data: &Dataset, seed: u64) -> Result<TypeSplit> {
+    let counts = match p.name {
+        "NNE" => (52, 10, 15),
+        "FG-NER" => (163, 15, 20),
+        "GENIA" => (18, 8, 10),
+        _ => {
+            let n = data.types.len();
+            let train = (n * 3) / 5;
+            let val = n / 5;
+            (train, val, n - train - val)
+        }
+    };
+    split_types(data, counts, seed)
+}
+
+/// The CLI's token-encoder convention (32-dim synthetic embeddings,
+/// characters kept for tokens of ≥ 4 occurrences). Checkpoints are only
+/// portable across subcommands because everyone builds this same encoder.
+pub fn build_encoder(data: &Dataset) -> TokenEncoder {
+    let spec = EmbeddingSpec {
+        dim: 32,
+        ..EmbeddingSpec::default()
+    };
+    TokenEncoder::build(&[data], &spec, 4)
+}
+
+/// The CLI's reduced-scale backbone configuration.
+pub fn backbone(ways: usize) -> BackboneConfig {
+    BackboneConfig {
+        word_dim: 32,
+        char_dim: 10,
+        char_filters: 8,
+        char_widths: vec![2, 3],
+        hidden: 24,
+        phi_dim: 24,
+        slot_ctx_dim: 8,
+        ..BackboneConfig::default_for(ways)
+    }
+}
+
+/// The CLI's meta-training configuration.
+pub fn meta() -> MetaConfig {
+    MetaConfig {
+        meta_lr: 1e-2,
+        inner_lr: 0.25,
+        inner_steps_train: 3,
+        inner_steps_test: 10,
+        meta_batch: 4,
+        ..MetaConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_splits_command_and_flags() {
+        let (cmd, flags) = parse_args(&argv("train --scale 0.1 --seed 7")).unwrap();
+        assert_eq!(cmd, "train");
+        assert_eq!(flag(&flags, "scale", 0.0f64), 0.1);
+        assert_eq!(flag(&flags, "seed", 0u64), 7);
+        assert_eq!(flag(&flags, "missing", 42usize), 42);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_flags() {
+        assert!(
+            parse_args(&argv("train --scale")).is_none(),
+            "missing value"
+        );
+        assert!(parse_args(&argv("train scale 0.1")).is_none(), "missing --");
+        assert!(parse_args(&[]).is_none(), "missing command");
+    }
+
+    #[test]
+    fn every_profile_name_resolves() {
+        for name in [
+            "nne",
+            "fg-ner",
+            "genia",
+            "ontonotes",
+            "bionlp13cg",
+            "slot-filling",
+            "conll-like",
+            "ace-bc",
+            "ace-bn",
+            "ace-cts",
+            "ace-nw",
+            "ace-un",
+            "ace-wl",
+        ] {
+            let mut flags = HashMap::new();
+            flags.insert("profile".to_string(), name.to_string());
+            assert!(profile(&flags).is_ok(), "profile `{name}` must resolve");
+        }
+        let mut flags = HashMap::new();
+        flags.insert("profile".to_string(), "nope".to_string());
+        assert!(profile(&flags).is_err());
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`core`] | `fewner-core` | FEWNER (Algorithm 1), MAML, trainers |
 //! | [`eval`] | `fewner-eval` | entity-level F1, episode evaluation, reports |
 //! | [`obs`] | `fewner-obs` | structured tracing + metrics (spans, sinks, summaries) |
+//! | [`serve`] | `fewner-serve` | multi-tenant daemon: φ-cache, micro-batching, NDJSON protocol |
 //!
 //! ## Quickstart
 //!
@@ -68,34 +69,43 @@ pub use fewner_episode as episode;
 pub use fewner_eval as eval;
 pub use fewner_models as models;
 pub use fewner_obs as obs;
+pub use fewner_serve as serve;
 pub use fewner_tensor as tensor;
 pub use fewner_text as text;
 pub use fewner_util as util;
 
+pub mod cli;
+
 pub use fewner_util::{Error, Result};
 
 /// Everything needed for the common workflows, in one import.
+///
+/// This is the *supported* surface: a name lives here only if the examples,
+/// the CLI or the docs use it for a mainline workflow (training, evaluating,
+/// serving). Specialist items — bench table plumbing, low-level trainer
+/// internals, per-crate helpers — are reached through their crate modules
+/// (`fewner::core`, `fewner::eval`, …). `tests/prelude_surface.rs` compiles
+/// against this list, so removals are a deliberate, reviewed act.
 pub mod prelude {
     pub use fewner_core::{
-        self, task_rng, train, EpisodicLearner, Fewner, FineTuneLearner, FrozenLmLearner, Maml,
-        MetaConfig, ParallelTrainer, ProtoLearner, SecondOrder, SnailLearner, TaskOutcome,
+        self, train, AdaptedCtx, CachePolicy, EpisodicLearner, Fewner, FineTuneLearner,
+        FrozenLmLearner, Maml, MetaConfig, ProtoLearner, SecondOrder, ServeOptions, SnailLearner,
         TrainConfig, TrainingLog,
     };
     pub use fewner_corpus::{
-        full_view, holdout_target, split_sentences, split_types, AceDomain, DatasetProfile, Family,
-        Genre,
+        full_view, holdout_target, split_sentences, split_types, AceDomain, DatasetProfile, Genre,
     };
     pub use fewner_episode::{EpisodeSampler, Task};
     pub use fewner_eval::{
-        evaluate, evaluate_parallel, measure_predictions, qualitative_line, F1Counts, Table,
-        Throughput,
+        evaluate, evaluate_parallel, measure_predictions, qualitative_line, F1Counts, Throughput,
     };
     pub use fewner_models::{
         Backbone, BackboneConfig, Conditioning, EncoderKind, HeadKind, LmFlavor, SnailConfig,
         TokenEncoder,
     };
     pub use fewner_obs::{TraceSummary, Tracer};
+    pub use fewner_serve::{Server, ServerConfig, SupportSentence};
     pub use fewner_text::embed::EmbeddingSpec;
     pub use fewner_text::{Tag, TagSet};
-    pub use fewner_util::{MeanCi, Rng};
+    pub use fewner_util::Rng;
 }

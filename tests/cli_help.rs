@@ -1,0 +1,58 @@
+//! Pins the CLI help text and the unified flag vocabulary.
+//!
+//! The snapshot (`tests/snapshots/usage.txt`) makes flag renames a visible,
+//! reviewed diff. Regenerate after an intentional change with:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test -p fewner --test cli_help
+//! ```
+
+use fewner::cli::USAGE;
+
+const SNAPSHOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/snapshots/usage.txt");
+
+#[test]
+fn usage_matches_snapshot() {
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(SNAPSHOT, USAGE).unwrap();
+    }
+    let snap = std::fs::read_to_string(SNAPSHOT).unwrap();
+    assert_eq!(
+        USAGE, snap,
+        "help text drifted from tests/snapshots/usage.txt; \
+         rerun with UPDATE_SNAPSHOTS=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn unified_flags_are_documented_once_each() {
+    // The unified vocabulary: these names mean the same thing in every
+    // subcommand, so each is documented exactly once (in `common flags`
+    // or its owning section).
+    for unified in [
+        "--model",
+        "--trace",
+        "--checkpoint-dir",
+        "--seed",
+        "--scale",
+    ] {
+        let count = USAGE.matches(unified).count();
+        assert_eq!(count, 1, "`{unified}` must appear exactly once in USAGE");
+    }
+}
+
+#[test]
+fn legacy_flag_names_are_gone() {
+    // `--out` was train's old name for the checkpoint path; it still parses
+    // for compatibility but must not be advertised.
+    assert!(!USAGE.contains("--out"), "advertise --model, not --out");
+}
+
+#[test]
+fn every_subcommand_is_listed() {
+    for cmd in [
+        "corpus", "train", "evaluate", "demo", "predict", "serve", "trace",
+    ] {
+        assert!(USAGE.contains(cmd), "usage must mention `{cmd}`");
+    }
+}
