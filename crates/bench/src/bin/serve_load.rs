@@ -13,17 +13,21 @@
 //! serve_load --addr 127.0.0.1:4077 [--clients 4] [--requests 50]
 //!            [--tasks 4] [--rate 0 (= as fast as possible)]
 //!            [--scale 0.05] [--seed 42] [--shutdown true]
+//!            [--deadline-ms 0 (= none)] [--retries 0] [--backoff-ms 10]
 //! ```
 //!
-//! Reports p50/p99 request latency, tokens/sec, shed/failure counts, and
-//! the server's own counters (cache hits, queue depth) from the `stats` op.
+//! Reports p50/p99 request latency, tokens/sec, shed/failure counts, the
+//! resilience tallies (retries, reconnects, deadline misses), and the
+//! server's own counters (cache hits, queue depth) from the `stats` op.
+//! Deadline misses and shed requests are reported separately from hard
+//! failures and do not fail the run — only `failed > 0` exits non-zero.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use fewner_corpus::{split_types, DatasetProfile};
 use fewner_episode::{EpisodeSampler, Task};
-use fewner_serve::{Client, SupportSentence};
+use fewner_serve::{Client, RetryClient, RetryPolicy, SupportSentence};
 use fewner_util::Error;
 
 struct Flags(HashMap<String, String>);
@@ -37,7 +41,8 @@ impl Flags {
             let (Some(key), Some(value)) = (key.strip_prefix("--"), it.next()) else {
                 eprintln!(
                     "usage: serve_load --addr <ip:port> [--clients N] [--requests N] \
-                           [--tasks N] [--rate RPS] [--scale F] [--seed N] [--shutdown true]"
+                           [--tasks N] [--rate RPS] [--scale F] [--seed N] [--shutdown true] \
+                           [--deadline-ms MS] [--retries N] [--backoff-ms MS]"
                 );
                 std::process::exit(2);
             };
@@ -61,7 +66,10 @@ struct Tally {
     tokens: u64,
     ok: u64,
     shed: u64,
+    deadline_missed: u64,
     failed: u64,
+    retries: u64,
+    reconnects: u64,
 }
 
 fn wire_support(task: &Task) -> Vec<SupportSentence> {
@@ -79,9 +87,11 @@ fn run_client(
     id: usize,
     requests: usize,
     rate: f64,
+    policy: &RetryPolicy,
     tasks: &[Task],
 ) -> Result<Tally, Error> {
-    let mut client = Client::connect(addr)?;
+    // Per-client jitter seed so retry backoffs don't synchronise.
+    let mut client = RetryClient::new(addr, policy.clone().seed(policy.seed ^ id as u64));
     let mut tally = Tally::default();
     let mut adapted = vec![false; tasks.len()];
     let start = Instant::now();
@@ -121,9 +131,13 @@ fn run_client(
                 tally.latencies_us.push(us);
             }
             Err(Error::Overloaded { .. }) => tally.shed += 1,
+            Err(Error::DeadlineExceeded { .. }) => tally.deadline_missed += 1,
             Err(_) => tally.failed += 1,
         }
     }
+    let stats = client.retry_stats();
+    tally.retries = stats.retries;
+    tally.reconnects = stats.reconnects;
     Ok(tally)
 }
 
@@ -147,6 +161,16 @@ fn main() {
     let rate = flags.get("rate", 0.0f64);
     let scale = flags.get("scale", 0.05f64);
     let seed = flags.get("seed", 42u64);
+    let deadline_ms = flags.get("deadline-ms", 0u64);
+    let retries = flags.get("retries", 0u32);
+    let backoff_ms = flags.get("backoff-ms", 10u64);
+    let mut policy = RetryPolicy::new()
+        .max_retries(retries)
+        .backoff_ms(backoff_ms, backoff_ms * 50)
+        .seed(seed);
+    if deadline_ms > 0 {
+        policy = policy.deadline_ms(deadline_ms);
+    }
 
     // Real episodic traffic: the same profile/split conventions as the CLI,
     // so the server's encoder knows these tokens.
@@ -164,7 +188,8 @@ fn main() {
             .map(|id| {
                 let addr = addr.as_str();
                 let tasks = tasks.as_slice();
-                s.spawn(move || run_client(addr, id, requests, rate, tasks))
+                let policy = &policy;
+                s.spawn(move || run_client(addr, id, requests, rate, policy, tasks))
             })
             .collect();
         handles
@@ -191,17 +216,31 @@ fn main() {
     latencies.sort_unstable();
     let ok: u64 = tallies.iter().map(|t| t.ok).sum();
     let shed: u64 = tallies.iter().map(|t| t.shed).sum();
+    let deadline_missed: u64 = tallies.iter().map(|t| t.deadline_missed).sum();
     let failed: u64 = tallies.iter().map(|t| t.failed).sum();
     let tokens: u64 = tallies.iter().map(|t| t.tokens).sum();
+    let client_retries: u64 = tallies.iter().map(|t| t.retries).sum();
+    let reconnects: u64 = tallies.iter().map(|t| t.reconnects).sum();
+    let total = ok + shed + deadline_missed + failed;
 
     println!(
-        "  requests: {ok} ok, {shed} shed, {failed} failed in {elapsed:.2}s ({:.1} req/s)",
-        (ok + shed + failed) as f64 / elapsed
+        "  requests: {ok} ok, {shed} shed, {deadline_missed} deadline-missed, {failed} failed \
+         in {elapsed:.2}s ({:.1} req/s)",
+        total as f64 / elapsed
     );
     println!(
         "  latency: p50 {:.1}ms p99 {:.1}ms",
         percentile(&latencies, 0.50),
         percentile(&latencies, 0.99)
+    );
+    println!(
+        "  resilience: {client_retries} retries, {reconnects} reconnects, \
+         deadline-miss rate {:.1}%",
+        if total > 0 {
+            100.0 * deadline_missed as f64 / total as f64
+        } else {
+            0.0
+        }
     );
     println!(
         "  throughput: {tokens} tokens in {elapsed:.2}s ({:.1} tokens/sec)",

@@ -145,6 +145,11 @@ impl Fewner {
         shots: Option<usize>,
         opts: &ServeOptions,
     ) -> Result<AdaptedCtx> {
+        // A request whose budget is already spent must not start an inner
+        // loop it cannot finish in time.
+        if let Some(d) = opts.deadline() {
+            d.check("adapt")?;
+        }
         let tags = TagSet::new(n_ways)?;
         let tracer = opts.tracer_ref();
         let span = {
@@ -193,6 +198,9 @@ impl Fewner {
                 ctx.n_ways(),
                 self.backbone.config().max_ways()
             )));
+        }
+        if let Some(d) = opts.deadline() {
+            d.check("predict")?;
         }
         let tags = ctx.tag_set();
         let tracer = opts.tracer_ref();

@@ -24,7 +24,7 @@ use std::path::{Path, PathBuf};
 use fewner_obs::Tracer;
 use fewner_tensor::{Array, ParamId, ParamStore};
 use fewner_text::TagSet;
-use fewner_util::{Error, FromJson, Json, Result, ToJson};
+use fewner_util::{Deadline, Error, FromJson, Json, Result, ToJson};
 
 /// Eviction and persistence policy for an adapted-context (φ) cache.
 ///
@@ -94,16 +94,18 @@ pub struct ServeOptions {
     tracer: Tracer,
     cache: CachePolicy,
     batch: usize,
+    deadline: Option<Deadline>,
 }
 
 impl ServeOptions {
     /// Defaults: disabled tracer, [`CachePolicy::default`], micro-batches
-    /// of up to 32 sentences.
+    /// of up to 32 sentences, no deadline.
     pub fn new() -> ServeOptions {
         ServeOptions {
             tracer: Tracer::disabled(),
             cache: CachePolicy::default(),
             batch: 32,
+            deadline: None,
         }
     }
 
@@ -138,6 +140,20 @@ impl ServeOptions {
     /// Maximum sentences per micro-batch.
     pub fn batch_size(&self) -> usize {
         self.batch.max(1)
+    }
+
+    /// A per-request copy of these options carrying `deadline`. The daemon
+    /// clones its base options per request so the long-lived configuration
+    /// stays immutable while the budget travels with the work.
+    pub fn with_deadline(&self, deadline: Option<Deadline>) -> ServeOptions {
+        let mut opts = self.clone();
+        opts.deadline = deadline;
+        opts
+    }
+
+    /// The active request's time budget, if any.
+    pub fn deadline(&self) -> Option<&Deadline> {
+        self.deadline.as_ref()
     }
 }
 
@@ -256,6 +272,17 @@ mod tests {
         assert_eq!(o.batch_size(), 1);
         assert!(!o.tracer_ref().enabled());
         assert_eq!(o.cache_policy().capacity, 64);
+        assert!(o.deadline().is_none());
+    }
+
+    #[test]
+    fn with_deadline_is_a_per_request_copy() {
+        let base = ServeOptions::new().batch(16);
+        let scoped = base.with_deadline(Some(Deadline::from_ms(500)));
+        assert!(base.deadline().is_none(), "base options stay deadline-free");
+        assert_eq!(scoped.deadline().map(|d| d.budget_ms()), Some(500));
+        assert_eq!(scoped.batch_size(), 16, "other knobs carry over");
+        assert!(scoped.with_deadline(None).deadline().is_none());
     }
 
     #[test]

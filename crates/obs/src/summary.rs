@@ -152,6 +152,21 @@ impl TraceSummary {
         Some((train.unwrap_or(0), adapt.unwrap_or(0)))
     }
 
+    /// The serving-resilience digest: `(requests, deadline_missed, shed,
+    /// retries)` from the daemon's counters. `None` when the trace holds no
+    /// serving traffic at all, so training-only traces stay quiet.
+    pub fn resilience(&self) -> Option<(u64, u64, u64, u64)> {
+        let c = |name: &str| self.counters.get(name).copied().unwrap_or(0);
+        let requests = c("serve/requests");
+        let digest = (
+            requests,
+            c("serve/deadline_missed"),
+            c("serve/shed"),
+            c("serve/request_retries"),
+        );
+        (requests > 0).then_some(digest)
+    }
+
     /// The human-readable report `fewner trace summarize` prints.
     pub fn render(&self) -> String {
         let ms = |ns: u64| ns as f64 / 1e6;
@@ -193,6 +208,17 @@ impl TraceSummary {
             out.push_str("\nevents\n");
             for (name, v) in &self.events {
                 out.push_str(&format!("  {name:<30} ×{v}\n"));
+            }
+        }
+        if let Some((requests, missed, shed, retries)) = self.resilience() {
+            out.push_str("\nserving resilience\n");
+            out.push_str(&format!(
+                "  {requests} requests: {missed} deadline-missed ({:.1}%), \
+                 {shed} shed, {retries} retried\n",
+                100.0 * missed as f64 / requests as f64
+            ));
+            if self.events.contains_key("serve/persist_degraded") {
+                out.push_str("  φ persistence DEGRADED to memory-only (see events)\n");
             }
         }
         if let Some((train_ns, adapt_ns)) = self.cost_split() {
@@ -278,6 +304,29 @@ mod tests {
         assert_eq!(s.counters["sampler/tasks_drawn"], 32);
         assert_eq!(s.events["train/skip"], 2);
         assert_eq!(s.records, 4);
+    }
+
+    #[test]
+    fn resilience_digest_appears_only_for_serving_traces() {
+        let quiet = TraceSummary::parse(&span_line("train/iteration", 0, 1_000)).unwrap();
+        assert_eq!(quiet.resilience(), None);
+        assert!(!quiet.render().contains("serving resilience"));
+
+        let text = [
+            r#"{"t":"counter","name":"serve/requests","v":40}"#,
+            r#"{"t":"counter","name":"serve/deadline_missed","v":4}"#,
+            r#"{"t":"counter","name":"serve/shed","v":3}"#,
+            r#"{"t":"counter","name":"serve/request_retries","v":5}"#,
+            r#"{"t":"event","name":"serve/persist_degraded","at":7}"#,
+        ]
+        .join("\n");
+        let s = TraceSummary::parse(&text).unwrap();
+        assert_eq!(s.resilience(), Some((40, 4, 3, 5)));
+        let report = s.render();
+        assert!(report.contains("serving resilience"));
+        assert!(report.contains("4 deadline-missed (10.0%)"));
+        assert!(report.contains("3 shed, 5 retried"));
+        assert!(report.contains("DEGRADED to memory-only"));
     }
 
     #[test]

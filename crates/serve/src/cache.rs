@@ -6,8 +6,17 @@
 //! makes the adapted [`AdaptedCtx`] a shared, cached resource:
 //!
 //! * **Single-flight**: concurrent lookups of the same key block on one
-//!   `OnceLock` — the inner loop runs *exactly once* per resident key, and
-//!   every waiter gets the same `Arc<AdaptedCtx>`.
+//!   settle-once cell — the inner loop runs *exactly once* per resident
+//!   key, and every waiter gets the same `Arc<AdaptedCtx>`. Waiters carry
+//!   their request's [`Deadline`]: a wait is bounded by the remaining
+//!   budget and surfaces as a typed [`Error::DeadlineExceeded`] instead of
+//!   blocking behind a slow adapt, while the leader still completes and
+//!   caches the context for the retry.
+//! * **Graceful degradation**: a φ persistence failure (full disk, torn
+//!   write) flips the cache to memory-only serving — the request in hand
+//!   succeeds, a one-time `serve/persist_degraded` event records the mode
+//!   switch, and any torn file is removed so a later boot never trips on
+//!   it.
 //! * **LRU + TTL**: bounded residency ([`CachePolicy::capacity`]) with
 //!   least-recently-used eviction, plus optional expiry
 //!   ([`CachePolicy::ttl_ns`]) driven by an injectable [`Clock`] so tests
@@ -24,11 +33,12 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use fewner_core::{AdaptedCtx, CachePolicy};
 use fewner_obs::{Clock, MonotonicClock, Tracer};
-use fewner_util::{crc32, Error, Result};
+use fewner_util::{crc32, Deadline, Error, Result};
 
 /// Cache key: `(tenant, task)`. Tenants namespace task ids so two customers
 /// with a task both named `"triage"` never share a φ.
@@ -72,13 +82,92 @@ pub struct CacheStats {
     pub reloads: u64,
     /// Freshly adapted contexts written to the persistence directory.
     pub persists: u64,
+    /// Single-flight waits abandoned because the waiter's deadline expired
+    /// before the in-flight adapt settled.
+    pub wait_timeouts: u64,
 }
 
 type CtxResult = std::result::Result<Arc<AdaptedCtx>, Error>;
-type Cell = Arc<OnceLock<CtxResult>>;
+
+/// A settle-once single-flight cell. Exactly one caller claims the
+/// `Pending → Running` transition and produces the result; everyone else
+/// blocks on the condvar (optionally bounded by a request deadline) until
+/// the cell settles.
+struct Cell {
+    state: Mutex<CellState>,
+    ready: Condvar,
+}
+
+enum CellState {
+    /// Nobody has claimed the fill yet.
+    Pending,
+    /// A leader is reloading or adapting; waiters block on `ready`.
+    Running,
+    /// The shared outcome every current and future lookup observes.
+    Done(CtxResult),
+}
+
+type CellRef = Arc<Cell>;
+
+impl Cell {
+    fn new() -> CellRef {
+        Arc::new(Cell {
+            state: Mutex::new(CellState::Pending),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CellState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn is_settled(&self) -> bool {
+        matches!(&*self.lock(), CellState::Done(_))
+    }
+
+    fn settle(&self, result: CtxResult) {
+        *self.lock() = CellState::Done(result);
+        self.ready.notify_all();
+    }
+}
+
+/// Outcome of [`PhiCache::claim_or_wait`].
+enum Role {
+    /// This caller owns the fill: reload or adapt, then settle the cell.
+    Leader,
+    /// The cell settled (now or earlier); here is the shared result.
+    Settled(CtxResult),
+}
+
+/// Settles an abandoned cell if the leader unwinds mid-fill (an adapt
+/// panic), so waiters receive a typed error instead of hanging forever,
+/// and removes the dead entry so the next lookup starts fresh.
+struct SettleOnPanic<'a> {
+    cache: &'a PhiCache,
+    cell: &'a CellRef,
+    key: &'a CacheKey,
+    armed: bool,
+}
+
+impl Drop for SettleOnPanic<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.cell.settle(Err(Error::WorkerPanic {
+            context: "phi adapt".into(),
+        }));
+        let mut inner = self.cache.lock();
+        if let Some(meta) = inner.map.get(self.key) {
+            if Arc::ptr_eq(&meta.cell, self.cell) {
+                inner.map.remove(self.key);
+            }
+        }
+    }
+}
 
 struct EntryMeta {
-    cell: Cell,
+    cell: CellRef,
     /// LRU tick of the most recent lookup.
     last_used: u64,
     /// Absolute expiry instant (clock ns); `None` = never.
@@ -98,6 +187,9 @@ pub struct PhiCache {
     clock: Arc<dyn Clock>,
     tracer: Tracer,
     inner: Mutex<Inner>,
+    /// Set on the first φ persistence failure: the cache keeps serving from
+    /// memory and stops touching the disk (until the next boot).
+    persist_degraded: AtomicBool,
 }
 
 impl PhiCache {
@@ -129,6 +221,7 @@ impl PhiCache {
                 tick: 0,
                 stats: CacheStats::default(),
             }),
+            persist_degraded: AtomicBool::new(false),
         })
     }
 
@@ -147,37 +240,47 @@ impl PhiCache {
         key: &CacheKey,
         adapt: impl FnOnce() -> Result<AdaptedCtx>,
     ) -> Result<(Arc<AdaptedCtx>, Lookup)> {
+        self.get_or_adapt_within(key, None, adapt)
+    }
+
+    /// [`PhiCache::get_or_adapt`] bounded by a request deadline: a caller
+    /// joining an in-flight adapt waits at most its remaining budget, then
+    /// gets [`Error::DeadlineExceeded`] — the leader still completes and
+    /// caches the context, so a retry after the deadline is a plain hit and
+    /// the inner loop still runs exactly once.
+    pub fn get_or_adapt_within(
+        &self,
+        key: &CacheKey,
+        deadline: Option<&Deadline>,
+        adapt: impl FnOnce() -> Result<AdaptedCtx>,
+    ) -> Result<(Arc<AdaptedCtx>, Lookup)> {
         let now = self.clock.now_ns();
         let cell = self.slot(key, now);
 
-        // Exactly one caller runs this closure (std::sync::OnceLock
-        // guarantee); everyone else blocks until it finishes and then reads
-        // the shared result.
-        let mut outcome = Lookup::Hit;
         let mut persisted = false;
-        let result = cell.get_or_init(|| {
-            if let Some(ctx) = self.reload(key) {
-                outcome = Lookup::Warm;
-                return Ok(Arc::new(ctx));
+        let (result, outcome) = match self.claim_or_wait(&cell, deadline)? {
+            Role::Settled(result) => (result, Lookup::Hit),
+            Role::Leader => {
+                let mut guard = SettleOnPanic {
+                    cache: self,
+                    cell: &cell,
+                    key,
+                    armed: true,
+                };
+                let (result, outcome) = if let Some(ctx) = self.reload(key) {
+                    (Ok(Arc::new(ctx)), Lookup::Warm)
+                } else {
+                    let result = adapt().map(Arc::new);
+                    if let Ok(ctx) = &result {
+                        persisted = self.persist(key, ctx);
+                    }
+                    (result, Lookup::Cold)
+                };
+                guard.armed = false;
+                cell.settle(result.clone());
+                (result, outcome)
             }
-            outcome = Lookup::Cold;
-            let ctx = adapt()?;
-            if let Some(path) = self.persist_path(key) {
-                match ctx.save(&path) {
-                    Ok(()) => persisted = true,
-                    // Persistence is an optimisation for the *next* boot;
-                    // a full disk must not fail the request in hand.
-                    Err(e) => self.tracer.event(
-                        "serve/phi_persist_failed",
-                        &[
-                            ("path", path.display().to_string().into()),
-                            ("error", e.to_string().into()),
-                        ],
-                    ),
-                }
-            }
-            Ok(Arc::new(ctx))
-        });
+        };
 
         {
             let mut inner = self.lock();
@@ -214,22 +317,93 @@ impl PhiCache {
             self.tracer.incr("serve/phi_persists", 1);
         }
 
-        match result {
-            Ok(ctx) => Ok((Arc::clone(ctx), outcome)),
-            Err(e) => Err(e.clone()),
+        result.map(|ctx| (ctx, outcome))
+    }
+
+    /// Claims leadership of an unsettled cell or waits (deadline-bounded)
+    /// for the current leader's result.
+    fn claim_or_wait(&self, cell: &Cell, deadline: Option<&Deadline>) -> Result<Role> {
+        let mut state = cell.lock();
+        loop {
+            match &*state {
+                CellState::Done(result) => return Ok(Role::Settled(result.clone())),
+                CellState::Pending => {
+                    *state = CellState::Running;
+                    return Ok(Role::Leader);
+                }
+                CellState::Running => match deadline {
+                    None => state = cell.ready.wait(state).unwrap_or_else(|p| p.into_inner()),
+                    Some(d) => {
+                        let Some(remaining) = d.remaining() else {
+                            drop(state);
+                            self.lock().stats.wait_timeouts += 1;
+                            self.tracer.incr("serve/phi_wait_timeout", 1);
+                            return Err(Error::DeadlineExceeded {
+                                budget_ms: d.budget_ms(),
+                                stage: "phi_wait".into(),
+                            });
+                        };
+                        // Re-checks the state on wake; a timeout loops back
+                        // into the `remaining()` probe above.
+                        let (guard, _timed_out) = cell
+                            .ready
+                            .wait_timeout(state, remaining)
+                            .unwrap_or_else(|p| p.into_inner());
+                        state = guard;
+                    }
+                },
+            }
         }
+    }
+
+    /// Cold-path persistence with graceful degradation: the first failure
+    /// flips the cache to memory-only serving for the rest of this boot.
+    /// Persistence is an optimisation for the *next* boot; a full disk must
+    /// not fail the request in hand.
+    fn persist(&self, key: &CacheKey, ctx: &AdaptedCtx) -> bool {
+        let Some(path) = self.persist_path(key) else {
+            return false;
+        };
+        if self.persist_degraded.load(Ordering::Acquire) {
+            return false;
+        }
+        match ctx.save(&path) {
+            Ok(()) => true,
+            Err(e) => {
+                // A failed write may have torn a half-frame at the final
+                // path; never leave it for the next boot to trip over.
+                std::fs::remove_file(&path).ok();
+                if !self.persist_degraded.swap(true, Ordering::AcqRel) {
+                    self.tracer.event(
+                        "serve/persist_degraded",
+                        &[
+                            ("path", path.display().to_string().into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                    self.tracer.incr("serve/persist_degraded", 1);
+                }
+                false
+            }
+        }
+    }
+
+    /// Whether φ persistence has been switched off after a write failure
+    /// (memory-only serving until the next boot).
+    pub fn is_persist_degraded(&self) -> bool {
+        self.persist_degraded.load(Ordering::Acquire)
     }
 
     /// Locked section of a lookup: expiry check, LRU touch, insert + evict.
     /// Returns the cell to resolve *outside* the lock, so a slow adapt never
     /// blocks lookups of other keys.
-    fn slot(&self, key: &CacheKey, now: u64) -> Cell {
+    fn slot(&self, key: &CacheKey, now: u64) -> CellRef {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(meta) = inner.map.get_mut(key) {
             // An in-flight entry is never expired out from under its waiters.
-            let expired = meta.cell.get().is_some() && meta.expires_at.is_some_and(|t| now >= t);
+            let expired = meta.cell.is_settled() && meta.expires_at.is_some_and(|t| now >= t);
             if !expired {
                 meta.last_used = tick;
                 return meta.cell.clone();
@@ -238,7 +412,7 @@ impl PhiCache {
             inner.stats.expirations += 1;
             self.tracer.incr("serve/cache_expirations", 1);
         }
-        let cell: Cell = Arc::new(OnceLock::new());
+        let cell = Cell::new();
         inner.map.insert(
             key.clone(),
             EntryMeta {
@@ -254,7 +428,7 @@ impl PhiCache {
             let victim = inner
                 .map
                 .iter()
-                .filter(|(k, m)| *k != key && m.cell.get().is_some())
+                .filter(|(k, m)| *k != key && m.cell.is_settled())
                 .min_by_key(|(_, m)| m.last_used)
                 .map(|(k, _)| k.clone());
             match victim {
@@ -331,6 +505,19 @@ impl PhiCache {
         self.contains(key) || self.has_persisted(key)
     }
 
+    /// Whether `key` already has a *ready* context — a settled resident
+    /// cell or a persisted φ. An in-flight adapt does not count: admission
+    /// uses this to classify requests as warm (cheap to serve) vs cold
+    /// (needs an inner loop), and work queued behind an unfinished adapt is
+    /// still cold.
+    pub fn ready(&self, key: &CacheKey) -> bool {
+        self.lock()
+            .map
+            .get(key)
+            .is_some_and(|m| m.cell.is_settled())
+            || self.has_persisted(key)
+    }
+
     /// Resident entry count.
     pub fn len(&self) -> usize {
         self.lock().map.len()
@@ -401,6 +588,74 @@ mod tests {
         assert!(Arc::ptr_eq(&c1, &c2));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn waiter_deadline_bounds_the_single_flight_wait() {
+        let cache = Arc::new(PhiCache::new(CachePolicy::lru(4), Tracer::disabled()).unwrap());
+        let k = key("slow");
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let k = k.clone();
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                cache.get_or_adapt(&k, || {
+                    gate.wait(); // the waiter is about to join this flight
+                    std::thread::sleep(std::time::Duration::from_millis(300));
+                    Ok(ctx(0.0))
+                })
+            })
+        };
+        gate.wait();
+        let t0 = std::time::Instant::now();
+        let d = Deadline::from_ms(30);
+        let waited = cache.get_or_adapt_within(&k, Some(&d), || panic!("leader owns the fill"));
+        assert!(
+            matches!(waited, Err(Error::DeadlineExceeded { ref stage, .. }) if stage == "phi_wait"),
+            "expected a phi_wait deadline, got {waited:?}"
+        );
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(250),
+            "the waiter must give up well before the 300ms adapt settles"
+        );
+        leader.join().unwrap().unwrap();
+        // The leader's work was not wasted: the retry is a plain hit.
+        let (_, l) = cache
+            .get_or_adapt(&k, || panic!("must not re-adapt"))
+            .unwrap();
+        assert_eq!(l, Lookup::Hit);
+        assert_eq!(cache.stats().wait_timeouts, 1);
+    }
+
+    #[test]
+    fn leader_panic_settles_waiters_with_a_typed_error() {
+        let cache = Arc::new(PhiCache::new(CachePolicy::lru(4), Tracer::disabled()).unwrap());
+        let k = key("boom");
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let k = k.clone();
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                cache.get_or_adapt(&k, || {
+                    gate.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    panic!("adapt blew up");
+                })
+            })
+        };
+        gate.wait();
+        // An unbounded wait must still terminate when the leader dies.
+        let waited = cache.get_or_adapt(&k, || Ok(ctx(9.0)));
+        assert!(
+            matches!(waited, Err(Error::WorkerPanic { .. })),
+            "waiter must see the leader's panic as a typed error, got {waited:?}"
+        );
+        assert!(leader.join().is_err(), "the leader thread panicked");
+        // The dead entry was removed: the next lookup adapts fresh.
+        let (_, l) = cache.get_or_adapt(&k, || Ok(ctx(1.0))).unwrap();
+        assert_eq!(l, Lookup::Cold);
     }
 
     #[test]

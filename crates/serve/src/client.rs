@@ -2,11 +2,21 @@
 //!
 //! Used by the CLI, the load generator and the end-to-end tests; external
 //! callers can treat it as reference documentation for the wire format.
+//!
+//! Two layers: [`Client`] is one bare connection — one request line in, one
+//! response line out. [`RetryClient`] wraps it with the resilience
+//! envelope: per-request ids (echoed by the server so stale replies are
+//! detected), an `attempt` counter, deadline propagation, and a seeded
+//! exponential-backoff retry loop that reconnects on connection-level
+//! failures. Retries are safe for `adapt` because the server's φ-cache is
+//! single-flight per `(tenant, task)` — a retried adapt lands on the same
+//! settled cell instead of running a second inner loop.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-use fewner_util::{Error, Json, Result};
+use fewner_util::{Error, Json, Result, Rng};
 
 use crate::protocol::{Request, Response, SupportSentence};
 
@@ -35,12 +45,27 @@ impl Client {
         })
     }
 
-    /// Sends one request line and reads one response line.
-    pub fn request(&mut self, req: &Request) -> Result<Response> {
-        let mut line = req.to_json().to_string();
-        line.push('\n');
+    /// Bounds every socket read and write. A client that sets this can
+    /// never block forever on a wedged or partitioned server; the timeout
+    /// surfaces as an [`Error::Io`].
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.writer
+            .set_read_timeout(timeout)
+            .map_err(|e| io_err("timeout", e))?;
+        self.writer
+            .set_write_timeout(timeout)
+            .map_err(|e| io_err("timeout", e))
+    }
+
+    /// Sends one raw request line and reads back one raw response line
+    /// (trailing newline stripped). The envelope layer uses this to attach
+    /// fields the typed [`Request`] does not model.
+    pub fn request_raw(&mut self, line: &str) -> Result<String> {
         self.writer
             .write_all(line.as_bytes())
+            .map_err(|e| io_err("send", e))?;
+        self.writer
+            .write_all(b"\n")
             .map_err(|e| io_err("send", e))?;
         self.writer.flush().map_err(|e| io_err("send", e))?;
         let mut buf = String::new();
@@ -54,7 +79,14 @@ impl Client {
                 detail: "server closed the connection".into(),
             });
         }
-        Response::from_json(&Json::parse(buf.trim())?)
+        buf.truncate(buf.trim_end().len());
+        Ok(buf)
+    }
+
+    /// Sends one request line and reads one response line.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        let line = self.request_raw(&req.to_json().to_string())?;
+        Response::from_json(&Json::parse(&line)?)
     }
 
     /// Sends a request and converts error responses into typed errors
@@ -89,6 +121,7 @@ impl Client {
             task: task.to_string(),
             ways,
             support,
+            deadline_ms: None,
         };
         match self.request_ok(&req)? {
             Response::Adapted { source } => Ok(source),
@@ -136,6 +169,7 @@ impl Client {
             sentences: sentences.to_vec(),
             ways,
             support,
+            deadline_ms: None,
         };
         match self.request_ok(&req)? {
             Response::Predictions { tags } => Ok(tags),
@@ -162,4 +196,323 @@ impl Client {
 
 fn unexpected(wanted: &str, got: &Response) -> Error {
     Error::Serde(format!("expected {wanted}, got {:?}", got))
+}
+
+/// Retry knobs for [`RetryClient`]. Backoff is exponential from
+/// `base_backoff_ms`, capped at `max_backoff_ms`, with ±50% jitter drawn
+/// from a seeded in-tree [`Rng`] — two clients with the same seed back off
+/// identically, which keeps chaos tests reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (default 2 → at most 3 attempts).
+    pub max_retries: u32,
+    /// First backoff interval in milliseconds (default 10).
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling in milliseconds (default 500).
+    pub max_backoff_ms: u64,
+    /// Deadline attached to every adapt/predict request, and used to size
+    /// the socket timeout. `None` leaves requests unbounded.
+    pub deadline_ms: Option<u64>,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// Defaults: 2 retries, 10 ms → 500 ms backoff, no deadline, seed 7.
+    pub fn new() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff_ms: 10,
+            max_backoff_ms: 500,
+            deadline_ms: None,
+            seed: 7,
+        }
+    }
+
+    /// Sets the retry budget (retries after the first attempt).
+    pub fn max_retries(mut self, n: u32) -> RetryPolicy {
+        self.max_retries = n;
+        self
+    }
+
+    /// Sets the backoff range in milliseconds.
+    pub fn backoff_ms(mut self, base: u64, max: u64) -> RetryPolicy {
+        self.base_backoff_ms = base.max(1);
+        self.max_backoff_ms = max.max(base.max(1));
+        self
+    }
+
+    /// Sets the per-request deadline in milliseconds.
+    pub fn deadline_ms(mut self, ms: u64) -> RetryPolicy {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::new()
+    }
+}
+
+/// What a [`RetryClient`] has been through, for load reports and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts beyond the first, across all requests.
+    pub retries: u64,
+    /// Connections re-established after an I/O or framing failure.
+    pub reconnects: u64,
+    /// Requests that ultimately failed with `deadline_exceeded`.
+    pub deadline_misses: u64,
+}
+
+/// A self-healing client: reconnects on connection failures and retries
+/// transient errors with seeded exponential backoff.
+///
+/// Retryable classes: [`Error::Io`] (drop, timeout), [`Error::Serde`]
+/// (corrupt frame, stale reply), [`Error::Overloaded`] (shed) and
+/// [`Error::DeadlineExceeded`]. Everything else — bad requests, unknown
+/// tasks — fails fast, since retrying cannot change the answer.
+pub struct RetryClient {
+    addr: String,
+    policy: RetryPolicy,
+    rng: Rng,
+    conn: Option<Client>,
+    next_id: u64,
+    stats: RetryStats,
+}
+
+impl RetryClient {
+    /// Creates a client for `addr`; the connection is established lazily on
+    /// the first request.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> RetryClient {
+        let rng = Rng::new(policy.seed);
+        RetryClient {
+            addr: addr.into(),
+            policy,
+            rng,
+            conn: None,
+            next_id: 0,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Retry/reconnect/deadline-miss counters so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Sends a request through the retry loop.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        let id = format!("r{}", self.next_id);
+        self.next_id += 1;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.attempt_once(req, &id, attempt) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    // A failed read/write or a garbled frame leaves the
+                    // stream in an unknown state: drop the connection so
+                    // the next attempt starts clean.
+                    if matches!(&e, Error::Io { .. } | Error::Serde(_))
+                        && self.conn.take().is_some()
+                    {
+                        self.stats.reconnects += 1;
+                    }
+                    let retryable = matches!(
+                        &e,
+                        Error::Io { .. }
+                            | Error::Serde(_)
+                            | Error::Overloaded { .. }
+                            | Error::DeadlineExceeded { .. }
+                    );
+                    if !retryable || attempt >= self.policy.max_retries {
+                        if matches!(&e, Error::DeadlineExceeded { .. }) {
+                            self.stats.deadline_misses += 1;
+                        }
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    self.backoff(attempt);
+                }
+            }
+        }
+    }
+
+    fn attempt_once(&mut self, req: &Request, id: &str, attempt: u32) -> Result<Response> {
+        if self.conn.is_none() {
+            let mut conn = Client::connect(&self.addr)?;
+            // Socket timeout = deadline + slack, so a wedged server surfaces
+            // as a retryable I/O error instead of an indefinite block.
+            if let Some(ms) = self.policy.deadline_ms {
+                conn.set_io_timeout(Some(Duration::from_millis(ms.saturating_mul(2) + 500)))?;
+            }
+            self.conn = Some(conn);
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        let mut json = req.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.push(("id".into(), Json::Str(id.to_string())));
+            if attempt > 0 {
+                fields.push(("attempt".into(), Json::from(attempt as u64)));
+            }
+        }
+        let line = conn.request_raw(&json.to_string())?;
+        let parsed = Json::parse(&line)?;
+        if let Some(echo) = parsed.get("id") {
+            if echo.as_str().ok() != Some(id) {
+                return Err(Error::Serde(format!(
+                    "response id mismatch: expected `{id}`"
+                )));
+            }
+        }
+        let resp = Response::from_json(&parsed)?;
+        match resp.to_error() {
+            Some(e) => Err(e),
+            None => Ok(resp),
+        }
+    }
+
+    fn backoff(&mut self, attempt: u32) {
+        let exp = self
+            .policy
+            .base_backoff_ms
+            .saturating_mul(1u64 << (attempt - 1).min(16));
+        let capped = exp.min(self.policy.max_backoff_ms);
+        let ms = (capped as f32 * self.rng.uniform(0.5, 1.5)) as u64;
+        std::thread::sleep(Duration::from_millis(ms.max(1)));
+    }
+
+    fn request_ok(&mut self, req: &Request) -> Result<Response> {
+        let resp = self.request(req)?;
+        match resp.to_error() {
+            Some(e) => Err(e),
+            None => Ok(resp),
+        }
+    }
+
+    /// Liveness probe (retried).
+    pub fn ping(&mut self) -> Result<()> {
+        match self.request_ok(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Adapts `(tenant, task)` with the policy deadline attached; safe to
+    /// retry thanks to the server-side single-flight cache.
+    pub fn adapt(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        ways: usize,
+        support: Vec<SupportSentence>,
+    ) -> Result<String> {
+        let req = Request::Adapt {
+            tenant: tenant.to_string(),
+            task: task.to_string(),
+            ways,
+            support,
+            deadline_ms: self.policy.deadline_ms,
+        };
+        match self.request_ok(&req)? {
+            Response::Adapted { source } => Ok(source),
+            other => Err(unexpected("adapt ack", &other)),
+        }
+    }
+
+    /// Predicts under an already-adapted task (retried, deadline attached).
+    pub fn predict(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        sentences: &[Vec<String>],
+    ) -> Result<Vec<Vec<String>>> {
+        self.predict_req(tenant, task, sentences, None)
+    }
+
+    /// Predicts with an inline support set (retried, deadline attached).
+    pub fn predict_with_support(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        sentences: &[Vec<String>],
+        ways: usize,
+        support: Vec<SupportSentence>,
+    ) -> Result<Vec<Vec<String>>> {
+        self.predict_req(tenant, task, sentences, Some((ways, support)))
+    }
+
+    fn predict_req(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        sentences: &[Vec<String>],
+        inline: Option<(usize, Vec<SupportSentence>)>,
+    ) -> Result<Vec<Vec<String>>> {
+        let (ways, support) = match inline {
+            Some((w, s)) => (Some(w), Some(s)),
+            None => (None, None),
+        };
+        let req = Request::Predict {
+            tenant: tenant.to_string(),
+            task: task.to_string(),
+            sentences: sentences.to_vec(),
+            ways,
+            support,
+            deadline_ms: self.policy.deadline_ms,
+        };
+        match self.request_ok(&req)? {
+            Response::Predictions { tags } => Ok(tags),
+            other => Err(unexpected("predictions", &other)),
+        }
+    }
+
+    /// Counter snapshot (retried).
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>> {
+        match self.request_ok(&Request::Stats)? {
+            Response::Stats { counters } => Ok(counters),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Requests an orderly shutdown. If a retry finds the accept loop
+    /// already closed, the resulting connect error is surfaced as-is.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.request_ok(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutdown ack", &other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_policy_builders_floor_sanely() {
+        let p = RetryPolicy::new().backoff_ms(0, 0);
+        assert_eq!((p.base_backoff_ms, p.max_backoff_ms), (1, 1));
+        let p = RetryPolicy::new().max_retries(5).deadline_ms(250).seed(9);
+        assert_eq!(p.max_retries, 5);
+        assert_eq!(p.deadline_ms, Some(250));
+        assert_eq!(p.seed, 9);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..8 {
+            assert_eq!(a.uniform(0.5, 1.5).to_bits(), b.uniform(0.5, 1.5).to_bits());
+        }
+    }
 }

@@ -16,7 +16,16 @@
 //! * [`protocol`] — newline-delimited JSON over TCP; tags travel in their
 //!   textual `O`/`B-s`/`I-s` form.
 //! * [`client`] — a small blocking client used by the CLI, the load
-//!   generator and the tests.
+//!   generator and the tests, plus the self-healing [`RetryClient`].
+//!
+//! The serving path is built to degrade, not fall over: every request may
+//! carry a `deadline_ms` budget enforced at admission, in the queue, inside
+//! the φ-cache single-flight wait and at the decode entry points; frames
+//! are size-bounded ([`protocol::read_frame`]); a failed φ persist drops
+//! the cache to memory-only serving (`serve/persist_degraded`) instead of
+//! erroring; and queue saturation sheds cold adapts first while
+//! already-adapted tenants keep being served. The `serve_*` faults in
+//! [`fewner_util::fault`] drive all of this under chaos tests.
 //!
 //! Everything is observable through the `fewner-obs` tracer the server is
 //! built with: `serve/adapt` (cold inner loop) vs `serve/adapt_warm` (disk
@@ -31,6 +40,8 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheKey, CacheStats, Lookup, PhiCache};
-pub use client::Client;
-pub use protocol::{Request, Response, SupportSentence};
+pub use client::{Client, RetryClient, RetryPolicy, RetryStats};
+pub use protocol::{
+    read_frame, FrameRead, Request, Response, SupportSentence, DEFAULT_MAX_FRAME_BYTES,
+};
 pub use server::{Server, ServerConfig};

@@ -21,9 +21,86 @@
 //! `predict` may carry an inline `ways` + `support` to adapt-on-miss in one
 //! round trip; without them, an unknown `(tenant, task)` is an
 //! `unknown_task` error.
+//!
+//! Three optional request fields support the resilience layer: a
+//! `deadline_ms` budget (enforced server-side at every checkpoint), a
+//! client-chosen `id` echoed verbatim on the response (so a retrying client
+//! can discard a stale reply after a timeout), and an `attempt` counter
+//! (`0` = first try) that lets the server count retried requests. Frames
+//! are **bounded**: [`read_frame`] caps how many bytes a line may occupy
+//! before its newline arrives, so a slow or malicious client can never pin
+//! a connection thread behind an unbounded buffer.
+
+use std::io::BufRead;
 
 use fewner_text::Tag;
 use fewner_util::{Error, Json, Result};
+
+/// Default cap on one NDJSON frame (1 MiB — far above any sane request,
+/// far below memory exhaustion).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Outcome of one bounded frame read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameRead {
+    /// One complete line (newline stripped, may be empty).
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary: the peer closed after a full line.
+    Eof,
+    /// EOF mid-frame: the peer died partway through a line.
+    Truncated,
+    /// The frame exceeded `max` bytes before its newline arrived; carries
+    /// the byte count observed. The stream is no longer at a frame
+    /// boundary, so the connection should be closed after reporting.
+    TooLarge(usize),
+}
+
+/// Reads one newline-terminated frame from `reader`, buffering partial
+/// bytes in `buf` (so a read timeout — `WouldBlock`/`TimedOut`, propagated
+/// as the `Err` — can be retried without losing the prefix). The frame is
+/// abandoned as [`FrameRead::TooLarge`] the moment more than `max` bytes
+/// arrive without a newline: memory stays bounded no matter what the peer
+/// sends.
+pub fn read_frame(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<FrameRead> {
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(if buf.is_empty() {
+                FrameRead::Eof
+            } else {
+                FrameRead::Truncated
+            });
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let total = buf.len() + pos;
+                if total > max {
+                    reader.consume(pos + 1);
+                    buf.clear();
+                    return Ok(FrameRead::TooLarge(total));
+                }
+                buf.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                return Ok(FrameRead::Frame(std::mem::take(buf)));
+            }
+            None => {
+                let n = available.len();
+                if buf.len() + n > max {
+                    reader.consume(n);
+                    let seen = buf.len() + n;
+                    buf.clear();
+                    return Ok(FrameRead::TooLarge(seen));
+                }
+                buf.extend_from_slice(available);
+                reader.consume(n);
+            }
+        }
+    }
+}
 
 /// One labelled support sentence as it arrives over the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,6 +176,8 @@ pub enum Request {
         ways: usize,
         /// Labelled support sentences.
         support: Vec<SupportSentence>,
+        /// Optional time budget in milliseconds, enforced server-side.
+        deadline_ms: Option<u64>,
     },
     /// Decode query sentences under the task's adapted φ.
     Predict {
@@ -112,6 +191,8 @@ pub enum Request {
         ways: Option<usize>,
         /// Optional inline support set for adapt-on-miss.
         support: Option<Vec<SupportSentence>>,
+        /// Optional time budget in milliseconds, enforced server-side.
+        deadline_ms: Option<u64>,
     },
     /// Counter snapshot (cache + queue).
     Stats,
@@ -131,6 +212,10 @@ impl Request {
                 task: json.field("task")?.as_str()?.to_string(),
                 ways: json.field("ways")?.as_usize()?,
                 support: support_list(json.field("support")?)?,
+                deadline_ms: match json.get("deadline_ms") {
+                    Some(d) => Some(d.as_u64()?),
+                    None => None,
+                },
             }),
             "predict" => Ok(Request::Predict {
                 tenant: json.field("tenant")?.as_str()?.to_string(),
@@ -149,6 +234,10 @@ impl Request {
                     Some(s) => Some(support_list(s)?),
                     None => None,
                 },
+                deadline_ms: match json.get("deadline_ms") {
+                    Some(d) => Some(d.as_u64()?),
+                    None => None,
+                },
             }),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
@@ -165,22 +254,30 @@ impl Request {
                 task,
                 ways,
                 support,
-            } => Json::Obj(vec![
-                ("op".into(), Json::from("adapt")),
-                ("tenant".into(), Json::Str(tenant.clone())),
-                ("task".into(), Json::Str(task.clone())),
-                ("ways".into(), Json::from(*ways)),
-                (
-                    "support".into(),
-                    Json::Arr(support.iter().map(SupportSentence::to_json).collect()),
-                ),
-            ]),
+                deadline_ms,
+            } => {
+                let mut fields = vec![
+                    ("op".into(), Json::from("adapt")),
+                    ("tenant".into(), Json::Str(tenant.clone())),
+                    ("task".into(), Json::Str(task.clone())),
+                    ("ways".into(), Json::from(*ways)),
+                    (
+                        "support".into(),
+                        Json::Arr(support.iter().map(SupportSentence::to_json).collect()),
+                    ),
+                ];
+                if let Some(d) = deadline_ms {
+                    fields.push(("deadline_ms".into(), Json::from(*d)));
+                }
+                Json::Obj(fields)
+            }
             Request::Predict {
                 tenant,
                 task,
                 sentences,
                 ways,
                 support,
+                deadline_ms,
             } => {
                 let mut fields = vec![
                     ("op".into(), Json::from("predict")),
@@ -199,6 +296,9 @@ impl Request {
                         "support".into(),
                         Json::Arr(s.iter().map(SupportSentence::to_json).collect()),
                     ));
+                }
+                if let Some(d) = deadline_ms {
+                    fields.push(("deadline_ms".into(), Json::from(*d)));
                 }
                 Json::Obj(fields)
             }
@@ -244,7 +344,8 @@ pub enum Response {
     /// Shutdown acknowledged; the server drains and exits.
     ShuttingDown,
     /// The request failed. `kind` is `overloaded`, `bad_request`,
-    /// `unknown_task` or `internal`.
+    /// `unknown_task`, `deadline_exceeded`, `frame_too_large` or
+    /// `internal`.
     Error {
         /// Machine-readable failure class.
         kind: String,
@@ -254,28 +355,34 @@ pub enum Response {
         queue_depth: u64,
         /// Admission limit (only for `overloaded`).
         limit: u64,
+        /// The request's time budget (only for `deadline_exceeded`).
+        budget_ms: u64,
     },
 }
 
 impl Response {
-    /// Classifies a library error for the wire. Load shedding keeps its
-    /// numbers so clients can log real backpressure; caller mistakes map to
-    /// `bad_request`; everything else is `internal`.
+    /// Classifies a library error for the wire. Load shedding and deadline
+    /// expiry keep their numbers so clients can log real backpressure and
+    /// size retry budgets; caller mistakes map to `bad_request`; everything
+    /// else is `internal`.
     pub fn from_error(e: &Error) -> Response {
-        let (kind, queue_depth, limit) = match e {
+        let (kind, queue_depth, limit, budget_ms) = match e {
             Error::Overloaded { queue_depth, limit } => {
-                ("overloaded", *queue_depth as u64, *limit as u64)
+                ("overloaded", *queue_depth as u64, *limit as u64, 0)
             }
+            Error::DeadlineExceeded { budget_ms, .. } => ("deadline_exceeded", 0, 0, *budget_ms),
+            Error::FrameTooLarge { .. } => ("frame_too_large", 0, 0, 0),
             Error::InvalidConfig(_) | Error::InvalidTagSequence(_) | Error::Serde(_) => {
-                ("bad_request", 0, 0)
+                ("bad_request", 0, 0, 0)
             }
-            _ => ("internal", 0, 0),
+            _ => ("internal", 0, 0, 0),
         };
         Response::Error {
             kind: kind.to_string(),
             message: e.to_string(),
             queue_depth,
             limit,
+            budget_ms,
         }
     }
 
@@ -290,10 +397,13 @@ impl Response {
             ),
             queue_depth: 0,
             limit: 0,
+            budget_ms: 0,
         }
     }
 
     /// Reconstructs a library error from an error response (client side).
+    /// `overloaded` and `deadline_exceeded` come back typed — they are the
+    /// retryable classes a client must be able to match on.
     pub fn to_error(&self) -> Option<Error> {
         match self {
             Response::Error {
@@ -301,13 +411,17 @@ impl Response {
                 message,
                 queue_depth,
                 limit,
-            } => Some(if kind == "overloaded" {
-                Error::Overloaded {
+                budget_ms,
+            } => Some(match kind.as_str() {
+                "overloaded" => Error::Overloaded {
                     queue_depth: *queue_depth as usize,
                     limit: *limit as usize,
-                }
-            } else {
-                Error::InvalidConfig(format!("server error ({kind}): {message}"))
+                },
+                "deadline_exceeded" => Error::DeadlineExceeded {
+                    budget_ms: *budget_ms,
+                    stage: "server".into(),
+                },
+                _ => Error::InvalidConfig(format!("server error ({kind}): {message}")),
             }),
             _ => None,
         }
@@ -355,6 +469,7 @@ impl Response {
                 message,
                 queue_depth,
                 limit,
+                budget_ms,
             } => {
                 let mut fields = vec![
                     ("ok".into(), Json::Bool(false)),
@@ -364,6 +479,9 @@ impl Response {
                 if kind == "overloaded" {
                     fields.push(("queue_depth".into(), Json::from(*queue_depth)));
                     fields.push(("limit".into(), Json::from(*limit)));
+                }
+                if kind == "deadline_exceeded" {
+                    fields.push(("budget_ms".into(), Json::from(*budget_ms)));
                 }
                 Json::Obj(fields)
             }
@@ -378,6 +496,7 @@ impl Response {
                 message: json.field("message")?.as_str()?.to_string(),
                 queue_depth: json.get("queue_depth").map_or(Ok(0), Json::as_u64)?,
                 limit: json.get("limit").map_or(Ok(0), Json::as_u64)?,
+                budget_ms: json.get("budget_ms").map_or(Ok(0), Json::as_u64)?,
             });
         }
         match json.field("op")?.as_str()? {
@@ -442,6 +561,7 @@ mod tests {
                 tokens: vec!["flu".into(), "shot".into()],
                 tags: vec![Tag::B(0), Tag::O],
             }],
+            deadline_ms: Some(250),
         });
         round_trip_request(&Request::Predict {
             tenant: "acme".into(),
@@ -449,6 +569,7 @@ mod tests {
             sentences: vec![vec!["flu".into(), "season".into()]],
             ways: None,
             support: None,
+            deadline_ms: None,
         });
         round_trip_request(&Request::Predict {
             tenant: "acme".into(),
@@ -459,6 +580,7 @@ mod tests {
                 tokens: vec!["x".into()],
                 tags: vec![Tag::I(2)],
             }]),
+            deadline_ms: Some(1_000),
         });
     }
 
@@ -493,6 +615,78 @@ mod tests {
                 limit: 64
             })
         );
+    }
+
+    #[test]
+    fn deadline_error_round_trips_its_budget() {
+        let resp = Response::from_error(&Error::DeadlineExceeded {
+            budget_ms: 150,
+            stage: "queue_wait".into(),
+        });
+        let line = resp.to_json().to_string();
+        let back = Response::from_json(&Json::parse(&line).unwrap()).unwrap();
+        match back.to_error() {
+            Some(Error::DeadlineExceeded { budget_ms, .. }) => assert_eq!(budget_ms, 150),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_too_large_maps_to_its_own_kind() {
+        let resp = Response::from_error(&Error::FrameTooLarge {
+            len: 2048,
+            limit: 1024,
+        });
+        match &resp {
+            Response::Error { kind, .. } => assert_eq!(kind, "frame_too_large"),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        round_trip_response(&resp);
+    }
+
+    #[test]
+    fn read_frame_splits_lines_and_reports_eof() {
+        let mut reader = std::io::Cursor::new(b"alpha\nbeta\n".to_vec());
+        let mut buf = Vec::new();
+        let max = 64;
+        assert_eq!(
+            read_frame(&mut reader, &mut buf, max).unwrap(),
+            FrameRead::Frame(b"alpha".to_vec())
+        );
+        assert_eq!(
+            read_frame(&mut reader, &mut buf, max).unwrap(),
+            FrameRead::Frame(b"beta".to_vec())
+        );
+        assert_eq!(
+            read_frame(&mut reader, &mut buf, max).unwrap(),
+            FrameRead::Eof
+        );
+    }
+
+    #[test]
+    fn read_frame_reports_truncation_mid_line() {
+        let mut reader = std::io::Cursor::new(b"no newline here".to_vec());
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_frame(&mut reader, &mut buf, 64).unwrap(),
+            FrameRead::Truncated
+        );
+    }
+
+    #[test]
+    fn read_frame_caps_oversized_frames() {
+        // 100 bytes without a newline against a 16-byte cap: memory must stay
+        // bounded and the reader must report how much it saw.
+        let mut data = vec![b'x'; 100];
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        let mut reader = std::io::Cursor::new(data);
+        let mut buf = Vec::new();
+        match read_frame(&mut reader, &mut buf, 16).unwrap() {
+            FrameRead::TooLarge(seen) => assert!(seen > 16, "seen {seen} must exceed cap"),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert!(buf.is_empty(), "oversized prefix must be discarded");
     }
 
     #[test]

@@ -1,40 +1,61 @@
-//! The serving daemon: worker pool, bounded admission, micro-batching.
+//! The serving daemon: worker pool, bounded admission, micro-batching,
+//! deadlines and graceful degradation.
 //!
 //! A [`Server`] owns one frozen θ ([`Fewner`]) and shares it — `ParamStore`
 //! is plain data — across a pool of scoped worker threads. Request flow:
 //!
-//! 1. Connection threads parse NDJSON lines ([`crate::protocol`]), encode
-//!    sentences, and enqueue prediction jobs. The queue is **bounded**: at
-//!    the admission limit a request is shed immediately with
-//!    [`Error::Overloaded`] instead of waiting — bounded latency beats
-//!    unbounded queueing.
+//! 1. Connection threads read **bounded** NDJSON frames
+//!    ([`crate::protocol::read_frame`]), encode sentences, and enqueue
+//!    prediction jobs. The queue is bounded: at the admission limit a cold
+//!    request is shed immediately with [`Error::Overloaded`] instead of
+//!    waiting — bounded latency beats unbounded queueing. Requests for
+//!    *already-adapted* tenants are admitted up to a 2× overflow cap, so
+//!    saturation sheds cold adapts first and warm traffic keeps flowing.
 //! 2. Workers pop a job and *drain every queued job for the same `(tenant,
 //!    task)`* up to the micro-batch sentence cap, then decode the merged
 //!    batch with **one** [`Fewner::predict`] call — one gradient-free
 //!    `Infer` arena, the φ-conditioned work hoisted once for the whole
-//!    batch.
+//!    batch. Each batch runs under `catch_unwind`; a panicking batch emits
+//!    `serve/worker_panic` and fails its own requests instead of killing
+//!    the worker.
 //! 3. Adaptation goes through the shared [`PhiCache`]: memory hit, warm
 //!    disk reload, or a single-flight cold adapt.
+//!
+//! Every request may carry a `deadline_ms` budget (or inherit the server
+//! default). The budget is checked at admission, on queue exit, inside the
+//! φ-cache single-flight wait, and at the adapt/predict entry points; the
+//! connection thread additionally bounds its response wait with
+//! `recv_timeout`, so no client ever hangs past its budget plus a small
+//! grace interval.
 //!
 //! Shutdown is orderly: the `shutdown` op stops the accept loop, workers
 //! drain the queue, connection threads notice via read timeouts, and the
 //! final [`Server::run`] return flushes the tracer.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
-use fewner_core::{Fewner, ServeOptions};
+use fewner_core::{AdaptedCtx, Fewner, ServeOptions};
 use fewner_models::{EncodedSentence, LabeledSentence, TokenEncoder};
 use fewner_obs::Tracer;
 use fewner_text::TagSet;
-use fewner_util::{Error, Json, Result};
+use fewner_util::fault::{self, ServeFault};
+use fewner_util::{Deadline, Error, Json, Result};
 
 use crate::cache::{CacheKey, PhiCache};
-use crate::protocol::{Request, Response, SupportSentence};
+use crate::protocol::{
+    read_frame, FrameRead, Request, Response, SupportSentence, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// Extra wall-clock a connection thread grants its worker past the request
+/// deadline before giving up on the response channel. Covers the gap
+/// between a worker observing expiry and the error arriving.
+const RESPONSE_GRACE: Duration = Duration::from_millis(50);
 
 /// Pool and admission knobs (the φ-cache knobs live in
 /// [`fewner_core::CachePolicy`]).
@@ -42,16 +63,24 @@ use crate::protocol::{Request, Response, SupportSentence};
 pub struct ServerConfig {
     /// Prediction worker threads (≥ 1 enforced).
     pub workers: usize,
-    /// Maximum queued prediction jobs before admission sheds.
+    /// Maximum queued prediction jobs before admission sheds cold work.
+    /// Warm (already-adapted) requests overflow up to 2× this limit.
     pub queue_limit: usize,
+    /// Largest NDJSON frame a client may send (≥ 1 KiB enforced).
+    pub max_frame_bytes: usize,
+    /// Default per-request time budget in milliseconds applied when a
+    /// request carries no `deadline_ms` of its own; `0` means unbounded.
+    pub deadline_ms: u64,
 }
 
 impl ServerConfig {
-    /// Defaults: 2 workers, 64 queued jobs.
+    /// Defaults: 2 workers, 64 queued jobs, 1 MiB frames, no deadline.
     pub fn new() -> ServerConfig {
         ServerConfig {
             workers: 2,
             queue_limit: 64,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            deadline_ms: 0,
         }
     }
 
@@ -64,6 +93,18 @@ impl ServerConfig {
     /// Sets the admission limit (≥ 1 enforced).
     pub fn queue_limit(mut self, n: usize) -> ServerConfig {
         self.queue_limit = n.max(1);
+        self
+    }
+
+    /// Sets the frame-size cap (≥ 1 KiB enforced).
+    pub fn max_frame_bytes(mut self, n: usize) -> ServerConfig {
+        self.max_frame_bytes = n.max(1 << 10);
+        self
+    }
+
+    /// Sets the default request deadline; `0` disables it.
+    pub fn deadline_ms(mut self, ms: u64) -> ServerConfig {
+        self.deadline_ms = ms;
         self
     }
 }
@@ -81,6 +122,7 @@ struct Job {
     ways: Option<usize>,
     support: Option<Vec<LabeledSentence>>,
     sentences: Vec<EncodedSentence>,
+    deadline: Option<Deadline>,
     resp: mpsc::Sender<Result<(Vec<Vec<usize>>, usize)>>,
 }
 
@@ -96,6 +138,14 @@ pub struct Server {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
+    // Resilience counters, surfaced through the `stats` op so load tools
+    // and CI can assert on them without scraping traces.
+    deadline_missed: AtomicU64,
+    shed_cold: AtomicU64,
+    retried_requests: AtomicU64,
+    worker_panics: AtomicU64,
+    frames_rejected: AtomicU64,
+    poison_observed: AtomicBool,
 }
 
 impl Server {
@@ -118,6 +168,12 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            deadline_missed: AtomicU64::new(0),
+            shed_cold: AtomicU64::new(0),
+            retried_requests: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            frames_rejected: AtomicU64::new(0),
+            poison_observed: AtomicBool::new(false),
         })
     }
 
@@ -145,8 +201,48 @@ impl Server {
         self.available.notify_all();
     }
 
+    /// Locks the job queue, recovering from poisoning. A poisoned queue
+    /// means some thread panicked mid-critical-section; the data (a job
+    /// deque) stays structurally valid, so serving continues — but the
+    /// first observation is recorded as a `serve/worker_panic` event so the
+    /// incident is visible in traces.
     fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
-        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+        match self.queue.lock() {
+            Ok(q) => q,
+            Err(poisoned) => {
+                if !self.poison_observed.swap(true, Ordering::AcqRel) {
+                    self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    self.tracer().event(
+                        "serve/worker_panic",
+                        &[("context", "queue mutex poisoned".into())],
+                    );
+                    self.tracer().incr("serve/worker_panic", 1);
+                }
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Records a worker-pool panic (counter + trace event).
+    fn note_worker_panic(&self, context: &str) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+        self.tracer().event(
+            "serve/worker_panic",
+            &[("context", context.to_string().into())],
+        );
+        self.tracer().incr("serve/worker_panic", 1);
+    }
+
+    /// The request's effective deadline: its own budget if it sent one,
+    /// else the server default (0 = unbounded).
+    fn effective_deadline(&self, deadline_ms: Option<u64>) -> Option<Deadline> {
+        deadline_ms
+            .or(if self.cfg.deadline_ms > 0 {
+                Some(self.cfg.deadline_ms)
+            } else {
+                None
+            })
+            .map(Deadline::from_ms)
     }
 
     /// Serves until a `shutdown` request arrives. Spawns the worker pool and
@@ -199,18 +295,41 @@ impl Server {
             };
             let Some(first) = first else { return };
 
+            // A job whose budget ran out while queued is answered with the
+            // typed error instead of wasting a batch slot on it.
+            if let Some(d) = &first.deadline {
+                if let Err(e) = d.check("queue_wait") {
+                    first.resp.send(Err(e)).ok();
+                    continue;
+                }
+            }
+
             // Micro-batch: steal every queued job for the same key, up to
             // the sentence cap. The whole merged batch then shares one
-            // `Infer` arena and one φ hoist.
+            // `Infer` arena and one φ hoist. Expired same-key jobs are
+            // failed in passing.
             let mut jobs = vec![first];
             let mut sentences = jobs[0].sentences.len();
             {
                 let mut q = self.lock_queue();
                 let mut i = 0;
                 while i < q.len() {
-                    let same = q[i].key == jobs[0].key;
-                    let fits = sentences + q[i].sentences.len() <= self.opts.batch_size();
-                    if same && fits {
+                    if q[i].key != jobs[0].key {
+                        i += 1;
+                        continue;
+                    }
+                    if q[i].deadline.as_ref().is_some_and(Deadline::expired) {
+                        let job = q.remove(i).expect("index in bounds");
+                        let budget_ms = job.deadline.as_ref().map_or(0, Deadline::budget_ms);
+                        job.resp
+                            .send(Err(Error::DeadlineExceeded {
+                                budget_ms,
+                                stage: "queue_wait".into(),
+                            }))
+                            .ok();
+                        continue;
+                    }
+                    if sentences + q[i].sentences.len() <= self.opts.batch_size() {
                         let job = q.remove(i).expect("index in bounds");
                         sentences += job.sentences.len();
                         jobs.push(job);
@@ -219,25 +338,35 @@ impl Server {
                     }
                 }
             }
-            self.process_batch(jobs);
+            // A panicking batch drops its response senders (the waiting
+            // connection threads observe `WorkerPanic`) but must not kill
+            // the worker thread: the pool keeps serving.
+            if catch_unwind(AssertUnwindSafe(|| self.process_batch(jobs))).is_err() {
+                self.note_worker_panic("prediction batch panicked");
+            }
         }
     }
 
     fn process_batch(&self, jobs: Vec<Job>) {
         let key = jobs[0].key.clone();
+        let deadline = jobs[0].deadline;
+        let opts = self.opts.with_deadline(deadline);
         // Any job in the batch may carry the support set that makes a cold
         // adapt possible; first one wins (single-flight runs it once).
         let inline = jobs
             .iter()
             .find_map(|j| Some((j.support.clone()?, j.ways?)));
         let adapt = || match inline {
-            Some((support, ways)) => self.learner.adapt_support(&support, ways, &self.opts),
+            Some((support, ways)) => self.run_adapt(&support, ways, &opts),
             None => Err(Error::InvalidConfig(format!(
                 "no adapted context for `{}/{}` and no support provided",
                 key.0, key.1
             ))),
         };
-        match self.cache.get_or_adapt(&key, adapt) {
+        match self
+            .cache
+            .get_or_adapt_within(&key, deadline.as_ref(), adapt)
+        {
             Ok((ctx, _source)) => {
                 if jobs.len() > 1 {
                     self.tracer()
@@ -247,7 +376,7 @@ impl Server {
                     .iter()
                     .flat_map(|j| j.sentences.iter().cloned())
                     .collect();
-                match self.learner.predict(&ctx, &all, &self.opts) {
+                match self.learner.predict(&ctx, &all, &opts) {
                     Ok(mut preds) => {
                         for job in jobs {
                             let rest = preds.split_off(job.sentences.len());
@@ -270,20 +399,50 @@ impl Server {
         }
     }
 
-    /// Admission control: bounded queue, shed-don't-wait.
-    fn submit(&self, job: Job) -> Result<()> {
+    /// Runs the inner loop for a cold adapt, honouring an armed
+    /// `serve_adapt_stall` fault: the stall sleeps in small slices and
+    /// checks the deadline between slices, so an injected stall can never
+    /// pin a request past its budget.
+    fn run_adapt(
+        &self,
+        support: &[LabeledSentence],
+        ways: usize,
+        opts: &ServeOptions,
+    ) -> Result<AdaptedCtx> {
+        if fault::serve_adapt_stall_fault() {
+            self.tracer().incr("serve/fault_adapt_stall", 1);
+            for _ in 0..40 {
+                if let Some(d) = opts.deadline() {
+                    d.check("adapt")?;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        self.learner.adapt_support(support, ways, opts)
+    }
+
+    /// Admission control: bounded queue, shed-don't-wait. Warm requests
+    /// (already-adapted tenants) overflow up to twice the limit so
+    /// saturation sheds only cold adapts first.
+    fn submit(&self, job: Job, warm: bool) -> Result<()> {
         let mut q = self.lock_queue();
         if self.shutting_down() {
             return Err(Error::InvalidConfig("server is shutting down".into()));
         }
-        if q.len() >= self.cfg.queue_limit {
+        let limit = if warm {
+            self.cfg.queue_limit * 2
+        } else {
+            self.cfg.queue_limit
+        };
+        if q.len() >= limit {
             let queue_depth = q.len();
             drop(q);
             self.tracer().incr("serve/shed", 1);
-            return Err(Error::Overloaded {
-                queue_depth,
-                limit: self.cfg.queue_limit,
-            });
+            if !warm {
+                self.shed_cold.fetch_add(1, Ordering::Relaxed);
+                self.tracer().incr("serve/shed_cold", 1);
+            }
+            return Err(Error::Overloaded { queue_depth, limit });
         }
         q.push_back(job);
         drop(q);
@@ -306,18 +465,16 @@ impl Server {
         };
         let mut reader = BufReader::new(read_half);
         let mut writer = BufWriter::new(stream);
-        let mut line = String::new();
+        // Partial-frame bytes survive read-timeout retries here.
+        let mut partial: Vec<u8> = Vec::new();
         loop {
-            line.clear();
-            let n = loop {
-                match reader.read_line(&mut line) {
-                    Ok(n) => break n,
+            let frame = loop {
+                match read_frame(&mut reader, &mut partial, self.cfg.max_frame_bytes) {
+                    Ok(frame) => break frame,
                     Err(e)
                         if e.kind() == std::io::ErrorKind::WouldBlock
                             || e.kind() == std::io::ErrorKind::TimedOut =>
                     {
-                        // `read_line` keeps any partial bytes in `line`;
-                        // retrying continues the same line.
                         if self.shutting_down() {
                             return;
                         }
@@ -325,16 +482,43 @@ impl Server {
                     Err(_) => return,
                 }
             };
-            if n == 0 {
-                return; // client closed
-            }
+            let line = match frame {
+                FrameRead::Frame(bytes) => match String::from_utf8(bytes) {
+                    Ok(line) => line,
+                    Err(_) => {
+                        let resp = Response::from_error(&Error::Serde(
+                            "request is not valid UTF-8".into(),
+                        ));
+                        if self.write_response(&mut writer, &resp, None).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                },
+                FrameRead::Eof | FrameRead::Truncated => return,
+                FrameRead::TooLarge(len) => {
+                    self.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                    self.tracer().incr("serve/frame_rejected", 1);
+                    let resp = Response::from_error(&Error::FrameTooLarge {
+                        len,
+                        limit: self.cfg.max_frame_bytes,
+                    });
+                    self.write_response(&mut writer, &resp, None).ok();
+                    // The stream may be mid-frame; resynchronising is not
+                    // worth trusting a client that sent this.
+                    return;
+                }
+            };
             let trimmed = line.trim();
             if trimmed.is_empty() {
                 continue;
             }
-            let resp = self.handle_line(trimmed);
+            let (resp, id) = self.handle_line(trimmed);
             let done = matches!(resp, Response::ShuttingDown);
-            if writeln!(writer, "{}", resp.to_json()).is_err() || writer.flush().is_err() {
+            if self
+                .write_response(&mut writer, &resp, id.as_deref())
+                .is_err()
+            {
                 return;
             }
             if done {
@@ -343,13 +527,66 @@ impl Server {
         }
     }
 
-    fn handle_line(&self, line: &str) -> Response {
-        let req = match Json::parse(line).and_then(|j| Request::from_json(&j)) {
+    /// Serialises one response (echoing the request `id`, if any) and
+    /// writes it, consulting the armed fault plan for injected connection
+    /// drops and frame corruption.
+    fn write_response(
+        &self,
+        writer: &mut impl Write,
+        resp: &Response,
+        id: Option<&str>,
+    ) -> std::io::Result<()> {
+        let mut json = resp.to_json();
+        if let (Some(id), Json::Obj(fields)) = (id, &mut json) {
+            fields.push(("id".into(), Json::Str(id.to_string())));
+        }
+        let mut line = json.to_string();
+        match fault::serve_response_fault() {
+            Some(ServeFault::ConnDrop) => {
+                self.tracer().incr("serve/fault_conn_drop", 1);
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "injected connection drop",
+                ));
+            }
+            Some(ServeFault::FrameCorrupt) => {
+                self.tracer().incr("serve/fault_frame_corrupt", 1);
+                // Smash the leading `{` so the client's JSON parse fails
+                // deterministically and its retry policy kicks in.
+                line.replace_range(0..1, "!");
+            }
+            Some(ServeFault::AdaptStall) | None => {}
+        }
+        writeln!(writer, "{line}")?;
+        writer.flush()
+    }
+
+    fn handle_line(&self, line: &str) -> (Response, Option<String>) {
+        let json = match Json::parse(line) {
+            Ok(json) => json,
+            Err(e) => return (Response::from_error(&e), None),
+        };
+        // `id` and `attempt` are envelope fields, orthogonal to the op: the
+        // id is echoed on the response so a retrying client can discard
+        // stale replies; a non-zero attempt marks a retry.
+        let id = json
+            .get("id")
+            .and_then(|v| v.as_str().ok())
+            .map(str::to_string);
+        let attempt = json
+            .get("attempt")
+            .and_then(|v| v.as_u64().ok())
+            .unwrap_or(0);
+        if attempt > 0 {
+            self.retried_requests.fetch_add(1, Ordering::Relaxed);
+            self.tracer().incr("serve/request_retries", 1);
+        }
+        let req = match Request::from_json(&json) {
             Ok(req) => req,
-            Err(e) => return Response::from_error(&e),
+            Err(e) => return (Response::from_error(&e), id),
         };
         self.tracer().incr("serve/requests", 1);
-        match req {
+        let resp = match req {
             Request::Ping => Response::Pong,
             Request::Stats => Response::Stats {
                 counters: self.counters(),
@@ -363,7 +600,8 @@ impl Server {
                 task,
                 ways,
                 support,
-            } => match self.do_adapt(tenant, task, ways, &support) {
+                deadline_ms,
+            } => match self.do_adapt(tenant, task, ways, &support, deadline_ms) {
                 Ok(source) => Response::Adapted {
                     source: source.to_string(),
                 },
@@ -375,14 +613,24 @@ impl Server {
                 sentences,
                 ways,
                 support,
-            } => match self.do_predict(tenant, task, sentences, ways, support) {
+                deadline_ms,
+            } => match self.do_predict(tenant, task, sentences, ways, support, deadline_ms) {
                 Ok(tags) => Response::Predictions { tags },
                 Err(PredictFailure::Unknown { tenant, task }) => {
                     Response::unknown_task(&tenant, &task)
                 }
                 Err(PredictFailure::Error(e)) => Response::from_error(&e),
             },
+        };
+        // Deadline misses are counted centrally, wherever the expiry was
+        // observed (admission, queue, φ-wait, adapt, response wait).
+        if let Response::Error { kind, .. } = &resp {
+            if kind == "deadline_exceeded" {
+                self.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                self.tracer().incr("serve/deadline_missed", 1);
+            }
         }
+        (resp, id)
     }
 
     /// Validates a wire support set against the model and converts it to
@@ -421,14 +669,23 @@ impl Server {
         task: String,
         ways: usize,
         support: &[SupportSentence],
+        deadline_ms: Option<u64>,
     ) -> Result<&'static str> {
+        let deadline = self.effective_deadline(deadline_ms);
+        if let Some(d) = &deadline {
+            d.check("admission")?;
+        }
         let encoded = self.encode_support(ways, support)?;
         let key: CacheKey = (tenant, task);
+        let opts = self.opts.with_deadline(deadline);
         // Adaptation runs inline on the connection thread; the cache's
-        // single-flight cell dedups a herd of identical adapt requests.
-        let (_ctx, lookup) = self.cache.get_or_adapt(&key, || {
-            self.learner.adapt_support(&encoded, ways, &self.opts)
-        })?;
+        // single-flight cell dedups a herd of identical adapt requests, and
+        // a waiter's deadline bounds how long it blocks on the leader.
+        let (_ctx, lookup) = self
+            .cache
+            .get_or_adapt_within(&key, deadline.as_ref(), || {
+                self.run_adapt(&encoded, ways, &opts)
+            })?;
         Ok(lookup.as_str())
     }
 
@@ -439,9 +696,14 @@ impl Server {
         sentences: Vec<Vec<String>>,
         ways: Option<usize>,
         support: Option<Vec<SupportSentence>>,
+        deadline_ms: Option<u64>,
     ) -> std::result::Result<Vec<Vec<String>>, PredictFailure> {
         if sentences.is_empty() || sentences.iter().any(Vec::is_empty) {
             return Err(Error::InvalidConfig("empty query sentence".into()).into());
+        }
+        let deadline = self.effective_deadline(deadline_ms);
+        if let Some(d) = &deadline {
+            d.check("admission").map_err(PredictFailure::Error)?;
         }
         let key: CacheKey = (tenant, task);
         let encoded_support = match (&support, ways) {
@@ -457,24 +719,48 @@ impl Server {
                 task: key.1,
             });
         }
+        // Warm = a ready context exists (settled cell or persisted φ).
+        // Requests queued behind a still-running adapt stay cold: under
+        // saturation they are exactly the work worth shedding.
+        let warm = self.cache.ready(&key);
         let encoded: Vec<EncodedSentence> = sentences.iter().map(|s| self.enc.encode(s)).collect();
         let (tx, rx) = mpsc::channel();
-        self.submit(Job {
-            key,
-            ways,
-            support: encoded_support,
-            sentences: encoded,
-            resp: tx,
-        })
+        self.submit(
+            Job {
+                key,
+                ways,
+                support: encoded_support,
+                sentences: encoded,
+                deadline,
+                resp: tx,
+            },
+            warm,
+        )
         .map_err(PredictFailure::Error)?;
-        let (preds, n_ways) = rx
-            .recv()
-            .map_err(|_| {
-                PredictFailure::Error(Error::WorkerPanic {
+        // The response wait is the backstop no-hang guarantee: even if a
+        // worker wedges mid-batch, the connection thread gives up one grace
+        // interval past the request's budget.
+        let outcome = match &deadline {
+            Some(d) => {
+                let wait = d.remaining().unwrap_or(Duration::ZERO) + RESPONSE_GRACE;
+                match rx.recv_timeout(wait) {
+                    Ok(result) => result,
+                    Err(mpsc::RecvTimeoutError::Timeout) => Err(Error::DeadlineExceeded {
+                        budget_ms: d.budget_ms(),
+                        stage: "response_wait".into(),
+                    }),
+                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(Error::WorkerPanic {
+                        context: "serve worker".into(),
+                    }),
+                }
+            }
+            None => rx.recv().unwrap_or_else(|_| {
+                Err(Error::WorkerPanic {
                     context: "serve worker".into(),
                 })
-            })?
-            .map_err(PredictFailure::Error)?;
+            }),
+        };
+        let (preds, n_ways) = outcome.map_err(PredictFailure::Error)?;
         let tags = TagSet::new(n_ways).map_err(PredictFailure::Error)?;
         Ok(preds
             .iter()
@@ -482,7 +768,8 @@ impl Server {
             .collect())
     }
 
-    /// Cache + queue counters for the `stats` op, sorted by name.
+    /// Cache + queue + resilience counters for the `stats` op, sorted by
+    /// name.
     fn counters(&self) -> Vec<(String, u64)> {
         let s = self.cache.stats();
         let depth = self.lock_queue().len() as u64;
@@ -491,10 +778,35 @@ impl Server {
             ("cache_expirations".to_string(), s.expirations),
             ("cache_hits".to_string(), s.hits),
             ("cache_misses".to_string(), s.misses),
+            (
+                "deadline_missed".to_string(),
+                self.deadline_missed.load(Ordering::Relaxed),
+            ),
+            (
+                "frames_rejected".to_string(),
+                self.frames_rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "persist_degraded".to_string(),
+                self.cache.is_persist_degraded() as u64,
+            ),
             ("phi_persists".to_string(), s.persists),
             ("phi_reloads".to_string(), s.reloads),
+            ("phi_wait_timeouts".to_string(), s.wait_timeouts),
             ("queue_depth".to_string(), depth),
             ("resident_contexts".to_string(), self.cache.len() as u64),
+            (
+                "retried_requests".to_string(),
+                self.retried_requests.load(Ordering::Relaxed),
+            ),
+            (
+                "shed_cold".to_string(),
+                self.shed_cold.load(Ordering::Relaxed),
+            ),
+            (
+                "worker_panics".to_string(),
+                self.worker_panics.load(Ordering::Relaxed),
+            ),
         ];
         counters.sort();
         counters
@@ -526,7 +838,19 @@ mod tests {
 
     #[test]
     fn server_config_floors() {
-        let cfg = ServerConfig::new().workers(0).queue_limit(0);
+        let cfg = ServerConfig::new()
+            .workers(0)
+            .queue_limit(0)
+            .max_frame_bytes(0);
         assert_eq!((cfg.workers, cfg.queue_limit), (1, 1));
+        assert_eq!(cfg.max_frame_bytes, 1 << 10);
+    }
+
+    #[test]
+    fn server_config_resilience_defaults() {
+        let cfg = ServerConfig::new();
+        assert_eq!(cfg.max_frame_bytes, DEFAULT_MAX_FRAME_BYTES);
+        assert_eq!(cfg.deadline_ms, 0, "no deadline unless asked for");
+        assert_eq!(ServerConfig::new().deadline_ms(250).deadline_ms, 250);
     }
 }

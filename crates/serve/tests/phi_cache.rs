@@ -1,5 +1,6 @@
 //! φ-cache semantics: LRU eviction order, TTL expiry on a manual clock,
-//! bitwise-identical persisted reloads, and exactly-once concurrent adapts.
+//! bitwise-identical persisted reloads, exactly-once concurrent adapts, and
+//! graceful degradation when φ persistence fails.
 
 mod common;
 
@@ -7,8 +8,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 
 use fewner_core::{AdaptedCtx, CachePolicy, ServeOptions};
-use fewner_obs::{Clock, ManualClock, Tracer};
+use fewner_obs::{Clock, ManualClock, MemorySink, MonotonicClock, TraceSummary, Tracer};
 use fewner_serve::{CacheKey, Lookup, PhiCache};
+use fewner_util::fault::{self, FaultPlan};
 use fewner_util::{Json, ToJson};
 
 fn key(s: &str) -> CacheKey {
@@ -195,4 +197,62 @@ fn concurrent_lookups_of_one_key_adapt_exactly_once() {
     let s = cache.stats();
     assert_eq!(s.hits + s.misses, n as u64);
     assert_eq!(s.misses, 1, "one miss (the adapter); the rest joined it");
+}
+
+/// Shared body for the persist-failure tests: under an armed durable-write
+/// fault the cache must (a) keep serving the context from memory, (b) flip
+/// into memory-only degraded mode with exactly one `serve/persist_degraded`
+/// event, and (c) leave **no** file — torn or otherwise — on disk.
+fn degraded_persist_under(plan: &str, tag: &str) {
+    let dir = std::env::temp_dir().join(format!("fewner-phi-degrade-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let sink = MemorySink::new();
+    let tracer = Tracer::new(MonotonicClock::new(), sink.clone());
+    fault::with_plan(FaultPlan::parse(plan).unwrap(), || {
+        let cache = PhiCache::new(CachePolicy::lru(4).persist_dir(&dir), tracer.clone()).unwrap();
+        let (_c, l) = cache.get_or_adapt(&key("k"), || Ok(ctx(1.0))).unwrap();
+        assert_eq!(l, Lookup::Cold, "the adapt itself must succeed");
+
+        // The context stays served from memory even though the write failed.
+        let (_c, l) = cache
+            .get_or_adapt(&key("k"), || panic!("resident context must not re-adapt"))
+            .unwrap();
+        assert_eq!(l, Lookup::Hit);
+
+        assert!(cache.is_persist_degraded(), "first failure flips the mode");
+        assert_eq!(cache.stats().persists, 0, "nothing counted as persisted");
+        assert!(!cache.has_persisted(&key("k")), "no durable copy claimed");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .map(|d| d.filter_map(|e| e.ok()).map(|e| e.file_name()).collect())
+            .unwrap_or_default();
+        assert!(
+            leftovers.is_empty(),
+            "torn file left on disk: {leftovers:?}"
+        );
+
+        // Degraded mode is sticky: later adapts skip the disk entirely
+        // (the armed fault fires once, so a second attempt would succeed —
+        // proving the skip is deliberate, not another failure).
+        cache.get_or_adapt(&key("k2"), || Ok(ctx(2.0))).unwrap();
+        assert!(!cache.has_persisted(&key("k2")));
+        assert_eq!(cache.stats().persists, 0);
+    });
+    tracer.flush().unwrap();
+    let summary = TraceSummary::parse(&sink.text()).unwrap();
+    assert_eq!(
+        summary.events.get("serve/persist_degraded").copied(),
+        Some(1),
+        "exactly one degradation event, however many persists were skipped"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn persist_write_failure_degrades_to_memory_only() {
+    degraded_persist_under("ckpt_write_fail:1", "fail");
+}
+
+#[test]
+fn persist_truncation_leaves_no_torn_file_and_degrades() {
+    degraded_persist_under("ckpt_truncate:1", "truncate");
 }

@@ -106,6 +106,7 @@ fn protocol_round_trip_over_tcp() {
                 sentences: vec![],
                 ways: None,
                 support: None,
+                deadline_ms: None,
             })
             .unwrap();
         assert!(matches!(resp, Response::Error { ref kind, .. } if kind == "bad_request"));

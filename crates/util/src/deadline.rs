@@ -1,0 +1,96 @@
+//! Per-request time budgets.
+//!
+//! A [`Deadline`] is created when a request enters the system and travels
+//! with it through every layer — admission, the bounded queue, the φ-cache
+//! single-flight wait, the adapt loop. Each enforcement point calls
+//! [`Deadline::check`] (or sizes a timed wait from [`Deadline::remaining`])
+//! so a slow stage surfaces as a typed [`Error::DeadlineExceeded`] instead
+//! of a pinned thread. The budget is wall-clock ([`Instant`]-based): it
+//! bounds what the *caller* experiences, which is the point.
+
+use std::time::{Duration, Instant};
+
+use crate::error::{Error, Result};
+
+/// A wall-clock time budget anchored at creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    start: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// A deadline `budget_ms` milliseconds from now.
+    pub fn from_ms(budget_ms: u64) -> Deadline {
+        Deadline {
+            start: Instant::now(),
+            budget: Duration::from_millis(budget_ms),
+        }
+    }
+
+    /// The total budget in milliseconds (for error reporting and the wire).
+    pub fn budget_ms(&self) -> u64 {
+        self.budget.as_millis() as u64
+    }
+
+    /// Time left, or `None` once the budget is spent. Use this to size
+    /// timed waits (`Condvar::wait_timeout`, `recv_timeout`, socket
+    /// timeouts) so a blocked request wakes exactly when its budget does.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.budget.checked_sub(self.start.elapsed())
+    }
+
+    /// Whether the budget is spent.
+    pub fn expired(&self) -> bool {
+        self.remaining().is_none()
+    }
+
+    /// Returns [`Error::DeadlineExceeded`] naming `stage` if the budget is
+    /// spent; cheap enough to call between loop iterations.
+    pub fn check(&self, stage: &str) -> Result<()> {
+        if self.expired() {
+            return Err(Error::DeadlineExceeded {
+                budget_ms: self.budget_ms(),
+                stage: stage.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_has_its_budget() {
+        let d = Deadline::from_ms(10_000);
+        assert_eq!(d.budget_ms(), 10_000);
+        assert!(!d.expired());
+        assert!(d.check("test").is_ok());
+        let rem = d.remaining().expect("fresh deadline has time left");
+        assert!(rem <= Duration::from_millis(10_000));
+    }
+
+    #[test]
+    fn zero_budget_is_immediately_expired() {
+        let d = Deadline::from_ms(0);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), None);
+        match d.check("admission") {
+            Err(Error::DeadlineExceeded { budget_ms, stage }) => {
+                assert_eq!(budget_ms, 0);
+                assert_eq!(stage, "admission");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elapsed_budget_expires() {
+        let d = Deadline::from_ms(1);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(d.expired());
+        assert!(d.check("queue_wait").is_err());
+    }
+}

@@ -79,6 +79,26 @@ pub enum Error {
         /// The configured admission limit the depth hit.
         limit: usize,
     },
+    /// A request ran out of its time budget before the work finished. The
+    /// request was abandoned at a checkpoint (admission, queue wait, cache
+    /// wait, adapt) rather than allowed to pin a thread indefinitely; the
+    /// caller may retry with a fresh budget.
+    DeadlineExceeded {
+        /// The request's total budget in milliseconds.
+        budget_ms: u64,
+        /// The enforcement point that observed the expiry (`admission`,
+        /// `queue_wait`, `phi_wait`, `adapt`, …).
+        stage: String,
+    },
+    /// A wire frame exceeded the protocol's size bound before its
+    /// terminator arrived. The connection is no longer at a frame boundary,
+    /// so the peer closes it after reporting this error.
+    FrameTooLarge {
+        /// Bytes observed before the read was abandoned.
+        len: usize,
+        /// The configured maximum frame size in bytes.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -114,6 +134,18 @@ impl fmt::Display for Error {
                     f,
                     "server overloaded: queue depth {queue_depth} at admission limit {limit}; \
                      request shed, retry with backoff"
+                )
+            }
+            Error::DeadlineExceeded { budget_ms, stage } => {
+                write!(
+                    f,
+                    "deadline exceeded: {budget_ms}ms budget ran out during {stage}"
+                )
+            }
+            Error::FrameTooLarge { len, limit } => {
+                write!(
+                    f,
+                    "frame too large: {len} bytes exceed the {limit}-byte limit"
                 )
             }
         }
@@ -170,6 +202,22 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("overloaded") && s.contains("64"));
+    }
+
+    #[test]
+    fn deadline_and_frame_errors_carry_their_numbers() {
+        let e = Error::DeadlineExceeded {
+            budget_ms: 150,
+            stage: "phi_wait".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("150ms") && s.contains("phi_wait"));
+        let e = Error::FrameTooLarge {
+            len: 2048,
+            limit: 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("2048") && s.contains("1024"));
     }
 
     #[test]

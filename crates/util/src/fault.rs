@@ -1,11 +1,14 @@
 //! Fault injection for crash-safety testing.
 //!
-//! A [`FaultPlan`] arms a small set of failure points that the training and
-//! persistence layers consult: the i-th [`task_grad`] call can fail or
-//! panic, and the i-th durable file write can fail outright, tear (leave a
-//! truncated file behind), or silently corrupt a byte. The
-//! `crash_recovery` test suite and the CI kill-and-resume smoke step drive
-//! these hooks to prove that an interrupted run is always resumable.
+//! A [`FaultPlan`] arms a small set of failure points that the training,
+//! persistence and serving layers consult: the i-th [`task_grad`] call can
+//! fail or panic; the i-th durable file write can fail outright, tear
+//! (leave a truncated file behind), or silently corrupt a byte; the i-th
+//! serve-path response write can drop the connection or corrupt the frame,
+//! and the i-th server-side adaptation can stall. The `crash_recovery` and
+//! `chaos` test suites plus the CI kill-and-resume / chaos-smoke steps
+//! drive these hooks to prove that an interrupted run is always resumable
+//! and a faulted daemon stays within its deadlines.
 //!
 //! The hooks are **zero-cost when off**: the fast path is a single relaxed
 //! atomic load. A plan is installed either programmatically
@@ -52,6 +55,22 @@ pub enum WriteFault {
     Corrupt,
 }
 
+/// What an armed serve-path fault does when it fires (counted per response
+/// write for [`ServeFault::ConnDrop`] / [`ServeFault::FrameCorrupt`], per
+/// server-side adaptation for [`ServeFault::AdaptStall`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFault {
+    /// The server drops the connection instead of writing the response —
+    /// the client sees an EOF mid-request and must reconnect + retry.
+    ConnDrop,
+    /// The server-side adaptation stalls (bounded sleep) before running —
+    /// exercises deadline enforcement around a wedged inner loop.
+    AdaptStall,
+    /// The server corrupts the response frame before writing it — the
+    /// client sees a parse failure and must treat the connection as dead.
+    FrameCorrupt,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kind {
     TaskGradError,
@@ -59,6 +78,9 @@ enum Kind {
     WriteFail,
     WriteTruncate,
     WriteCorrupt,
+    ServeConnDrop,
+    ServeAdaptStall,
+    ServeFrameCorrupt,
 }
 
 #[derive(Debug)]
@@ -86,7 +108,8 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// Parses a comma-separated `kind:count` spec
     /// (`task_grad_err | task_grad_panic | ckpt_write_fail | ckpt_truncate
-    /// | ckpt_corrupt`).
+    /// | ckpt_corrupt | serve_conn_drop | serve_adapt_stall |
+    /// serve_frame_corrupt`).
     pub fn parse(spec: &str) -> Result<FaultPlan> {
         let mut arms = Vec::new();
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
@@ -107,6 +130,9 @@ impl FaultPlan {
                 "ckpt_write_fail" => Kind::WriteFail,
                 "ckpt_truncate" => Kind::WriteTruncate,
                 "ckpt_corrupt" => Kind::WriteCorrupt,
+                "serve_conn_drop" => Kind::ServeConnDrop,
+                "serve_adapt_stall" => Kind::ServeAdaptStall,
+                "serve_frame_corrupt" => Kind::ServeFrameCorrupt,
                 other => {
                     return Err(Error::InvalidConfig(format!(
                         "unknown fault kind `{other}`"
@@ -138,6 +164,34 @@ impl FaultPlan {
                     Kind::TaskGradError => TaskFault::Error,
                     _ => TaskFault::Panic,
                 });
+            }
+        }
+        fired
+    }
+
+    /// Counts one serve-path response write; returns a fault if one fires
+    /// now. Connection-drop and frame-corrupt arms share this tick stream
+    /// (each arm keeps its own counter, like the write faults).
+    pub fn on_serve_response(&self) -> Option<ServeFault> {
+        let mut fired = None;
+        for arm in &self.arms {
+            let matches = matches!(arm.kind, Kind::ServeConnDrop | Kind::ServeFrameCorrupt);
+            if matches && arm.tick() {
+                fired = Some(match arm.kind {
+                    Kind::ServeConnDrop => ServeFault::ConnDrop,
+                    _ => ServeFault::FrameCorrupt,
+                });
+            }
+        }
+        fired
+    }
+
+    /// Counts one server-side adaptation; true when a stall fires now.
+    pub fn on_serve_adapt(&self) -> bool {
+        let mut fired = false;
+        for arm in &self.arms {
+            if arm.kind == Kind::ServeAdaptStall && arm.tick() {
+                fired = true;
             }
         }
         fired
@@ -210,6 +264,16 @@ pub fn durable_write_fault() -> Option<WriteFault> {
     active()?.on_durable_write()
 }
 
+/// Fault check for one serve-path response write (no-op without a plan).
+pub fn serve_response_fault() -> Option<ServeFault> {
+    active()?.on_serve_response()
+}
+
+/// Fault check for one server-side adaptation (no-op without a plan).
+pub fn serve_adapt_stall_fault() -> bool {
+    active().is_some_and(|p| p.on_serve_adapt())
+}
+
 /// Runs `f` with `plan` installed, then clears it. Calls are serialised
 /// process-wide so concurrent tests cannot observe each other's faults.
 pub fn with_plan<T>(plan: FaultPlan, f: impl FnOnce() -> T) -> T {
@@ -256,6 +320,20 @@ mod tests {
         assert_eq!(plan.on_durable_write(), None);
         assert_eq!(plan.on_task_grad(), Some(TaskFault::Error));
         assert_eq!(plan.on_durable_write(), Some(WriteFault::Fail));
+    }
+
+    #[test]
+    fn serve_faults_parse_and_fire_independently() {
+        let plan = FaultPlan::parse("serve_conn_drop:1,serve_frame_corrupt:2,serve_adapt_stall:2")
+            .unwrap();
+        // Response writes and adaptations are separate tick streams.
+        assert!(!plan.on_serve_adapt());
+        assert_eq!(plan.on_serve_response(), Some(ServeFault::ConnDrop));
+        assert_eq!(plan.on_serve_response(), Some(ServeFault::FrameCorrupt));
+        assert_eq!(plan.on_serve_response(), None);
+        assert!(plan.on_serve_adapt());
+        assert!(!plan.on_serve_adapt());
+        assert!(FaultPlan::parse("serve_conn_drop:0").is_err());
     }
 
     #[test]

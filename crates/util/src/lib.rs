@@ -16,10 +16,14 @@
 //!   fsync, rename) file persistence for checkpoints and training
 //!   snapshots.
 //! * [`fault`] — zero-cost-when-off fault injection (failed/torn/corrupt
-//!   writes, failing or panicking task gradients) behind the
-//!   `FEWNER_FAULTS` environment variable, for crash-recovery testing.
+//!   writes, failing or panicking task gradients, serve-path connection
+//!   drops / adapt stalls / frame corruption) behind the `FEWNER_FAULTS`
+//!   environment variable, for crash-recovery and chaos testing.
+//! * [`deadline`] — per-request wall-clock budgets, enforced as typed
+//!   [`Error::DeadlineExceeded`] at every serving checkpoint.
 
 pub mod crc32;
+pub mod deadline;
 pub mod durable;
 pub mod error;
 pub mod fault;
@@ -28,6 +32,7 @@ pub mod rng;
 pub mod stats;
 
 pub use crc32::{crc32, Crc32};
+pub use deadline::Deadline;
 pub use error::{Error, Result};
 pub use json::{FromJson, Json, ToJson};
 pub use rng::Rng;

@@ -1,0 +1,117 @@
+//! Negative-path tests for the durable file header (ISSUE 7, satellite 1):
+//! corrupt length prefixes, absurd declared lengths, and truncation at
+//! every byte must all fail verification with a clean `Err` — the reader
+//! never trusts the header to size an allocation, and it never panics.
+
+use std::path::PathBuf;
+
+use fewner_util::durable::{read_verified, write_atomic, MAGIC};
+
+const PAYLOAD: &[u8] = b"{\"phi\":[1.0,2.0,3.0],\"n_ways\":2}";
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fewner-durable-neg-{tag}-{}", std::process::id()))
+}
+
+/// Writes a valid durable file, then hands its header fields and payload to
+/// `mutate` to produce the adversarial bytes actually written back.
+fn with_mutated_file(
+    tag: &str,
+    mutate: impl FnOnce(&str, u32, usize, &[u8]) -> Vec<u8>,
+) -> PathBuf {
+    let path = scratch(tag);
+    write_atomic(&path, PAYLOAD).expect("seed write");
+    let bytes = std::fs::read(&path).expect("read back");
+    let newline = bytes.iter().position(|&b| b == b'\n').expect("header line");
+    let header = std::str::from_utf8(&bytes[..newline]).expect("utf8 header");
+    let mut parts = header.split(' ');
+    let magic = parts.next().expect("magic");
+    assert_eq!(magic, MAGIC);
+    let crc = u32::from_str_radix(parts.next().expect("crc"), 16).expect("crc hex");
+    let len: usize = parts.next().expect("len").parse().expect("len digits");
+    let mutated = mutate(magic, crc, len, &bytes[newline + 1..]);
+    std::fs::write(&path, mutated).expect("write mutation");
+    path
+}
+
+#[test]
+fn the_reference_file_verifies() {
+    let path = scratch("ok");
+    write_atomic(&path, PAYLOAD).unwrap();
+    assert_eq!(read_verified(&path).unwrap(), PAYLOAD);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_length_prefix_is_rejected() {
+    let path = with_mutated_file("badlen", |magic, crc, _len, payload| {
+        let mut out = format!("{magic} {crc:08x} not-a-number\n").into_bytes();
+        out.extend_from_slice(payload);
+        out
+    });
+    let err = read_verified(&path).unwrap_err().to_string();
+    assert!(err.contains("length"), "unexpected error: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn huge_declared_length_is_rejected_not_trusted() {
+    // A header claiming ~4 GiB over a 32-byte payload: the reader compares
+    // against the bytes actually present instead of allocating what the
+    // header demands.
+    let path = with_mutated_file("hugelen", |magic, crc, _len, payload| {
+        let mut out = format!("{magic} {crc:08x} 4294967296\n").into_bytes();
+        out.extend_from_slice(payload);
+        out
+    });
+    let err = read_verified(&path).unwrap_err().to_string();
+    assert!(
+        err.contains("truncated or padded"),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_crc_field_is_rejected() {
+    let path = with_mutated_file("badcrc", |magic, _crc, len, payload| {
+        let mut out = format!("{magic} zzzzzzzz {len}\n").into_bytes();
+        out.extend_from_slice(payload);
+        out
+    });
+    assert!(read_verified(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn flipped_payload_byte_fails_the_crc() {
+    let path = with_mutated_file("bitflip", |magic, crc, len, payload| {
+        let mut out = format!("{magic} {crc:08x} {len}\n").into_bytes();
+        let mut payload = payload.to_vec();
+        payload[len / 2] ^= 0x01;
+        out.extend_from_slice(&payload);
+        out
+    });
+    let err = read_verified(&path).unwrap_err().to_string();
+    assert!(err.contains("CRC mismatch"), "unexpected error: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Mirrors `json_negative`'s truncation sweep: every proper prefix of a
+/// valid durable file must fail verification cleanly — a half-written file
+/// (torn write, full disk) can never be mistaken for a good one.
+#[test]
+fn every_truncation_errors_without_panicking() {
+    let path = scratch("trunc");
+    write_atomic(&path, PAYLOAD).unwrap();
+    let full = std::fs::read(&path).unwrap();
+    for cut in 0..full.len() {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        assert!(
+            read_verified(&path).is_err(),
+            "prefix of {cut}/{} bytes verified",
+            full.len()
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

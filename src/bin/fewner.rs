@@ -296,7 +296,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> fewner::Result<()> {
         .batch(flag(flags, "batch", 32usize));
     let cfg = ServerConfig::new()
         .workers(flag(flags, "workers", 2usize))
-        .queue_limit(flag(flags, "queue-limit", 64usize));
+        .queue_limit(flag(flags, "queue-limit", 64usize))
+        .deadline_ms(flag(flags, "deadline-ms", 0u64))
+        .max_frame_bytes(flag(flags, "max-frame-kb", 1024usize).saturating_mul(1 << 10));
 
     let addr = flags
         .get("addr")

@@ -54,6 +54,10 @@ pub const USAGE: &str = "usage: fewner <corpus|train|evaluate|demo|predict|serve
                            (default 64)
     --ttl-secs <N>         adapted-context TTL (default: never expires)
     --phi-dir <dir>        persist adapted contexts for warm restarts
+    --deadline-ms <N>      default per-request deadline when the client sends
+                           none (default 0 = unbounded)
+    --max-frame-kb <N>     largest accepted request frame in KiB (default
+                           1024; floor 1)
   trace:
     fewner trace summarize <path>...  per-phase latency percentiles, counters,
                                       and the adaptation-vs-serving cost split";
