@@ -278,7 +278,7 @@ pub fn train_learner(
         .query_size(scale.query_size)
         .seed(meta.seed ^ 0x7271)
         .threads(0);
-    fewner_core::train(learner, cell.train, cell.enc, meta, &cfg)?;
+    fewner_core::Trainer::new().train(learner, cell.train, cell.enc, meta, &cfg)?;
     Ok(())
 }
 

@@ -40,24 +40,17 @@ pub struct TaskOutcome {
 }
 
 impl TaskOutcome {
-    /// Reduces a batch of outcomes in task-index order: mean loss and the
-    /// gradient sum (unscaled — [`EpisodicLearner::apply_meta_grads`]
-    /// divides by the task count).
+    /// Reduces a batch of outcomes along the canonical task-index tree:
+    /// mean loss and the gradient sum (unscaled —
+    /// [`EpisodicLearner::apply_meta_grads`] divides by the task count).
     ///
-    /// Both the serial default [`EpisodicLearner::meta_step`] and the
-    /// parallel trainer reduce through this one function, on one thread, in
-    /// task-index order. Floating-point addition is not associative, so the
-    /// shared fixed-order reduction is precisely what makes the two paths
-    /// bitwise-identical.
+    /// The serial default [`EpisodicLearner::meta_step`], the threaded
+    /// trainer, and the sharded trainer all reduce through the one fixed
+    /// plan in [`crate::reduce`]. Floating-point addition is not
+    /// associative, so the shared fixed-shape reduction is precisely what
+    /// makes every execution topology bitwise-identical.
     pub fn reduce(outcomes: Vec<TaskOutcome>) -> Result<(f32, ParamGrads)> {
-        let n = outcomes.len();
-        if n == 0 {
-            return Err(Error::InvalidConfig("empty meta batch".into()));
-        }
-        let loss = outcomes.iter().map(|o| o.loss).sum::<f32>() / n as f32;
-        let grads = ParamGrads::sum_in_order(outcomes.into_iter().map(|o| o.grads))
-            .expect("n > 0 outcomes");
-        Ok((loss, grads))
+        crate::reduce::GradReduce::new(outcomes.len())?.reduce(outcomes)
     }
 }
 

@@ -11,8 +11,12 @@
 //! * [`conventional`] — FineTune, ProtoNet, SNAIL and frozen-LM learners.
 //! * [`trainer`] — meta-batch loop with the paper's LR schedule, rolling
 //!   training snapshots and crash-safe resumption.
+//! * [`reduce`] — the canonical tree-shaped gradient reduction shared by
+//!   the serial, threaded and sharded paths.
+//! * [`shard`] — multi-process sharded meta-training: coordinator and
+//!   worker sessions exchanging partial gradients over framed TCP.
 //! * [`checkpoint`] — persist and restore θ_Meta.
-//! * [`snapshot`] — full training-state snapshots behind [`resume`].
+//! * [`snapshot`] — full training-state snapshots behind resume.
 //! * [`learner`] — the common protocol every method implements.
 //! * [`serve`] — the serving surface: [`ServeOptions`], adapt-once /
 //!   predict-many via first-class [`AdaptedCtx`] handles.
@@ -25,8 +29,10 @@ pub mod conventional;
 pub mod fewner;
 pub mod learner;
 pub mod maml;
+pub mod reduce;
 pub mod second_order;
 pub mod serve;
+pub mod shard;
 pub mod snapshot;
 pub mod trainer;
 
@@ -36,8 +42,10 @@ pub use conventional::{FineTuneLearner, FrozenLmLearner, ProtoLearner, SnailLear
 pub use fewner::Fewner;
 pub use learner::{task_rng, EpisodicLearner, TaskOutcome};
 pub use maml::Maml;
+pub use reduce::{GradPartial, GradReduce};
 pub use serve::{AdaptedCtx, CachePolicy, ServeOptions};
-pub use snapshot::{RunFingerprint, TrainingSnapshot};
-pub use trainer::{
-    resume, resume_traced, train, train_traced, ParallelTrainer, TrainConfig, TrainingLog,
-};
+pub use shard::{CoordinatorReport, ShardCoordinator, ShardSession};
+pub use snapshot::{RunFingerprint, ShardScope, SnapshotEntry, TrainingSnapshot};
+#[allow(deprecated)]
+pub use trainer::{resume, resume_traced, train, train_traced};
+pub use trainer::{ParallelTrainer, TrainConfig, Trainer, TrainingLog};

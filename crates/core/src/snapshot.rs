@@ -45,6 +45,12 @@ pub struct RunFingerprint {
     pub seed: u64,
     /// Meta-batch size.
     pub meta_batch: usize,
+    /// Shard topology the run was started with (1 = unsharded). Although
+    /// the reduce tree makes any shard count bitwise-equivalent, a resume
+    /// under a *different* layout would silently re-home task ranges and
+    /// snapshot files mid-run, so it is rejected like any other schedule
+    /// change.
+    pub shards: usize,
 }
 
 impl ToJson for RunFingerprint {
@@ -57,6 +63,7 @@ impl ToJson for RunFingerprint {
             // Hex: seeds are full u64s, beyond JSON's exact-integer range.
             ("seed".into(), Json::Str(format!("{:016x}", self.seed))),
             ("meta_batch".into(), Json::from(self.meta_batch)),
+            ("shards".into(), Json::from(self.shards)),
         ])
     }
 }
@@ -71,6 +78,12 @@ impl FromJson for RunFingerprint {
             seed: u64::from_str_radix(json.field("seed")?.as_str()?, 16)
                 .map_err(|_| Error::Serde("bad fingerprint seed".into()))?,
             meta_batch: json.field("meta_batch")?.as_usize()?,
+            // Absent in pre-sharding snapshots, which were all written by
+            // single-process runs.
+            shards: match json.field("shards") {
+                Ok(v) => v.as_usize()?,
+                Err(_) => 1,
+            },
         })
     }
 }
@@ -98,6 +111,10 @@ pub struct TrainingSnapshot {
     /// Wall-clock seconds accumulated before the snapshot (informational;
     /// the only non-deterministic field, and not part of the model).
     pub wall_secs: f64,
+    /// Which shard wrote this snapshot (`None` for unsharded runs). Purely
+    /// a file-naming concern: θ is replicated, so any shard's snapshot can
+    /// seed any worker's resume.
+    pub shard: Option<usize>,
     /// The run identity this snapshot belongs to.
     pub fingerprint: RunFingerprint,
     /// The learner's exported state
@@ -124,6 +141,13 @@ impl ToJson for TrainingSnapshot {
             ),
             ("next_decay".into(), Json::from(self.next_decay)),
             ("wall_secs".into(), Json::from(self.wall_secs)),
+            (
+                "shard".into(),
+                match self.shard {
+                    Some(s) => Json::from(s),
+                    None => Json::Null,
+                },
+            ),
             ("fingerprint".into(), self.fingerprint.to_json()),
             ("learner".into(), self.learner.clone()),
         ])
@@ -147,6 +171,10 @@ impl FromJson for TrainingSnapshot {
             consecutive_skips: json.field("consecutive_skips")?.as_usize()?,
             next_decay: json.field("next_decay")?.as_usize()?,
             wall_secs: json.field("wall_secs")?.as_f64()?,
+            shard: match json.field("shard") {
+                Ok(Json::Null) | Err(_) => None,
+                Ok(v) => Some(v.as_usize()?),
+            },
             fingerprint: RunFingerprint::from_json(json.field("fingerprint")?)?,
             learner: json.field("learner")?.clone(),
         })
@@ -174,14 +202,44 @@ impl TrainingSnapshot {
     }
 }
 
-/// The snapshot file name for a given completed-iteration count.
-pub fn snapshot_path(dir: impl AsRef<Path>, iteration: usize) -> PathBuf {
-    dir.as_ref()
-        .join(format!("snap-{iteration:08}.{SNAPSHOT_EXT}"))
+/// Which snapshot files of a shared checkpoint directory an operation
+/// addresses. Sharded runs keep one rolling pair *per shard* under one
+/// directory; pruning must only touch the writer's own pair, while resume
+/// may pick any shard's snapshot (θ is replicated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardScope {
+    /// Files written by an unsharded run (`snap-<iteration>`).
+    Unsharded,
+    /// Files written by one shard (`snap-s<shard>-<iteration>`).
+    Shard(usize),
+    /// Every snapshot file in the directory.
+    Any,
 }
 
-/// All snapshot files in `dir`, as `(iteration, path)` sorted ascending.
-pub fn list_snapshots(dir: impl AsRef<Path>) -> Result<Vec<(usize, PathBuf)>> {
+/// One snapshot file of a checkpoint directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// The shard that wrote it (`None` for unsharded runs).
+    pub shard: Option<usize>,
+    /// Completed-iteration count in the file name.
+    pub iteration: usize,
+    /// Full path.
+    pub path: PathBuf,
+}
+
+/// The snapshot file name for a given completed-iteration count. `shard`
+/// selects between the unsharded (`None`) and per-shard (`Some`) naming.
+pub fn snapshot_path(dir: impl AsRef<Path>, shard: Option<usize>, iteration: usize) -> PathBuf {
+    let name = match shard {
+        None => format!("snap-{iteration:08}.{SNAPSHOT_EXT}"),
+        Some(s) => format!("snap-s{s:02}-{iteration:08}.{SNAPSHOT_EXT}"),
+    };
+    dir.as_ref().join(name)
+}
+
+/// Snapshot files in `dir` within `scope`, sorted by `(iteration, shard)`
+/// ascending.
+pub fn list_snapshots(dir: impl AsRef<Path>, scope: ShardScope) -> Result<Vec<SnapshotEntry>> {
     let dir = dir.as_ref();
     let entries = std::fs::read_dir(dir).map_err(|e| Error::Io {
         path: dir.display().to_string(),
@@ -199,51 +257,99 @@ pub fn list_snapshots(dir: impl AsRef<Path>) -> Result<Vec<(usize, PathBuf)>> {
         else {
             continue;
         };
-        if let Ok(iteration) = stem.parse::<usize>() {
-            found.push((iteration, path));
+        let (shard, iter_part) = match stem.strip_prefix('s') {
+            Some(rest) => match rest.split_once('-') {
+                Some((s, iter)) => match s.parse::<usize>() {
+                    Ok(s) => (Some(s), iter),
+                    Err(_) => continue,
+                },
+                None => continue,
+            },
+            None => (None, stem),
+        };
+        let Ok(iteration) = iter_part.parse::<usize>() else {
+            continue;
+        };
+        let in_scope = match scope {
+            ShardScope::Any => true,
+            ShardScope::Unsharded => shard.is_none(),
+            ShardScope::Shard(s) => shard == Some(s),
+        };
+        if in_scope {
+            found.push(SnapshotEntry {
+                shard,
+                iteration,
+                path,
+            });
         }
     }
-    found.sort();
+    found.sort_by_key(|e| (e.iteration, e.shard));
     Ok(found)
 }
 
-/// Writes `snap` into `dir` and prunes old snapshots, keeping the newest
+/// Writes `snap` into `dir` (named by `snap.shard` + `snap.iteration`) and
+/// prunes old snapshots *of the same shard*, keeping its newest
 /// [`SNAPSHOTS_KEPT`]. The write is atomic and the prune runs only after
 /// it succeeds, so a crash at any point leaves at least one valid,
-/// most-recent-possible snapshot behind.
+/// most-recent-possible snapshot behind — per shard, since each shard of a
+/// run rolls its own pair under the shared directory.
 pub fn save_rolling(dir: impl AsRef<Path>, snap: &TrainingSnapshot) -> Result<PathBuf> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir).map_err(|e| Error::Io {
         path: dir.display().to_string(),
         detail: e.to_string(),
     })?;
-    let path = snapshot_path(dir, snap.iteration);
+    let path = snapshot_path(dir, snap.shard, snap.iteration);
     snap.save(&path)?;
-    let all = list_snapshots(dir)?;
-    if all.len() > SNAPSHOTS_KEPT {
-        for (_, old) in &all[..all.len() - SNAPSHOTS_KEPT] {
+    let scope = match snap.shard {
+        Some(s) => ShardScope::Shard(s),
+        None => ShardScope::Unsharded,
+    };
+    let own = list_snapshots(dir, scope)?;
+    if own.len() > SNAPSHOTS_KEPT {
+        for old in &own[..own.len() - SNAPSHOTS_KEPT] {
             // Best effort: a stale extra snapshot is harmless.
-            std::fs::remove_file(old).ok();
+            std::fs::remove_file(&old.path).ok();
         }
     }
     Ok(path)
 }
 
-/// The newest snapshot in `dir` that passes verification, walking
-/// newest-first past any truncated or corrupted files. `Ok(None)` when the
-/// directory holds no snapshot files at all; an error when snapshots exist
-/// but none is loadable.
-pub fn latest_valid(dir: impl AsRef<Path>) -> Result<Option<(TrainingSnapshot, PathBuf)>> {
-    let mut all = list_snapshots(dir)?;
+/// The newest snapshot in `dir` that passes verification — and, when
+/// `expected` is given, whose [`RunFingerprint`] matches it — walking
+/// newest-first past any truncated, corrupted, or foreign-run files (a
+/// stale snapshot from another schedule must not shadow a valid older one
+/// of *this* run). All shards' files are considered: θ is replicated, so
+/// any shard's snapshot resumes any worker.
+///
+/// `Ok(None)` when the directory holds no snapshot files at all. When
+/// snapshots exist but none qualifies: [`Error::InvalidConfig`] if at
+/// least one loaded cleanly (they are all foreign runs), otherwise the
+/// last load error.
+pub fn latest_valid(
+    dir: impl AsRef<Path>,
+    expected: Option<&RunFingerprint>,
+) -> Result<Option<(TrainingSnapshot, PathBuf)>> {
+    let mut all = list_snapshots(dir, ShardScope::Any)?;
     if all.is_empty() {
         return Ok(None);
     }
     let mut last_err = None;
-    while let Some((_, path)) = all.pop() {
-        match TrainingSnapshot::load(&path) {
-            Ok(snap) => return Ok(Some((snap, path))),
+    let mut mismatched = 0usize;
+    while let Some(entry) = all.pop() {
+        match TrainingSnapshot::load(&entry.path) {
+            Ok(snap) => match expected {
+                Some(fp) if snap.fingerprint != *fp => mismatched += 1,
+                _ => return Ok(Some((snap, entry.path))),
+            },
             Err(e) => last_err = Some(e),
         }
+    }
+    if mismatched > 0 {
+        return Err(Error::InvalidConfig(format!(
+            "checkpoint dir holds {mismatched} snapshot(s) from a different run \
+             configuration (learner/schedule/seed/shard layout must match to resume)"
+        )));
     }
     Err(last_err.expect("non-empty snapshot list"))
 }
@@ -263,6 +369,7 @@ mod tests {
             consecutive_skips: 0,
             next_decay: 5000,
             wall_secs: 12.25,
+            shard: None,
             fingerprint: RunFingerprint {
                 learner: "FewNER".into(),
                 n_ways: 5,
@@ -270,9 +377,17 @@ mod tests {
                 query_size: 6,
                 seed: 0xDEAD_BEEF_DEAD_BEEF,
                 meta_batch: 8,
+                shards: 1,
             },
             learner: Json::Obj(vec![("theta".into(), Json::Arr(vec![]))]),
         }
+    }
+
+    fn sharded_sample(shard: usize, iteration: usize) -> TrainingSnapshot {
+        let mut snap = sample(iteration);
+        snap.shard = Some(shard);
+        snap.fingerprint.shards = 2;
+        snap
     }
 
     fn tmp_dir(name: &str) -> PathBuf {
@@ -301,12 +416,42 @@ mod tests {
         for it in [3, 6, 9, 12] {
             save_rolling(&dir, &sample(it)).unwrap();
         }
-        let kept: Vec<usize> = list_snapshots(&dir)
+        let kept: Vec<usize> = list_snapshots(&dir, ShardScope::Unsharded)
             .unwrap()
             .into_iter()
-            .map(|(i, _)| i)
+            .map(|e| e.iteration)
             .collect();
         assert_eq!(kept, vec![9, 12]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn each_shard_rolls_its_own_pair_under_one_dir() {
+        let dir = tmp_dir("sharded-rolling");
+        for it in [3, 6, 9] {
+            save_rolling(&dir, &sharded_sample(0, it)).unwrap();
+            save_rolling(&dir, &sharded_sample(1, it)).unwrap();
+        }
+        // Pruning shard 1 must not touch shard 0's files (and vice versa).
+        for shard in [0, 1] {
+            let kept: Vec<usize> = list_snapshots(&dir, ShardScope::Shard(shard))
+                .unwrap()
+                .into_iter()
+                .map(|e| e.iteration)
+                .collect();
+            assert_eq!(kept, vec![6, 9], "shard {shard}");
+        }
+        let all = list_snapshots(&dir, ShardScope::Any).unwrap();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].shard, Some(0));
+        assert_eq!(
+            all[0].path,
+            snapshot_path(&dir, Some(0), 6),
+            "per-shard naming is part of the on-disk contract"
+        );
+        assert!(list_snapshots(&dir, ShardScope::Unsharded)
+            .unwrap()
+            .is_empty());
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -316,27 +461,85 @@ mod tests {
         save_rolling(&dir, &sample(6)).unwrap();
         save_rolling(&dir, &sample(9)).unwrap();
         // Tear the newest file in half.
-        let newest = snapshot_path(&dir, 9);
+        let newest = snapshot_path(&dir, None, 9);
         let bytes = std::fs::read(&newest).unwrap();
         std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
         assert!(matches!(
             TrainingSnapshot::load(&newest),
             Err(Error::Io { .. })
         ));
-        let (snap, path) = latest_valid(&dir).unwrap().expect("predecessor survives");
+        let (snap, path) = latest_valid(&dir, None)
+            .unwrap()
+            .expect("predecessor survives");
         assert_eq!(snap.iteration, 6);
-        assert_eq!(path, snapshot_path(&dir, 6));
+        assert_eq!(path, snapshot_path(&dir, None, 6));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn latest_valid_skips_a_newer_snapshot_from_a_foreign_run() {
+        let dir = tmp_dir("foreign");
+        save_rolling(&dir, &sample(6)).unwrap();
+        let mut foreign = sample(9);
+        foreign.fingerprint.seed ^= 1;
+        save_rolling(&dir, &foreign).unwrap();
+
+        // A stale newer snapshot from another schedule must not shadow the
+        // valid older one of this run…
+        let fp = sample(0).fingerprint;
+        let (snap, _) = latest_valid(&dir, Some(&fp))
+            .unwrap()
+            .expect("own run found");
+        assert_eq!(snap.iteration, 6);
+
+        // …but when *nothing* matches, that is a config error, not a
+        // silent fresh start.
+        let mut other = fp.clone();
+        other.seed ^= 2;
+        assert!(matches!(
+            latest_valid(&dir, Some(&other)),
+            Err(Error::InvalidConfig(_))
+        ));
+
+        // Without an expected fingerprint the newest valid file wins.
+        let (snap, _) = latest_valid(&dir, None).unwrap().unwrap();
+        assert_eq!(snap.iteration, 9);
         std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]
     fn empty_dir_is_none_and_all_corrupt_is_an_error() {
         let dir = tmp_dir("empty");
-        assert!(latest_valid(&dir).unwrap().is_none());
+        assert!(latest_valid(&dir, None).unwrap().is_none());
         save_rolling(&dir, &sample(3)).unwrap();
-        let path = snapshot_path(&dir, 3);
+        let path = snapshot_path(&dir, None, 3);
         std::fs::write(&path, b"FEWNERD1 deadbeef 4\njunk-extra").unwrap();
-        assert!(latest_valid(&dir).is_err());
+        assert!(latest_valid(&dir, None).is_err());
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_shard_topology_round_trips_and_defaults_to_one() {
+        let snap = sharded_sample(1, 4);
+        let json = snap.to_json().to_string();
+        let back = TrainingSnapshot::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.shard, Some(1));
+        assert_eq!(back.fingerprint.shards, 2);
+
+        // Pre-sharding snapshots carry neither field.
+        let mut legacy = sample(4).to_json();
+        if let Json::Obj(fields) = &mut legacy {
+            fields.retain(|(k, _)| k != "shard");
+            for (k, v) in fields.iter_mut() {
+                if k == "fingerprint" {
+                    if let Json::Obj(fp) = v {
+                        fp.retain(|(k, _)| k != "shards");
+                    }
+                }
+            }
+        }
+        let back = TrainingSnapshot::from_json(&legacy).unwrap();
+        assert_eq!(back.shard, None);
+        assert_eq!(back.fingerprint.shards, 1);
     }
 }

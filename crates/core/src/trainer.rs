@@ -5,22 +5,30 @@
 //! learning-rate schedule (×0.9 every 5000 tasks, §4.1.3). Also records the
 //! per-phase timings behind the §4.5.2 analysis.
 //!
-//! # Threading
+//! # Threading and sharding
 //!
 //! The tasks of one meta-batch are independent given θ, so
 //! [`ParallelTrainer`] fans [`EpisodicLearner::task_grad`] across scoped
-//! worker threads and reduces the per-task gradients on one thread in
-//! task-index order ([`TaskOutcome::reduce`]). Randomness is pinned per
-//! task by [`crate::task_rng`], so the parallel loop is bitwise-identical
-//! to the serial one for a fixed seed, at any thread count. Configure with
-//! [`TrainConfig::threads`] or the `FEWNER_THREADS` environment variable.
+//! worker threads and reduces the per-task gradients on one thread along
+//! the canonical task-index tree ([`crate::reduce::GradReduce`]).
+//! Randomness is pinned per task by [`crate::task_rng`], so the parallel
+//! loop is bitwise-identical to the serial one for a fixed seed, at any
+//! thread count. Configure with [`TrainConfig::threads`] or the
+//! `FEWNER_THREADS` environment variable.
+//!
+//! The same plan scales past one process: with [`TrainConfig::shards`]
+//! ≥ 2 every worker process runs this loop in lockstep, computes only its
+//! assigned subtree of each batch, and applies the coordinator-reduced
+//! gradients (see [`crate::shard`]) — still bitwise-identical to the
+//! serial run.
 //!
 //! # Crash safety
 //!
 //! With [`TrainConfig::checkpoint_every`] set, the loop writes a full
 //! [`TrainingSnapshot`] (θ, optimizer moments, both RNG streams, counters,
 //! decay position) into [`TrainConfig::checkpoint_dir`] every n completed
-//! iterations, as a rolling pair of durable files. [`resume`] restarts
+//! iterations, as a rolling pair of durable files (per shard, when
+//! sharded). [`Trainer::resume`] restarts
 //! from the newest valid snapshot and — because every source of
 //! randomness is part of the snapshot — produces the bitwise-identical
 //! model a straight-through run would have, at any thread count.
@@ -86,6 +94,15 @@ pub struct TrainConfig {
     /// Tracing never changes the numbers: checkpoints are bitwise
     /// identical with tracing on or off, at any thread count.
     pub trace_path: Option<PathBuf>,
+    /// Total worker processes of a sharded run (`1`, the default, trains
+    /// in-process). With `shards > 1` this process computes only its
+    /// subtree of each meta-batch and exchanges gradients through the
+    /// coordinator at [`TrainConfig::coordinator`].
+    pub shards: usize,
+    /// This worker's shard id, `0 ≤ shard_id < shards`.
+    pub shard_id: usize,
+    /// `host:port` of the shard coordinator (required when `shards > 1`).
+    pub coordinator: Option<String>,
 }
 
 impl TrainConfig {
@@ -103,6 +120,9 @@ impl TrainConfig {
             checkpoint_every: 0,
             checkpoint_dir: None,
             trace_path: None,
+            shards: 1,
+            shard_id: 0,
+            coordinator: None,
         }
     }
 
@@ -151,6 +171,24 @@ impl TrainConfig {
     /// `trace_path` field).
     pub fn trace(mut self, path: impl Into<PathBuf>) -> TrainConfig {
         self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Sets the shard topology (total worker processes; `1` = unsharded).
+    pub fn shards(mut self, shards: usize) -> TrainConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets this worker's shard id.
+    pub fn shard_id(mut self, shard_id: usize) -> TrainConfig {
+        self.shard_id = shard_id;
+        self
+    }
+
+    /// Sets the shard coordinator address (`host:port`).
+    pub fn coordinator(mut self, addr: impl Into<String>) -> TrainConfig {
+        self.coordinator = Some(addr.into());
         self
     }
 
@@ -296,53 +334,15 @@ impl ParallelTrainer {
             return learner.meta_step(tasks, enc);
         }
         let step_seed = learner.step_seed();
-        let outcomes: Vec<TaskOutcome> = if self.threads <= 1 || tasks.len() < 2 {
-            let mut outcomes = Vec::with_capacity(tasks.len());
-            for (index, task) in tasks.iter().enumerate() {
-                check_task_fault()?;
-                let mut rng = task_rng(step_seed, index);
-                outcomes.push(learner.task_grad(task, enc, &mut rng)?);
-            }
-            outcomes
-        } else {
-            let shared: &L = learner;
-            let indexed: Vec<(usize, &Task)> = tasks.iter().enumerate().collect();
-            let chunk = indexed.len().div_ceil(self.threads);
-            let per_worker: Vec<Result<Vec<TaskOutcome>>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = indexed
-                    .chunks(chunk)
-                    .map(|pairs| {
-                        scope.spawn(move || {
-                            pairs
-                                .iter()
-                                .map(|&(index, task)| {
-                                    check_task_fault()?;
-                                    let mut rng = task_rng(step_seed, index);
-                                    shared.task_grad(task, enc, &mut rng)
-                                })
-                                .collect::<Result<Vec<TaskOutcome>>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join().unwrap_or_else(|_| {
-                            Err(Error::WorkerPanic {
-                                context: "parallel meta step".into(),
-                            })
-                        })
-                    })
-                    .collect()
-            });
-            // Workers hold contiguous index chunks, so flattening in worker
-            // order restores task-index order independent of thread timing.
-            let mut outcomes = Vec::with_capacity(tasks.len());
-            for worker_outcomes in per_worker {
-                outcomes.extend(worker_outcomes?);
-            }
-            outcomes
-        };
+        // The whole batch as one reduce-tree root range (a one-element
+        // slice of Range, not a collected index list).
+        #[allow(clippy::single_range_in_vec_init)]
+        let full = [0..tasks.len()];
+        let outcomes: Vec<TaskOutcome> = self
+            .range_outcomes(learner, tasks, enc, step_seed, &full)?
+            .into_iter()
+            .map(|(_, outcome)| outcome)
+            .collect();
         if tracer.enabled() {
             for outcome in &outcomes {
                 tracer.observe("train/task_loss", f64::from(outcome.loss));
@@ -356,6 +356,93 @@ impl ParallelTrainer {
         }
         learner.apply_meta_grads(grads, tasks.len())?;
         Ok(loss)
+    }
+
+    /// Computes [`EpisodicLearner::task_grad`] for exactly the task indices
+    /// in `ranges`, fanned over this trainer's workers, returning
+    /// `(index, outcome)` pairs in ascending index order.
+    ///
+    /// This is the transport-agnostic compute kernel shared by the whole
+    /// training stack: [`ParallelTrainer::meta_step`] calls it with the
+    /// full range `[0..tasks.len()]`, while a shard worker
+    /// ([`crate::shard::ShardSession`]) calls it with its assigned subtree
+    /// ranges of the meta-batch. Task randomness depends only on
+    /// `(step_seed, index)` and the reduction shape only on the index
+    /// bracketing ([`crate::reduce::GradReduce`]), so *where* an index is
+    /// computed — which thread, which process — cannot change a single bit
+    /// of the reduced gradient.
+    pub fn range_outcomes<L>(
+        &self,
+        learner: &L,
+        tasks: &[Task],
+        enc: &TokenEncoder,
+        step_seed: u64,
+        ranges: &[std::ops::Range<usize>],
+    ) -> Result<Vec<(usize, TaskOutcome)>>
+    where
+        L: EpisodicLearner + Sync + ?Sized,
+    {
+        let mut indexed: Vec<(usize, &Task)> = Vec::new();
+        for range in ranges {
+            if range.end > tasks.len() || range.start >= range.end {
+                return Err(Error::InvalidConfig(format!(
+                    "task range {}..{} out of bounds for a {}-task batch",
+                    range.start,
+                    range.end,
+                    tasks.len()
+                )));
+            }
+            indexed.extend(range.clone().map(|i| (i, &tasks[i])));
+        }
+        if indexed.is_empty() {
+            return Err(Error::InvalidConfig("empty task range set".into()));
+        }
+        if self.threads <= 1 || indexed.len() < 2 {
+            return indexed
+                .into_iter()
+                .map(|(index, task)| {
+                    check_task_fault()?;
+                    let mut rng = task_rng(step_seed, index);
+                    Ok((index, learner.task_grad(task, enc, &mut rng)?))
+                })
+                .collect();
+        }
+        let chunk = indexed.len().div_ceil(self.threads);
+        let per_worker: Vec<Result<Vec<(usize, TaskOutcome)>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = indexed
+                .chunks(chunk)
+                .map(|pairs| {
+                    scope.spawn(move || {
+                        pairs
+                            .iter()
+                            .map(|&(index, task)| {
+                                check_task_fault()?;
+                                let mut rng = task_rng(step_seed, index);
+                                Ok((index, learner.task_grad(task, enc, &mut rng)?))
+                            })
+                            .collect::<Result<Vec<(usize, TaskOutcome)>>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(Error::WorkerPanic {
+                            context: "parallel meta step".into(),
+                        })
+                    })
+                })
+                .collect()
+        });
+        // Workers hold contiguous chunks of the ascending index list, so
+        // flattening in worker order restores index order independent of
+        // thread timing.
+        let mut outcomes = Vec::with_capacity(indexed.len());
+        for worker_outcomes in per_worker {
+            outcomes.extend(worker_outcomes?);
+        }
+        Ok(outcomes)
     }
 }
 
@@ -409,14 +496,185 @@ fn fingerprint_of(name: &str, meta: &MetaConfig, cfg: &TrainConfig) -> RunFinger
         query_size: cfg.query_size,
         seed: cfg.seed,
         meta_batch: meta.meta_batch,
+        shards: cfg.shards.max(1),
+    }
+}
+
+/// The engine a run steps through: in-process (serial or threaded), or one
+/// shard of a multi-process run. Both drive the identical canonical
+/// reduction, so the choice never shows up in the numbers.
+enum Engine {
+    Local(ParallelTrainer),
+    Sharded(crate::shard::ShardSession),
+}
+
+impl Engine {
+    /// Builds the engine `cfg` asks for. A sharded config connects to the
+    /// coordinator here — announcing `start_iteration` so every worker of
+    /// the round-lockstep run provably starts from the same place.
+    fn open(
+        name: &str,
+        meta: &MetaConfig,
+        cfg: &TrainConfig,
+        start_iteration: usize,
+    ) -> Result<Engine> {
+        if cfg.shards <= 1 {
+            return Ok(Engine::Local(ParallelTrainer::new(cfg.threads)));
+        }
+        let fingerprint = fingerprint_of(name, meta, cfg);
+        let session = crate::shard::ShardSession::connect(cfg, &fingerprint, start_iteration)?;
+        Ok(Engine::Sharded(session))
+    }
+
+    fn step<L>(
+        &mut self,
+        learner: &mut L,
+        batch: &[Task],
+        enc: &TokenEncoder,
+        tracer: &Tracer,
+    ) -> Result<f32>
+    where
+        L: EpisodicLearner + Sync + ?Sized,
+    {
+        match self {
+            Engine::Local(pool) => pool.meta_step_traced(learner, batch, enc, tracer),
+            Engine::Sharded(session) => session.step(learner, batch, enc, tracer),
+        }
+    }
+}
+
+/// The one training entry point: fresh runs and checkpointed resumption,
+/// local or sharded, traced or silent.
+///
+/// A default `Trainer` derives its tracer from the schedule
+/// ([`TrainConfig::trace_path`]); [`Trainer::with_tracer`] overrides that
+/// with an explicit instrument (tests inject a manual clock and an
+/// in-memory sink this way). The tracer is flushed when a run ends —
+/// normally *or* with [`Error::Diverged`] — so traces survive diverged
+/// runs. Tracing never changes the numbers.
+#[derive(Clone, Default)]
+pub struct Trainer {
+    tracer: Option<Tracer>,
+}
+
+impl Trainer {
+    /// A trainer that traces wherever [`TrainConfig::trace_path`] points
+    /// (or nowhere).
+    pub fn new() -> Trainer {
+        Trainer { tracer: None }
+    }
+
+    /// A trainer bound to an explicit tracer, overriding
+    /// [`TrainConfig::trace_path`].
+    pub fn with_tracer(tracer: &Tracer) -> Trainer {
+        Trainer {
+            tracer: Some(tracer.clone()),
+        }
+    }
+
+    /// The tracer a run will use under schedule `cfg`.
+    fn resolve_tracer(&self, cfg: &TrainConfig) -> Tracer {
+        match &self.tracer {
+            Some(tracer) => tracer.clone(),
+            None => cfg.tracer(),
+        }
+    }
+
+    /// Meta-trains `learner` on tasks sampled from `view`.
+    ///
+    /// With [`TrainConfig::checkpoint_every`] set, rolling
+    /// [`TrainingSnapshot`]s land in [`TrainConfig::checkpoint_dir`]; a run
+    /// killed at any point can be continued with [`Trainer::resume`]. With
+    /// [`TrainConfig::shards`] > 1 this call becomes one worker of a
+    /// multi-process run and blocks until its shard's part is done.
+    pub fn train<L>(
+        &self,
+        learner: &mut L,
+        view: &SplitView,
+        enc: &TokenEncoder,
+        meta: &MetaConfig,
+        cfg: &TrainConfig,
+    ) -> Result<TrainingLog>
+    where
+        L: EpisodicLearner + Sync + ?Sized,
+    {
+        meta.validate()?;
+        let tracer = self.resolve_tracer(cfg);
+        let state = LoopState::fresh(meta, cfg);
+        let engine = Engine::open(learner.name(), meta, cfg, 0);
+        let result = engine
+            .and_then(|mut e| run_loop(learner, view, enc, meta, cfg, state, &tracer, &mut e));
+        finish_trace(result, &tracer)
+    }
+
+    /// Continues a checkpointed run from the newest valid snapshot in
+    /// `dir`.
+    ///
+    /// `learner` must be freshly constructed with the same architecture and
+    /// configuration as the original run (constructors are
+    /// seed-deterministic); its mutable state is then replaced wholesale
+    /// via [`EpisodicLearner::import_state`]. The snapshot's
+    /// [`RunFingerprint`] must match the given schedule — except for
+    /// [`TrainConfig::iterations`], which may differ so a finished run can
+    /// be extended. Snapshots from a different run configuration (learner,
+    /// schedule, seed, or shard topology) are skipped over; if only such
+    /// foreign snapshots exist the resume is refused. Because the snapshot
+    /// carries every source of randomness, the resumed run's final θ is
+    /// bitwise-identical to a straight-through run's, at any thread or
+    /// shard count.
+    pub fn resume<L>(
+        &self,
+        learner: &mut L,
+        view: &SplitView,
+        enc: &TokenEncoder,
+        meta: &MetaConfig,
+        cfg: &TrainConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<TrainingLog>
+    where
+        L: EpisodicLearner + Sync + ?Sized,
+    {
+        meta.validate()?;
+        let tracer = self.resolve_tracer(cfg);
+        let dir = dir.as_ref();
+        let expected = fingerprint_of(learner.name(), meta, cfg);
+        let (snap, path) =
+            snapshot::latest_valid(dir, Some(&expected))?.ok_or_else(|| Error::Io {
+                path: dir.display().to_string(),
+                detail: "no training snapshots found".into(),
+            })?;
+        learner.import_state(&snap.learner)?;
+        let state = LoopState::from_snapshot(&snap);
+        tracer.event(
+            "train/resume",
+            &[
+                ("iteration", Json::from(snap.iteration)),
+                ("snapshot", Json::from(path.display().to_string())),
+            ],
+        );
+        if state.iteration >= cfg.iterations {
+            // Nothing left to train; report the run as the snapshot
+            // recorded it.
+            return finish_trace(
+                Ok(TrainingLog {
+                    secs_per_iteration: state.prior_wall_secs / cfg.iterations.max(1) as f64,
+                    losses: state.losses,
+                    tasks_seen: state.tasks_seen,
+                    skipped: state.skipped,
+                    wall_secs: state.prior_wall_secs,
+                }),
+                &tracer,
+            );
+        }
+        let engine = Engine::open(learner.name(), meta, cfg, state.iteration);
+        let result = engine
+            .and_then(|mut e| run_loop(learner, view, enc, meta, cfg, state, &tracer, &mut e));
+        finish_trace(result, &tracer)
     }
 }
 
 /// Meta-trains `learner` on tasks sampled from `view`.
-///
-/// With [`TrainConfig::checkpoint_every`] set, rolling
-/// [`TrainingSnapshot`]s land in [`TrainConfig::checkpoint_dir`]; a run
-/// killed at any point can be continued with [`resume`].
+#[deprecated(note = "use `Trainer::new().train(...)`")]
 pub fn train<L>(
     learner: &mut L,
     view: &SplitView,
@@ -427,15 +685,11 @@ pub fn train<L>(
 where
     L: EpisodicLearner + Sync + ?Sized,
 {
-    train_traced(learner, view, enc, meta, cfg, &cfg.tracer())
+    Trainer::new().train(learner, view, enc, meta, cfg)
 }
 
-/// [`train`] with an explicit tracer (tests inject a manual clock and an
-/// in-memory sink here; [`train`] itself derives the tracer from
-/// [`TrainConfig::trace_path`]).
-///
-/// The tracer is flushed when the loop ends — normally *or* with
-/// [`Error::Diverged`] — so the trace survives a diverged run.
+/// [`Trainer::train`] with an explicit tracer.
+#[deprecated(note = "use `Trainer::with_tracer(tracer).train(...)`")]
 pub fn train_traced<L>(
     learner: &mut L,
     view: &SplitView,
@@ -447,23 +701,11 @@ pub fn train_traced<L>(
 where
     L: EpisodicLearner + Sync + ?Sized,
 {
-    meta.validate()?;
-    let state = LoopState::fresh(meta, cfg);
-    let result = run_loop(learner, view, enc, meta, cfg, state, tracer);
-    finish_trace(result, tracer)
+    Trainer::with_tracer(tracer).train(learner, view, enc, meta, cfg)
 }
 
 /// Continues a checkpointed run from the newest valid snapshot in `dir`.
-///
-/// `learner` must be freshly constructed with the same architecture and
-/// configuration as the original run (constructors are seed-deterministic);
-/// its mutable state is then replaced wholesale via
-/// [`EpisodicLearner::import_state`]. The snapshot's [`RunFingerprint`]
-/// must match the given schedule — except for
-/// [`TrainConfig::iterations`], which may differ so a finished run can be
-/// extended. Because the snapshot carries every source of randomness, the
-/// resumed run's final θ is bitwise-identical to a straight-through run's,
-/// at any thread count.
+#[deprecated(note = "use `Trainer::new().resume(...)`")]
 pub fn resume<L>(
     learner: &mut L,
     view: &SplitView,
@@ -475,11 +717,11 @@ pub fn resume<L>(
 where
     L: EpisodicLearner + Sync + ?Sized,
 {
-    resume_traced(learner, view, enc, meta, cfg, dir, &cfg.tracer())
+    Trainer::new().resume(learner, view, enc, meta, cfg, dir)
 }
 
-/// [`resume`] with an explicit tracer (see [`train_traced`]). Records a
-/// `train/resume` event carrying the snapshot's iteration and path.
+/// [`Trainer::resume`] with an explicit tracer.
+#[deprecated(note = "use `Trainer::with_tracer(tracer).resume(...)`")]
 pub fn resume_traced<L>(
     learner: &mut L,
     view: &SplitView,
@@ -492,45 +734,7 @@ pub fn resume_traced<L>(
 where
     L: EpisodicLearner + Sync + ?Sized,
 {
-    meta.validate()?;
-    let dir = dir.as_ref();
-    let (snap, path) = snapshot::latest_valid(dir)?.ok_or_else(|| Error::Io {
-        path: dir.display().to_string(),
-        detail: "no training snapshots found".into(),
-    })?;
-    let expected = fingerprint_of(learner.name(), meta, cfg);
-    if snap.fingerprint != expected {
-        return Err(Error::InvalidConfig(format!(
-            "snapshot `{}` belongs to a different run: {:?} vs {:?}",
-            path.display(),
-            snap.fingerprint,
-            expected
-        )));
-    }
-    learner.import_state(&snap.learner)?;
-    let state = LoopState::from_snapshot(&snap);
-    tracer.event(
-        "train/resume",
-        &[
-            ("iteration", Json::from(snap.iteration)),
-            ("snapshot", Json::from(path.display().to_string())),
-        ],
-    );
-    if state.iteration >= cfg.iterations {
-        // Nothing left to train; report the run as the snapshot recorded it.
-        return finish_trace(
-            Ok(TrainingLog {
-                secs_per_iteration: state.prior_wall_secs / cfg.iterations.max(1) as f64,
-                losses: state.losses,
-                tasks_seen: state.tasks_seen,
-                skipped: state.skipped,
-                wall_secs: state.prior_wall_secs,
-            }),
-            tracer,
-        );
-    }
-    let result = run_loop(learner, view, enc, meta, cfg, state, tracer);
-    finish_trace(result, tracer)
+    Trainer::with_tracer(tracer).resume(learner, view, enc, meta, cfg, dir)
 }
 
 /// Flushes the tracer once a run ends, preserving the run's own error over
@@ -543,7 +747,14 @@ fn finish_trace(result: Result<TrainingLog>, tracer: &Tracer) -> Result<Training
     Ok(log)
 }
 
-/// The shared iteration loop behind [`train`] and [`resume`].
+/// The shared iteration loop behind [`Trainer::train`] and
+/// [`Trainer::resume`].
+///
+/// In a sharded run every worker executes this exact loop in lockstep:
+/// the sampler RNG is part of the snapshot/fingerprint contract, so all
+/// shards draw identical meta-batches and only the per-task compute is
+/// divided (inside [`Engine::step`]).
+#[allow(clippy::too_many_arguments)]
 fn run_loop<L>(
     learner: &mut L,
     view: &SplitView,
@@ -552,11 +763,11 @@ fn run_loop<L>(
     cfg: &TrainConfig,
     mut state: LoopState,
     tracer: &Tracer,
+    engine: &mut Engine,
 ) -> Result<TrainingLog>
 where
     L: EpisodicLearner + Sync + ?Sized,
 {
-    let pool = ParallelTrainer::new(cfg.threads);
     let sampler = EpisodeSampler::new(view, cfg.n_ways, cfg.k_shots, cfg.query_size)?;
     let ckpt_dir = if cfg.checkpoint_every > 0 {
         let dir = cfg.checkpoint_dir.as_ref().ok_or_else(|| {
@@ -603,7 +814,7 @@ where
         // But a long *unbroken* run of skips means θ is ruined, not
         // unlucky: the divergence guard aborts rather than burning the
         // rest of the schedule.
-        match pool.meta_step_traced(learner, &batch, enc, tracer) {
+        match engine.step(learner, &batch, enc, tracer) {
             Ok(loss) => {
                 iter_span.set("loss", loss);
                 tracer.observe("train/outer_loss", f64::from(loss));
@@ -651,6 +862,7 @@ where
                 })?;
                 let snap = TrainingSnapshot {
                     version: SNAPSHOT_VERSION,
+                    shard: (cfg.shards > 1).then_some(cfg.shard_id),
                     iteration: state.iteration,
                     sampler_rng: state.rng.clone(),
                     losses: state.losses.clone(),
@@ -725,7 +937,9 @@ mod tests {
         };
         let mut learner = Fewner::new(bb_cfg(Conditioning::Film, 8), &enc, meta.clone()).unwrap();
         let cfg = TrainConfig::new(3, 1).iterations(3).query_size(4).seed(9);
-        let log = train(&mut learner, &split.train, &enc, &meta, &cfg).unwrap();
+        let log = Trainer::new()
+            .train(&mut learner, &split.train, &enc, &meta, &cfg)
+            .unwrap();
         assert_eq!(log.losses.len(), 3);
         assert_eq!(log.tasks_seen, 6);
         assert_eq!(log.skipped, 0);
@@ -776,7 +990,9 @@ mod tests {
             ..MetaConfig::default()
         };
         let cfg = TrainConfig::new(3, 1).iterations(4).query_size(4).seed(9);
-        let log = train(&mut Exploding, &split.train, &enc, &meta, &cfg).unwrap();
+        let log = Trainer::new()
+            .train(&mut Exploding, &split.train, &enc, &meta, &cfg)
+            .unwrap();
         assert_eq!(log.skipped, 4, "every batch must be counted as skipped");
         assert!(log.losses.is_empty(), "no loss entry for a skipped batch");
         assert_eq!(
@@ -804,7 +1020,9 @@ mod tests {
             ..MetaConfig::default()
         };
         let cfg = TrainConfig::new(3, 1).iterations(10).query_size(4).seed(9);
-        let err = train(&mut Exploding, &split.train, &enc, &meta, &cfg).unwrap_err();
+        let err = Trainer::new()
+            .train(&mut Exploding, &split.train, &enc, &meta, &cfg)
+            .unwrap_err();
         match err {
             Error::Diverged {
                 consecutive_skips,
@@ -876,7 +1094,9 @@ mod tests {
             store: fewner_tensor::ParamStore::new(),
         };
         let cfg = TrainConfig::new(3, 1).iterations(4).query_size(4).seed(9);
-        train(&mut probe, &split.train, &enc, &meta, &cfg).unwrap();
+        Trainer::new()
+            .train(&mut probe, &split.train, &enc, &meta, &cfg)
+            .unwrap();
         assert_eq!(probe.decays, 2);
     }
 
@@ -916,7 +1136,9 @@ mod tests {
         };
         let before = probe_loss(&mut learner);
         let cfg = TrainConfig::new(3, 1).iterations(24).query_size(4).seed(10);
-        train(&mut learner, &split.train, &enc, &meta, &cfg).unwrap();
+        Trainer::new()
+            .train(&mut learner, &split.train, &enc, &meta, &cfg)
+            .unwrap();
         let after = probe_loss(&mut learner);
         assert!(
             after < before,

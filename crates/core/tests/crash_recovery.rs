@@ -9,8 +9,8 @@
 use std::path::PathBuf;
 
 use fewner_core::{
-    resume, train, Checkpoint, EpisodicLearner, Fewner, MetaConfig, ParallelTrainer, TaskOutcome,
-    TrainConfig, TrainingSnapshot,
+    Checkpoint, EpisodicLearner, Fewner, MetaConfig, ParallelTrainer, TaskOutcome, TrainConfig,
+    Trainer, TrainingSnapshot,
 };
 use fewner_corpus::{split_types, DatasetProfile, TypeSplit};
 use fewner_episode::{EpisodeSampler, Task};
@@ -101,14 +101,15 @@ fn kill_and_resume_is_bitwise_identical_at_1_and_4_threads() {
 
             // Straight-through reference: 12 iterations, no checkpoints.
             let mut straight = learner(&enc);
-            train(
-                &mut straight,
-                &split.train,
-                &enc,
-                &m,
-                &cfg(threads).iterations(12),
-            )
-            .unwrap();
+            Trainer::new()
+                .train(
+                    &mut straight,
+                    &split.train,
+                    &enc,
+                    &m,
+                    &cfg(threads).iterations(12),
+                )
+                .unwrap();
 
             // "Killed" run: stops after 7 iterations with snapshots at 3
             // and 6 — exactly what a kill at iteration 7 leaves on disk.
@@ -117,7 +118,9 @@ fn kill_and_resume_is_bitwise_identical_at_1_and_4_threads() {
                 .iterations(7)
                 .checkpoint_every(3)
                 .checkpoint_dir(&dir);
-            train(&mut killed, &split.train, &enc, &m, &ck).unwrap();
+            Trainer::new()
+                .train(&mut killed, &split.train, &enc, &m, &ck)
+                .unwrap();
             drop(killed); // the process is gone; only the snapshots survive
 
             // Resume into the full 12-iteration schedule.
@@ -126,7 +129,9 @@ fn kill_and_resume_is_bitwise_identical_at_1_and_4_threads() {
                 .iterations(12)
                 .checkpoint_every(3)
                 .checkpoint_dir(&dir);
-            let log = resume(&mut resumed, &split.train, &enc, &m, &rk, &dir).unwrap();
+            let log = Trainer::new()
+                .resume(&mut resumed, &split.train, &enc, &m, &rk, &dir)
+                .unwrap();
 
             assert_eq!(log.losses.len(), 12, "full loss history is restored");
             assert_eq!(
@@ -155,21 +160,24 @@ fn corrupted_newest_snapshot_falls_back_to_its_predecessor() {
         let m = meta();
 
         let mut straight = learner(&enc);
-        train(
-            &mut straight,
-            &split.train,
-            &enc,
-            &m,
-            &cfg(1).iterations(12),
-        )
-        .unwrap();
+        Trainer::new()
+            .train(
+                &mut straight,
+                &split.train,
+                &enc,
+                &m,
+                &cfg(1).iterations(12),
+            )
+            .unwrap();
 
         let mut killed = learner(&enc);
         let ck = cfg(1)
             .iterations(7)
             .checkpoint_every(3)
             .checkpoint_dir(&dir);
-        train(&mut killed, &split.train, &enc, &m, &ck).unwrap();
+        Trainer::new()
+            .train(&mut killed, &split.train, &enc, &m, &ck)
+            .unwrap();
 
         // Bit-flip the newest snapshot (snap-6) in the middle of θ.
         let newest = dir.join("snap-00000006.fsnap");
@@ -188,7 +196,9 @@ fn corrupted_newest_snapshot_falls_back_to_its_predecessor() {
             .iterations(12)
             .checkpoint_every(3)
             .checkpoint_dir(&dir);
-        resume(&mut resumed, &split.train, &enc, &m, &rk, &dir).unwrap();
+        Trainer::new()
+            .resume(&mut resumed, &split.train, &enc, &m, &rk, &dir)
+            .unwrap();
         assert_eq!(
             state_of(&straight),
             state_of(&resumed),
@@ -215,7 +225,9 @@ fn torn_snapshot_write_never_leaves_the_run_unresumable() {
             .iterations(7)
             .checkpoint_every(3)
             .checkpoint_dir(&dir);
-        let err = train(&mut killed, &split.train, &enc, &m, &ck).unwrap_err();
+        let err = Trainer::new()
+            .train(&mut killed, &split.train, &enc, &m, &ck)
+            .unwrap_err();
         assert!(
             matches!(err, Error::Io { .. }),
             "a torn snapshot write must surface as Error::Io, got {err:?}"
@@ -232,17 +244,20 @@ fn torn_snapshot_write_never_leaves_the_run_unresumable() {
             .iterations(12)
             .checkpoint_every(3)
             .checkpoint_dir(&dir);
-        resume(&mut resumed, &split.train, &enc, &m, &rk, &dir).unwrap();
+        Trainer::new()
+            .resume(&mut resumed, &split.train, &enc, &m, &rk, &dir)
+            .unwrap();
 
         let mut straight = learner(&enc);
-        train(
-            &mut straight,
-            &split.train,
-            &enc,
-            &m,
-            &cfg(1).iterations(12),
-        )
-        .unwrap();
+        Trainer::new()
+            .train(
+                &mut straight,
+                &split.train,
+                &enc,
+                &m,
+                &cfg(1).iterations(12),
+            )
+            .unwrap();
         assert_eq!(
             state_of(&straight),
             state_of(&resumed),
@@ -261,7 +276,9 @@ fn injected_task_grad_error_exercises_the_skip_path() {
     fault::with_plan(FaultPlan::parse("task_grad_err:1").unwrap(), || {
         let m = meta();
         let mut l = learner(&enc);
-        let log = train(&mut l, &split.train, &enc, &m, &cfg(1).iterations(4)).unwrap();
+        let log = Trainer::new()
+            .train(&mut l, &split.train, &enc, &m, &cfg(1).iterations(4))
+            .unwrap();
         assert_eq!(log.skipped, 1, "exactly the faulted iteration is skipped");
         assert_eq!(log.losses.len(), 3, "the other iterations complete");
     });
@@ -316,11 +333,15 @@ fn resume_refuses_a_mismatched_run_fingerprint() {
             .iterations(3)
             .checkpoint_every(3)
             .checkpoint_dir(&dir);
-        train(&mut l, &split.train, &enc, &m, &ck).unwrap();
+        Trainer::new()
+            .train(&mut l, &split.train, &enc, &m, &ck)
+            .unwrap();
 
         let mut other = learner(&enc);
         let wrong_seed = cfg(1).iterations(6).seed(1234);
-        let err = resume(&mut other, &split.train, &enc, &m, &wrong_seed, &dir).unwrap_err();
+        let err = Trainer::new()
+            .resume(&mut other, &split.train, &enc, &m, &wrong_seed, &dir)
+            .unwrap_err();
         assert!(
             matches!(err, Error::InvalidConfig(_)),
             "expected InvalidConfig on fingerprint mismatch, got {err:?}"
@@ -329,7 +350,9 @@ fn resume_refuses_a_mismatched_run_fingerprint() {
         // An empty directory is a precise Io error, not a panic.
         let empty = tmp_dir("fingerprint-empty");
         std::fs::create_dir_all(&empty).unwrap();
-        let err = resume(&mut other, &split.train, &enc, &m, &cfg(1), &empty).unwrap_err();
+        let err = Trainer::new()
+            .resume(&mut other, &split.train, &enc, &m, &cfg(1), &empty)
+            .unwrap_err();
         assert!(matches!(err, Error::Io { .. }));
         std::fs::remove_dir_all(dir).ok();
         std::fs::remove_dir_all(empty).ok();

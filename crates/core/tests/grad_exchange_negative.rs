@@ -1,0 +1,171 @@
+//! Negative-path tests for the sharded gradient exchange (ISSUE 8,
+//! satellite 3), mirroring `crates/util/tests/durable_negative.rs` at the
+//! protocol level: a corrupt or torn partial-gradient frame must be caught
+//! by the CRC and *retransmitted* — never silently applied, never allowed
+//! to diverge the run by a single byte.
+//!
+//! Faults are injected through [`fault::with_plan`] (process-global, hence
+//! the wrapper even where no arm fires) using the `@shard` scope so only
+//! the targeted worker mangles its frames.
+
+use fewner_core::{
+    CoordinatorReport, EpisodicLearner, Fewner, MetaConfig, ShardCoordinator, TrainConfig, Trainer,
+};
+use fewner_corpus::{split_types, DatasetProfile, TypeSplit};
+use fewner_models::{BackboneConfig, Conditioning, HeadKind, TokenEncoder};
+use fewner_obs::Tracer;
+use fewner_text::embed::EmbeddingSpec;
+use fewner_util::fault::{self, FaultPlan};
+use fewner_util::Result;
+
+const ITERS: usize = 5;
+
+fn setup() -> (TypeSplit, TokenEncoder) {
+    let d = DatasetProfile::bionlp13cg().generate(0.05).unwrap();
+    let split = split_types(&d, (8, 3, 5), 1).unwrap();
+    let enc = TokenEncoder::build(
+        &[&d],
+        &EmbeddingSpec {
+            dim: 20,
+            ..EmbeddingSpec::default()
+        },
+        4,
+    );
+    (split, enc)
+}
+
+fn meta() -> MetaConfig {
+    MetaConfig {
+        meta_batch: 2,
+        inner_steps_train: 1,
+        ..MetaConfig::default()
+    }
+}
+
+fn learner(enc: &TokenEncoder) -> Fewner {
+    let bb = BackboneConfig {
+        word_dim: 20,
+        char_dim: 8,
+        char_filters: 6,
+        char_widths: vec![2, 3],
+        hidden: 10,
+        phi_dim: 8,
+        slot_ctx_dim: 4,
+        conditioning: Conditioning::Film,
+        dropout: 0.1,
+        use_char_cnn: true,
+        encoder: fewner_models::backbone::EncoderKind::BiGru,
+        head: HeadKind::Dense { n_ways: 3 },
+    };
+    Fewner::new(bb, enc, meta()).unwrap()
+}
+
+fn cfg() -> TrainConfig {
+    TrainConfig::new(3, 1)
+        .query_size(4)
+        .seed(9)
+        .threads(1)
+        .iterations(ITERS)
+}
+
+fn state_of(l: &Fewner) -> String {
+    l.export_state().expect("checkpointable").to_string()
+}
+
+/// A 2-shard run over real TCP; returns both workers' final states and the
+/// coordinator's report.
+fn two_shard_run(
+    split: &TypeSplit,
+    enc: &TokenEncoder,
+) -> (Vec<Result<String>>, CoordinatorReport) {
+    let m = meta();
+    let coordinator = ShardCoordinator::bind("127.0.0.1:0", 2).unwrap();
+    let addr = coordinator.local_addr().unwrap().to_string();
+    std::thread::scope(|scope| {
+        let driver = scope.spawn(|| coordinator.run(&Tracer::disabled()));
+        let workers: Vec<_> = (0..2)
+            .map(|shard| {
+                let (addr, m) = (addr.as_str(), &m);
+                scope.spawn(move || {
+                    let schedule = cfg().shards(2).shard_id(shard).coordinator(addr);
+                    let mut l = learner(enc);
+                    Trainer::new()
+                        .train(&mut l, &split.train, enc, m, &schedule)
+                        .map(|_| state_of(&l))
+                })
+            })
+            .collect();
+        let states = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        let report = driver.join().unwrap().expect("coordinator run failed");
+        (states, report)
+    })
+}
+
+/// The serial reference every faulted run must match byte for byte.
+fn serial_reference(split: &TypeSplit, enc: &TokenEncoder) -> String {
+    let mut l = learner(enc);
+    Trainer::new()
+        .train(&mut l, &split.train, enc, &meta(), &cfg())
+        .unwrap();
+    state_of(&l)
+}
+
+/// Runs the faulted 2-shard exchange and asserts the recovery invariants:
+/// at least one retransmit, no deaths, every round applied, and both
+/// workers bitwise identical to the serial run.
+fn assert_recovers_bitwise(plan: &str) {
+    let (split, enc) = setup();
+    fault::with_plan(FaultPlan::parse(plan).unwrap(), || {
+        let reference = serial_reference(&split, &enc);
+        let (states, report) = two_shard_run(&split, &enc);
+        assert!(
+            report.retransmits >= 1,
+            "`{plan}` must force a retransmit, report: {report:?}"
+        );
+        assert_eq!(report.deaths, 0, "a recoverable frame is not a death");
+        assert_eq!(report.rounds, ITERS);
+        assert_eq!(report.applied, ITERS, "no round may be lost to the fault");
+        for (shard, state) in states.into_iter().enumerate() {
+            assert_eq!(
+                state.unwrap(),
+                reference,
+                "worker {shard} diverged after `{plan}`"
+            );
+        }
+    });
+}
+
+#[test]
+fn a_corrupt_partial_frame_is_retransmitted_not_applied() {
+    // Shard 1's second partial goes out with a flipped payload byte: the
+    // coordinator's CRC check must catch it and ask for a resend.
+    assert_recovers_bitwise("shard_frame_corrupt:2@1");
+}
+
+#[test]
+fn a_torn_partial_frame_is_retransmitted_not_applied() {
+    // Half of shard 0's third partial is zeroed with the declared length
+    // left honest — the boundary holds, so the frame is retransmittable.
+    assert_recovers_bitwise("shard_frame_torn:3@0");
+}
+
+#[test]
+fn repeated_frame_damage_across_shards_still_converges() {
+    // Both workers damage a frame in different rounds; every one is
+    // recovered independently.
+    assert_recovers_bitwise("shard_frame_corrupt:1@0,shard_frame_torn:2@1");
+}
+
+#[test]
+fn a_clean_exchange_never_retransmits() {
+    let (split, enc) = setup();
+    fault::with_plan(FaultPlan::parse("").unwrap(), || {
+        let reference = serial_reference(&split, &enc);
+        let (states, report) = two_shard_run(&split, &enc);
+        assert_eq!(report.retransmits, 0, "report: {report:?}");
+        assert_eq!((report.deaths, report.skipped), (0, 0));
+        for state in states {
+            assert_eq!(state.unwrap(), reference);
+        }
+    });
+}

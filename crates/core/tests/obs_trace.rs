@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use fewner_core::{resume, train, Checkpoint, EpisodicLearner, Fewner, MetaConfig, TrainConfig};
+use fewner_core::{Checkpoint, EpisodicLearner, Fewner, MetaConfig, TrainConfig, Trainer};
 use fewner_corpus::{split_types, DatasetProfile, TypeSplit};
 use fewner_models::{BackboneConfig, Conditioning, HeadKind, TokenEncoder};
 use fewner_obs::{Clock, ManualClock, MemorySink, TraceSummary, Tracer};
@@ -97,25 +97,27 @@ fn traced_training_is_bitwise_identical_to_untraced() {
             let m = meta();
 
             let mut plain = learner(&enc);
-            train(
-                &mut plain,
-                &split.train,
-                &enc,
-                &m,
-                &cfg(threads).iterations(6),
-            )
-            .unwrap();
+            Trainer::new()
+                .train(
+                    &mut plain,
+                    &split.train,
+                    &enc,
+                    &m,
+                    &cfg(threads).iterations(6),
+                )
+                .unwrap();
 
             let trace_path = dir.join("train.jsonl");
             let mut traced = learner(&enc);
-            train(
-                &mut traced,
-                &split.train,
-                &enc,
-                &m,
-                &cfg(threads).iterations(6).trace(&trace_path),
-            )
-            .unwrap();
+            Trainer::new()
+                .train(
+                    &mut traced,
+                    &split.train,
+                    &enc,
+                    &m,
+                    &cfg(threads).iterations(6).trace(&trace_path),
+                )
+                .unwrap();
 
             assert_eq!(
                 state_of(&plain),
@@ -158,14 +160,15 @@ fn traced_kill_and_resume_matches_untraced_straight_run() {
 
         // Untraced straight-through reference.
         let mut straight = learner(&enc);
-        train(
-            &mut straight,
-            &split.train,
-            &enc,
-            &m,
-            &cfg(2).iterations(12),
-        )
-        .unwrap();
+        Trainer::new()
+            .train(
+                &mut straight,
+                &split.train,
+                &enc,
+                &m,
+                &cfg(2).iterations(12),
+            )
+            .unwrap();
 
         // Traced run killed at iteration 7 (snapshots at 3 and 6)…
         let mut killed = learner(&enc);
@@ -174,7 +177,9 @@ fn traced_kill_and_resume_matches_untraced_straight_run() {
             .checkpoint_every(3)
             .checkpoint_dir(&dir)
             .trace(dir.join("killed.jsonl"));
-        train(&mut killed, &split.train, &enc, &m, &ck).unwrap();
+        Trainer::new()
+            .train(&mut killed, &split.train, &enc, &m, &ck)
+            .unwrap();
         drop(killed);
 
         // …resumed, still traced, into the full schedule.
@@ -185,7 +190,9 @@ fn traced_kill_and_resume_matches_untraced_straight_run() {
             .checkpoint_every(3)
             .checkpoint_dir(&dir)
             .trace(&resumed_trace);
-        resume(&mut resumed, &split.train, &enc, &m, &rk, &dir).unwrap();
+        Trainer::new()
+            .resume(&mut resumed, &split.train, &enc, &m, &rk, &dir)
+            .unwrap();
 
         assert_eq!(
             state_of(&straight),
@@ -233,7 +240,9 @@ fn trainer_records_checkpoint_spans_and_phase_latencies() {
             .iterations(4)
             .checkpoint_every(2)
             .checkpoint_dir(&dir);
-        fewner_core::train_traced(&mut l, &split.train, &enc, &m, &schedule, &tracer).unwrap();
+        fewner_core::Trainer::with_tracer(&tracer)
+            .train(&mut l, &split.train, &enc, &m, &schedule)
+            .unwrap();
 
         let summary = TraceSummary::parse(&sink.text()).unwrap();
         assert_eq!(summary.spans["train/iteration"].count(), 4);

@@ -64,6 +64,28 @@ impl SpanStats {
     }
 }
 
+/// The sharded-training digest from a coordinator trace — see
+/// [`TraceSummary::sharding`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardingDigest {
+    /// Reduce rounds the coordinator completed (`shard/rounds`).
+    pub rounds: u64,
+    /// `(shard id, tasks computed)` per worker (`shard/tasks/s{N}`),
+    /// ascending by shard id. Reassigned ranges count toward the worker
+    /// that absorbed them.
+    pub tasks_per_shard: Vec<(usize, u64)>,
+    /// Workers that died mid-run (`shard/deaths`).
+    pub deaths: u64,
+    /// Task ranges reassigned to a surviving worker (`shard/reassigned`).
+    pub reassigned: u64,
+    /// Gradient frames retransmitted after CRC failures
+    /// (`shard/retransmits`).
+    pub retransmits: u64,
+    /// Rounds skipped because a shard reported a non-finite loss
+    /// (`shard/skipped_rounds`).
+    pub skipped_rounds: u64,
+}
+
 /// A parsed trace, ready to render.
 #[derive(Debug, Default)]
 pub struct TraceSummary {
@@ -167,6 +189,32 @@ impl TraceSummary {
         (requests > 0).then_some(digest)
     }
 
+    /// The sharded-training digest: reduce rounds, per-shard task counts
+    /// and fault-tolerance counters from the coordinator's trace. `None`
+    /// when the trace holds no `shard/rounds` counter, so unsharded runs
+    /// stay quiet.
+    pub fn sharding(&self) -> Option<ShardingDigest> {
+        let rounds = *self.counters.get("shard/rounds")?;
+        let c = |name: &str| self.counters.get(name).copied().unwrap_or(0);
+        let mut tasks_per_shard: Vec<(usize, u64)> = self
+            .counters
+            .iter()
+            .filter_map(|(name, v)| {
+                let id = name.strip_prefix("shard/tasks/s")?;
+                id.parse::<usize>().ok().map(|id| (id, *v))
+            })
+            .collect();
+        tasks_per_shard.sort_unstable();
+        Some(ShardingDigest {
+            rounds,
+            tasks_per_shard,
+            deaths: c("shard/deaths"),
+            reassigned: c("shard/reassigned"),
+            retransmits: c("shard/retransmits"),
+            skipped_rounds: c("shard/skipped_rounds"),
+        })
+    }
+
     /// The human-readable report `fewner trace summarize` prints.
     pub fn render(&self) -> String {
         let ms = |ns: u64| ns as f64 / 1e6;
@@ -219,6 +267,35 @@ impl TraceSummary {
             ));
             if self.events.contains_key("serve/persist_degraded") {
                 out.push_str("  φ persistence DEGRADED to memory-only (see events)\n");
+            }
+        }
+        if let Some(sharding) = self.sharding() {
+            out.push_str("\nsharding\n");
+            out.push_str(&format!(
+                "  {} rounds across {} shards: {} skipped, {} deaths, \
+                 {} ranges reassigned, {} frames retransmitted\n",
+                sharding.rounds,
+                sharding.tasks_per_shard.len(),
+                sharding.skipped_rounds,
+                sharding.deaths,
+                sharding.reassigned,
+                sharding.retransmits,
+            ));
+            if !sharding.tasks_per_shard.is_empty() {
+                out.push_str("  tasks per shard:");
+                for (id, tasks) in &sharding.tasks_per_shard {
+                    out.push_str(&format!(" s{id:02}={tasks}"));
+                }
+                out.push('\n');
+            }
+            if let Some(wait) = self.spans.get("shard/straggler_wait") {
+                out.push_str(&format!(
+                    "  straggler wait (ms): p50 {:.3}  p90 {:.3}  p99 {:.3}  max {:.3}\n",
+                    ms(wait.percentile_ns(50.0)),
+                    ms(wait.percentile_ns(90.0)),
+                    ms(wait.percentile_ns(99.0)),
+                    ms(wait.max_ns()),
+                ));
             }
         }
         if let Some((train_ns, adapt_ns)) = self.cost_split() {
@@ -327,6 +404,56 @@ mod tests {
         assert!(report.contains("4 deadline-missed (10.0%)"));
         assert!(report.contains("3 shed, 5 retried"));
         assert!(report.contains("DEGRADED to memory-only"));
+    }
+
+    #[test]
+    fn sharding_digest_appears_only_for_sharded_traces() {
+        let quiet = TraceSummary::parse(&span_line("train/iteration", 0, 1_000)).unwrap();
+        assert_eq!(quiet.sharding(), None);
+        assert!(!quiet.render().contains("\nsharding\n"));
+
+        let text = [
+            r#"{"t":"counter","name":"shard/rounds","v":12}"#,
+            r#"{"t":"counter","name":"shard/tasks/s0","v":30}"#,
+            r#"{"t":"counter","name":"shard/tasks/s1","v":18}"#,
+            r#"{"t":"counter","name":"shard/deaths","v":1}"#,
+            r#"{"t":"counter","name":"shard/reassigned","v":2}"#,
+            r#"{"t":"counter","name":"shard/retransmits","v":3}"#,
+            r#"{"t":"counter","name":"shard/skipped_rounds","v":1}"#,
+            span_line("shard/straggler_wait", 0, 4_000_000).as_str(),
+            span_line("shard/straggler_wait", 1, 6_000_000).as_str(),
+        ]
+        .join("\n");
+        let s = TraceSummary::parse(&text).unwrap();
+        let digest = s.sharding().expect("sharded trace must digest");
+        assert_eq!(digest.rounds, 12);
+        assert_eq!(digest.tasks_per_shard, vec![(0, 30), (1, 18)]);
+        assert_eq!(
+            (digest.deaths, digest.reassigned, digest.retransmits),
+            (1, 2, 3)
+        );
+        assert_eq!(digest.skipped_rounds, 1);
+        let report = s.render();
+        assert!(report.contains("\nsharding\n"), "{report}");
+        assert!(
+            report.contains("12 rounds across 2 shards: 1 skipped, 1 deaths"),
+            "{report}"
+        );
+        assert!(report.contains("s00=30 s01=18"), "{report}");
+        assert!(report.contains("straggler wait (ms): p50"), "{report}");
+    }
+
+    #[test]
+    fn sharding_shard_ids_sort_numerically() {
+        // Lexical counter order would put s10 before s2; the digest must not.
+        let text = [
+            r#"{"t":"counter","name":"shard/rounds","v":1}"#,
+            r#"{"t":"counter","name":"shard/tasks/s10","v":5}"#,
+            r#"{"t":"counter","name":"shard/tasks/s2","v":7}"#,
+        ]
+        .join("\n");
+        let s = TraceSummary::parse(&text).unwrap();
+        assert_eq!(s.sharding().unwrap().tasks_per_shard, vec![(2, 7), (10, 5)]);
     }
 
     #[test]

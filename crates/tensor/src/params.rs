@@ -413,6 +413,52 @@ impl ParamGrads {
     pub fn is_empty(&self) -> bool {
         self.grads.is_empty()
     }
+
+    /// Rebinds the accumulator to a different store id.
+    ///
+    /// Store ids are per-process, so gradients that cross a process
+    /// boundary (the sharded-training exchange) arrive untagged and must
+    /// be rebound to the receiver's own store before they can be applied.
+    /// The caller vouches that the slot layout matches — which holds
+    /// whenever both sides built the same learner from the same
+    /// [`RunFingerprint`]-checked configuration.
+    ///
+    /// [`RunFingerprint`]: https://docs.rs/fewner-core
+    pub fn retag(&mut self, store: u64) {
+        self.store = store;
+    }
+}
+
+/// Slots in order; an absent gradient is `null`. The store id is *not*
+/// serialised (it is meaningless outside this process) — deserialised
+/// accumulators carry id 0 until [`ParamGrads::retag`] rebinds them.
+/// `f32` values survive bit-exactly (see [`fewner_util::json`]).
+impl ToJson for ParamGrads {
+    fn to_json(&self) -> Json {
+        Json::Arr(
+            self.grads
+                .iter()
+                .map(|g| match g {
+                    Some(a) => a.to_json(),
+                    None => Json::Null,
+                })
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for ParamGrads {
+    fn from_json(json: &Json) -> Result<ParamGrads> {
+        let grads = json
+            .as_arr()?
+            .iter()
+            .map(|g| match g {
+                Json::Null => Ok(None),
+                other => Array::from_json(other).map(Some),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ParamGrads { store: 0, grads })
+    }
 }
 
 #[cfg(test)]
@@ -542,5 +588,39 @@ mod tests {
         g1.axpy(0.5, &g2);
         assert_eq!(g1.get(a).unwrap().scalar_value(), 1.0);
         assert_eq!(g1.get(b).unwrap().scalar_value(), 1.0);
+    }
+
+    #[test]
+    fn grads_json_round_trip_is_bit_exact() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Array::zeros(1, 3));
+        let _b = store.add("b", Array::zeros(1, 1)); // stays None
+        let mut grads = ParamGrads::zeros_like(&store);
+        // Awkward values: subnormal, negative zero, an irrational fraction.
+        grads.accumulate(
+            a.index(),
+            &Array::from_vec(1, 3, vec![1.0e-41, -0.0, 1.0 / 3.0]),
+        );
+
+        let text = grads.to_json().to_string();
+        let mut back = ParamGrads::from_json(&fewner_util::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.store_id(), 0);
+        back.retag(grads.store_id());
+        assert_eq!(back.store_id(), grads.store_id());
+        assert_eq!(back.len(), grads.len());
+        assert!(back.get_at(1).is_none());
+        let bits = |g: &ParamGrads| -> Vec<u32> {
+            g.get_at(0)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        };
+        assert_eq!(
+            bits(&back),
+            bits(&grads),
+            "f32 payload must survive bitwise"
+        );
     }
 }

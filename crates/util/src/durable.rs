@@ -28,7 +28,7 @@
 //! writes.
 
 use std::fs;
-use std::io::Write as _;
+use std::io::{Read, Write};
 use std::path::Path;
 
 use crate::crc32::crc32;
@@ -79,7 +79,16 @@ pub fn write_atomic(path: impl AsRef<Path>, payload: &[u8]) -> Result<()> {
         None => {}
     }
 
-    let tmp = path.with_extension("tmp");
+    // Append `.tmp` to the whole file name (never `with_extension`, which
+    // would collapse `trace.jsonl.s0` and `trace.jsonl.s1` onto the same
+    // `trace.jsonl.tmp` — concurrent writers of sibling files would then
+    // race each other's renames).
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
     let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
     file.write_all(&framed).map_err(|e| io_err(&tmp, e))?;
     file.sync_all().map_err(|e| io_err(&tmp, e))?;
@@ -145,6 +154,124 @@ pub fn read_verified(path: impl AsRef<Path>) -> Result<Vec<u8>> {
 pub fn read_verified_string(path: impl AsRef<Path>) -> Result<String> {
     let path = path.as_ref();
     String::from_utf8(read_verified(path)?).map_err(|_| io_err(path, "payload is not valid UTF-8"))
+}
+
+/// The longest header line [`read_wire_frame`] will scan for before
+/// declaring the stream garbled (`FEWNERD1 <8 hex> <len>\n` is ≤ 32 bytes
+/// for any plausible length).
+const MAX_WIRE_HEADER: usize = 64;
+
+/// One read from a FEWNERD1-framed byte stream (the sharded-training
+/// gradient exchange). Unlike [`read_verified`] — where a damaged file is
+/// simply an error — a stream reader must distinguish *recoverable*
+/// damage (the frame boundary is intact, so the peer can retransmit) from
+/// damage that kills the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFrame {
+    /// A complete, CRC-verified payload.
+    Frame(Vec<u8>),
+    /// Clean end of stream before any header byte: the peer closed the
+    /// connection between frames.
+    Eof,
+    /// The stream ended mid-header or mid-payload: the peer died while
+    /// sending. The connection is unusable.
+    Truncated(String),
+    /// The declared length arrived but the CRC does not match: the frame
+    /// boundary is intact, so the reader may request a retransmit.
+    Corrupt(String),
+    /// The header is unparseable (bad magic, missing fields, absurd
+    /// length): frame alignment is lost and the connection is unusable.
+    Garbled(String),
+}
+
+fn wire_err(detail: impl std::fmt::Display) -> Error {
+    Error::Io {
+        path: "<wire>".to_string(),
+        detail: detail.to_string(),
+    }
+}
+
+/// Writes one framed, checksummed payload to a byte stream and flushes it.
+pub fn write_wire_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    w.write_all(&frame(payload)).map_err(wire_err)?;
+    w.flush().map_err(wire_err)
+}
+
+/// Reads one frame from a byte stream, classifying damage (see
+/// [`WireFrame`]). `max_payload` caps the declared length so a hostile or
+/// garbled header can never balloon memory; larger declarations are
+/// `Garbled`, not trusted. `Err` is reserved for genuine I/O errors (which
+/// also kill the connection).
+pub fn read_wire_frame(r: &mut impl Read, max_payload: usize) -> Result<WireFrame> {
+    // Header: byte-at-a-time until `\n`. Frames carry multi-KiB payloads,
+    // so the ~30 single-byte reads are noise (and callers wrap sockets in
+    // a BufReader when it matters).
+    let mut header = Vec::with_capacity(32);
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) if header.is_empty() => return Ok(WireFrame::Eof),
+            Ok(0) => {
+                return Ok(WireFrame::Truncated(format!(
+                    "stream ended after {} header bytes",
+                    header.len()
+                )));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                header.push(byte[0]);
+                if header.len() > MAX_WIRE_HEADER {
+                    return Ok(WireFrame::Garbled(
+                        "no newline within the header budget".to_string(),
+                    ));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(wire_err(e)),
+        }
+    }
+    let Ok(header) = std::str::from_utf8(&header) else {
+        return Ok(WireFrame::Garbled("header is not UTF-8".to_string()));
+    };
+    let mut parts = header.split(' ');
+    let magic = parts.next().unwrap_or("");
+    if magic != MAGIC {
+        return Ok(WireFrame::Garbled(format!(
+            "bad magic `{magic}` (expected `{MAGIC}`)"
+        )));
+    }
+    let Some(stored_crc) = parts.next().and_then(|h| u32::from_str_radix(h, 16).ok()) else {
+        return Ok(WireFrame::Garbled("header is missing the CRC field".into()));
+    };
+    let Some(stored_len) = parts.next().and_then(|l| l.parse::<usize>().ok()) else {
+        return Ok(WireFrame::Garbled(
+            "header is missing the length field".into(),
+        ));
+    };
+    if stored_len > max_payload {
+        return Ok(WireFrame::Garbled(format!(
+            "declared payload of {stored_len} bytes exceeds the {max_payload}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; stored_len];
+    if let Err(e) = r.read_exact(&mut payload) {
+        return if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            Ok(WireFrame::Truncated(format!(
+                "stream ended inside a {stored_len}-byte payload"
+            )))
+        } else {
+            Err(wire_err(e))
+        };
+    }
+    let computed = crc32(&payload);
+    if computed != stored_crc {
+        return Ok(WireFrame::Corrupt(format!(
+            "CRC mismatch: stored {stored_crc:08x}, computed {computed:08x}"
+        )));
+    }
+    Ok(WireFrame::Frame(payload))
 }
 
 #[cfg(test)]

@@ -18,9 +18,15 @@
 //! ```text
 //! FEWNER_FAULTS=task_grad_panic:40            # panic on the 40th task_grad
 //! FEWNER_FAULTS=ckpt_write_fail:2,ckpt_corrupt:3
+//! FEWNER_FAULTS=shard_die:3@1                 # shard 1 aborts in round 3
 //! ```
 //!
-//! Counts are 1-based over the process lifetime.
+//! Counts are 1-based over the process lifetime. An arm may carry an
+//! `@<shard>` scope: it then only counts (and fires) on threads that have
+//! declared that shard id via [`set_thread_shard`] — this is how the
+//! sharded-training suites and the CI smoke job target exactly one worker
+//! even when several shards share a process (or inherit the same
+//! `FEWNER_FAULTS` from a driver).
 //!
 //! [`task_grad`]: https://docs.rs/fewner-core (EpisodicLearner::task_grad)
 
@@ -71,6 +77,23 @@ pub enum ServeFault {
     FrameCorrupt,
 }
 
+/// What an armed shard-exchange fault does to the i-th gradient frame a
+/// shard worker sends (counted per partial-gradient send).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFrameFault {
+    /// One payload byte is flipped after the CRC was computed — the
+    /// coordinator must detect the mismatch and request a retransmit.
+    Corrupt,
+    /// The second half of the payload is zeroed, length intact — a torn
+    /// gradient frame that only the CRC can catch (retransmit, not silent
+    /// divergence).
+    Torn,
+    /// The worker writes half the frame, then drops the connection — the
+    /// coordinator sees a truncated stream and must treat the shard as
+    /// dead and reassign its task range.
+    ConnDrop,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kind {
     TaskGradError,
@@ -81,6 +104,21 @@ enum Kind {
     ServeConnDrop,
     ServeAdaptStall,
     ServeFrameCorrupt,
+    ShardDie,
+    ShardConnDrop,
+    ShardFrameCorrupt,
+    ShardFrameTorn,
+}
+
+std::thread_local! {
+    static THREAD_SHARD: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// Declares which shard the current thread belongs to, for `@<shard>`-scoped
+/// arms. `None` clears the scope. Scoped arms never fire (or count) on
+/// threads without a matching declaration.
+pub fn set_thread_shard(shard: Option<u64>) {
+    THREAD_SHARD.with(|s| s.set(shard));
 }
 
 #[derive(Debug)]
@@ -88,13 +126,20 @@ struct Arm {
     kind: Kind,
     /// Fires on the `at`-th matching call (1-based).
     at: u64,
+    /// `Some(k)`: only counts on threads that declared shard `k`.
+    scope: Option<u64>,
     seen: AtomicU64,
 }
 
 impl Arm {
     /// Counts one matching call; true exactly when this call is the
-    /// `at`-th.
+    /// `at`-th. Out-of-scope calls neither count nor fire.
     fn tick(&self) -> bool {
+        if let Some(scope) = self.scope {
+            if THREAD_SHARD.with(|s| s.get()) != Some(scope) {
+                return false;
+            }
+        }
         self.seen.fetch_add(1, Ordering::Relaxed) + 1 == self.at
     }
 }
@@ -106,16 +151,26 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
-    /// Parses a comma-separated `kind:count` spec
+    /// Parses a comma-separated `kind:count[@shard]` spec
     /// (`task_grad_err | task_grad_panic | ckpt_write_fail | ckpt_truncate
     /// | ckpt_corrupt | serve_conn_drop | serve_adapt_stall |
-    /// serve_frame_corrupt`).
+    /// serve_frame_corrupt | shard_die | shard_conn_drop |
+    /// shard_frame_corrupt | shard_frame_torn`).
     pub fn parse(spec: &str) -> Result<FaultPlan> {
         let mut arms = Vec::new();
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
             let (kind, count) = part.trim().split_once(':').ok_or_else(|| {
                 Error::InvalidConfig(format!("fault spec `{part}` is not `kind:count`"))
             })?;
+            let (count, scope) = match count.split_once('@') {
+                Some((count, shard)) => {
+                    let shard: u64 = shard.trim().parse().map_err(|_| {
+                        Error::InvalidConfig(format!("fault scope `@{shard}` is not a shard id"))
+                    })?;
+                    (count, Some(shard))
+                }
+                None => (count, None),
+            };
             let at: u64 = count.trim().parse().map_err(|_| {
                 Error::InvalidConfig(format!("fault count `{count}` is not an integer"))
             })?;
@@ -133,6 +188,10 @@ impl FaultPlan {
                 "serve_conn_drop" => Kind::ServeConnDrop,
                 "serve_adapt_stall" => Kind::ServeAdaptStall,
                 "serve_frame_corrupt" => Kind::ServeFrameCorrupt,
+                "shard_die" => Kind::ShardDie,
+                "shard_conn_drop" => Kind::ShardConnDrop,
+                "shard_frame_corrupt" => Kind::ShardFrameCorrupt,
+                "shard_frame_torn" => Kind::ShardFrameTorn,
                 other => {
                     return Err(Error::InvalidConfig(format!(
                         "unknown fault kind `{other}`"
@@ -142,6 +201,7 @@ impl FaultPlan {
             arms.push(Arm {
                 kind,
                 at,
+                scope,
                 seen: AtomicU64::new(0),
             });
         }
@@ -192,6 +252,39 @@ impl FaultPlan {
         for arm in &self.arms {
             if arm.kind == Kind::ServeAdaptStall && arm.tick() {
                 fired = true;
+            }
+        }
+        fired
+    }
+
+    /// Counts one shard-round entry; true when the worker must abort the
+    /// whole process now (simulating a machine loss mid-training).
+    pub fn on_shard_round(&self) -> bool {
+        let mut fired = false;
+        for arm in &self.arms {
+            if arm.kind == Kind::ShardDie && arm.tick() {
+                fired = true;
+            }
+        }
+        fired
+    }
+
+    /// Counts one partial-gradient frame send; returns a fault if one
+    /// fires now. Corrupt/torn/conn-drop arms share this tick stream (each
+    /// arm keeps its own counter, like the write faults).
+    pub fn on_shard_frame(&self) -> Option<ShardFrameFault> {
+        let mut fired = None;
+        for arm in &self.arms {
+            let matches = matches!(
+                arm.kind,
+                Kind::ShardConnDrop | Kind::ShardFrameCorrupt | Kind::ShardFrameTorn
+            );
+            if matches && arm.tick() {
+                fired = Some(match arm.kind {
+                    Kind::ShardConnDrop => ShardFrameFault::ConnDrop,
+                    Kind::ShardFrameCorrupt => ShardFrameFault::Corrupt,
+                    _ => ShardFrameFault::Torn,
+                });
             }
         }
         fired
@@ -274,6 +367,17 @@ pub fn serve_adapt_stall_fault() -> bool {
     active().is_some_and(|p| p.on_serve_adapt())
 }
 
+/// Fault check for one shard round (no-op without a plan). True means the
+/// worker must abort the process.
+pub fn shard_die_fault() -> bool {
+    active().is_some_and(|p| p.on_shard_round())
+}
+
+/// Fault check for one partial-gradient frame send (no-op without a plan).
+pub fn shard_frame_fault() -> Option<ShardFrameFault> {
+    active()?.on_shard_frame()
+}
+
 /// Runs `f` with `plan` installed, then clears it. Calls are serialised
 /// process-wide so concurrent tests cannot observe each other's faults.
 pub fn with_plan<T>(plan: FaultPlan, f: impl FnOnce() -> T) -> T {
@@ -334,6 +438,41 @@ mod tests {
         assert!(plan.on_serve_adapt());
         assert!(!plan.on_serve_adapt());
         assert!(FaultPlan::parse("serve_conn_drop:0").is_err());
+    }
+
+    #[test]
+    fn shard_faults_parse_and_fire_independently() {
+        let plan = FaultPlan::parse(
+            "shard_die:2,shard_frame_corrupt:1,shard_frame_torn:2,shard_conn_drop:3",
+        )
+        .unwrap();
+        assert!(!plan.on_shard_round());
+        assert!(plan.on_shard_round());
+        assert!(!plan.on_shard_round());
+        assert_eq!(plan.on_shard_frame(), Some(ShardFrameFault::Corrupt));
+        assert_eq!(plan.on_shard_frame(), Some(ShardFrameFault::Torn));
+        assert_eq!(plan.on_shard_frame(), Some(ShardFrameFault::ConnDrop));
+        assert_eq!(plan.on_shard_frame(), None);
+    }
+
+    #[test]
+    fn scoped_arms_only_count_on_the_declared_shard() {
+        let plan = FaultPlan::parse("shard_die:2@1").unwrap();
+        // No declaration: never counts.
+        assert!(!plan.on_shard_round());
+        assert!(!plan.on_shard_round());
+        // Wrong shard: never counts.
+        set_thread_shard(Some(0));
+        assert!(!plan.on_shard_round());
+        // Matching shard: the scoped counter starts from zero here.
+        set_thread_shard(Some(1));
+        assert!(!plan.on_shard_round());
+        assert!(plan.on_shard_round());
+        assert!(!plan.on_shard_round());
+        set_thread_shard(None);
+
+        assert!(FaultPlan::parse("shard_die:1@x").is_err());
+        assert!(FaultPlan::parse("shard_die:0@1").is_err());
     }
 
     #[test]

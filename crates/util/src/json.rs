@@ -438,6 +438,10 @@ fn write_number(n: f64, out: &mut String) {
     if !n.is_finite() {
         // JSON has no Inf/NaN; null is the conventional stand-in.
         out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        // The integer fast path below would erase the sign of -0.0, and
+        // gradients exchanged between shards must survive bit-exactly.
+        out.push_str("-0.0");
     } else if n == n.trunc() && n.abs() < (1u64 << 53) as f64 {
         let _ = write!(out, "{}", n as i64);
     } else {

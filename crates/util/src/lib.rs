@@ -33,6 +33,7 @@ pub mod stats;
 
 pub use crc32::{crc32, Crc32};
 pub use deadline::Deadline;
+pub use durable::WireFrame;
 pub use error::{Error, Result};
 pub use json::{FromJson, Json, ToJson};
 pub use rng::Rng;

@@ -115,3 +115,106 @@ fn every_truncation_errors_without_panicking() {
     }
     std::fs::remove_file(&path).ok();
 }
+
+// --- Wire-frame classification (the sharded gradient exchange's reader) ---
+//
+// `read_wire_frame` is what a shard coordinator and its workers use to pull
+// partial-gradient frames off a TCP stream. Unlike the file reader above it
+// must *classify* damage: a CRC failure with an intact boundary is
+// retransmittable, while a lost boundary or a dead peer is terminal.
+
+mod wire {
+    use fewner_util::durable::{frame, read_wire_frame, WireFrame};
+
+    const PAYLOAD: &[u8] = br#"{"type":"partial","iteration":3}"#;
+    const MAX: usize = 1 << 20;
+
+    fn read(bytes: &[u8]) -> WireFrame {
+        read_wire_frame(&mut std::io::Cursor::new(bytes), MAX).expect("no I/O error")
+    }
+
+    #[test]
+    fn a_clean_frame_round_trips() {
+        match read(&frame(PAYLOAD)) {
+            WireFrame::Frame(p) => assert_eq!(p, PAYLOAD),
+            other => panic!("expected Frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_eof() {
+        assert!(matches!(read(b""), WireFrame::Eof));
+    }
+
+    #[test]
+    fn every_truncation_is_classified_never_a_frame() {
+        // A peer that dies mid-send leaves a prefix. No prefix may parse as
+        // a complete frame, and none may panic; cutting at 0 is Eof, any
+        // later cut is Truncated (the peer died mid-header or mid-payload).
+        let full = frame(PAYLOAD);
+        for cut in 0..full.len() {
+            match read(&full[..cut]) {
+                WireFrame::Eof => assert_eq!(cut, 0, "Eof only before any byte"),
+                WireFrame::Truncated(_) => assert!(cut > 0),
+                other => panic!("prefix of {cut} bytes classified as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_flipped_payload_byte_is_corrupt_and_retransmittable() {
+        // The frame boundary survives — the reader consumed exactly one
+        // frame — so a second, clean frame behind it is still readable.
+        // That property is what lets the shard protocol retransmit instead
+        // of tearing the connection down.
+        let mut bytes = frame(PAYLOAD);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x20;
+        bytes.extend_from_slice(&frame(PAYLOAD));
+        let mut cursor = std::io::Cursor::new(bytes.as_slice());
+        match read_wire_frame(&mut cursor, MAX).unwrap() {
+            WireFrame::Corrupt(detail) => assert!(detail.contains("CRC"), "{detail}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        match read_wire_frame(&mut cursor, MAX).unwrap() {
+            WireFrame::Frame(p) => assert_eq!(p, PAYLOAD),
+            other => panic!("frame after the corrupt one: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_torn_payload_with_intact_length_is_corrupt() {
+        // Half the payload zeroed but the declared length honest: the CRC
+        // catches it, and because the length was honest the boundary holds.
+        let mut bytes = frame(PAYLOAD);
+        let body = bytes.len() - PAYLOAD.len();
+        for b in &mut bytes[body + PAYLOAD.len() / 2..] {
+            *b = 0;
+        }
+        assert!(matches!(read(&bytes), WireFrame::Corrupt(_)));
+    }
+
+    #[test]
+    fn garbled_headers_lose_the_connection_not_the_process() {
+        for bad in [
+            b"NOTMAGIC 00000000 4\nabcd".as_slice(),
+            b"FEWNERD1 zzzzzzzz 4\nabcd".as_slice(),
+            b"FEWNERD1 00000000 nope\nabcd".as_slice(),
+            b"FEWNERD1\nabcd".as_slice(),
+        ] {
+            assert!(
+                matches!(read(bad), WireFrame::Garbled(_)),
+                "{:?} must be Garbled",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_declared_length_is_garbled_not_allocated() {
+        // A hostile header declaring 4 GiB must be rejected from the header
+        // alone — the reader never trusts it to size a buffer.
+        let huge = b"FEWNERD1 00000000 4294967296\n";
+        assert!(matches!(read(huge), WireFrame::Garbled(_)));
+    }
+}

@@ -61,7 +61,7 @@ fn main() -> fewner::Result<()> {
         };
         let mut learner = Fewner::new(bb, &enc, cfg.clone())?;
         let t0 = std::time::Instant::now();
-        fewner_core::train(&mut learner, &split.train, &enc, &cfg, &schedule)?;
+        fewner_core::Trainer::new().train(&mut learner, &split.train, &enc, &cfg, &schedule)?;
         let score = evaluate(&learner, &tasks, &enc)?;
         println!(
             "{label:<32} F1 {}  (trained in {:.0}s)",

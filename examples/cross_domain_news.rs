@@ -46,11 +46,11 @@ fn main() -> fewner::Result<()> {
     let tasks = sampler.eval_set(0xE7A1, 20)?;
 
     let mut fewner = Fewner::new(bb(Conditioning::Film), &enc, meta.clone())?;
-    fewner_core::train(&mut fewner, &src_split.train, &enc, &meta, &schedule)?;
+    fewner_core::Trainer::new().train(&mut fewner, &src_split.train, &enc, &meta, &schedule)?;
     let fewner_score = evaluate(&fewner, &tasks, &enc)?;
 
     let mut finetune = FineTuneLearner::new(bb(Conditioning::None), &enc, meta.clone())?;
-    fewner_core::train(&mut finetune, &src_split.train, &enc, &meta, &schedule)?;
+    fewner_core::Trainer::new().train(&mut finetune, &src_split.train, &enc, &meta, &schedule)?;
     let finetune_score = evaluate(&finetune, &tasks, &enc)?;
 
     println!(

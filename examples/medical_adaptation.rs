@@ -54,7 +54,7 @@ fn main() -> fewner::Result<()> {
         "meta-training on {} source episodes…",
         schedule.iterations * meta.meta_batch
     );
-    fewner_core::train(&mut fewner, &train, &enc, &meta, &schedule)?;
+    fewner_core::Trainer::new().train(&mut fewner, &train, &enc, &meta, &schedule)?;
 
     // Evaluate on target-domain tasks, verifying θ never changes.
     let sampler = EpisodeSampler::new(&test, 5, 1, 6)?;

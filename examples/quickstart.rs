@@ -52,7 +52,7 @@ fn main() -> fewner::Result<()> {
 
     // Meta-train on 3-way 1-shot episodes of *training* types.
     let schedule = TrainConfig::new(3, 1).iterations(200).query_size(6).seed(1);
-    let log = train(&mut fewner, &split.train, &enc, &meta, &schedule)?;
+    let log = Trainer::new().train(&mut fewner, &split.train, &enc, &meta, &schedule)?;
     println!(
         "meta-trained {} tasks in {:.1}s (loss {:.3} -> {:.3})",
         log.tasks_seen,

@@ -54,7 +54,7 @@ fn main() -> fewner::Result<()> {
     let mut fewner = Fewner::new(bb, &enc, meta.clone())?;
     let schedule = TrainConfig::new(3, 1).iterations(150).query_size(6).seed(6);
     println!("\nmeta-training on 3-way 1-shot slot-tagging episodes…");
-    train(&mut fewner, &split.train, &enc, &meta, &schedule)?;
+    Trainer::new().train(&mut fewner, &split.train, &enc, &meta, &schedule)?;
 
     let sampler = EpisodeSampler::new(&split.test, 3, 1, 6)?;
     let tasks = sampler.eval_set(0xE7A1, 20)?;

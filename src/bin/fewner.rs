@@ -47,6 +47,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "corpus" => cmd_corpus(&flags),
         "train" => cmd_train(&flags),
+        "train-sharded" => cmd_train_sharded(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "demo" => cmd_demo(&flags),
         "predict" => cmd_predict(&flags),
@@ -144,6 +145,18 @@ fn cmd_train(flags: &HashMap<String, String>) -> fewner::Result<()> {
         schedule = schedule.trace(path);
         println!("tracing to {path}");
     }
+    let shards = flag(flags, "shards", 1usize);
+    if shards > 1 {
+        let shard_id = flag(flags, "shard-id", 0usize);
+        let coordinator = flags.get("coordinator").ok_or_else(|| {
+            fewner::Error::InvalidConfig("--shards > 1 requires --coordinator <host:port>".into())
+        })?;
+        schedule = schedule
+            .shards(shards)
+            .shard_id(shard_id)
+            .coordinator(coordinator);
+        println!("shard {shard_id}/{shards}, coordinator at {coordinator}");
+    }
     println!(
         "meta-training FEWNER on {} ({} train sentences, {} train types)…",
         p.name,
@@ -153,9 +166,18 @@ fn cmd_train(flags: &HashMap<String, String>) -> fewner::Result<()> {
     let log = match resume_dir {
         Some(dir) => {
             println!("resuming from the newest valid snapshot in {dir}/…");
-            fewner::core::resume(&mut learner, &split.train, &enc, &cfg, &schedule, dir)?
+            fewner::core::Trainer::new().resume(
+                &mut learner,
+                &split.train,
+                &enc,
+                &cfg,
+                &schedule,
+                dir,
+            )?
         }
-        None => fewner::core::train(&mut learner, &split.train, &enc, &cfg, &schedule)?,
+        None => {
+            fewner::core::Trainer::new().train(&mut learner, &split.train, &enc, &cfg, &schedule)?
+        }
     };
     println!(
         "trained {} tasks in {:.1}s; loss {:.3} → {:.3}",
@@ -169,6 +191,102 @@ fn cmd_train(flags: &HashMap<String, String>) -> fewner::Result<()> {
     if let Some(path) = flags.get("model").or_else(|| flags.get("out")) {
         Checkpoint::capture(&learner).save(path)?;
         println!("checkpoint written to {path}");
+    }
+    Ok(())
+}
+
+/// Single-machine sharded-training driver: binds the coordinator on an
+/// ephemeral port, spawns one `fewner train` worker process per shard, and
+/// waits for the run. The workers inherit the environment, so
+/// `FEWNER_FAULTS` arms (e.g. `shard_die:3@1`) reach them — the `@shard`
+/// scope keeps a fault on its intended worker.
+fn cmd_train_sharded(flags: &HashMap<String, String>) -> fewner::Result<()> {
+    let shards = flag(flags, "shards", 2usize);
+    let coordinator = fewner::core::ShardCoordinator::bind("127.0.0.1:0", shards)?;
+    let addr = coordinator.local_addr()?;
+    println!("coordinator for {shards} shards on {addr}");
+
+    let coord_tracer = match flags.get("trace") {
+        Some(path) => Tracer::jsonl(format!("{path}.coordinator")),
+        None => Tracer::disabled(),
+    };
+    let coord = std::thread::spawn(move || {
+        let report = coordinator.run(&coord_tracer);
+        coord_tracer.flush().and(report)
+    });
+
+    let exe = std::env::current_exe().map_err(|e| fewner::Error::Io {
+        path: "<current_exe>".into(),
+        detail: e.to_string(),
+    })?;
+    let mut children = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("train");
+        for key in [
+            "profile",
+            "scale",
+            "seed",
+            "ways",
+            "shots",
+            "iterations",
+            "threads",
+            "checkpoint-every",
+            "checkpoint-dir",
+            "resume",
+        ] {
+            if let Some(value) = flags.get(key) {
+                cmd.arg(format!("--{key}")).arg(value);
+            }
+        }
+        if let Some(path) = flags.get("trace") {
+            cmd.arg("--trace").arg(format!("{path}.s{shard}"));
+        }
+        // Every shard ends with the identical model; one writer is enough.
+        if shard == 0 {
+            if let Some(path) = flags.get("model").or_else(|| flags.get("out")) {
+                cmd.arg("--model").arg(path);
+            }
+        }
+        cmd.arg("--shards")
+            .arg(shards.to_string())
+            .arg("--shard-id")
+            .arg(shard.to_string())
+            .arg("--coordinator")
+            .arg(addr.to_string());
+        let child = cmd.spawn().map_err(|e| fewner::Error::Io {
+            path: exe.display().to_string(),
+            detail: format!("spawn shard {shard}: {e}"),
+        })?;
+        children.push((shard, child));
+    }
+
+    let mut lost = 0usize;
+    for (shard, mut child) in children {
+        let status = child.wait().map_err(|e| fewner::Error::Io {
+            path: format!("<shard {shard}>"),
+            detail: e.to_string(),
+        })?;
+        if !status.success() {
+            eprintln!("shard {shard} exited abnormally ({status})");
+            lost += 1;
+        }
+    }
+    let report = coord.join().map_err(|_| fewner::Error::WorkerPanic {
+        context: "shard coordinator".into(),
+    })??;
+    println!(
+        "sharded run complete: {} rounds ({} applied, {} skipped), \
+         {} retransmits, {} deaths, {} reassignments",
+        report.rounds,
+        report.applied,
+        report.skipped,
+        report.retransmits,
+        report.deaths,
+        report.reassignments
+    );
+    if lost > 0 {
+        println!("({lost} worker(s) were lost; survivors absorbed their task ranges)");
     }
     Ok(())
 }
@@ -354,7 +472,7 @@ fn cmd_demo(flags: &HashMap<String, String>) -> fewner::Result<()> {
         .seed(seed)
         .threads(flag(flags, "threads", 1usize));
     println!("training briefly on {}…", p.name);
-    fewner::core::train(&mut learner, &split.train, &enc, &cfg, &schedule)?;
+    fewner::core::Trainer::new().train(&mut learner, &split.train, &enc, &cfg, &schedule)?;
 
     let sampler = EpisodeSampler::new(&split.test, 5, 1, 6)?;
     let task = sampler.eval_set(0xE7A1, 1)?.remove(0);

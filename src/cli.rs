@@ -21,7 +21,8 @@ use fewner_util::{Error, Result};
 
 /// The `fewner` binary's help text. Kept here (not in the binary) so the
 /// snapshot test and external tools see the same source of truth.
-pub const USAGE: &str = "usage: fewner <corpus|train|evaluate|demo|predict|serve|trace> [flags]
+pub const USAGE: &str =
+    "usage: fewner <corpus|train|train-sharded|evaluate|demo|predict|serve|trace> [flags]
   common flags:
     --profile <nne|fg-ner|genia|ontonotes|bionlp13cg|slot-filling|conll-like|
                ace-bc|ace-bn|ace-cts|ace-nw|ace-un|ace-wl>
@@ -41,6 +42,15 @@ pub const USAGE: &str = "usage: fewner <corpus|train|evaluate|demo|predict|serve
     --checkpoint-dir <dir> snapshot directory (default `checkpoints`)
     --resume <dir>         continue a killed run from the newest valid
                            snapshot in <dir>
+    --shards <S>           total workers of a sharded run (default 1; with
+                           S > 1 this process is one worker)
+    --shard-id <i>         this worker's shard id, 0 <= i < S (default 0)
+    --coordinator <addr>   host:port of the shard coordinator (required
+                           when --shards > 1)
+  train-sharded only:
+    one-machine driver: binds a coordinator, spawns S `fewner train`
+    worker processes, and waits; takes every train flag plus
+    --shards <S>           worker processes to spawn (default 2)
   predict only:
     --episodes <N>         tasks to serve (default 3)
     --show <N>             query sentences to print per task (default 5)

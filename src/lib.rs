@@ -51,7 +51,7 @@
 //! //    (`.threads(n)` fans the per-task meta-gradients across workers
 //! //    without changing the result — the reduction order is fixed.)
 //! let schedule = TrainConfig::new(3, 1).iterations(2).query_size(4).seed(1);
-//! train(&mut fewner, &split.train, &enc, &meta, &schedule)?;
+//! Trainer::new().train(&mut fewner, &split.train, &enc, &meta, &schedule)?;
 //!
 //! // 5. …and adapt to an unseen task: only φ changes, θ stays fixed.
 //! let sampler = EpisodeSampler::new(&split.test, 3, 1, 4)?;
@@ -88,9 +88,9 @@ pub use fewner_util::{Error, Result};
 /// against this list, so removals are a deliberate, reviewed act.
 pub mod prelude {
     pub use fewner_core::{
-        self, train, AdaptedCtx, CachePolicy, EpisodicLearner, Fewner, FineTuneLearner,
-        FrozenLmLearner, Maml, MetaConfig, ProtoLearner, SecondOrder, ServeOptions, SnailLearner,
-        TrainConfig, TrainingLog,
+        self, AdaptedCtx, CachePolicy, EpisodicLearner, Fewner, FineTuneLearner, FrozenLmLearner,
+        Maml, MetaConfig, ProtoLearner, SecondOrder, ServeOptions, SnailLearner, TrainConfig,
+        Trainer, TrainingLog,
     };
     pub use fewner_corpus::{
         full_view, holdout_target, split_sentences, split_types, AceDomain, DatasetProfile, Genre,

@@ -51,7 +51,14 @@ fn legacy_flag_names_are_gone() {
 #[test]
 fn every_subcommand_is_listed() {
     for cmd in [
-        "corpus", "train", "evaluate", "demo", "predict", "serve", "trace",
+        "corpus",
+        "train",
+        "train-sharded",
+        "evaluate",
+        "demo",
+        "predict",
+        "serve",
+        "trace",
     ] {
         assert!(USAGE.contains(cmd), "usage must mention `{cmd}`");
     }

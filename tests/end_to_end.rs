@@ -63,7 +63,9 @@ fn meta_training_improves_fewner_over_untrained() {
     let tasks = sampler.eval_set(77, 12).unwrap();
     let before = evaluate(&learner, &tasks, &enc).unwrap();
 
-    fewner::core::train(&mut learner, &split.train, &enc, &cfg, &schedule(200)).unwrap();
+    fewner::core::Trainer::new()
+        .train(&mut learner, &split.train, &enc, &cfg, &schedule(200))
+        .unwrap();
     let after = evaluate(&learner, &tasks, &enc).unwrap();
     assert!(
         after.mean > before.mean + 0.02,
@@ -122,7 +124,9 @@ fn fewner_adaptation_touches_only_phi() {
     let (_, split, enc) = fixture();
     let cfg = meta();
     let mut learner = Fewner::new(bb(Conditioning::Film), &enc, cfg.clone()).unwrap();
-    fewner::core::train(&mut learner, &split.train, &enc, &cfg, &schedule(10)).unwrap();
+    fewner::core::Trainer::new()
+        .train(&mut learner, &split.train, &enc, &cfg, &schedule(10))
+        .unwrap();
 
     let sampler = EpisodeSampler::new(&split.test, 3, 1, 4).unwrap();
     let tasks = sampler.eval_set(31, 4).unwrap();
@@ -138,7 +142,9 @@ fn fixed_eval_seed_gives_identical_scores_across_runs() {
     let (_, split, enc) = fixture();
     let cfg = meta();
     let mut learner = Fewner::new(bb(Conditioning::Film), &enc, cfg.clone()).unwrap();
-    fewner::core::train(&mut learner, &split.train, &enc, &cfg, &schedule(15)).unwrap();
+    fewner::core::Trainer::new()
+        .train(&mut learner, &split.train, &enc, &cfg, &schedule(15))
+        .unwrap();
 
     let sampler = EpisodeSampler::new(&split.test, 3, 1, 4).unwrap();
     let a = evaluate(&learner, &sampler.eval_set(123, 8).unwrap(), &enc).unwrap();
@@ -152,7 +158,9 @@ fn parallel_evaluation_matches_serial_on_trained_model() {
     let (_, split, enc) = fixture();
     let cfg = meta();
     let mut learner = Fewner::new(bb(Conditioning::Film), &enc, cfg.clone()).unwrap();
-    fewner::core::train(&mut learner, &split.train, &enc, &cfg, &schedule(10)).unwrap();
+    fewner::core::Trainer::new()
+        .train(&mut learner, &split.train, &enc, &cfg, &schedule(10))
+        .unwrap();
     let sampler = EpisodeSampler::new(&split.test, 3, 1, 4).unwrap();
     let tasks = sampler.eval_set(5, 6).unwrap();
     let serial = evaluate(&learner, &tasks, &enc).unwrap();
@@ -171,7 +179,9 @@ fn bilstm_encoder_is_a_drop_in_replacement() {
         ..bb(Conditioning::Film)
     };
     let mut learner = Fewner::new(lstm_bb, &enc, cfg.clone()).unwrap();
-    fewner::core::train(&mut learner, &split.train, &enc, &cfg, &schedule(20)).unwrap();
+    fewner::core::Trainer::new()
+        .train(&mut learner, &split.train, &enc, &cfg, &schedule(20))
+        .unwrap();
     let sampler = EpisodeSampler::new(&split.test, 3, 1, 4).unwrap();
     let score = evaluate(&learner, &sampler.eval_set(9, 5).unwrap(), &enc).unwrap();
     assert!((0.0..=1.0).contains(&score.mean));
@@ -194,7 +204,9 @@ fn whole_pipeline_works_on_cross_domain_data() {
     let enc = TokenEncoder::build(&[&source, &target], &spec, 4);
     let cfg = meta();
     let mut learner = Fewner::new(bb(Conditioning::Film), &enc, cfg.clone()).unwrap();
-    fewner::core::train(&mut learner, &train, &enc, &cfg, &schedule(10)).unwrap();
+    fewner::core::Trainer::new()
+        .train(&mut learner, &train, &enc, &cfg, &schedule(10))
+        .unwrap();
     let sampler = EpisodeSampler::new(&test, 3, 1, 4).unwrap();
     let score = evaluate(&learner, &sampler.eval_set(3, 5).unwrap(), &enc).unwrap();
     assert!((0.0..=1.0).contains(&score.mean));

@@ -38,7 +38,7 @@ fn surface_pins(
 ) {
     // Free functions from the prelude, pinned by name (impl-Trait arguments
     // keep them out of fn-pointer position, so wrap the mentions).
-    let _ = train::<Fewner>;
+    let _ = Trainer::new;
     let _ = evaluate;
     let _ = evaluate_parallel::<Fewner>;
     let _ = |f: fn() -> fewner::Result<Vec<Vec<usize>>>| measure_predictions(f);

@@ -27,7 +27,9 @@ fn saved_theta_reproduces_identical_predictions() {
     };
     let mut trained = Fewner::new(bb.clone(), &enc, cfg.clone()).unwrap();
     let schedule = TrainConfig::new(3, 1).iterations(20).query_size(4).seed(9);
-    fewner::core::train(&mut trained, &split.train, &enc, &cfg, &schedule).unwrap();
+    fewner::core::Trainer::new()
+        .train(&mut trained, &split.train, &enc, &cfg, &schedule)
+        .unwrap();
 
     // Serialise θ through JSON (the SavedParams wire format).
     let saved = trained.theta.to_saved();
