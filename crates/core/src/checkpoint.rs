@@ -10,7 +10,7 @@
 use std::path::Path;
 
 use fewner_models::{BackboneConfig, Conditioning, EncoderKind, HeadKind, TokenEncoder};
-use fewner_tensor::SavedParams;
+use fewner_tensor::{QuantizedParams, SavedParams, WeightFormat};
 use fewner_util::{Error, FromJson, Json, Result, ToJson};
 
 use crate::config::MetaConfig;
@@ -193,8 +193,12 @@ pub struct Checkpoint {
     pub backbone: SavedBackboneConfig,
     /// Meta-learning hyper-parameters.
     pub meta: MetaConfig,
-    /// θ_Meta tensors.
+    /// θ_Meta tensors (always held dequantized in memory).
     pub theta: SavedParams,
+    /// The format θ is serialised in (`F32` = plain `"theta"` tensors;
+    /// `F16`/`I8` write a compressed `"theta_q"` payload instead). The
+    /// layout is self-describing, so the version number is unchanged.
+    pub weights: WeightFormat,
 }
 
 /// Current checkpoint format version.
@@ -208,6 +212,21 @@ impl Checkpoint {
             backbone: SavedBackboneConfig::from(learner.backbone.config()),
             meta: learner.config().clone(),
             theta: learner.theta.to_saved(),
+            weights: WeightFormat::F32,
+        }
+    }
+
+    /// Switches the checkpoint to a quantized weight format.
+    ///
+    /// θ is rounded through the format *immediately* (encode → decode), so
+    /// [`Checkpoint::restore`] after this call behaves identically to
+    /// saving and re-loading: there is one quantized θ, not an in-memory /
+    /// on-disk pair that silently disagrees. Quantization is idempotent, so
+    /// re-saving a loaded quantized checkpoint is lossless.
+    pub fn quantize_weights(&mut self, format: WeightFormat) {
+        self.weights = format;
+        if format != WeightFormat::F32 {
+            self.theta = QuantizedParams::quantize(&self.theta, format).dequantize();
         }
     }
 
@@ -235,6 +254,14 @@ impl Checkpoint {
         fewner_util::durable::write_atomic(path, json.as_bytes())
     }
 
+    /// [`Checkpoint::save`] in an explicit weight format (the CLI's
+    /// `--weights` flag): quantizes a copy and writes it durably.
+    pub fn save_with_weights(&self, path: impl AsRef<Path>, format: WeightFormat) -> Result<()> {
+        let mut copy = self.clone();
+        copy.quantize_weights(format);
+        copy.save(path)
+    }
+
     /// Reads a checkpoint file, verifying the header and CRC before
     /// parsing: a truncated or bit-flipped file is rejected with a precise
     /// [`Error::Io`] instead of a confusing JSON parse error (or silently
@@ -247,22 +274,42 @@ impl Checkpoint {
 
 impl ToJson for Checkpoint {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("version".into(), Json::from(self.version as u64)),
             ("backbone".into(), self.backbone.to_json()),
             ("meta".into(), self.meta.to_json()),
-            ("theta".into(), self.theta.to_json()),
-        ])
+        ];
+        if self.weights == WeightFormat::F32 {
+            fields.push(("theta".into(), self.theta.to_json()));
+        } else {
+            fields.push(("weights".into(), Json::from(self.weights.name())));
+            fields.push((
+                "theta_q".into(),
+                QuantizedParams::quantize(&self.theta, self.weights).to_json(),
+            ));
+        }
+        Json::Obj(fields)
     }
 }
 
 impl FromJson for Checkpoint {
     fn from_json(json: &Json) -> Result<Checkpoint> {
+        let (theta, weights) = match json.get("theta_q") {
+            Some(q) => {
+                let q = QuantizedParams::from_json(q)?;
+                (q.dequantize(), q.format)
+            }
+            None => (
+                SavedParams::from_json(json.field("theta")?)?,
+                WeightFormat::F32,
+            ),
+        };
         Ok(Checkpoint {
             version: json.field("version")?.as_u64()? as u32,
             backbone: SavedBackboneConfig::from_json(json.field("backbone")?)?,
             meta: MetaConfig::from_json(json.field("meta")?)?,
-            theta: SavedParams::from_json(json.field("theta")?)?,
+            theta,
+            weights,
         })
     }
 }
@@ -318,6 +365,67 @@ mod tests {
         let restored = loaded.restore(&enc).unwrap();
         assert_eq!(learner.theta.snapshot(), restored.theta.snapshot());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn quantized_file_round_trip_is_stable() {
+        let (enc, learner) = setup();
+        let dir = std::env::temp_dir().join(format!("fewner-ckpt-quant-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = Checkpoint::capture(&learner);
+        for format in [WeightFormat::F16, WeightFormat::I8] {
+            let path = dir.join(format!("model.{}.json", format.name()));
+            ckpt.save_with_weights(&path, format).unwrap();
+            let loaded = Checkpoint::load(&path).unwrap();
+            assert_eq!(loaded.weights, format);
+            let restored = loaded.restore(&enc).unwrap();
+            // Quantized θ differs from the original but only boundedly so.
+            let orig = learner.theta.to_saved();
+            for ((n1, a), (n2, b)) in orig.entries.iter().zip(&loaded.theta.entries) {
+                assert_eq!(n1, n2);
+                let worst = a
+                    .data()
+                    .iter()
+                    .zip(b.data())
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(
+                    worst < 0.05,
+                    "`{n1}` drifted {worst} under {}",
+                    format.name()
+                );
+            }
+            // Re-saving the loaded checkpoint is lossless (idempotence).
+            let path2 = dir.join(format!("model2.{}.json", format.name()));
+            loaded.save(&path2).unwrap();
+            let again = Checkpoint::load(&path2).unwrap();
+            assert_eq!(
+                again.theta.to_json().to_string(),
+                loaded.theta.to_json().to_string()
+            );
+            // Loading + restoring equals in-memory quantize_all.
+            let mut in_mem = learner.theta.clone();
+            in_mem.quantize_all(format);
+            assert_eq!(in_mem.snapshot(), restored.theta.snapshot());
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn quantized_payload_is_smaller_than_f32() {
+        let (_, learner) = setup();
+        let ckpt = Checkpoint::capture(&learner);
+        let f32_len = ckpt.to_json().to_string().len();
+        for format in [WeightFormat::F16, WeightFormat::I8] {
+            let mut q = ckpt.clone();
+            q.quantize_weights(format);
+            let q_len = q.to_json().to_string().len();
+            assert!(
+                q_len < f32_len / 2,
+                "{}: {q_len} bytes vs {f32_len} f32 bytes",
+                format.name()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,763 @@
+//! Kernel backend selection: the scalar oracle vs. blocked fast kernels.
+//!
+//! [`KernelBackend`] names the two implementations of every hot kernel:
+//!
+//! * [`KernelBackend::Scalar`] — the reference loops in [`crate::kernels`]
+//!   and [`crate::array`]. The recording [`crate::Graph`] is hardwired to
+//!   these so tape semantics (and every training checkpoint byte) are
+//!   untouched by backend selection.
+//! * [`KernelBackend::Blocked`] — cache-blocked, k-unrolled, lane-chunked
+//!   rewrites. No `unsafe`: the lanes are `chunks_exact` slices the
+//!   compiler auto-vectorises.
+//!
+//! The contract, enforced by `crates/tensor/tests/kernel_props.rs`, is that
+//! every kernel dispatched through this enum is **bitwise identical**
+//! across backends, with one documented exception: [`KernelBackend::
+//! matmul_a_bt`] reduces its dot products over eight partial lanes, which
+//! reassociates the sum and is therefore only ULP-bounded. That kernel is
+//! used exclusively by the tape's backward pass — which always runs
+//! `Scalar` — so the bitwise guarantees of training, serving and φ
+//! persistence are unaffected.
+//!
+//! Bitwise equality of the blocked kernels is by construction, not by
+//! tolerance: every floating-point operation is performed in the same
+//! order with the same bracketing as the scalar loop. A k-unrolled matmul
+//! step accumulates `((o + a₀b₀) + a₁b₁) + …` left-associated, which is
+//! exactly the scalar kernel's sequence of `+=`s; the scalar kernel's
+//! zero-skip (`a[i][k] == 0.0` contributes nothing rather than `+= 0.0·b`,
+//! which differs for `-0.0` outputs) is preserved by falling back to the
+//! per-k loop whenever an unrolled group contains a zero.
+
+use std::sync::OnceLock;
+
+use crate::array::{matmul_a_bt, matmul_at_b, matmul_into, Array};
+use crate::kernels;
+
+/// Which implementation of the hot kernels to run. See the [module
+/// docs](self) for the equivalence contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelBackend {
+    /// The reference scalar loops — the oracle the property suite trusts.
+    Scalar,
+    /// Blocked/vectorized rewrites, bitwise-equal on the inference path.
+    #[default]
+    Blocked,
+}
+
+impl std::str::FromStr for KernelBackend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<KernelBackend, String> {
+        match s {
+            "scalar" => Ok(KernelBackend::Scalar),
+            "blocked" => Ok(KernelBackend::Blocked),
+            other => Err(format!("unknown kernel backend `{other}`")),
+        }
+    }
+}
+
+static ENV_BACKEND: OnceLock<KernelBackend> = OnceLock::new();
+
+impl KernelBackend {
+    /// The backend's CLI/env name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Blocked => "blocked",
+        }
+    }
+
+    /// The process-wide default backend: `FEWNER_KERNELS=scalar|blocked`,
+    /// falling back to [`KernelBackend::Blocked`]. Read once and cached; an
+    /// unrecognised value warns on stderr rather than silently changing
+    /// numerics. This is what `Infer::new()` uses, and what the CI kernel
+    /// matrix flips to run every equivalence suite under both backends.
+    pub fn from_env() -> KernelBackend {
+        *ENV_BACKEND.get_or_init(|| match std::env::var("FEWNER_KERNELS") {
+            Ok(v) => v.parse().unwrap_or_else(|e: String| {
+                eprintln!("FEWNER_KERNELS: {e}; using `blocked`");
+                KernelBackend::Blocked
+            }),
+            Err(_) => KernelBackend::Blocked,
+        })
+    }
+
+    /// `out += a · b` (`out = a · b` when `accumulate` is false). Bitwise
+    /// across backends.
+    pub fn matmul_into(&self, a: &Array, b: &Array, out: &mut Array, accumulate: bool) {
+        match self {
+            KernelBackend::Scalar => matmul_into(a, b, out, accumulate),
+            KernelBackend::Blocked => matmul_into_blocked(a, b, out, accumulate),
+        }
+    }
+
+    /// `out += aᵀ · b` without materialising the transpose. Bitwise across
+    /// backends.
+    pub fn matmul_at_b(&self, a: &Array, b: &Array, out: &mut Array) {
+        match self {
+            KernelBackend::Scalar => matmul_at_b(a, b, out),
+            KernelBackend::Blocked => matmul_at_b_blocked(a, b, out),
+        }
+    }
+
+    /// `out += a · bᵀ` without materialising the transpose.
+    ///
+    /// The one ULP-bounded kernel: the blocked variant reduces each dot
+    /// product over eight partial lanes with a fixed reduction tree, which
+    /// reassociates the k-sum relative to the scalar single-accumulator
+    /// loop. Only the tape's backward pass calls this, and the tape is
+    /// pinned to `Scalar`.
+    pub fn matmul_a_bt(&self, a: &Array, b: &Array, out: &mut Array) {
+        match self {
+            KernelBackend::Scalar => matmul_a_bt(a, b, out),
+            KernelBackend::Blocked => matmul_a_bt_blocked(a, b, out),
+        }
+    }
+
+    /// Broadcasting elementwise binary op. Bitwise across backends (the
+    /// blocked variant only specialises the broadcast-shape dispatch; each
+    /// element sees the same single application of `f`).
+    pub fn bcast_zip_into(
+        &self,
+        a: &Array,
+        b: &Array,
+        out: &mut Array,
+        f: impl Fn(f32, f32) -> f32,
+    ) {
+        match self {
+            KernelBackend::Scalar => kernels::bcast_zip_into(a, b, out, f),
+            KernelBackend::Blocked => bcast_zip_into_blocked(a, b, out, f),
+        }
+    }
+
+    /// Sums a broadcast-shaped gradient back into `into`. Bitwise across
+    /// backends (identical per-cell accumulation order).
+    pub fn reduce_into(&self, grad: &Array, into: &mut Array) {
+        match self {
+            KernelBackend::Scalar => kernels::reduce_into(grad, into),
+            KernelBackend::Blocked => reduce_into_blocked(grad, into),
+        }
+    }
+
+    /// Column-wise log-sum-exp `[r, c] → [1, c]`. Bitwise across backends:
+    /// the blocked variant streams row-major but accumulates each column's
+    /// max and sum in the same ascending-row order as the scalar loop.
+    pub fn logsumexp_cols(&self, a: &Array) -> Array {
+        match self {
+            KernelBackend::Scalar => kernels::logsumexp_cols(a),
+            KernelBackend::Blocked => logsumexp_cols_blocked(a),
+        }
+    }
+
+    /// Row-wise log-softmax. Bitwise across backends (the kernel is
+    /// exp-bound; the blocked variant fuses the output pass).
+    pub fn log_softmax_rows(&self, a: &Array) -> Array {
+        match self {
+            KernelBackend::Scalar => kernels::log_softmax_rows(a),
+            KernelBackend::Blocked => log_softmax_rows_blocked(a),
+        }
+    }
+
+    /// Row-wise softmax. Bitwise across backends.
+    pub fn softmax_rows(&self, a: &Array) -> Array {
+        match self {
+            KernelBackend::Scalar => kernels::softmax_rows(a),
+            KernelBackend::Blocked => {
+                let mut out = log_softmax_rows_blocked(a);
+                for v in out.data_mut() {
+                    *v = v.exp();
+                }
+                out
+            }
+        }
+    }
+
+    /// Column-wise max with first-max-wins argmax. Bitwise across backends,
+    /// including tie-breaking: both traversals compare strictly (`>`) in
+    /// ascending-row order, so the earliest row wins every tie.
+    pub fn max_cols(&self, a: &Array) -> (Array, Vec<usize>) {
+        match self {
+            KernelBackend::Scalar => kernels::max_cols(a),
+            KernelBackend::Blocked => max_cols_blocked(a),
+        }
+    }
+
+    /// CRF forward lattice (see [`kernels::crf_forward_lattice`]). Bitwise
+    /// across backends.
+    pub fn crf_forward_lattice(&self, emissions: &Array, trans: &Array, start: &Array) -> Array {
+        match self {
+            KernelBackend::Scalar => kernels::crf_forward_lattice(emissions, trans, start),
+            KernelBackend::Blocked => crf_forward_lattice_blocked(emissions, trans, start),
+        }
+    }
+
+    /// CRF backward lattice (see [`kernels::crf_backward_lattice`]).
+    /// Bitwise across backends.
+    pub fn crf_backward_lattice(&self, emissions: &Array, trans: &Array) -> Array {
+        match self {
+            KernelBackend::Scalar => kernels::crf_backward_lattice(emissions, trans),
+            KernelBackend::Blocked => crf_backward_lattice_blocked(emissions, trans),
+        }
+    }
+}
+
+/// Output tile width for the blocked matmuls: the slice of `out` a k-group
+/// updates stays resident in L1 across the unrolled loop.
+const J_TILE: usize = 128;
+
+/// One k-group of ≤ 8 coefficients against one output tile, honouring the
+/// scalar kernel's zero-skip (a skipped k contributes *nothing*, which is
+/// not the same as `+= 0.0 * b` when the running value is `-0.0`).
+fn mac_tile_skip(ot: &mut [f32], q: &[f32], bd: &[f32], k: usize, n: usize, j0: usize) {
+    let len = ot.len();
+    for (dk, &aik) in q.iter().enumerate() {
+        if aik == 0.0 {
+            continue;
+        }
+        let br = &bd[(k + dk) * n + j0..][..len];
+        for (o, &bv) in ot.iter_mut().zip(br) {
+            *o += aik * bv;
+        }
+    }
+}
+
+/// One zero-free k-group of exactly 8 coefficients against one output
+/// tile. Left-associated: identical bracketing to eight successive scalar
+/// `+=` passes over ascending k, so the result is bitwise-equal to the
+/// scalar loop. Every operand is pre-sliced to `len` so the inner loop is
+/// provably in-bounds and vectorises.
+#[allow(clippy::needless_range_loop)]
+fn mac_tile8(ot: &mut [f32], q: &[f32], bd: &[f32], k: usize, n: usize, j0: usize) {
+    let len = ot.len();
+    let (a0, a1, a2, a3) = (q[0], q[1], q[2], q[3]);
+    let (a4, a5, a6, a7) = (q[4], q[5], q[6], q[7]);
+    let b0 = &bd[k * n + j0..][..len];
+    let b1 = &bd[(k + 1) * n + j0..][..len];
+    let b2 = &bd[(k + 2) * n + j0..][..len];
+    let b3 = &bd[(k + 3) * n + j0..][..len];
+    let b4 = &bd[(k + 4) * n + j0..][..len];
+    let b5 = &bd[(k + 5) * n + j0..][..len];
+    let b6 = &bd[(k + 6) * n + j0..][..len];
+    let b7 = &bd[(k + 7) * n + j0..][..len];
+    for j in 0..len {
+        ot[j] = (((((((ot[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j])
+            + a4 * b4[j])
+            + a5 * b5[j])
+            + a6 * b6[j])
+            + a7 * b7[j];
+    }
+}
+
+/// A zero-free k-group of exactly **4** coefficients fused over two output
+/// rows. The two accumulation chains are independent, which doubles the
+/// instruction-level parallelism the out-of-order core can extract from
+/// the dependent-add chain, and the four b-rows are loaded once for both.
+/// The group is 4 wide (not 8) so the working set — 8 coefficient splats,
+/// 4 b vectors, 2 accumulators — fits the 16 AVX registers without
+/// spilling. Grouping width does not affect the math: each row's k-chain
+/// is one left-associated sequence of `+=`s regardless of how it is cut,
+/// so the result stays bitwise-equal to the scalar loop.
+#[inline(always)]
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+fn mac_tile4_x2(
+    ot0: &mut [f32],
+    ot1: &mut [f32],
+    q0: &[f32],
+    q1: &[f32],
+    bd: &[f32],
+    k: usize,
+    n: usize,
+    j0: usize,
+) {
+    let len = ot0.len();
+    let ot1 = &mut ot1[..len];
+    let (a00, a01, a02, a03) = (q0[0], q0[1], q0[2], q0[3]);
+    let (a10, a11, a12, a13) = (q1[0], q1[1], q1[2], q1[3]);
+    let b0 = &bd[k * n + j0..][..len];
+    let b1 = &bd[(k + 1) * n + j0..][..len];
+    let b2 = &bd[(k + 2) * n + j0..][..len];
+    let b3 = &bd[(k + 3) * n + j0..][..len];
+    for j in 0..len {
+        ot0[j] = (((ot0[j] + a00 * b0[j]) + a01 * b1[j]) + a02 * b2[j]) + a03 * b3[j];
+        ot1[j] = (((ot1[j] + a10 * b0[j]) + a11 * b1[j]) + a12 * b2[j]) + a13 * b3[j];
+    }
+}
+
+fn matmul_into_blocked(a: &Array, b: &Array, out: &mut Array, accumulate: bool) {
+    debug_assert_eq!(a.cols(), b.rows());
+    debug_assert_eq!(out.shape(), (a.rows(), b.cols()));
+    if !accumulate {
+        out.fill_zero();
+    }
+    let n = b.cols();
+    let bd = b.data();
+    let rows = a.rows();
+    let od = out.data_mut();
+    // Row pairs share the streamed b-rows and interleave two independent
+    // accumulation chains; each row's own f32 sequence is untouched.
+    let mut i = 0;
+    while i + 2 <= rows {
+        let (row0, row1) = od[i * n..(i + 2) * n].split_at_mut(n);
+        let (ar0, ar1) = (a.row(i), a.row(i + 1));
+        let dense_pair = !ar0.iter().chain(ar1).any(|&v| v == 0.0);
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + J_TILE).min(n);
+            let ot0 = &mut row0[j0..j1];
+            let ot1 = &mut row1[j0..j1];
+            let mut c0 = ar0.chunks_exact(4);
+            let mut c1 = ar1.chunks_exact(4);
+            let mut k = 0;
+            if dense_pair {
+                // No zero anywhere in either a-row (the common case for
+                // trained dense weights): the per-group zero test is dead,
+                // so run the fused tile back-to-back.
+                for (q0, q1) in c0.by_ref().zip(c1.by_ref()) {
+                    mac_tile4_x2(ot0, ot1, q0, q1, bd, k, n, j0);
+                    k += 4;
+                }
+            } else {
+                for (q0, q1) in c0.by_ref().zip(c1.by_ref()) {
+                    if q0.iter().chain(q1).any(|&v| v == 0.0) {
+                        // The per-k skip loop preserves the zero-skip exactly.
+                        mac_tile_skip(ot0, q0, bd, k, n, j0);
+                        mac_tile_skip(ot1, q1, bd, k, n, j0);
+                    } else {
+                        mac_tile4_x2(ot0, ot1, q0, q1, bd, k, n, j0);
+                    }
+                    k += 4;
+                }
+            }
+            mac_tile_skip(ot0, c0.remainder(), bd, k, n, j0);
+            mac_tile_skip(ot1, c1.remainder(), bd, k, n, j0);
+            j0 = j1;
+        }
+        i += 2;
+    }
+    if i < rows {
+        let a_row = a.row(i);
+        let out_row = &mut od[i * n..(i + 1) * n];
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + J_TILE).min(n);
+            let ot = &mut out_row[j0..j1];
+            let mut chunks = a_row.chunks_exact(8);
+            let mut k = 0;
+            for q in chunks.by_ref() {
+                // `contains` compares with `==`, so `-0.0` also hits the
+                // skip path — same predicate as the scalar kernel's.
+                if q.contains(&0.0) {
+                    mac_tile_skip(ot, q, bd, k, n, j0);
+                } else {
+                    mac_tile8(ot, q, bd, k, n, j0);
+                }
+                k += 8;
+            }
+            mac_tile_skip(ot, chunks.remainder(), bd, k, n, j0);
+            j0 = j1;
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)]
+fn matmul_at_b_blocked(a: &Array, b: &Array, out: &mut Array) {
+    debug_assert_eq!(a.rows(), b.rows());
+    debug_assert_eq!(out.shape(), (a.cols(), b.cols()));
+    let n = b.cols();
+    let m = a.cols();
+    let rr = a.rows();
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    // The scalar kernel loops r-outer, so each out element accumulates in
+    // ascending-r order; this loop is i-outer with r unrolled by 4, which
+    // touches each element in the same ascending-r order — bitwise equal.
+    for i in 0..m {
+        let out_row = &mut od[i * n..(i + 1) * n];
+        let mut r = 0;
+        while r + 4 <= rr {
+            let (a0, a1, a2, a3) = (
+                ad[r * m + i],
+                ad[(r + 1) * m + i],
+                ad[(r + 2) * m + i],
+                ad[(r + 3) * m + i],
+            );
+            if a0 == 0.0 || a1 == 0.0 || a2 == 0.0 || a3 == 0.0 {
+                for (dr, &av) in [a0, a1, a2, a3].iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let br = &bd[(r + dr) * n..(r + dr + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(br) {
+                        *o += av * bv;
+                    }
+                }
+            } else {
+                let b0 = &bd[r * n..(r + 1) * n];
+                let b1 = &bd[(r + 1) * n..(r + 2) * n];
+                let b2 = &bd[(r + 2) * n..(r + 3) * n];
+                let b3 = &bd[(r + 3) * n..(r + 4) * n];
+                for j in 0..n {
+                    out_row[j] =
+                        (((out_row[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+                }
+            }
+            r += 4;
+        }
+        while r < rr {
+            let av = ad[r * m + i];
+            if av != 0.0 {
+                let br = &bd[r * n..(r + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+            r += 1;
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)]
+fn matmul_a_bt_blocked(a: &Array, b: &Array, out: &mut Array) {
+    debug_assert_eq!(a.cols(), b.cols());
+    debug_assert_eq!(out.shape(), (a.rows(), b.rows()));
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            // Eight partial lanes + a fixed reduction tree: reassociates
+            // the k-sum, so this kernel is ULP-bounded, not bitwise.
+            let mut lanes = [0.0f32; 8];
+            let ac = a_row.chunks_exact(8);
+            let bc = b_row.chunks_exact(8);
+            let (arem, brem) = (ac.remainder(), bc.remainder());
+            for (qa, qb) in ac.zip(bc) {
+                for l in 0..8 {
+                    lanes[l] += qa[l] * qb[l];
+                }
+            }
+            let mut acc = ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6]))
+                + ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+            for (&av, &bv) in arem.iter().zip(brem) {
+                acc += av * bv;
+            }
+            *o += acc;
+        }
+    }
+}
+
+fn bcast_zip_into_blocked(a: &Array, b: &Array, out: &mut Array, f: impl Fn(f32, f32) -> f32) {
+    let (r, c) = out.shape();
+    debug_assert_eq!(
+        (r, c),
+        kernels::broadcast_shape(a.shape(), b.shape(), "bcast_zip_into")
+    );
+    // Specialise the broadcast shapes the models actually hit so the inner
+    // loop is a branch-free zip; each element sees one application of `f`
+    // on the same operands as the scalar loop, so all paths are bitwise.
+    if a.shape() == (r, c) && b.shape() == (r, c) {
+        for ((o, &x), &y) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+            *o = f(x, y);
+        }
+    } else if a.shape() == (r, c) && b.shape() == (1, c) {
+        let brow = b.row(0);
+        for i in 0..r {
+            for ((o, &x), &y) in out.row_mut(i).iter_mut().zip(a.row(i)).zip(brow) {
+                *o = f(x, y);
+            }
+        }
+    } else if a.shape() == (1, c) && b.shape() == (r, c) {
+        let arow = a.row(0);
+        for i in 0..r {
+            for ((o, &x), &y) in out.row_mut(i).iter_mut().zip(arow).zip(b.row(i)) {
+                *o = f(x, y);
+            }
+        }
+    } else if a.shape() == (r, c) && b.shape() == (r, 1) {
+        for i in 0..r {
+            let y = b.at(i, 0);
+            for (o, &x) in out.row_mut(i).iter_mut().zip(a.row(i)) {
+                *o = f(x, y);
+            }
+        }
+    } else if a.shape() == (r, 1) && b.shape() == (r, c) {
+        for i in 0..r {
+            let x = a.at(i, 0);
+            for (o, &y) in out.row_mut(i).iter_mut().zip(b.row(i)) {
+                *o = f(x, y);
+            }
+        }
+    } else {
+        kernels::bcast_zip_into(a, b, out, f);
+    }
+}
+
+fn reduce_into_blocked(grad: &Array, into: &mut Array) {
+    let (gr, gc) = grad.shape();
+    let (tr, tc) = into.shape();
+    debug_assert!(
+        (tr == gr || tr == 1) && (tc == gc || tc == 1),
+        "reduce_into: grad {:?} to {:?}",
+        grad.shape(),
+        into.shape()
+    );
+    // Every specialisation below performs each target cell's additions in
+    // the same ascending (i, j) order as the scalar loop — bitwise equal
+    // even though `into` may arrive non-zero (gradient accumulation).
+    if (tr, tc) == (gr, gc) {
+        for (t, &g) in into.data_mut().iter_mut().zip(grad.data()) {
+            *t += g;
+        }
+    } else if tr == 1 && tc == gc {
+        let trow = into.row_mut(0);
+        for i in 0..gr {
+            for (t, &g) in trow.iter_mut().zip(grad.row(i)) {
+                *t += g;
+            }
+        }
+    } else if tc == 1 && tr == gr {
+        for i in 0..gr {
+            let cell = into.at_mut(i, 0);
+            let mut acc = *cell;
+            for &g in grad.row(i) {
+                acc += g;
+            }
+            *cell = acc;
+        }
+    } else {
+        // [1, 1] target: one running accumulator over the row-major data.
+        let cell = into.at_mut(0, 0);
+        let mut acc = *cell;
+        for &g in grad.data() {
+            acc += g;
+        }
+        *cell = acc;
+    }
+}
+
+fn logsumexp_cols_blocked(a: &Array) -> Array {
+    let (r, c) = a.shape();
+    let mut out = Array::zeros(1, c);
+    // Row-major streaming (two passes over contiguous rows) instead of the
+    // scalar column-major walk; each column's max and sum still fold in
+    // ascending-row order, so the result is bitwise identical.
+    let mut maxes = vec![f32::NEG_INFINITY; c];
+    for i in 0..r {
+        for (m, &v) in maxes.iter_mut().zip(a.row(i)) {
+            *m = m.max(v);
+        }
+    }
+    let mut sums = vec![0.0f32; c];
+    for i in 0..r {
+        for ((s, &v), &m) in sums.iter_mut().zip(a.row(i)).zip(&maxes) {
+            *s += (v - m).exp();
+        }
+    }
+    for ((o, &m), &s) in out.row_mut(0).iter_mut().zip(&maxes).zip(&sums) {
+        // All-(-∞) columns produce a NaN sum (e^(−∞ − −∞)); the scalar
+        // kernel never computes it, this one discards it.
+        *o = if m == f32::NEG_INFINITY {
+            f32::NEG_INFINITY
+        } else {
+            m + s.ln()
+        };
+    }
+    out
+}
+
+fn log_softmax_rows_blocked(a: &Array) -> Array {
+    let (r, c) = a.shape();
+    let mut out = Array::zeros(r, c);
+    for i in 0..r {
+        let row = a.row(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+        for (o, &x) in out.row_mut(i).iter_mut().zip(row) {
+            *o = x - lse;
+        }
+    }
+    out
+}
+
+fn max_cols_blocked(a: &Array) -> (Array, Vec<usize>) {
+    let (r, c) = a.shape();
+    assert!(r > 0, "max_cols on empty array");
+    let mut out = Array::zeros(1, c);
+    let mut arg = vec![0usize; c];
+    out.row_mut(0).copy_from_slice(a.row(0));
+    for i in 1..r {
+        // Same strict `>` in ascending-row order as the scalar kernel:
+        // first-max-wins tie-breaking is preserved exactly.
+        for ((j, &v), best) in a.row(i).iter().enumerate().zip(out.row_mut(0).iter_mut()) {
+            if v > *best {
+                *best = v;
+                arg[j] = i;
+            }
+        }
+    }
+    (out, arg)
+}
+
+fn crf_forward_lattice_blocked(emissions: &Array, trans: &Array, start: &Array) -> Array {
+    let (len, l) = emissions.shape();
+    assert!(len > 0, "crf_forward_lattice: empty sequence");
+    assert_eq!(trans.shape(), (l, l), "crf_forward_lattice: trans shape");
+    assert_eq!(start.shape(), (1, l), "crf_forward_lattice: start shape");
+    let mut alpha = Array::zeros(len, l);
+    for ((o, &e), &s) in alpha
+        .row_mut(0)
+        .iter_mut()
+        .zip(emissions.row(0))
+        .zip(start.row(0))
+    {
+        *o = e + s;
+    }
+    let mut maxes = vec![0.0f32; l];
+    let mut sums = vec![0.0f32; l];
+    for t in 1..len {
+        // Stream the transition matrix row-major (the scalar loop walks it
+        // column-major per target label); per-column max and sum still fold
+        // over ascending source labels, so the lattice is bitwise equal.
+        maxes.fill(f32::NEG_INFINITY);
+        for i in 0..l {
+            let av = alpha.at(t - 1, i);
+            for (m, &tv) in maxes.iter_mut().zip(trans.row(i)) {
+                *m = m.max(av + tv);
+            }
+        }
+        sums.fill(0.0);
+        for i in 0..l {
+            let av = alpha.at(t - 1, i);
+            for ((s, &tv), &m) in sums.iter_mut().zip(trans.row(i)).zip(&maxes) {
+                *s += (av + tv - m).exp();
+            }
+        }
+        for (((o, &m), &s), &e) in alpha
+            .row_mut(t)
+            .iter_mut()
+            .zip(&maxes)
+            .zip(&sums)
+            .zip(emissions.row(t))
+        {
+            let lse = if m == f32::NEG_INFINITY {
+                f32::NEG_INFINITY
+            } else {
+                m + s.ln()
+            };
+            *o = lse + e;
+        }
+    }
+    alpha
+}
+
+fn crf_backward_lattice_blocked(emissions: &Array, trans: &Array) -> Array {
+    let (len, l) = emissions.shape();
+    assert!(len > 0, "crf_backward_lattice: empty sequence");
+    assert_eq!(trans.shape(), (l, l), "crf_backward_lattice: trans shape");
+    let mut beta = Array::zeros(len, l);
+    let mut eb = vec![0.0f32; l];
+    for t in (0..len.saturating_sub(1)).rev() {
+        for ((e, &em), &bt) in eb.iter_mut().zip(emissions.row(t + 1)).zip(beta.row(t + 1)) {
+            *e = em + bt;
+        }
+        for i in 0..l {
+            // The backward recursion is already row-major over `trans`;
+            // the blocked variant runs on slices with the identical
+            // ascending-j max/sum order.
+            let trow = trans.row(i);
+            let mut max = f32::NEG_INFINITY;
+            for (&tv, &e) in trow.iter().zip(&eb) {
+                max = max.max(tv + e);
+            }
+            let lse = if max == f32::NEG_INFINITY {
+                f32::NEG_INFINITY
+            } else {
+                let mut sum = 0.0f32;
+                for (&tv, &e) in trow.iter().zip(&eb) {
+                    sum += (tv + e - max).exp();
+                }
+                max + sum.ln()
+            };
+            *beta.at_mut(t, i) = lse;
+        }
+    }
+    beta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fewner_util::Rng;
+
+    #[test]
+    fn backend_parses_and_names() {
+        assert_eq!("scalar".parse(), Ok(KernelBackend::Scalar));
+        assert_eq!("blocked".parse(), Ok(KernelBackend::Blocked));
+        assert!("simd".parse::<KernelBackend>().is_err());
+        assert_eq!(KernelBackend::Scalar.name(), "scalar");
+        assert_eq!(KernelBackend::Blocked.name(), "blocked");
+        assert_eq!(KernelBackend::default(), KernelBackend::Blocked);
+    }
+
+    #[test]
+    fn blocked_matmul_is_bitwise_equal_on_awkward_shapes() {
+        // Shapes straddle the unroll (k % 4 ≠ 0) and the J_TILE boundary.
+        let mut rng = Rng::new(21);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 7, 5),
+            (5, 9, 130),
+            (2, 130, 3),
+        ] {
+            let a = Array::uniform(m, k, -1.0, 1.0, &mut rng);
+            let b = Array::uniform(k, n, -1.0, 1.0, &mut rng);
+            let mut s = Array::uniform(m, n, -1.0, 1.0, &mut rng);
+            let mut bl = s.clone();
+            KernelBackend::Scalar.matmul_into(&a, &b, &mut s, true);
+            KernelBackend::Blocked.matmul_into(&a, &b, &mut bl, true);
+            for (x, y) in s.data().iter().zip(bl.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "[{m},{k}]x[{k},{n}]");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_preserves_the_zero_skip() {
+        // A `-0.0` accumulator must stay `-0.0` when the a-coefficient is
+        // zero: the scalar kernel skips the k entirely.
+        let a = Array::from_vec(1, 4, vec![0.0, 0.0, 0.0, 0.0]);
+        let b = Array::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut s = Array::from_vec(1, 1, vec![-0.0]);
+        let mut bl = s.clone();
+        KernelBackend::Scalar.matmul_into(&a, &b, &mut s, true);
+        KernelBackend::Blocked.matmul_into(&a, &b, &mut bl, true);
+        assert_eq!(s.data()[0].to_bits(), (-0.0f32).to_bits());
+        assert_eq!(s.data()[0].to_bits(), bl.data()[0].to_bits());
+    }
+
+    #[test]
+    fn crf_lattices_agree_with_graph_composition_shapes() {
+        let mut rng = Rng::new(33);
+        let emissions = Array::uniform(5, 7, -2.0, 2.0, &mut rng);
+        let trans = Array::uniform(7, 7, -1.0, 1.0, &mut rng);
+        let start = Array::uniform(1, 7, -1.0, 1.0, &mut rng);
+        for backend in [KernelBackend::Scalar, KernelBackend::Blocked] {
+            let alpha = backend.crf_forward_lattice(&emissions, &trans, &start);
+            let beta = backend.crf_backward_lattice(&emissions, &trans);
+            assert_eq!(alpha.shape(), (5, 7));
+            assert_eq!(beta.shape(), (5, 7));
+            // α/β consistency: lse(α_t + β_t) is log Z at every position.
+            let log_z = kernels::logsumexp_all(&Array::from_vec(1, 7, alpha.row(4).to_vec()));
+            for t in 0..5 {
+                let joined: Vec<f32> = alpha
+                    .row(t)
+                    .iter()
+                    .zip(beta.row(t))
+                    .map(|(&a, &b)| a + b)
+                    .collect();
+                let z_t = kernels::logsumexp_all(&Array::from_vec(1, 7, joined));
+                assert!((z_t - log_z).abs() < 1e-3, "t={t}: {z_t} vs {log_z}");
+            }
+        }
+    }
+}

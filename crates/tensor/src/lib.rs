@@ -18,6 +18,10 @@
 //! * [`Infer`] — the gradient-free executor: the same ops evaluated into a
 //!   reusable scratch-buffer arena with no tape and no gradient surface,
 //!   for the post-adaptation query sweep and serving ([`infer`]).
+//! * [`KernelBackend`] — selects between the scalar oracle kernels and
+//!   blocked/vectorized rewrites for the inference path; the tape always
+//!   runs scalar, and the blocked forward kernels are bitwise identical
+//!   by construction ([`backend`]).
 //! * [`ParamStore`]/[`ParamGrads`] — named parameter stores. FEWNER's split
 //!   between task-independent θ and task-specific φ is expressed as two
 //!   stores bound into the same graph, with gradients routed per store
@@ -48,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod backend;
 pub mod exec;
 pub mod graph;
 pub mod infer;
@@ -57,8 +62,12 @@ pub mod optim;
 pub mod params;
 
 pub use array::Array;
+pub use backend::KernelBackend;
 pub use exec::{Exec, ExecMode, Var};
 pub use graph::{Gradients, Graph};
 pub use infer::{global_stats as infer_global_stats, Infer, InferStats};
 pub use optim::{Adam, SavedAdam, SavedSgd, Sgd};
-pub use params::{ParamGrads, ParamId, ParamStore, SavedParams};
+pub use params::{
+    f16_bits_to_f32, f32_to_f16_bits, ParamGrads, ParamId, ParamStore, QuantArray, QuantizedParams,
+    SavedParams, WeightFormat,
+};

@@ -209,6 +209,23 @@ impl ParamStore {
         }
     }
 
+    /// Rounds every tensor through `format` in place (encode → decode).
+    ///
+    /// This is the serve-time entry point for `--weights f16|i8`: the store
+    /// afterwards holds exactly the values a quantized checkpoint would
+    /// decode to, so in-memory quantization and loading a quantized file
+    /// are interchangeable. `F32` is the identity and leaves the store
+    /// untouched.
+    pub fn quantize_all(&mut self, format: WeightFormat) {
+        if format == WeightFormat::F32 {
+            return;
+        }
+        for value in &mut self.values {
+            let q = QuantArray::quantize(value, format);
+            *Arc::make_mut(value) = q.dequantize();
+        }
+    }
+
     /// Loads values from a [`SavedParams`] with matching names and shapes.
     pub fn load_saved(&mut self, saved: &SavedParams) -> Result<()> {
         if saved.entries.len() != self.values.len() {
@@ -282,6 +299,446 @@ impl FromJson for SavedParams {
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(SavedParams { entries })
+    }
+}
+
+/// Serve-time weight format for the frozen θ (the `--weights` flag).
+///
+/// `F32` is the identity; `F16` rounds every value to IEEE half precision
+/// (round-to-nearest-even); `I8` stores one signed byte per value with a
+/// per-row absmax scale. Quantized θ trades a bounded F1 delta for a 2–4×
+/// smaller checkpoint; the bounds are pinned by the end-to-end tolerance
+/// suite (see DESIGN.md §5h).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightFormat {
+    /// Full precision — bitwise identical to the trained checkpoint.
+    #[default]
+    F32,
+    /// IEEE 754 half precision, round-to-nearest-even.
+    F16,
+    /// Per-row absmax int8 with power-of-two scales.
+    I8,
+}
+
+impl std::str::FromStr for WeightFormat {
+    type Err = String;
+    fn from_str(s: &str) -> std::result::Result<WeightFormat, String> {
+        match s {
+            "f32" => Ok(WeightFormat::F32),
+            "f16" => Ok(WeightFormat::F16),
+            "i8" => Ok(WeightFormat::I8),
+            other => Err(format!("unknown weight format `{other}` (f32|f16|i8)")),
+        }
+    }
+}
+
+impl WeightFormat {
+    /// The format's CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WeightFormat::F32 => "f32",
+            WeightFormat::F16 => "f16",
+            WeightFormat::I8 => "i8",
+        }
+    }
+}
+
+/// Drops the low `k` bits of `v`, rounding to nearest with ties to even.
+fn shift_round_even(v: u32, k: u32) -> u32 {
+    if k == 0 {
+        return v;
+    }
+    if k >= 32 {
+        return 0;
+    }
+    let kept = v >> k;
+    let rem = v & ((1 << k) - 1);
+    let half = 1u32 << (k - 1);
+    if rem > half || (rem == half && (kept & 1) == 1) {
+        kept + 1
+    } else {
+        kept
+    }
+}
+
+/// `f32` → IEEE half-precision bits, round-to-nearest-even. Hand-rolled
+/// because the workspace takes no external crates; covers normals,
+/// subnormals, overflow-to-infinity and NaN.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let abs = bits & 0x7fff_ffff;
+    if abs >= 0x7f80_0000 {
+        // Infinity keeps its class; any NaN maps to the canonical f16 NaN.
+        return if abs > 0x7f80_0000 {
+            sign | 0x7e00
+        } else {
+            sign | 0x7c00
+        };
+    }
+    let exp = ((abs >> 23) as i32) - 127;
+    if exp > 15 {
+        return sign | 0x7c00;
+    }
+    let mant = abs & 0x007f_ffff;
+    if exp >= -14 {
+        // A mantissa carry propagates into the exponent, and at the very
+        // top of the range on to infinity — exactly IEEE rounding.
+        let h = (((exp + 15) as u32) << 10) + shift_round_even(mant, 13);
+        return sign | h as u16;
+    }
+    if exp < -25 {
+        // Below half the smallest subnormal: rounds to (signed) zero.
+        return sign;
+    }
+    // f16 subnormal: shift the implicit-1 mantissa into place.
+    let m = mant | 0x0080_0000;
+    let k = (13 + (-14 - exp)) as u32;
+    sign | shift_round_even(m, k) as u16
+}
+
+/// IEEE half-precision bits → `f32`. Exact (every f16 value is an f32).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+    if exp == 0x1f {
+        return f32::from_bits(sign | 0x7f80_0000 | (mant << 13));
+    }
+    if exp == 0 {
+        // Subnormal (or zero): mant × 2⁻²⁴, exact in f32.
+        let v = mant as f32 * (2.0f32).powi(-24);
+        return if sign != 0 { -v } else { v };
+    }
+    f32::from_bits(sign | ((exp + 112) << 23) | (mant << 13))
+}
+
+/// The smallest power of two ≥ `t` (t positive, finite, normal-or-below).
+///
+/// I8 scales are powers of two on purpose: dequantisation `q · scale` is
+/// then *exact* in f32, which is what makes encode→decode→encode a true
+/// fixed point (see the property tests) — with a conventional
+/// `absmax / 127` scale the re-derived scale can drift by an ULP per trip.
+fn pow2_at_least(t: f32) -> f32 {
+    debug_assert!(t > 0.0 && t.is_finite(), "pow2_at_least({t})");
+    let bits = t.to_bits();
+    let exp = (bits >> 23) & 0xff;
+    let mant = bits & 0x007f_ffff;
+    if exp == 0 {
+        // Subnormal: the smallest normal is the next power of two at most.
+        return f32::from_bits(1 << 23);
+    }
+    if mant == 0 {
+        t
+    } else {
+        f32::from_bits((exp + 1) << 23)
+    }
+}
+
+/// One quantized tensor: shape plus encoded payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantArray {
+    /// Half-precision bits, row-major.
+    F16 {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+        /// Row-major `f32_to_f16_bits` of every value.
+        bits: Vec<u16>,
+    },
+    /// Per-row absmax int8: `value = q · scales[row]`.
+    I8 {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+        /// One power-of-two scale per row (`0.0` for an all-zero row).
+        scales: Vec<f32>,
+        /// Row-major quantized values in `[-127, 127]`.
+        values: Vec<i8>,
+    },
+}
+
+impl QuantArray {
+    /// Encodes `a` in `format`.
+    ///
+    /// # Panics
+    /// Panics on [`WeightFormat::F32`] (the identity format has no encoded
+    /// form) and on weight magnitudes beyond any sane trained model
+    /// (≥ 1e38, where int8 dequantisation could overflow).
+    pub fn quantize(a: &Array, format: WeightFormat) -> QuantArray {
+        let (rows, cols) = a.shape();
+        match format {
+            WeightFormat::F32 => panic!("QuantArray::quantize: F32 is the identity format"),
+            WeightFormat::F16 => QuantArray::F16 {
+                rows,
+                cols,
+                bits: a.data().iter().map(|&x| f32_to_f16_bits(x)).collect(),
+            },
+            WeightFormat::I8 => {
+                let mut scales = Vec::with_capacity(rows);
+                let mut values = Vec::with_capacity(rows * cols);
+                for r in 0..rows {
+                    let row = a.row(r);
+                    let absmax = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                    assert!(
+                        absmax < 1.0e38,
+                        "i8 quantization: row absmax {absmax} is not a sane weight"
+                    );
+                    if absmax == 0.0 {
+                        scales.push(0.0);
+                        values.extend(std::iter::repeat_n(0i8, cols));
+                        continue;
+                    }
+                    let scale = pow2_at_least(absmax / 127.0);
+                    scales.push(scale);
+                    values.extend(
+                        row.iter()
+                            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8),
+                    );
+                }
+                QuantArray::I8 {
+                    rows,
+                    cols,
+                    scales,
+                    values,
+                }
+            }
+        }
+    }
+
+    /// The format this payload is encoded in.
+    pub fn format(&self) -> WeightFormat {
+        match self {
+            QuantArray::F16 { .. } => WeightFormat::F16,
+            QuantArray::I8 { .. } => WeightFormat::I8,
+        }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            QuantArray::F16 { rows, cols, .. } | QuantArray::I8 { rows, cols, .. } => {
+                (*rows, *cols)
+            }
+        }
+    }
+
+    /// Decodes back to full precision. For `I8` this is exact arithmetic
+    /// (integer × power of two), so decode introduces no error beyond what
+    /// encoding already rounded away.
+    pub fn dequantize(&self) -> Array {
+        match self {
+            QuantArray::F16 { rows, cols, bits } => Array::from_vec(
+                *rows,
+                *cols,
+                bits.iter().map(|&b| f16_bits_to_f32(b)).collect(),
+            ),
+            QuantArray::I8 {
+                rows,
+                cols,
+                scales,
+                values,
+            } => {
+                let mut data = Vec::with_capacity(rows * cols);
+                for (r, &scale) in scales.iter().enumerate() {
+                    data.extend(values[r * cols..(r + 1) * cols].iter().map(|&q| {
+                        if scale == 0.0 {
+                            0.0
+                        } else {
+                            q as f32 * scale
+                        }
+                    }));
+                }
+                Array::from_vec(*rows, *cols, data)
+            }
+        }
+    }
+}
+
+impl ToJson for QuantArray {
+    fn to_json(&self) -> Json {
+        match self {
+            QuantArray::F16 { rows, cols, bits } => Json::Obj(vec![
+                ("kind".into(), Json::from("f16")),
+                ("rows".into(), Json::from(*rows)),
+                ("cols".into(), Json::from(*cols)),
+                (
+                    "bits".into(),
+                    Json::Arr(bits.iter().map(|&b| Json::from(b as u64)).collect()),
+                ),
+            ]),
+            QuantArray::I8 {
+                rows,
+                cols,
+                scales,
+                values,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::from("i8")),
+                ("rows".into(), Json::from(*rows)),
+                ("cols".into(), Json::from(*cols)),
+                (
+                    "scales".into(),
+                    Json::Arr(scales.iter().map(|&s| Json::from(s)).collect()),
+                ),
+                (
+                    "values".into(),
+                    Json::Arr(values.iter().map(|&q| Json::from(q as i64)).collect()),
+                ),
+            ]),
+        }
+    }
+}
+
+impl FromJson for QuantArray {
+    fn from_json(json: &Json) -> Result<QuantArray> {
+        let rows = json.field("rows")?.as_usize()?;
+        let cols = json.field("cols")?.as_usize()?;
+        let check = |n: usize, what: &str| -> Result<()> {
+            if n != rows * cols {
+                return Err(Error::Serde(format!(
+                    "QuantArray holds {n} {what} for shape [{rows}, {cols}]"
+                )));
+            }
+            Ok(())
+        };
+        match json.field("kind")?.as_str()? {
+            "f16" => {
+                let bits = json
+                    .field("bits")?
+                    .as_arr()?
+                    .iter()
+                    .map(|b| Ok(b.as_u64()? as u16))
+                    .collect::<Result<Vec<u16>>>()?;
+                check(bits.len(), "f16 words")?;
+                Ok(QuantArray::F16 { rows, cols, bits })
+            }
+            "i8" => {
+                let scales = json
+                    .field("scales")?
+                    .as_arr()?
+                    .iter()
+                    .map(Json::as_f32)
+                    .collect::<Result<Vec<f32>>>()?;
+                if scales.len() != rows {
+                    return Err(Error::Serde(format!(
+                        "QuantArray holds {} scales for {rows} rows",
+                        scales.len()
+                    )));
+                }
+                let values = json
+                    .field("values")?
+                    .as_arr()?
+                    .iter()
+                    .map(|q| {
+                        let v = q.as_f32()?;
+                        if !(-127.0..=127.0).contains(&v) || v.fract() != 0.0 {
+                            return Err(Error::Serde(format!("bad i8 quant value {v}")));
+                        }
+                        Ok(v as i8)
+                    })
+                    .collect::<Result<Vec<i8>>>()?;
+                check(values.len(), "i8 values")?;
+                Ok(QuantArray::I8 {
+                    rows,
+                    cols,
+                    scales,
+                    values,
+                })
+            }
+            other => Err(Error::Serde(format!("unknown QuantArray kind `{other}`"))),
+        }
+    }
+}
+
+/// A quantized [`SavedParams`]: the serialisable form of a compressed θ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedParams {
+    /// The format every entry is encoded in (never `F32`).
+    pub format: WeightFormat,
+    /// `(name, payload)` in registration order.
+    pub entries: Vec<(String, QuantArray)>,
+}
+
+impl QuantizedParams {
+    /// Encodes every tensor of `saved` in `format` (not `F32`).
+    pub fn quantize(saved: &SavedParams, format: WeightFormat) -> QuantizedParams {
+        assert_ne!(format, WeightFormat::F32, "F32 is the identity format");
+        QuantizedParams {
+            format,
+            entries: saved
+                .entries
+                .iter()
+                .map(|(n, v)| (n.clone(), QuantArray::quantize(v, format)))
+                .collect(),
+        }
+    }
+
+    /// Decodes back to full-precision saved parameters.
+    pub fn dequantize(&self) -> SavedParams {
+        SavedParams {
+            entries: self
+                .entries
+                .iter()
+                .map(|(n, q)| (n.clone(), q.dequantize()))
+                .collect(),
+        }
+    }
+}
+
+impl ToJson for QuantizedParams {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("format".into(), Json::from(self.format.name())),
+            (
+                "entries".into(),
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|(name, q)| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::from(name.as_str())),
+                                ("value".into(), q.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for QuantizedParams {
+    fn from_json(json: &Json) -> Result<QuantizedParams> {
+        let format: WeightFormat = json
+            .field("format")?
+            .as_str()?
+            .parse()
+            .map_err(Error::Serde)?;
+        if format == WeightFormat::F32 {
+            return Err(Error::Serde(
+                "QuantizedParams cannot carry format f32".into(),
+            ));
+        }
+        let entries = json
+            .field("entries")?
+            .as_arr()?
+            .iter()
+            .map(|entry| {
+                let name = entry.field("name")?.as_str()?.to_string();
+                let q = QuantArray::from_json(entry.field("value")?)?;
+                if q.format() != format {
+                    return Err(Error::Serde(format!(
+                        "entry `{name}` is {} inside a {} payload",
+                        q.format().name(),
+                        format.name()
+                    )));
+                }
+                Ok((name, q))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(QuantizedParams { format, entries })
     }
 }
 
@@ -622,5 +1079,237 @@ mod tests {
             bits(&grads),
             "f32 payload must survive bitwise"
         );
+    }
+
+    // ---- quantization ----------------------------------------------------
+
+    fn awkward_array() -> Array {
+        // Values chosen to stress every f16/i8 edge: subnormals in both
+        // formats, negative zero, exact halves (tie-to-even), magnitudes
+        // past f16 range, and ordinary weights.
+        Array::from_vec(
+            4,
+            4,
+            vec![
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                0.333_333_34,
+                -0.000_061_035_156, // f16 smallest normal
+                5.960_464_5e-8,     // f16 smallest subnormal
+                1.0e-41,            // f32 subnormal, rounds to zero in f16
+                65504.0,            // f16 max
+                65520.0,            // rounds to f16 inf
+                -70000.0,
+                2.5,
+                0.100_000_024,
+                -0.299_999_95,
+                127.0,
+                -127.5,
+            ],
+        )
+    }
+
+    fn random_array(rng: &mut fewner_util::Rng, rows: usize, cols: usize) -> Array {
+        Array::uniform(rows, cols, -3.0, 3.0, rng)
+    }
+
+    #[test]
+    fn f16_conversion_matches_known_bit_patterns() {
+        let cases: &[(f32, u16)] = &[
+            (0.0, 0x0000),
+            (-0.0, 0x8000),
+            (1.0, 0x3c00),
+            (-2.0, 0xc000),
+            (65504.0, 0x7bff),
+            (65520.0, 0x7c00), // overflow → inf
+            (f32::INFINITY, 0x7c00),
+            (f32::NEG_INFINITY, 0xfc00),
+            (6.103_515_6e-5, 0x0400), // smallest normal
+            (5.960_464_5e-8, 0x0001), // smallest subnormal
+            (2.980_232_2e-8, 0x0000), // half of it: ties to even → 0
+            (1.0e-41, 0x0000),
+            (0.5, 0x3800),
+            (0.099_975_586, 0x2e66), // 0.1 rounds down in f16
+        ];
+        for &(x, want) in cases {
+            let got = f32_to_f16_bits(x);
+            // 0.1 itself rounds to the nearest representable; check via
+            // decode instead of hardcoding for the inexact case.
+            if x == 0.099_975_586 {
+                assert_eq!(f16_bits_to_f32(got), x, "f16 value must decode exactly");
+            }
+            if x != 0.099_975_586 {
+                assert_eq!(got, want, "f32_to_f16_bits({x})");
+            }
+        }
+        assert_eq!(f32_to_f16_bits(f32::NAN), 0x7e00, "canonical NaN");
+        assert!(f16_bits_to_f32(0x7e00).is_nan());
+    }
+
+    #[test]
+    fn f16_decode_encode_is_identity_on_all_non_nan_half_values() {
+        // Exhaustive over the entire f16 space: decode is exact, so
+        // re-encoding must give back the same bits for every non-NaN value.
+        for h in 0..=u16::MAX {
+            let exp = (h >> 10) & 0x1f;
+            let mant = h & 0x03ff;
+            if exp == 0x1f && mant != 0 {
+                continue; // NaNs canonicalise; checked separately above
+            }
+            assert_eq!(f32_to_f16_bits(f16_bits_to_f32(h)), h, "half bits {h:#06x}");
+        }
+    }
+
+    #[test]
+    fn quantize_encode_decode_encode_is_a_fixed_point() {
+        let mut rng = fewner_util::Rng::new(42);
+        for format in [WeightFormat::F16, WeightFormat::I8] {
+            for a in [awkward_array(), random_array(&mut rng, 7, 13)] {
+                // NaN/inf inputs are excluded for i8 (the absmax guard);
+                // use a finite copy for both formats to share the loop.
+                let finite = a.map(|x| if x.is_finite() { x } else { 0.0 });
+                let q1 = QuantArray::quantize(&finite, format);
+                let d1 = q1.dequantize();
+                let q2 = QuantArray::quantize(&d1, format);
+                assert_eq!(q1, q2, "{} encode∘decode must be idempotent", format.name());
+                let d2 = q2.dequantize();
+                let bits = |a: &Array| a.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&d1), bits(&d2), "decoded values drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn i8_scales_are_powers_of_two_and_dequant_is_exact() {
+        let mut rng = fewner_util::Rng::new(7);
+        let a = random_array(&mut rng, 5, 9);
+        let q = QuantArray::quantize(&a, WeightFormat::I8);
+        let QuantArray::I8 {
+            scales,
+            values,
+            cols,
+            ..
+        } = &q
+        else {
+            panic!("expected i8 payload");
+        };
+        for (r, &s) in scales.iter().enumerate() {
+            assert!(
+                s > 0.0 && s.to_bits() & 0x007f_ffff == 0,
+                "scale {s} not 2^k"
+            );
+            // Exactness: q · s recomputed in f64 matches the f32 product.
+            for &v in &values[r * cols..(r + 1) * cols] {
+                let exact = (v as f64) * (s as f64);
+                assert_eq!(exact as f32, v as f32 * s);
+            }
+            // The row's absmax must actually be representable: max |q| near 127.
+            let maxq = values[r * cols..(r + 1) * cols]
+                .iter()
+                .map(|v| v.unsigned_abs())
+                .max()
+                .unwrap();
+            assert!(maxq >= 64, "scale too coarse: max|q| = {maxq}");
+        }
+    }
+
+    #[test]
+    fn i8_quantize_handles_all_zero_rows() {
+        let a = Array::from_vec(3, 2, vec![0.0, -0.0, 1.5, -2.0, 0.0, 0.0]);
+        let q = QuantArray::quantize(&a, WeightFormat::I8);
+        let QuantArray::I8 { scales, values, .. } = &q else {
+            panic!("expected i8 payload");
+        };
+        assert_eq!(scales[0], 0.0);
+        assert_eq!(scales[2], 0.0);
+        assert!(scales[1] > 0.0);
+        assert_eq!(&values[0..2], &[0, 0]);
+        assert_eq!(&values[4..6], &[0, 0]);
+        let d = q.dequantize();
+        assert_eq!(d.row(0), &[0.0, 0.0]);
+        assert_eq!(d.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn quantized_params_json_roundtrip_is_bitwise() {
+        let mut rng = fewner_util::Rng::new(3);
+        let saved = SavedParams {
+            entries: vec![
+                ("enc.w".into(), random_array(&mut rng, 6, 4)),
+                (
+                    "crf.trans".into(),
+                    awkward_array().map(|x| if x.is_finite() { x } else { 0.0 }),
+                ),
+                ("zeros".into(), Array::zeros(2, 3)),
+            ],
+        };
+        for format in [WeightFormat::F16, WeightFormat::I8] {
+            let q = QuantizedParams::quantize(&saved, format);
+            let text = q.to_json().to_string();
+            let back = QuantizedParams::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, q, "{} JSON round-trip", format.name());
+        }
+    }
+
+    #[test]
+    fn quantized_params_survive_the_durable_layer() {
+        let mut rng = fewner_util::Rng::new(11);
+        let saved = SavedParams {
+            entries: vec![("w".into(), random_array(&mut rng, 8, 8))],
+        };
+        let q = QuantizedParams::quantize(&saved, WeightFormat::I8);
+        let dir = std::env::temp_dir().join(format!("fewner-quant-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("theta.i8.json");
+        fewner_util::durable::write_atomic(&path, q.to_json().to_string().as_bytes()).unwrap();
+        let text = fewner_util::durable::read_verified_string(&path).unwrap();
+        let back = QuantizedParams::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, q, "FEWNERD1 round-trip must be lossless");
+        let bits = |s: &SavedParams| {
+            s.entries[0]
+                .1
+                .data()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&back.dequantize()), bits(&q.dequantize()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantize_all_matches_checkpoint_decode() {
+        let mut rng = fewner_util::Rng::new(5);
+        let mut store = ParamStore::new();
+        store.add("a", random_array(&mut rng, 4, 6));
+        store.add("b", random_array(&mut rng, 1, 9));
+        let via_file = QuantizedParams::quantize(&store.to_saved(), WeightFormat::F16).dequantize();
+        store.quantize_all(WeightFormat::F16);
+        let in_mem = store.to_saved();
+        for ((n1, v1), (n2, v2)) in via_file.entries.iter().zip(&in_mem.entries) {
+            assert_eq!(n1, n2);
+            let bits = |a: &Array| a.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(v1), bits(v2), "in-memory and file paths must agree");
+        }
+        // F32 is the identity.
+        let before = store.to_saved();
+        store.quantize_all(WeightFormat::F32);
+        assert_eq!(
+            before.to_json().to_string(),
+            store.to_saved().to_json().to_string()
+        );
+    }
+
+    #[test]
+    fn weight_format_parses_cli_names() {
+        assert_eq!("f32".parse::<WeightFormat>().unwrap(), WeightFormat::F32);
+        assert_eq!("f16".parse::<WeightFormat>().unwrap(), WeightFormat::F16);
+        assert_eq!("i8".parse::<WeightFormat>().unwrap(), WeightFormat::I8);
+        assert!("fp8".parse::<WeightFormat>().is_err());
+        for f in [WeightFormat::F32, WeightFormat::F16, WeightFormat::I8] {
+            assert_eq!(f.name().parse::<WeightFormat>().unwrap(), f);
+        }
     }
 }

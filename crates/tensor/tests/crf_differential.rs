@@ -1,0 +1,207 @@
+//! Differential CRF lattice tests: the log-space forward (α) and backward
+//! (β) recursions are checked against **brute-force enumeration over every
+//! label path**, computed in `f64` — on small tasks (≤ 4 labels, ≤ 6
+//! tokens) where exhaustive enumeration is exact, and on both kernel
+//! backends.
+//!
+//! What is pinned:
+//! * `α[t][j]` = log Σ over all prefixes ending in label `j` at step `t`.
+//! * `β[t][i]` = log Σ over all suffixes leaving label `i` at step `t`.
+//! * `lse_j(α[t][j] + β[t][j]) = log Z` at *every* step — the marginals'
+//!   normaliser does not drift along the sequence.
+//! * Scalar and Blocked backends agree bitwise on both lattices.
+
+use fewner_tensor::{Array, KernelBackend};
+use fewner_util::Rng;
+
+const BACKENDS: [KernelBackend; 2] = [KernelBackend::Scalar, KernelBackend::Blocked];
+
+struct Case {
+    emissions: Array,
+    trans: Array,
+    start: Array,
+}
+
+fn random_case(len: usize, labels: usize, seed: u64) -> Case {
+    let mut rng = Rng::new(seed);
+    Case {
+        emissions: Array::uniform(len, labels, -2.0, 2.0, &mut rng),
+        trans: Array::uniform(labels, labels, -2.0, 2.0, &mut rng),
+        start: Array::uniform(1, labels, -2.0, 2.0, &mut rng),
+    }
+}
+
+/// Enumerates every label path of length `t + 1` that ends in label `j`,
+/// returning `log Σ exp(prefix score)` in f64.
+fn brute_alpha(case: &Case, t: usize, j: usize) -> f64 {
+    let l = case.trans.rows();
+    let mut total = 0.0f64;
+    let paths = l.pow(t as u32);
+    for code in 0..paths {
+        // Decode the first t labels; position t is fixed to j.
+        let mut labels = Vec::with_capacity(t + 1);
+        let mut c = code;
+        for _ in 0..t {
+            labels.push(c % l);
+            c /= l;
+        }
+        labels.push(j);
+        let mut score = case.start.at(0, labels[0]) as f64;
+        for (step, &y) in labels.iter().enumerate() {
+            score += case.emissions.at(step, y) as f64;
+            if step > 0 {
+                score += case.trans.at(labels[step - 1], y) as f64;
+            }
+        }
+        total += score.exp();
+    }
+    total.ln()
+}
+
+/// Enumerates every label suffix starting *after* label `i` at step `t`,
+/// returning `log Σ exp(suffix score)` in f64. Suffix scores cover
+/// emissions and transitions strictly after `t` (the β convention: the
+/// current step's emission belongs to α).
+fn brute_beta(case: &Case, t: usize, i: usize) -> f64 {
+    let len = case.emissions.rows();
+    let l = case.trans.rows();
+    let steps = len - 1 - t;
+    if steps == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for code in 0..l.pow(steps as u32) {
+        let mut labels = vec![i];
+        let mut c = code;
+        for _ in 0..steps {
+            labels.push(c % l);
+            c /= l;
+        }
+        let mut score = 0.0f64;
+        for s in 1..labels.len() {
+            score += case.trans.at(labels[s - 1], labels[s]) as f64
+                + case.emissions.at(t + s, labels[s]) as f64;
+        }
+        total += score.exp();
+    }
+    total.ln()
+}
+
+fn logsumexp_f64(vals: impl Iterator<Item = f64>) -> f64 {
+    let vals: Vec<f64> = vals.collect();
+    let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    max + vals.iter().map(|v| (v - max).exp()).sum::<f64>().ln()
+}
+
+const TOL: f64 = 2e-4;
+
+#[test]
+fn forward_lattice_matches_brute_force_enumeration() {
+    let mut seed = 0;
+    for len in 1..=6usize {
+        for labels in 1..=4usize {
+            seed += 1;
+            let case = random_case(len, labels, seed);
+            for backend in BACKENDS {
+                let alpha = backend.crf_forward_lattice(&case.emissions, &case.trans, &case.start);
+                assert_eq!(alpha.shape(), (len, labels));
+                for t in 0..len {
+                    for j in 0..labels {
+                        let want = brute_alpha(&case, t, j);
+                        let got = alpha.at(t, j) as f64;
+                        assert!(
+                            (got - want).abs() < TOL,
+                            "{} α[{t}][{j}] (len {len}, {labels} labels): {got} vs {want}",
+                            backend.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn backward_lattice_matches_brute_force_enumeration() {
+    let mut seed = 100;
+    for len in 1..=6usize {
+        for labels in 1..=4usize {
+            seed += 1;
+            let case = random_case(len, labels, seed);
+            for backend in BACKENDS {
+                let beta = backend.crf_backward_lattice(&case.emissions, &case.trans);
+                assert_eq!(beta.shape(), (len, labels));
+                for t in 0..len {
+                    for i in 0..labels {
+                        let want = brute_beta(&case, t, i);
+                        let got = beta.at(t, i) as f64;
+                        assert!(
+                            (got - want).abs() < TOL,
+                            "{} β[{t}][{i}] (len {len}, {labels} labels): {got} vs {want}",
+                            backend.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The partition function computed three ways — from α's last step, from β
+/// joined with the first step, and by direct path enumeration — agrees, and
+/// `lse(α_t + β_t)` is constant in `t`.
+#[test]
+fn alpha_beta_consistency_pins_log_z_at_every_step() {
+    let mut seed = 200;
+    for len in 1..=6usize {
+        for labels in 1..=4usize {
+            seed += 1;
+            let case = random_case(len, labels, seed);
+            let brute_log_z = logsumexp_f64((0..labels).map(|j| brute_alpha(&case, len - 1, j)));
+            for backend in BACKENDS {
+                let alpha = backend.crf_forward_lattice(&case.emissions, &case.trans, &case.start);
+                let beta = backend.crf_backward_lattice(&case.emissions, &case.trans);
+                for t in 0..len {
+                    let log_z = logsumexp_f64(
+                        (0..labels).map(|j| alpha.at(t, j) as f64 + beta.at(t, j) as f64),
+                    );
+                    assert!(
+                        (log_z - brute_log_z).abs() < TOL,
+                        "{} log Z via step {t} (len {len}, {labels} labels): \
+                         {log_z} vs brute {brute_log_z}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Forbidden-strength potentials (the models crate adds −1e4 to banned
+/// transitions) must not destabilise the lattices: no NaN/inf appears and
+/// backends still agree bitwise.
+#[test]
+fn lattices_survive_forbidden_scale_potentials_on_both_backends() {
+    let mut rng = Rng::new(7);
+    let len = 5;
+    let labels = 4;
+    let mut case = random_case(len, labels, 42);
+    // Ban a transition and a start the way the CRF heads do.
+    *case.trans.at_mut(0, 1) += -1.0e4;
+    *case.trans.at_mut(3, 3) += -1.0e4;
+    *case.start.at_mut(0, 2) += -1.0e4;
+    let _ = &mut rng;
+
+    let scalar_a =
+        KernelBackend::Scalar.crf_forward_lattice(&case.emissions, &case.trans, &case.start);
+    let blocked_a =
+        KernelBackend::Blocked.crf_forward_lattice(&case.emissions, &case.trans, &case.start);
+    let scalar_b = KernelBackend::Scalar.crf_backward_lattice(&case.emissions, &case.trans);
+    let blocked_b = KernelBackend::Blocked.crf_backward_lattice(&case.emissions, &case.trans);
+    for (s, b, what) in [(&scalar_a, &blocked_a, "α"), (&scalar_b, &blocked_b, "β")] {
+        assert!(s.all_finite(), "{what} must stay finite");
+        for (i, (x, y)) in s.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what} element {i}: {x} vs {y}");
+        }
+    }
+}

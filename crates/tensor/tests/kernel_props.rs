@@ -1,0 +1,435 @@
+//! Kernel-equivalence and algebraic property suite.
+//!
+//! Two layers of guarantees are pinned here:
+//!
+//! 1. **Algebraic laws** of the scalar oracle kernels themselves —
+//!    broadcast-shape laws, log-sum-exp against a naive shifted-sum oracle
+//!    (computed in `f64`), the unfold/unfold-backward adjoint, and
+//!    `reduce_into` against transposed brute force.
+//! 2. **Backend equivalence** — every kernel dispatched by
+//!    [`KernelBackend`] must produce *bitwise identical* results on
+//!    `Scalar` and `Blocked`, except `matmul_a_bt`, whose 8-lane tree
+//!    reduction is held to an explicit ULP budget instead (it only runs on
+//!    the tape's backward path, which is pinned to `Scalar`).
+//!
+//! The tolerance taxonomy (bitwise / ULP-bounded / F1-bounded) is
+//! documented in DESIGN.md §5h.
+
+use fewner_tensor::kernels;
+use fewner_tensor::{Array, KernelBackend};
+use fewner_util::Rng;
+use proptest::prelude::*;
+
+const BACKENDS: [KernelBackend; 2] = [KernelBackend::Scalar, KernelBackend::Blocked];
+
+fn rand_array(rows: usize, cols: usize, seed: u64) -> Array {
+    let mut rng = Rng::new(seed);
+    Array::uniform(rows, cols, -2.0, 2.0, &mut rng)
+}
+
+/// Like [`rand_array`] but with exact zeros sprinkled in, to exercise the
+/// scalar matmul's zero-skip path (skipping vs adding `0.0` differs on
+/// `-0.0` accumulators, so the blocked kernel must skip identically).
+fn rand_array_with_zeros(rows: usize, cols: usize, seed: u64) -> Array {
+    let mut rng = Rng::new(seed);
+    let mut a = Array::uniform(rows, cols, -2.0, 2.0, &mut rng);
+    for v in a.data_mut() {
+        if rng.below(4) == 0 {
+            *v = 0.0;
+        }
+    }
+    a
+}
+
+fn assert_bitwise(a: &Array, b: &Array, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Algebraic laws of the scalar oracle
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Broadcast addition/multiplication are commutative bitwise, for every
+    /// broadcast configuration: same-shape, 1-row, 1-col and scalar operands.
+    #[test]
+    fn broadcast_ops_commute(seed in 0u64..10_000, r in 1usize..7, c in 1usize..7) {
+        let full = rand_array(r, c, seed);
+        let shapes = [(r, c), (1, c), (r, 1), (1, 1)];
+        for (i, &(br, bc)) in shapes.iter().enumerate() {
+            let b = rand_array(br, bc, seed ^ (i as u64 + 1));
+            let ab = kernels::bcast_zip(&full, &b, "ab", |x, y| x + y);
+            let ba = kernels::bcast_zip(&b, &full, "ba", |x, y| x + y);
+            assert_bitwise(&ab, &ba, "broadcast add commutes");
+            let ab = kernels::bcast_zip(&full, &b, "ab", |x, y| x * y);
+            let ba = kernels::bcast_zip(&b, &full, "ba", |x, y| x * y);
+            assert_bitwise(&ab, &ba, "broadcast mul commutes");
+        }
+    }
+
+    /// Broadcasting against a 1-row / 1-col / scalar operand equals zipping
+    /// against the explicitly materialised (tiled) operand.
+    #[test]
+    fn broadcast_equals_materialised_tiling(seed in 0u64..10_000, r in 1usize..7, c in 1usize..7) {
+        let a = rand_array(r, c, seed);
+        for (i, &(br, bc)) in [(1, c), (r, 1), (1, 1)].iter().enumerate() {
+            let b = rand_array(br, bc, seed ^ (i as u64 + 11));
+            let mut tiled = Array::zeros(r, c);
+            for x in 0..r {
+                for y in 0..c {
+                    *tiled.at_mut(x, y) = b.at(if br == 1 { 0 } else { x }, if bc == 1 { 0 } else { y });
+                }
+            }
+            let via_bcast = kernels::bcast_zip(&a, &b, "bcast", |x, y| x - y);
+            let via_tiled = kernels::bcast_zip(&a, &tiled, "tiled", |x, y| x - y);
+            assert_bitwise(&via_bcast, &via_tiled, "tiling law");
+        }
+    }
+
+    /// `logsumexp_cols` agrees with a naive shifted-sum oracle computed in
+    /// f64, within float tolerance — including columns whose max is reached
+    /// more than once.
+    #[test]
+    fn logsumexp_cols_matches_f64_oracle(seed in 0u64..10_000, r in 1usize..9, c in 1usize..7) {
+        let mut a = rand_array(r, c, seed);
+        if r > 1 {
+            // Duplicate the first row into the second: guaranteed ties.
+            let first = a.row(0).to_vec();
+            a.row_mut(1).copy_from_slice(&first);
+        }
+        let got = kernels::logsumexp_cols(&a);
+        for j in 0..c {
+            let max = (0..r).map(|i| a.at(i, j) as f64).fold(f64::NEG_INFINITY, f64::max);
+            let sum: f64 = (0..r).map(|i| (a.at(i, j) as f64 - max).exp()).sum();
+            let want = max + sum.ln();
+            let err = (got.at(0, j) as f64 - want).abs();
+            prop_assert!(err < 1e-5, "column {j}: {} vs oracle {want}", got.at(0, j));
+        }
+    }
+
+    /// One-row input: `lse` over a single element is exactly the element
+    /// (`max + ln(exp(0)) = max + 0.0`), bitwise.
+    #[test]
+    fn logsumexp_cols_single_element_rows_are_exact(seed in 0u64..10_000, c in 1usize..9) {
+        let a = rand_array(1, c, seed);
+        let got = kernels::logsumexp_cols(&a);
+        assert_bitwise(&got, &a, "single-element lse");
+    }
+
+    /// The unfold/unfold_backward pair is an adjoint:
+    /// `⟨unfold(a), g⟩ = ⟨a, unfold_backward(g)⟩`, and scattering a
+    /// ones-gradient back counts each source row's window multiplicity.
+    #[test]
+    fn unfold_backward_is_the_adjoint_of_unfold(
+        seed in 0u64..10_000, r in 1usize..8, c in 1usize..5, k_off in 0usize..8,
+    ) {
+        let a = rand_array(r, c, seed);
+        let k = 1 + k_off % r;
+        let u = kernels::unfold(&a, k);
+        prop_assert_eq!(u.shape(), (r - k + 1, k * c));
+
+        let g = rand_array(r - k + 1, k * c, seed ^ 21);
+        let mut back = Array::zeros(r, c);
+        kernels::unfold_backward(&g, k, (r, c), &mut back);
+        let dot = |x: &Array, y: &Array| -> f64 {
+            x.data().iter().zip(y.data()).map(|(&p, &q)| p as f64 * q as f64).sum()
+        };
+        let err = (dot(&u, &g) - dot(&a, &back)).abs();
+        prop_assert!(err < 1e-4, "adjoint identity violated by {err}");
+
+        // Ones-gradient → per-row window multiplicity.
+        let ones = Array::zeros(r - k + 1, k * c).map(|_| 1.0);
+        let mut counts = Array::zeros(r, c);
+        kernels::unfold_backward(&ones, k, (r, c), &mut counts);
+        for i in 0..r {
+            let windows = (i.min(r - k) - i.saturating_sub(k - 1) + 1) as f32;
+            for j in 0..c {
+                assert_eq!(counts.at(i, j), windows, "row {i} multiplicity");
+            }
+        }
+    }
+
+    /// `reduce_into` against brute force: reducing to one row is a column
+    /// sum, reducing to one column is a row sum (checked via the transpose),
+    /// and reducing to `[1, 1]` is the total — all accumulated on top of
+    /// the existing `into` contents.
+    #[test]
+    fn reduce_into_matches_transposed_brute_force(seed in 0u64..10_000, r in 1usize..7, c in 1usize..7) {
+        let g = rand_array(r, c, seed);
+        let t = g.transpose();
+
+        // [r, c] → [1, c]: column sums, in ascending-row order.
+        let mut into = rand_array(1, c, seed ^ 31);
+        let base = into.clone();
+        kernels::reduce_into(&g, &mut into);
+        for j in 0..c {
+            let mut want = base.at(0, j);
+            for i in 0..r {
+                want += g.at(i, j);
+            }
+            assert_eq!(into.at(0, j).to_bits(), want.to_bits(), "col sum {j}");
+        }
+
+        // [r, c] → [r, 1] equals transposing and reducing to [1, r].
+        let mut rows = Array::zeros(r, 1);
+        kernels::reduce_into(&g, &mut rows);
+        let mut via_t = Array::zeros(1, r);
+        kernels::reduce_into(&t, &mut via_t);
+        for i in 0..r {
+            // Same-order sums: ascending j either way.
+            assert_eq!(rows.at(i, 0).to_bits(), via_t.at(0, i).to_bits(), "row sum {i}");
+        }
+
+        // [r, c] → [1, 1]: the row-major total.
+        let mut scalar = Array::zeros(1, 1);
+        kernels::reduce_into(&g, &mut scalar);
+        let mut want = 0.0f32;
+        for i in 0..r {
+            for j in 0..c {
+                want += g.at(i, j);
+            }
+        }
+        assert_eq!(scalar.at(0, 0).to_bits(), want.to_bits(), "total");
+    }
+}
+
+/// All-`-inf` columns must come out as `-inf`, not NaN (`-inf - -inf` would
+/// poison a naive implementation), in every kernel that reduces in
+/// log-space — on both backends.
+#[test]
+fn all_neg_inf_inputs_stay_neg_inf() {
+    let mut a = Array::zeros(4, 3);
+    for v in a.data_mut() {
+        *v = f32::NEG_INFINITY;
+    }
+    // One finite column to prove the guard is per-column.
+    *a.at_mut(0, 1) = 1.5;
+    for backend in BACKENDS {
+        let lse = backend.logsumexp_cols(&a);
+        assert_eq!(lse.at(0, 0), f32::NEG_INFINITY, "{}", backend.name());
+        assert!(lse.at(0, 1).is_finite(), "{}", backend.name());
+        assert_eq!(lse.at(0, 2), f32::NEG_INFINITY, "{}", backend.name());
+        assert!(!lse.data().iter().any(|v| v.is_nan()), "{}", backend.name());
+    }
+    assert_eq!(
+        kernels::logsumexp_all(&a.map(|_| f32::NEG_INFINITY)),
+        f32::NEG_INFINITY
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 2. Scalar vs Blocked backend equivalence
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `matmul_into` (both fresh and accumulating) and `matmul_at_b` are
+    /// bitwise identical across backends over randomized shapes, including
+    /// inputs with exact zeros (the zero-skip path).
+    #[test]
+    fn matmul_kernels_bitwise_equal(
+        seed in 0u64..10_000, m in 1usize..12, k in 1usize..20, n in 1usize..12,
+    ) {
+        let a = rand_array_with_zeros(m, k, seed);
+        let b = rand_array_with_zeros(k, n, seed ^ 41);
+        for accumulate in [false, true] {
+            let mut outs = Vec::new();
+            for backend in BACKENDS {
+                let mut out = rand_array(m, n, seed ^ 42); // same non-zero base
+                backend.matmul_into(&a, &b, &mut out, accumulate);
+                outs.push(out);
+            }
+            assert_bitwise(&outs[0], &outs[1], "matmul_into");
+        }
+
+        // aᵀ·b: a is [k, m]-shaped input reduced over its rows.
+        let at = rand_array_with_zeros(k, m, seed ^ 43);
+        let mut outs = Vec::new();
+        for backend in BACKENDS {
+            let mut out = Array::zeros(m, n);
+            backend.matmul_at_b(&at, &b, &mut out);
+            outs.push(out);
+        }
+        assert_bitwise(&outs[0], &outs[1], "matmul_at_b");
+    }
+
+    /// `matmul_a_bt` reassociates (8 partial lanes + tree reduction), so it
+    /// carries an explicit error budget instead of bitwise equality. The
+    /// budget is in ULPs *of the accumulated magnitude* `Σ|aᵢ·bᵢ|`, not of
+    /// the (possibly cancelled-to-tiny) result — reassociation error scales
+    /// with what was summed, not with what survived cancellation.
+    #[test]
+    fn matmul_a_bt_within_ulp_budget(
+        seed in 0u64..10_000, m in 1usize..10, k in 1usize..33, n in 1usize..10,
+    ) {
+        let a = rand_array(m, k, seed);
+        let bt = rand_array(n, k, seed ^ 51);
+        let mut outs = Vec::new();
+        for backend in BACKENDS {
+            let mut out = Array::zeros(m, n);
+            backend.matmul_a_bt(&a, &bt, &mut out);
+            outs.push(out);
+        }
+        for i in 0..m {
+            for j in 0..n {
+                let magnitude: f64 = (0..k)
+                    .map(|p| (a.at(i, p) as f64 * bt.at(j, p) as f64).abs())
+                    .sum();
+                // ≤ 2·k rounding steps of ≤ ½ ULP each, ULP measured at the
+                // running magnitude; k ≤ 32 keeps this ≪ the budget below.
+                let budget = 64.0 * f32::EPSILON as f64 * magnitude.max(f32::MIN_POSITIVE as f64);
+                let (x, y) = (outs[0].at(i, j), outs[1].at(i, j));
+                let err = (x as f64 - y as f64).abs();
+                prop_assert!(err <= budget, "[{i},{j}]: {x} vs {y}, err {err} > budget {budget}");
+            }
+        }
+    }
+
+    /// Elementwise broadcast, reduction, log-space and argmax kernels are
+    /// bitwise identical across backends for every broadcast configuration.
+    #[test]
+    fn pointwise_and_reduction_kernels_bitwise_equal(
+        seed in 0u64..10_000, r in 1usize..9, c in 1usize..9,
+    ) {
+        let a = rand_array(r, c, seed);
+        for (i, &(br, bc)) in [(r, c), (1, c), (r, 1), (1, 1)].iter().enumerate() {
+            let b = rand_array(br, bc, seed ^ (60 + i as u64));
+            let mut outs = Vec::new();
+            for backend in BACKENDS {
+                let mut out = Array::zeros(r, c);
+                backend.bcast_zip_into(&a, &b, &mut out, |x, y| x + y);
+                outs.push(out);
+            }
+            assert_bitwise(&outs[0], &outs[1], "bcast_zip_into");
+
+            // reduce_into in the opposite direction: [r, c] → (br, bc).
+            let mut outs = Vec::new();
+            for backend in BACKENDS {
+                let mut into = rand_array(br, bc, seed ^ 70);
+                backend.reduce_into(&a, &mut into);
+                outs.push(into);
+            }
+            assert_bitwise(&outs[0], &outs[1], "reduce_into");
+        }
+
+        assert_bitwise(
+            &KernelBackend::Scalar.logsumexp_cols(&a),
+            &KernelBackend::Blocked.logsumexp_cols(&a),
+            "logsumexp_cols",
+        );
+        assert_bitwise(
+            &KernelBackend::Scalar.log_softmax_rows(&a),
+            &KernelBackend::Blocked.log_softmax_rows(&a),
+            "log_softmax_rows",
+        );
+        assert_bitwise(
+            &KernelBackend::Scalar.softmax_rows(&a),
+            &KernelBackend::Blocked.softmax_rows(&a),
+            "softmax_rows",
+        );
+        let (sv, si) = KernelBackend::Scalar.max_cols(&a);
+        let (bv, bi) = KernelBackend::Blocked.max_cols(&a);
+        assert_bitwise(&sv, &bv, "max_cols values");
+        assert_eq!(si, bi, "max_cols argmax");
+    }
+
+    /// The CRF lattice kernels are bitwise identical across backends.
+    #[test]
+    fn crf_lattice_kernels_bitwise_equal(
+        seed in 0u64..10_000, t in 1usize..8, l in 1usize..6,
+    ) {
+        let emissions = rand_array(t, l, seed);
+        let trans = rand_array(l, l, seed ^ 81);
+        let start = rand_array(1, l, seed ^ 82);
+        assert_bitwise(
+            &KernelBackend::Scalar.crf_forward_lattice(&emissions, &trans, &start),
+            &KernelBackend::Blocked.crf_forward_lattice(&emissions, &trans, &start),
+            "crf_forward_lattice",
+        );
+        assert_bitwise(
+            &KernelBackend::Scalar.crf_backward_lattice(&emissions, &trans),
+            &KernelBackend::Blocked.crf_backward_lattice(&emissions, &trans),
+            "crf_backward_lattice",
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Argmax tie-breaking (Viterbi determinism)
+// ---------------------------------------------------------------------------
+
+/// `max_cols` must break ties by the *first* (lowest-index) row, on both
+/// backends: Viterbi backpointers go through this argmax, so a tie broken
+/// differently would silently change decoded paths between backends.
+#[test]
+fn max_cols_ties_break_to_the_first_row_on_both_backends() {
+    // Column 0: exact tie between rows 0 and 2; column 1: tie between rows
+    // 1 and 3; column 2: all-equal; column 3: -0.0 vs +0.0 (compares
+    // equal, so the first row must win too).
+    let a = Array::from_vec(
+        4,
+        4,
+        vec![
+            5.0, 1.0, 7.0, -0.0, //
+            2.0, 9.0, 7.0, -1.0, //
+            5.0, 3.0, 7.0, 0.0, //
+            1.0, 9.0, 7.0, -2.0,
+        ],
+    );
+    for backend in BACKENDS {
+        let (vals, args) = backend.max_cols(&a);
+        assert_eq!(args, vec![0, 1, 0, 0], "{} argmax", backend.name());
+        assert_eq!(
+            vals.data(),
+            &[5.0, 9.0, 7.0, -0.0],
+            "{} values",
+            backend.name()
+        );
+        // The -0.0 winner keeps its sign bit: the *row-0 value* is taken.
+        assert_eq!(
+            vals.at(0, 3).to_bits(),
+            (-0.0f32).to_bits(),
+            "{}",
+            backend.name()
+        );
+    }
+}
+
+/// Randomized tie pinning: planting duplicates of the column max at random
+/// rows never moves the argmax off the first occurrence.
+#[test]
+fn max_cols_first_max_wins_under_random_duplication() {
+    let mut rng = Rng::new(99);
+    for _ in 0..50 {
+        let r = 2 + rng.below(6);
+        let c = 1 + rng.below(5);
+        let mut a = Array::uniform(r, c, -2.0, 2.0, &mut rng);
+        for j in 0..c {
+            // Duplicate the current column max into another random row.
+            let (mut max, mut arg) = (f32::NEG_INFINITY, 0);
+            for i in 0..r {
+                if a.at(i, j) > max {
+                    max = a.at(i, j);
+                    arg = i;
+                }
+            }
+            let dup = rng.below(r);
+            *a.at_mut(dup, j) = max;
+            let want = arg.min(dup);
+            for backend in BACKENDS {
+                let (_, args) = backend.max_cols(&a);
+                assert_eq!(args[j], want, "{} column {j}", backend.name());
+            }
+        }
+    }
+}

@@ -23,9 +23,12 @@ use std::io::Write as _;
 use std::net::TcpListener;
 use std::process::ExitCode;
 
-use fewner::cli::{backbone, build_encoder, flag, meta, parse_args, profile, split_for, USAGE};
+use fewner::cli::{
+    backbone, build_encoder, flag, meta, parse_args, profile, split_for, weights, USAGE,
+};
 use fewner::core::Checkpoint;
 use fewner::prelude::*;
+use fewner::tensor::WeightFormat;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,18 +77,31 @@ fn tracer_for(flags: &HashMap<String, String>) -> Tracer {
     }
 }
 
-/// Loads the checkpoint named by the unified `--model` flag.
+/// Loads the checkpoint named by the unified `--model` flag, then applies
+/// the `--weights` precision. Quantized checkpoint *files* are detected
+/// transparently; the flag additionally lets a full-precision checkpoint be
+/// served rounded (`--weights i8` ≡ loading an i8-saved file).
 fn load_model(
     flags: &HashMap<String, String>,
     enc: &TokenEncoder,
     what: &str,
 ) -> fewner::Result<Fewner> {
-    match flags.get("model") {
-        Some(path) => Checkpoint::load(path)?.restore(enc),
-        None => Err(fewner::Error::InvalidConfig(format!(
+    let Some(path) = flags.get("model") else {
+        return Err(fewner::Error::InvalidConfig(format!(
             "{what} requires --model <checkpoint>"
-        ))),
+        )));
+    };
+    let ckpt = Checkpoint::load(path)?;
+    if ckpt.weights != WeightFormat::F32 {
+        println!("loaded {} θ from {path}", ckpt.weights.name());
     }
+    let mut learner = ckpt.restore(enc)?;
+    let format = weights(flags)?;
+    if format != WeightFormat::F32 {
+        learner.theta.quantize_all(format);
+        println!("serving θ quantized to {}", format.name());
+    }
+    Ok(learner)
 }
 
 fn cmd_corpus(flags: &HashMap<String, String>) -> fewner::Result<()> {

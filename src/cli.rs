@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use fewner_core::MetaConfig;
 use fewner_corpus::{split_types, AceDomain, Dataset, DatasetProfile, TypeSplit};
 use fewner_models::{BackboneConfig, TokenEncoder};
+use fewner_tensor::WeightFormat;
 use fewner_text::embed::EmbeddingSpec;
 use fewner_util::{Error, Result};
 
@@ -30,6 +31,8 @@ pub const USAGE: &str =
     --seed <u64>           experiment seed (default 42)
     --model <path>         checkpoint file (written by train, read by the rest)
     --trace <path>         write a structured JSONL trace of the run
+    --weights <f32|f16|i8> serve-time θ precision for evaluate/predict/serve
+                           (default f32; f16/i8 round the loaded checkpoint)
   train/evaluate/demo:
     --ways <N> --shots <K> (default 5, 1)
     --iterations <N>       meta-iterations (default 300)
@@ -116,6 +119,16 @@ pub fn profile(flags: &HashMap<String, String>) -> Result<DatasetProfile> {
     })
 }
 
+/// Resolves `--weights` to the serve-time θ precision (default `f32`).
+/// Unknown formats are a hard error, not a silent fall-back: serving with
+/// the wrong precision would quietly change scores.
+pub fn weights(flags: &HashMap<String, String>) -> Result<WeightFormat> {
+    match flags.get("weights") {
+        None => Ok(WeightFormat::F32),
+        Some(s) => s.parse().map_err(Error::InvalidConfig),
+    }
+}
+
 /// A type split sized to the profile (paper splits where defined, a
 /// 60/15/25 type partition otherwise).
 pub fn split_for(p: &DatasetProfile, data: &Dataset, seed: u64) -> Result<TypeSplit> {
@@ -195,6 +208,22 @@ mod tests {
         );
         assert!(parse_args(&argv("train scale 0.1")).is_none(), "missing --");
         assert!(parse_args(&[]).is_none(), "missing command");
+    }
+
+    #[test]
+    fn weights_flag_resolves_strictly() {
+        let mut flags = HashMap::new();
+        assert_eq!(weights(&flags).unwrap(), WeightFormat::F32);
+        for (name, want) in [
+            ("f32", WeightFormat::F32),
+            ("f16", WeightFormat::F16),
+            ("i8", WeightFormat::I8),
+        ] {
+            flags.insert("weights".to_string(), name.to_string());
+            assert_eq!(weights(&flags).unwrap(), want);
+        }
+        flags.insert("weights".to_string(), "int4".to_string());
+        assert!(weights(&flags).is_err(), "unknown formats must not default");
     }
 
     #[test]
