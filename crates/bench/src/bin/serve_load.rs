@@ -14,6 +14,7 @@
 //!            [--tasks 4] [--rate 0 (= as fast as possible)]
 //!            [--scale 0.05] [--seed 42] [--shutdown true]
 //!            [--deadline-ms 0 (= none)] [--retries 0] [--backoff-ms 10]
+//!            [--arrivals 0 (= off)]
 //! ```
 //!
 //! Reports p50/p99 request latency, tokens/sec, shed/failure counts, the
@@ -21,6 +22,15 @@
 //! server's own counters (cache hits, queue depth) from the `stats` op.
 //! Deadline misses and shed requests are reported separately from hard
 //! failures and do not fail the run — only `failed > 0` exits non-zero.
+//!
+//! `--arrivals W` switches to the incremental-adaptation benchmark: each
+//! task's support set arrives in `W` waves, and after every wave the two
+//! online strategies are compared on the same daemon — `extend` (warm-start
+//! the cached φ, few inner steps over the merged support) vs a full
+//! re-adapt from scratch over everything seen so far (forced cold by using
+//! a fresh task key per wave). Per wave it reports the mean latency of each
+//! strategy plus the entity F1 each one's context reaches on the task's
+//! query set — the latency/quality tradeoff of incremental serving.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -42,7 +52,7 @@ impl Flags {
                 eprintln!(
                     "usage: serve_load --addr <ip:port> [--clients N] [--requests N] \
                            [--tasks N] [--rate RPS] [--scale F] [--seed N] [--shutdown true] \
-                           [--deadline-ms MS] [--retries N] [--backoff-ms MS]"
+                           [--deadline-ms MS] [--retries N] [--backoff-ms MS] [--arrivals W]"
                 );
                 std::process::exit(2);
             };
@@ -141,6 +151,138 @@ fn run_client(
     Ok(tally)
 }
 
+/// Splits a task's support set into `n` arrival waves, round-robin so
+/// every wave carries a mix of classes.
+fn waves(task: &Task, n: usize) -> Vec<Vec<SupportSentence>> {
+    let all = wire_support(task);
+    let n = n.clamp(1, all.len());
+    let mut out: Vec<Vec<SupportSentence>> = vec![Vec::new(); n];
+    for (i, s) in all.into_iter().enumerate() {
+        out[i % n].push(s);
+    }
+    out
+}
+
+/// Entity F1 of the server's current context for `(tenant, name)` over the
+/// task's query set.
+fn f1_of(client: &mut Client, tenant: &str, name: &str, task: &Task) -> Result<f64, Error> {
+    let sentences: Vec<Vec<String>> = task.query.iter().map(|s| s.tokens.clone()).collect();
+    let preds = client.predict(tenant, name, &sentences)?;
+    let mut counts = fewner_eval::F1Counts::default();
+    for (pred, gold) in preds.iter().zip(&task.query) {
+        let tags = pred
+            .iter()
+            .map(|t| fewner_text::Tag::parse(t))
+            .collect::<fewner_util::Result<Vec<_>>>()?;
+        counts.add_tags(&gold.tags, &tags);
+    }
+    Ok(counts.f1())
+}
+
+/// The incremental-adaptation benchmark: support arrives in waves, and
+/// after each wave `extend` (warm incremental steps) is compared against a
+/// forced full re-adapt over the cumulative support. Returns the number of
+/// hard failures.
+fn run_arrivals(addr: &str, tasks: &[Task], n_waves: usize) -> u64 {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("arrivals: connect failed: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "arrivals: {n_waves} waves x {} tasks, extend vs full re-adapt",
+        tasks.len()
+    );
+    // Per wave, across tasks: summed latencies and F1s for each strategy.
+    let mut ext_us = vec![0u64; n_waves];
+    let mut full_us = vec![0u64; n_waves];
+    let mut ext_f1 = vec![0.0f64; n_waves];
+    let mut full_f1 = vec![0.0f64; n_waves];
+    // Tasks with fewer support sentences than waves run fewer waves, so
+    // per-wave means divide by the tasks that actually reached the wave.
+    let mut ran = vec![0u64; n_waves];
+    let mut failed = 0u64;
+    for (ti, task) in tasks.iter().enumerate() {
+        let arriving = waves(task, n_waves);
+        let ext_name = format!("ext-{ti}");
+        let mut cumulative: Vec<SupportSentence> = Vec::new();
+        let mut revision = 0u32;
+        for (w, wave) in arriving.iter().enumerate() {
+            cumulative.extend(wave.iter().cloned());
+            ran[w] += 1;
+
+            // Incremental: the first wave adapts, later waves extend the
+            // resident context in place.
+            let t0 = Instant::now();
+            let outcome = if w == 0 {
+                client
+                    .adapt("load", &ext_name, task.n_ways, wave.clone())
+                    .map(|_| 1)
+            } else {
+                client
+                    .extend("load", &ext_name, task.n_ways, wave.clone())
+                    .map(|(rev, _)| rev)
+            };
+            ext_us[w] += t0.elapsed().as_micros() as u64;
+            match outcome {
+                Ok(rev) => revision = rev,
+                Err(e) => {
+                    eprintln!("arrivals: extend wave {w} failed: {e}");
+                    failed += 1;
+                    continue;
+                }
+            }
+
+            // Full re-adapt: a fresh key per wave defeats the φ-cache, so
+            // the complete inner loop runs over all support seen so far.
+            let full_name = format!("full-{ti}-w{w}");
+            let t0 = Instant::now();
+            let outcome = client.adapt("load", &full_name, task.n_ways, cumulative.clone());
+            full_us[w] += t0.elapsed().as_micros() as u64;
+            if let Err(e) = outcome {
+                eprintln!("arrivals: re-adapt wave {w} failed: {e}");
+                failed += 1;
+                continue;
+            }
+
+            match (
+                f1_of(&mut client, "load", &ext_name, task),
+                f1_of(&mut client, "load", &full_name, task),
+            ) {
+                (Ok(e), Ok(f)) => {
+                    ext_f1[w] += e;
+                    full_f1[w] += f;
+                }
+                (e, f) => {
+                    for err in [e.err(), f.err()].into_iter().flatten() {
+                        eprintln!("arrivals: scoring wave {w} failed: {err}");
+                        failed += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "  task {ti}: context revision {revision} after {} waves",
+            arriving.len()
+        );
+    }
+    for w in 0..n_waves {
+        let n = ran[w].max(1) as f64;
+        let op = if w == 0 { "adapt " } else { "extend" };
+        println!(
+            "  wave {}: {op} {:7.1}ms vs re-adapt {:7.1}ms | F1 extend {:.3} vs re-adapt {:.3}",
+            w + 1,
+            ext_us[w] as f64 / n / 1000.0,
+            full_us[w] as f64 / n / 1000.0,
+            ext_f1[w] / n,
+            full_f1[w] / n,
+        );
+    }
+    failed
+}
+
 fn percentile(sorted_us: &[u64], p: f64) -> f64 {
     if sorted_us.is_empty() {
         return f64::NAN;
@@ -178,6 +320,18 @@ fn main() {
     let split = split_types(&data, (18, 8, 10), seed).expect("split");
     let sampler = EpisodeSampler::new(&split.test, 5, 1, 6).expect("sampler");
     let tasks = sampler.eval_set(0xE7A1, n_tasks).expect("tasks");
+
+    let arrivals = flags.get("arrivals", 0usize);
+    if arrivals > 0 {
+        let failed = run_arrivals(&addr, &tasks, arrivals);
+        if flags.get("shutdown", false) {
+            match Client::connect(&addr).and_then(|mut c| c.shutdown()) {
+                Ok(()) => println!("  sent shutdown"),
+                Err(e) => eprintln!("  shutdown failed: {e}"),
+            }
+        }
+        std::process::exit(if failed > 0 { 1 } else { 0 });
+    }
 
     println!(
         "serve_load: {clients} clients x {requests} requests against {addr} ({n_tasks} tasks)"

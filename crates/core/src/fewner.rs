@@ -16,7 +16,6 @@
 
 use fewner_episode::Task;
 use fewner_models::{encode_task, Backbone, BackboneConfig, LabeledSentence, TokenEncoder};
-use fewner_obs::Tracer;
 use fewner_tensor::{Adam, Graph, ParamId, ParamStore, SavedAdam, SavedParams, Sgd};
 use fewner_text::TagSet;
 use fewner_util::{Error, FromJson, Json, Result, Rng, ToJson};
@@ -76,7 +75,20 @@ impl Fewner {
         tags: &TagSet,
         steps: usize,
     ) -> Result<(ParamStore, ParamId, Vec<fewner_tensor::Array>)> {
-        let (mut phi_store, phi_id) = self.backbone.new_context();
+        let (phi_store, phi_id) = self.backbone.new_context();
+        self.inner_loop(phi_store, phi_id, support, tags, steps)
+    }
+
+    /// The inner SGD loop from an explicit starting φ — shared by the fresh
+    /// adapt above and the warm-started [`Fewner::extend`].
+    fn inner_loop(
+        &self,
+        mut phi_store: ParamStore,
+        phi_id: ParamId,
+        support: &[LabeledSentence],
+        tags: &TagSet,
+        steps: usize,
+    ) -> Result<(ParamStore, ParamId, Vec<fewner_tensor::Array>)> {
         let mut sgd = Sgd::new(self.cfg.inner_lr);
         let mut trajectory: Vec<fewner_tensor::Array> = Vec::with_capacity(steps);
         let mut rng = Rng::new(0); // inner loop is dropout-free
@@ -166,7 +178,81 @@ impl Fewner {
             self.adapt_context(support, &tags, self.cfg.inner_steps_test)?;
         drop(span);
         tracer.incr("serve/tasks", 1);
-        Ok(AdaptedCtx::new(n_ways, phi_store, phi_id))
+        Ok(AdaptedCtx::new(
+            n_ways,
+            phi_store,
+            phi_id,
+            support.to_vec(),
+            1,
+        ))
+    }
+
+    /// Folds newly arrived support into an existing context *incrementally*:
+    /// instead of re-running the full inner loop from a fresh φ, the loop
+    /// warm-starts from `ctx`'s current φ and takes a few steps
+    /// (`inner_steps_test / 2`, at least one) over the merged old + new
+    /// support. Returns a successor context carrying the merged support and
+    /// `ctx.revision() + 1`; `ctx` itself is untouched, so a caller can
+    /// still fall back to it.
+    ///
+    /// This is the online-adaptation half of the streaming story: a tenant
+    /// whose labelled examples trickle in pays a fraction of a cold adapt
+    /// per wave instead of the full loop every time. Recorded as a
+    /// `serve/adapt_extend` span plus a `serve/extends` counter, so trace
+    /// summaries can split extend latency from cold-adapt latency.
+    pub fn extend(
+        &self,
+        ctx: &AdaptedCtx,
+        new_support: &[LabeledSentence],
+        opts: &ServeOptions,
+    ) -> Result<AdaptedCtx> {
+        if let Some(d) = opts.deadline() {
+            d.check("extend")?;
+        }
+        if new_support.is_empty() {
+            return Err(Error::InvalidConfig(
+                "extend requires at least one new support sentence".into(),
+            ));
+        }
+        let expected = self.backbone.config().phi_total();
+        if ctx.phi_values().len() != expected {
+            return Err(Error::ShapeMismatch {
+                op: "extend",
+                detail: format!(
+                    "adapted context has {} φ values, model expects {expected}",
+                    ctx.phi_values().len()
+                ),
+            });
+        }
+        let tags = ctx.tag_set();
+        let mut merged = ctx.support().to_vec();
+        merged.extend_from_slice(new_support);
+        let steps = (self.cfg.inner_steps_test / 2).max(1);
+        let tracer = opts.tracer_ref();
+        let span = {
+            let mut span = tracer.span("serve/adapt_extend");
+            span.set("ways", ctx.n_ways());
+            span.set("new", new_support.len());
+            span.set("support", merged.len());
+            span.set("steps", steps);
+            span.set("revision", u64::from(ctx.revision()) + 1);
+            span
+        };
+        // Warm start: a fresh context binding whose φ is seeded with the
+        // incoming context's adapted values.
+        let (mut phi_store, phi_id) = self.backbone.new_context();
+        let (src_store, src_id) = ctx.phi();
+        phi_store.set(phi_id, (**src_store.value(src_id)).clone());
+        let (phi_store, phi_id, _) = self.inner_loop(phi_store, phi_id, &merged, &tags, steps)?;
+        drop(span);
+        tracer.incr("serve/extends", 1);
+        Ok(AdaptedCtx::new(
+            ctx.n_ways(),
+            phi_store,
+            phi_id,
+            merged,
+            ctx.revision() + 1,
+        ))
     }
 
     /// Decodes `sentences` under a previously adapted context on the
@@ -214,23 +300,6 @@ impl Fewner {
         };
         tracer.incr("serve/tokens", tokens as u64);
         Ok(predictions)
-    }
-
-    /// The pre-[`ServeOptions`] serving entry point: adapt and decode in
-    /// one shot, discarding the adapted φ afterwards.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Fewner::adapt` + `Fewner::predict` with `ServeOptions`; \
-                the returned `AdaptedCtx` is reusable and cacheable"
-    )]
-    pub fn serve_task(
-        &self,
-        task: &Task,
-        enc: &TokenEncoder,
-        tracer: &Tracer,
-    ) -> Result<Vec<Vec<usize>>> {
-        let opts = ServeOptions::new().tracer(tracer.clone());
-        self.adapt_then_predict(task, enc, &opts)
     }
 
     /// Adapt + predict over a task's own query set (the episodic
@@ -427,6 +496,64 @@ mod tests {
         assert!(after < before, "inner loop: {before} -> {after}");
         assert_eq!(traj.len(), 6);
         assert!(traj[0].data().iter().all(|&v| v == 0.0), "φ starts at 0");
+    }
+
+    #[test]
+    fn extend_grows_support_and_bumps_revision() {
+        let (enc, tasks, fewner) = tiny_setup();
+        let opts = ServeOptions::new();
+        let ctx = fewner.adapt(&tasks[0], &enc, &opts).unwrap();
+        assert_eq!(ctx.revision(), 1);
+        assert_eq!(ctx.support().len(), tasks[0].support.len());
+
+        let (new_support, _) = encode_task(&enc, &tasks[1]);
+        let before_theta = fewner.theta.snapshot();
+        let extended = fewner.extend(&ctx, &new_support, &opts).unwrap();
+        assert_eq!(
+            fewner.theta.snapshot(),
+            before_theta,
+            "extend must only touch φ"
+        );
+        assert_eq!(extended.revision(), 2);
+        assert_eq!(
+            extended.support().len(),
+            ctx.support().len() + new_support.len(),
+            "merged support = old + new"
+        );
+        assert_ne!(
+            extended.phi_values(),
+            ctx.phi_values(),
+            "the warm-started inner loop must move φ"
+        );
+        // The predecessor is untouched and still usable.
+        assert_eq!(ctx.revision(), 1);
+
+        // Extending is deterministic: same inputs, same successor φ.
+        let again = fewner.extend(&ctx, &new_support, &opts).unwrap();
+        assert_eq!(again.phi_values(), extended.phi_values());
+
+        // Successive extensions keep counting.
+        let third = fewner.extend(&extended, &new_support, &opts).unwrap();
+        assert_eq!(third.revision(), 3);
+
+        // An empty wave is a caller error, not a no-op.
+        assert!(matches!(
+            fewner.extend(&ctx, &[], &opts),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn extend_rejects_a_foreign_shaped_context() {
+        let (enc, tasks, fewner) = tiny_setup();
+        let mut store = ParamStore::new();
+        let id = store.add("phi", fewner_tensor::Array::zeros(1, 3));
+        let foreign = AdaptedCtx::new(3, store, id, Vec::new(), 1);
+        let (support, _) = encode_task(&enc, &tasks[0]);
+        assert!(matches!(
+            fewner.extend(&foreign, &support, &ServeOptions::new()),
+            Err(Error::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use maml::Maml;
 pub use reduce::{GradPartial, GradReduce};
 pub use serve::{AdaptedCtx, CachePolicy, ServeOptions};
 pub use shard::{CoordinatorReport, ShardCoordinator, ShardSession};
-pub use snapshot::{RunFingerprint, ShardScope, SnapshotEntry, TrainingSnapshot};
-#[allow(deprecated)]
-pub use trainer::{resume, resume_traced, train, train_traced};
-pub use trainer::{ParallelTrainer, TrainConfig, Trainer, TrainingLog};
+pub use snapshot::{
+    RunFingerprint, ShardScope, SnapshotEntry, StreamFingerprint, TrainingSnapshot,
+};
+pub use trainer::{ParallelTrainer, StreamSource, TrainConfig, Trainer, TrainingLog};

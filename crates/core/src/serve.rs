@@ -21,6 +21,7 @@
 
 use std::path::{Path, PathBuf};
 
+use fewner_models::LabeledSentence;
 use fewner_obs::Tracer;
 use fewner_tensor::{Array, ParamId, ParamStore};
 use fewner_text::TagSet;
@@ -157,8 +158,13 @@ impl ServeOptions {
     }
 }
 
-/// Format version of persisted adapted contexts.
-pub const ADAPTED_CTX_VERSION: u32 = 1;
+/// Format version of persisted adapted contexts. Version 2 added the
+/// `revision` counter and the retained support set behind incremental
+/// [`Fewner::extend`]; version-1 files still load (empty retained support,
+/// revision 1).
+///
+/// [`Fewner::extend`]: crate::Fewner::extend
+pub const ADAPTED_CTX_VERSION: u32 = 2;
 
 /// An adapted task context: the φ produced by the inner loop, packaged as a
 /// first-class value.
@@ -167,27 +173,60 @@ pub const ADAPTED_CTX_VERSION: u32 = 1;
 /// requests. It is deliberately *small* — for the paper's configurations φ
 /// is a few hundred floats — which is what makes caching millions of task
 /// contexts plausible where caching full models is not.
+///
+/// A context also remembers the (encoded) support set it was adapted on and
+/// a monotonically increasing `revision`, so arriving support can be folded
+/// in incrementally: [`Fewner::extend`] warm-starts from the current φ over
+/// the merged support and returns a successor context with `revision + 1`.
+///
+/// [`Fewner::extend`]: crate::Fewner::extend
 #[derive(Debug, Clone)]
 pub struct AdaptedCtx {
     n_ways: usize,
     phi_store: ParamStore,
     phi_id: ParamId,
+    revision: u32,
+    support: Vec<LabeledSentence>,
 }
 
 impl AdaptedCtx {
     /// Packages an adapted φ store (one `"phi"` parameter) with its task
-    /// arity.
-    pub(crate) fn new(n_ways: usize, phi_store: ParamStore, phi_id: ParamId) -> AdaptedCtx {
+    /// arity, the support it was adapted on, and its revision number.
+    pub(crate) fn new(
+        n_ways: usize,
+        phi_store: ParamStore,
+        phi_id: ParamId,
+        support: Vec<LabeledSentence>,
+        revision: u32,
+    ) -> AdaptedCtx {
         AdaptedCtx {
             n_ways,
             phi_store,
             phi_id,
+            revision,
+            support,
         }
     }
 
     /// The task's way count (fixes the tag inventory).
     pub fn n_ways(&self) -> usize {
         self.n_ways
+    }
+
+    /// How many times this context has been (re-)adapted: `1` for a fresh
+    /// adapt, incremented by every [`Fewner::extend`].
+    ///
+    /// [`Fewner::extend`]: crate::Fewner::extend
+    pub fn revision(&self) -> u32 {
+        self.revision
+    }
+
+    /// The encoded support set the current φ was adapted on (merged across
+    /// every extension). Version-1 files reload with this empty — such a
+    /// context still predicts bitwise-identically, but an extension starts
+    /// its merged support from the new arrivals alone.
+    pub fn support(&self) -> &[LabeledSentence] {
+        &self.support
     }
 
     /// The task's BIO tag inventory (`2N + 1` tags).
@@ -205,24 +244,32 @@ impl AdaptedCtx {
         self.phi_store.value(self.phi_id).data()
     }
 
-    /// Serialises the context (version, way count, φ tensor).
+    /// Serialises the context (version, way count, revision, φ tensor and
+    /// retained support).
     pub fn to_json(&self) -> Json {
         let phi = self.phi_store.value(self.phi_id);
         Json::Obj(vec![
             ("version".into(), Json::from(ADAPTED_CTX_VERSION as u64)),
             ("n_ways".into(), Json::from(self.n_ways)),
+            ("revision".into(), Json::from(self.revision as u64)),
             ("phi".into(), phi.to_json()),
+            (
+                "support".into(),
+                Json::Arr(self.support.iter().map(labeled_to_json).collect()),
+            ),
         ])
     }
 
     /// Deserialises a context written by [`AdaptedCtx::to_json`]. The φ
     /// values round-trip bitwise; shape compatibility with a particular
-    /// model is checked at [`Fewner::predict`] time, not here.
+    /// model is checked at [`Fewner::predict`] time, not here. Version-1
+    /// files (no revision, no retained support) load as revision 1 with an
+    /// empty support set.
     pub fn from_json(json: &Json) -> Result<AdaptedCtx> {
         let version = json.field("version")?.as_u64()? as u32;
-        if version != ADAPTED_CTX_VERSION {
+        if version == 0 || version > ADAPTED_CTX_VERSION {
             return Err(Error::Serde(format!(
-                "unsupported adapted-context version {version} (expected {ADAPTED_CTX_VERSION})"
+                "unsupported adapted-context version {version} (expected 1..={ADAPTED_CTX_VERSION})"
             )));
         }
         let n_ways = json.field("n_ways")?.as_usize()?;
@@ -232,10 +279,27 @@ impl AdaptedCtx {
         let phi = Array::from_json(json.field("phi")?)?;
         let mut phi_store = ParamStore::new();
         let phi_id = phi_store.add("phi", phi);
+        let (revision, support) = if version >= 2 {
+            let revision = json.field("revision")?.as_u64()? as u32;
+            if revision == 0 {
+                return Err(Error::Serde("adapted context with revision 0".into()));
+            }
+            let support = json
+                .field("support")?
+                .as_arr()?
+                .iter()
+                .map(labeled_from_json)
+                .collect::<Result<Vec<_>>>()?;
+            (revision, support)
+        } else {
+            (1, Vec::new())
+        };
         Ok(AdaptedCtx {
             n_ways,
             phi_store,
             phi_id,
+            revision,
+            support,
         })
     }
 
@@ -251,6 +315,44 @@ impl AdaptedCtx {
         let text = fewner_util::durable::read_verified_string(path)?;
         AdaptedCtx::from_json(&Json::parse(&text)?)
     }
+}
+
+/// Serialises one encoded support sentence (`word_ids`, `char_ids`, tag
+/// indices) — ids, not surface text: the context is only meaningful against
+/// the encoder it was adapted under, same as φ itself.
+fn labeled_to_json((enc, tags): &LabeledSentence) -> Json {
+    let ids = |v: &[usize]| Json::Arr(v.iter().map(|&i| Json::from(i)).collect());
+    Json::Obj(vec![
+        ("words".into(), ids(&enc.word_ids)),
+        (
+            "chars".into(),
+            Json::Arr(enc.char_ids.iter().map(|c| ids(c)).collect()),
+        ),
+        ("tags".into(), ids(tags)),
+    ])
+}
+
+fn labeled_from_json(json: &Json) -> Result<LabeledSentence> {
+    fn ids(json: &Json) -> Result<Vec<usize>> {
+        json.as_arr()?.iter().map(Json::as_usize).collect()
+    }
+    let word_ids = ids(json.field("words")?)?;
+    let char_ids = json
+        .field("chars")?
+        .as_arr()?
+        .iter()
+        .map(ids)
+        .collect::<Result<Vec<_>>>()?;
+    let tags = ids(json.field("tags")?)?;
+    if word_ids.len() != char_ids.len() || word_ids.len() != tags.len() {
+        return Err(Error::Serde(format!(
+            "retained support sentence has {} words, {} char rows, {} tags",
+            word_ids.len(),
+            char_ids.len(),
+            tags.len()
+        )));
+    }
+    Ok((fewner_models::EncodedSentence { word_ids, char_ids }, tags))
 }
 
 #[cfg(test)]
@@ -285,6 +387,17 @@ mod tests {
         assert!(scoped.with_deadline(None).deadline().is_none());
     }
 
+    fn sentence(words: Vec<usize>, tags: Vec<usize>) -> LabeledSentence {
+        let char_ids = words.iter().map(|&w| vec![w, w + 1]).collect();
+        (
+            fewner_models::EncodedSentence {
+                word_ids: words,
+                char_ids,
+            },
+            tags,
+        )
+    }
+
     #[test]
     fn adapted_ctx_json_round_trip_is_bitwise() {
         let mut store = ParamStore::new();
@@ -292,11 +405,53 @@ mod tests {
             "phi",
             Array::from_vec(1, 5, vec![0.1, -2.5e-8, 3.25, f32::MIN_POSITIVE, 0.0]),
         );
-        let ctx = AdaptedCtx::new(3, store, id);
+        let support = vec![sentence(vec![4, 7], vec![1, 0])];
+        let ctx = AdaptedCtx::new(3, store, id, support.clone(), 5);
         let back = AdaptedCtx::from_json(&ctx.to_json()).unwrap();
         assert_eq!(back.n_ways(), 3);
         assert_eq!(back.phi_values(), ctx.phi_values());
         assert_eq!(back.tag_set().len(), 7);
+        assert_eq!(back.revision(), 5);
+        assert_eq!(back.support(), &support[..]);
+    }
+
+    #[test]
+    fn version_1_contexts_still_load() {
+        let mut store = ParamStore::new();
+        let id = store.add("phi", Array::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let v1 = Json::Obj(vec![
+            ("version".into(), Json::from(1u64)),
+            ("n_ways".into(), Json::from(2usize)),
+            ("phi".into(), store.value(id).to_json()),
+        ]);
+        let ctx = AdaptedCtx::from_json(&v1).unwrap();
+        assert_eq!(ctx.n_ways(), 2);
+        assert_eq!(ctx.phi_values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(ctx.revision(), 1, "v1 contexts report revision 1");
+        assert!(ctx.support().is_empty(), "v1 retained no support");
+    }
+
+    #[test]
+    fn malformed_retained_support_is_rejected() {
+        let mut store = ParamStore::new();
+        let id = store.add("phi", Array::zeros(1, 2));
+        let ctx = AdaptedCtx::new(2, store, id, vec![sentence(vec![1], vec![0])], 1);
+        let mut json = ctx.to_json();
+        if let Json::Obj(fields) = &mut json {
+            // One tag too many for the single-token sentence.
+            fields[4].1 = Json::Arr(vec![Json::Obj(vec![
+                ("words".into(), Json::Arr(vec![Json::from(1usize)])),
+                (
+                    "chars".into(),
+                    Json::Arr(vec![Json::Arr(vec![Json::from(1usize)])]),
+                ),
+                (
+                    "tags".into(),
+                    Json::Arr(vec![Json::from(0usize), Json::from(0usize)]),
+                ),
+            ])]);
+        }
+        assert!(matches!(AdaptedCtx::from_json(&json), Err(Error::Serde(_))));
     }
 
     #[test]
@@ -306,10 +461,11 @@ mod tests {
         let path = dir.join("ctx.phi");
         let mut store = ParamStore::new();
         let id = store.add("phi", Array::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
-        let ctx = AdaptedCtx::new(2, store, id);
+        let ctx = AdaptedCtx::new(2, store, id, vec![sentence(vec![3], vec![1])], 2);
         ctx.save(&path).unwrap();
         let back = AdaptedCtx::load(&path).unwrap();
         assert_eq!(back.phi_values(), ctx.phi_values());
+        assert_eq!((back.revision(), back.support().len()), (2, 1));
 
         // A flipped byte is caught by the durable frame, not the parser.
         let mut bytes = std::fs::read(&path).unwrap();
@@ -324,7 +480,7 @@ mod tests {
     fn wrong_version_and_zero_ways_are_rejected() {
         let mut store = ParamStore::new();
         let id = store.add("phi", Array::zeros(1, 2));
-        let ctx = AdaptedCtx::new(1, store, id);
+        let ctx = AdaptedCtx::new(1, store, id, Vec::new(), 1);
         let mut json = ctx.to_json();
         if let Json::Obj(fields) = &mut json {
             fields[0].1 = Json::from(99u64);

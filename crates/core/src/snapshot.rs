@@ -17,6 +17,7 @@
 
 use std::path::{Path, PathBuf};
 
+use fewner_corpus::StreamCursor;
 use fewner_util::{durable, Error, FromJson, Json, Result, Rng, ToJson};
 
 /// Snapshot format version.
@@ -51,6 +52,46 @@ pub struct RunFingerprint {
     /// snapshot files mid-run, so it is rejected like any other schedule
     /// change.
     pub shards: usize,
+    /// Streaming-corpus geometry of the run (`None` for materialized-corpus
+    /// runs). The stream cursor only addresses the same sentence under the
+    /// same chunking, so a resume with different geometry is rejected like
+    /// any other schedule change.
+    pub stream: Option<StreamFingerprint>,
+}
+
+/// The streaming-corpus geometry a run was started with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamFingerprint {
+    /// Total sentences in one pass of the stream.
+    pub sentences: usize,
+    /// Generator chunk size.
+    pub chunk_size: usize,
+    /// Resident-window span in raw sentences.
+    pub window: usize,
+    /// Raw sentences consumed per task draw.
+    pub stride: usize,
+}
+
+impl ToJson for StreamFingerprint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("sentences".into(), Json::from(self.sentences)),
+            ("chunk_size".into(), Json::from(self.chunk_size)),
+            ("window".into(), Json::from(self.window)),
+            ("stride".into(), Json::from(self.stride)),
+        ])
+    }
+}
+
+impl FromJson for StreamFingerprint {
+    fn from_json(json: &Json) -> Result<StreamFingerprint> {
+        Ok(StreamFingerprint {
+            sentences: json.field("sentences")?.as_usize()?,
+            chunk_size: json.field("chunk_size")?.as_usize()?,
+            window: json.field("window")?.as_usize()?,
+            stride: json.field("stride")?.as_usize()?,
+        })
+    }
 }
 
 impl ToJson for RunFingerprint {
@@ -64,6 +105,13 @@ impl ToJson for RunFingerprint {
             ("seed".into(), Json::Str(format!("{:016x}", self.seed))),
             ("meta_batch".into(), Json::from(self.meta_batch)),
             ("shards".into(), Json::from(self.shards)),
+            (
+                "stream".into(),
+                match &self.stream {
+                    Some(s) => s.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }
@@ -83,6 +131,11 @@ impl FromJson for RunFingerprint {
             shards: match json.field("shards") {
                 Ok(v) => v.as_usize()?,
                 Err(_) => 1,
+            },
+            // Absent in pre-streaming snapshots (all materialized-corpus).
+            stream: match json.field("stream") {
+                Ok(Json::Null) | Err(_) => None,
+                Ok(v) => Some(StreamFingerprint::from_json(v)?),
             },
         })
     }
@@ -115,6 +168,11 @@ pub struct TrainingSnapshot {
     /// a file-naming concern: θ is replicated, so any shard's snapshot can
     /// seed any worker's resume.
     pub shard: Option<usize>,
+    /// Stream position of the window sampler after iteration `iteration`
+    /// (`None` for materialized-corpus runs). Together with `sampler_rng`
+    /// this makes a streaming resume bitwise-identical: the cursor replays
+    /// the window, the RNG replays the draws.
+    pub stream_cursor: Option<StreamCursor>,
     /// The run identity this snapshot belongs to.
     pub fingerprint: RunFingerprint,
     /// The learner's exported state
@@ -148,6 +206,13 @@ impl ToJson for TrainingSnapshot {
                     None => Json::Null,
                 },
             ),
+            (
+                "stream_cursor".into(),
+                match &self.stream_cursor {
+                    Some(c) => c.to_json(),
+                    None => Json::Null,
+                },
+            ),
             ("fingerprint".into(), self.fingerprint.to_json()),
             ("learner".into(), self.learner.clone()),
         ])
@@ -174,6 +239,10 @@ impl FromJson for TrainingSnapshot {
             shard: match json.field("shard") {
                 Ok(Json::Null) | Err(_) => None,
                 Ok(v) => Some(v.as_usize()?),
+            },
+            stream_cursor: match json.field("stream_cursor") {
+                Ok(Json::Null) | Err(_) => None,
+                Ok(v) => Some(StreamCursor::from_json(v)?),
             },
             fingerprint: RunFingerprint::from_json(json.field("fingerprint")?)?,
             learner: json.field("learner")?.clone(),
@@ -370,6 +439,7 @@ mod tests {
             next_decay: 5000,
             wall_secs: 12.25,
             shard: None,
+            stream_cursor: None,
             fingerprint: RunFingerprint {
                 learner: "FewNER".into(),
                 n_ways: 5,
@@ -378,6 +448,7 @@ mod tests {
                 seed: 0xDEAD_BEEF_DEAD_BEEF,
                 meta_batch: 8,
                 shards: 1,
+                stream: None,
             },
             learner: Json::Obj(vec![("theta".into(), Json::Arr(vec![]))]),
         }
@@ -541,5 +612,38 @@ mod tests {
         let back = TrainingSnapshot::from_json(&legacy).unwrap();
         assert_eq!(back.shard, None);
         assert_eq!(back.fingerprint.shards, 1);
+    }
+
+    #[test]
+    fn stream_cursor_and_geometry_round_trip_and_default_to_none() {
+        let mut snap = sample(4);
+        snap.stream_cursor = Some(StreamCursor { chunk: 17, pos: 3 });
+        snap.fingerprint.stream = Some(StreamFingerprint {
+            sentences: 1_000_000,
+            chunk_size: 4096,
+            window: 8192,
+            stride: 64,
+        });
+        let json = snap.to_json().to_string();
+        let back = TrainingSnapshot::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.stream_cursor, snap.stream_cursor);
+        assert_eq!(back.fingerprint.stream, snap.fingerprint.stream);
+        assert_ne!(back.fingerprint, sample(4).fingerprint);
+
+        // Pre-streaming snapshots carry neither field.
+        let mut legacy = sample(4).to_json();
+        if let Json::Obj(fields) = &mut legacy {
+            fields.retain(|(k, _)| k != "stream_cursor");
+            for (k, v) in fields.iter_mut() {
+                if k == "fingerprint" {
+                    if let Json::Obj(fp) = v {
+                        fp.retain(|(k, _)| k != "stream");
+                    }
+                }
+            }
+        }
+        let back = TrainingSnapshot::from_json(&legacy).unwrap();
+        assert_eq!(back.stream_cursor, None);
+        assert_eq!(back.fingerprint.stream, None);
     }
 }

@@ -41,15 +41,17 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use fewner_corpus::SplitView;
-use fewner_episode::{EpisodeSampler, Task};
+use fewner_corpus::{SplitView, StreamCursor, StreamingCorpus, TypePartition};
+use fewner_episode::{EpisodeSampler, StreamSampler, Task};
 use fewner_models::TokenEncoder;
 use fewner_obs::Tracer;
 use fewner_util::{fault, Error, Json, Result, Rng};
 
 use crate::config::MetaConfig;
 use crate::learner::{task_rng, EpisodicLearner, TaskOutcome};
-use crate::snapshot::{self, RunFingerprint, TrainingSnapshot, SNAPSHOT_VERSION};
+use crate::snapshot::{
+    self, RunFingerprint, StreamFingerprint, TrainingSnapshot, SNAPSHOT_VERSION,
+};
 
 /// How many trailing finite losses [`Error::Diverged`] carries.
 const DIVERGED_TAIL: usize = 8;
@@ -446,6 +448,76 @@ impl ParallelTrainer {
     }
 }
 
+/// A streaming training source: the chunked corpus wrapped in a window
+/// sampler, plus the geometry recorded into (and checked against) snapshot
+/// fingerprints. Build one with [`StreamSource::open`] and hand it to
+/// [`Trainer::train_stream`] / [`Trainer::resume_stream`].
+pub struct StreamSource {
+    sampler: StreamSampler<StreamingCorpus>,
+    geometry: StreamFingerprint,
+}
+
+impl StreamSource {
+    /// Opens a streaming source drawing `cfg`'s N-way K-shot tasks for
+    /// `partition` over `corpus`. `window` is the resident raw-sentence
+    /// span (the memory bound); `stride` how far each draw slides it.
+    pub fn open(
+        corpus: StreamingCorpus,
+        partition: TypePartition,
+        cfg: &TrainConfig,
+        window: usize,
+        stride: usize,
+    ) -> Result<StreamSource> {
+        use fewner_corpus::CorpusSource;
+        let geometry = StreamFingerprint {
+            sentences: corpus.total_sentences(),
+            chunk_size: corpus.chunk_size(),
+            window,
+            stride,
+        };
+        let sampler = StreamSampler::new(
+            corpus,
+            partition,
+            cfg.n_ways,
+            cfg.k_shots,
+            cfg.query_size,
+            window,
+            stride,
+        )?;
+        Ok(StreamSource { sampler, geometry })
+    }
+
+    /// The window sampler (e.g. to read residency statistics after a run).
+    pub fn sampler(&self) -> &StreamSampler<StreamingCorpus> {
+        &self.sampler
+    }
+}
+
+/// Where the loop draws its tasks from. Window advancement on the stream
+/// side is RNG-free, so both variants leave `LoopState::rng` as the single
+/// sampling-randomness stream the snapshot needs.
+enum TaskFeed<'a> {
+    View(EpisodeSampler<'a>),
+    Stream(&'a mut StreamSampler<StreamingCorpus>),
+}
+
+impl TaskFeed<'_> {
+    fn sample(&mut self, rng: &mut Rng, tracer: &Tracer) -> Result<Task> {
+        match self {
+            TaskFeed::View(sampler) => sampler.sample_traced(rng, tracer),
+            TaskFeed::Stream(sampler) => sampler.sample_traced(rng, tracer),
+        }
+    }
+
+    /// The stream position to persist (`None` for materialized views).
+    fn cursor(&self) -> Option<StreamCursor> {
+        match self {
+            TaskFeed::View(_) => None,
+            TaskFeed::Stream(sampler) => Some(sampler.cursor()),
+        }
+    }
+}
+
 /// Everything the loop mutates between iterations: restoring this struct
 /// plus the learner's own state *is* resumption.
 struct LoopState {
@@ -488,7 +560,12 @@ impl LoopState {
 }
 
 /// The run identity recorded into (and checked against) snapshots.
-fn fingerprint_of(name: &str, meta: &MetaConfig, cfg: &TrainConfig) -> RunFingerprint {
+fn fingerprint_of(
+    name: &str,
+    meta: &MetaConfig,
+    cfg: &TrainConfig,
+    stream: Option<StreamFingerprint>,
+) -> RunFingerprint {
     RunFingerprint {
         learner: name.to_string(),
         n_ways: cfg.n_ways,
@@ -497,6 +574,7 @@ fn fingerprint_of(name: &str, meta: &MetaConfig, cfg: &TrainConfig) -> RunFinger
         seed: cfg.seed,
         meta_batch: meta.meta_batch,
         shards: cfg.shards.max(1),
+        stream,
     }
 }
 
@@ -516,12 +594,13 @@ impl Engine {
         name: &str,
         meta: &MetaConfig,
         cfg: &TrainConfig,
+        stream: Option<StreamFingerprint>,
         start_iteration: usize,
     ) -> Result<Engine> {
         if cfg.shards <= 1 {
             return Ok(Engine::Local(ParallelTrainer::new(cfg.threads)));
         }
-        let fingerprint = fingerprint_of(name, meta, cfg);
+        let fingerprint = fingerprint_of(name, meta, cfg, stream);
         let session = crate::shard::ShardSession::connect(cfg, &fingerprint, start_iteration)?;
         Ok(Engine::Sharded(session))
     }
@@ -601,9 +680,131 @@ impl Trainer {
         meta.validate()?;
         let tracer = self.resolve_tracer(cfg);
         let state = LoopState::fresh(meta, cfg);
-        let engine = Engine::open(learner.name(), meta, cfg, 0);
-        let result = engine
-            .and_then(|mut e| run_loop(learner, view, enc, meta, cfg, state, &tracer, &mut e));
+        let mut feed = TaskFeed::View(EpisodeSampler::new(
+            view,
+            cfg.n_ways,
+            cfg.k_shots,
+            cfg.query_size,
+        )?);
+        let engine = Engine::open(learner.name(), meta, cfg, None, 0);
+        let result = engine.and_then(|mut e| {
+            run_loop(
+                learner, &mut feed, None, enc, meta, cfg, state, &tracer, &mut e,
+            )
+        });
+        finish_trace(result, &tracer)
+    }
+
+    /// Meta-trains `learner` on tasks drawn from a chunked corpus stream —
+    /// [`Trainer::train`] without ever materializing the corpus. Only the
+    /// bounded resident window of `source` is in memory at any point, so
+    /// million-sentence runs train in a few megabytes of corpus state. The
+    /// snapshot story is unchanged: the stream cursor rides along in every
+    /// [`TrainingSnapshot`], and [`Trainer::resume_stream`] continues a
+    /// killed run bitwise-identically.
+    pub fn train_stream<L>(
+        &self,
+        learner: &mut L,
+        source: &mut StreamSource,
+        enc: &TokenEncoder,
+        meta: &MetaConfig,
+        cfg: &TrainConfig,
+    ) -> Result<TrainingLog>
+    where
+        L: EpisodicLearner + Sync + ?Sized,
+    {
+        meta.validate()?;
+        let tracer = self.resolve_tracer(cfg);
+        let state = LoopState::fresh(meta, cfg);
+        let geometry = source.geometry;
+        let mut feed = TaskFeed::Stream(&mut source.sampler);
+        let engine = Engine::open(learner.name(), meta, cfg, Some(geometry), 0);
+        let result = engine.and_then(|mut e| {
+            run_loop(
+                learner,
+                &mut feed,
+                Some(geometry),
+                enc,
+                meta,
+                cfg,
+                state,
+                &tracer,
+                &mut e,
+            )
+        });
+        finish_trace(result, &tracer)
+    }
+
+    /// Continues a checkpointed *streaming* run from the newest valid
+    /// snapshot in `dir`. The snapshot must have been written by a run with
+    /// the same stream geometry (corpus length, chunk size, window,
+    /// stride): the persisted cursor only addresses the same sentence under
+    /// the same chunking, so mismatches are refused like any other schedule
+    /// change.
+    pub fn resume_stream<L>(
+        &self,
+        learner: &mut L,
+        source: &mut StreamSource,
+        enc: &TokenEncoder,
+        meta: &MetaConfig,
+        cfg: &TrainConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<TrainingLog>
+    where
+        L: EpisodicLearner + Sync + ?Sized,
+    {
+        meta.validate()?;
+        let tracer = self.resolve_tracer(cfg);
+        let dir = dir.as_ref();
+        let geometry = source.geometry;
+        let expected = fingerprint_of(learner.name(), meta, cfg, Some(geometry));
+        let (snap, path) =
+            snapshot::latest_valid(dir, Some(&expected))?.ok_or_else(|| Error::Io {
+                path: dir.display().to_string(),
+                detail: "no training snapshots found".into(),
+            })?;
+        learner.import_state(&snap.learner)?;
+        let state = LoopState::from_snapshot(&snap);
+        // Replay the stream window to exactly where the snapshot left it;
+        // `sampler_rng` replays the draws, so the continuation is bitwise
+        // identical to a straight run.
+        source
+            .sampler
+            .seek(snap.stream_cursor.unwrap_or_default(), &tracer)?;
+        tracer.event(
+            "train/resume",
+            &[
+                ("iteration", Json::from(snap.iteration)),
+                ("snapshot", Json::from(path.display().to_string())),
+            ],
+        );
+        if state.iteration >= cfg.iterations {
+            return finish_trace(
+                Ok(TrainingLog {
+                    secs_per_iteration: state.prior_wall_secs / cfg.iterations.max(1) as f64,
+                    losses: state.losses,
+                    tasks_seen: state.tasks_seen,
+                    skipped: state.skipped,
+                    wall_secs: state.prior_wall_secs,
+                }),
+                &tracer,
+            );
+        }
+        let mut feed = TaskFeed::Stream(&mut source.sampler);
+        let engine = Engine::open(learner.name(), meta, cfg, Some(geometry), state.iteration);
+        let result = engine.and_then(|mut e| {
+            run_loop(
+                learner,
+                &mut feed,
+                Some(geometry),
+                enc,
+                meta,
+                cfg,
+                state,
+                &tracer,
+                &mut e,
+            )
+        });
         finish_trace(result, &tracer)
     }
 
@@ -637,7 +838,7 @@ impl Trainer {
         meta.validate()?;
         let tracer = self.resolve_tracer(cfg);
         let dir = dir.as_ref();
-        let expected = fingerprint_of(learner.name(), meta, cfg);
+        let expected = fingerprint_of(learner.name(), meta, cfg, None);
         let (snap, path) =
             snapshot::latest_valid(dir, Some(&expected))?.ok_or_else(|| Error::Io {
                 path: dir.display().to_string(),
@@ -666,75 +867,20 @@ impl Trainer {
                 &tracer,
             );
         }
-        let engine = Engine::open(learner.name(), meta, cfg, state.iteration);
-        let result = engine
-            .and_then(|mut e| run_loop(learner, view, enc, meta, cfg, state, &tracer, &mut e));
+        let mut feed = TaskFeed::View(EpisodeSampler::new(
+            view,
+            cfg.n_ways,
+            cfg.k_shots,
+            cfg.query_size,
+        )?);
+        let engine = Engine::open(learner.name(), meta, cfg, None, state.iteration);
+        let result = engine.and_then(|mut e| {
+            run_loop(
+                learner, &mut feed, None, enc, meta, cfg, state, &tracer, &mut e,
+            )
+        });
         finish_trace(result, &tracer)
     }
-}
-
-/// Meta-trains `learner` on tasks sampled from `view`.
-#[deprecated(note = "use `Trainer::new().train(...)`")]
-pub fn train<L>(
-    learner: &mut L,
-    view: &SplitView,
-    enc: &TokenEncoder,
-    meta: &MetaConfig,
-    cfg: &TrainConfig,
-) -> Result<TrainingLog>
-where
-    L: EpisodicLearner + Sync + ?Sized,
-{
-    Trainer::new().train(learner, view, enc, meta, cfg)
-}
-
-/// [`Trainer::train`] with an explicit tracer.
-#[deprecated(note = "use `Trainer::with_tracer(tracer).train(...)`")]
-pub fn train_traced<L>(
-    learner: &mut L,
-    view: &SplitView,
-    enc: &TokenEncoder,
-    meta: &MetaConfig,
-    cfg: &TrainConfig,
-    tracer: &Tracer,
-) -> Result<TrainingLog>
-where
-    L: EpisodicLearner + Sync + ?Sized,
-{
-    Trainer::with_tracer(tracer).train(learner, view, enc, meta, cfg)
-}
-
-/// Continues a checkpointed run from the newest valid snapshot in `dir`.
-#[deprecated(note = "use `Trainer::new().resume(...)`")]
-pub fn resume<L>(
-    learner: &mut L,
-    view: &SplitView,
-    enc: &TokenEncoder,
-    meta: &MetaConfig,
-    cfg: &TrainConfig,
-    dir: impl AsRef<Path>,
-) -> Result<TrainingLog>
-where
-    L: EpisodicLearner + Sync + ?Sized,
-{
-    Trainer::new().resume(learner, view, enc, meta, cfg, dir)
-}
-
-/// [`Trainer::resume`] with an explicit tracer.
-#[deprecated(note = "use `Trainer::with_tracer(tracer).resume(...)`")]
-pub fn resume_traced<L>(
-    learner: &mut L,
-    view: &SplitView,
-    enc: &TokenEncoder,
-    meta: &MetaConfig,
-    cfg: &TrainConfig,
-    dir: impl AsRef<Path>,
-    tracer: &Tracer,
-) -> Result<TrainingLog>
-where
-    L: EpisodicLearner + Sync + ?Sized,
-{
-    Trainer::with_tracer(tracer).resume(learner, view, enc, meta, cfg, dir)
 }
 
 /// Flushes the tracer once a run ends, preserving the run's own error over
@@ -757,7 +903,8 @@ fn finish_trace(result: Result<TrainingLog>, tracer: &Tracer) -> Result<Training
 #[allow(clippy::too_many_arguments)]
 fn run_loop<L>(
     learner: &mut L,
-    view: &SplitView,
+    feed: &mut TaskFeed<'_>,
+    stream: Option<StreamFingerprint>,
     enc: &TokenEncoder,
     meta: &MetaConfig,
     cfg: &TrainConfig,
@@ -768,7 +915,6 @@ fn run_loop<L>(
 where
     L: EpisodicLearner + Sync + ?Sized,
 {
-    let sampler = EpisodeSampler::new(view, cfg.n_ways, cfg.k_shots, cfg.query_size)?;
     let ckpt_dir = if cfg.checkpoint_every > 0 {
         let dir = cfg.checkpoint_dir.as_ref().ok_or_else(|| {
             Error::InvalidConfig("checkpoint_every requires checkpoint_dir".into())
@@ -784,7 +930,7 @@ where
     } else {
         None
     };
-    let fingerprint = fingerprint_of(learner.name(), meta, cfg);
+    let fingerprint = fingerprint_of(learner.name(), meta, cfg, stream);
     let start = Instant::now();
 
     while state.iteration < cfg.iterations {
@@ -798,7 +944,7 @@ where
         {
             let mut sample_span = tracer.span("train/sample_batch");
             for _ in 0..meta.meta_batch {
-                match sampler.sample_traced(&mut state.rng, tracer) {
+                match feed.sample(&mut state.rng, tracer) {
                     Ok(task) => batch.push(task),
                     Err(e) => last_err = Some(e),
                 }
@@ -863,6 +1009,7 @@ where
                 let snap = TrainingSnapshot {
                     version: SNAPSHOT_VERSION,
                     shard: (cfg.shards > 1).then_some(cfg.shard_id),
+                    stream_cursor: feed.cursor(),
                     iteration: state.iteration,
                     sampler_rng: state.rng.clone(),
                     losses: state.losses.clone(),

@@ -18,12 +18,14 @@
 //! ambiguity make the medical intra-domain setting the hardest).
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use fewner_text::{EntitySpan, Sentence, TypeId};
 use fewner_util::{Error, Result, Rng};
 
 use crate::gazetteer::TypeSpec;
 use crate::genre::Genre;
+use crate::stream::StreamingCorpus;
 
 /// Difficulty and density knobs for sentence generation.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +77,8 @@ pub struct Dataset {
     pub sentences: Vec<Sentence>,
     /// Word → embedding-cluster map accumulated during generation.
     clusters: HashMap<String, u64>,
+    /// Lazily computed sorted view of `clusters` (see [`Dataset::sorted_clusters`]).
+    sorted: OnceLock<Vec<(String, u64)>>,
 }
 
 /// Table-1-style statistics.
@@ -119,6 +123,38 @@ impl Dataset {
     /// Direct access to the cluster map.
     pub fn clusters(&self) -> &HashMap<String, u64> {
         &self.clusters
+    }
+
+    /// Cluster entries in sorted key order — the deterministic merge order
+    /// token encoding needs. Computed once per dataset and cached: the
+    /// encoder previously re-collected and re-sorted the full map on every
+    /// build, a fresh allocation per call on the serving path.
+    pub fn sorted_clusters(&self) -> &[(String, u64)] {
+        self.sorted.get_or_init(|| {
+            let mut pairs: Vec<(String, u64)> =
+                self.clusters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            pairs
+        })
+    }
+
+    /// Assembles a dataset from already-generated parts (the streaming
+    /// materialization path).
+    pub(crate) fn assemble(
+        name: String,
+        genre: Genre,
+        types: Vec<TypeSpec>,
+        sentences: Vec<Sentence>,
+        clusters: HashMap<String, u64>,
+    ) -> Dataset {
+        Dataset {
+            name,
+            genre,
+            types,
+            sentences,
+            clusters,
+            sorted: OnceLock::new(),
+        }
     }
 
     /// Looks up a type spec by id.
@@ -278,6 +314,11 @@ pub fn generate_sentence(
 }
 
 /// Generates a full dataset: `n_sentences` sentences over `types`.
+///
+/// Forwarding shim over the streaming pipeline: one whole-corpus chunk,
+/// materialized. Byte-identical to the historical monolithic loop — the
+/// chunked generator threads the same single RNG through the same sentence
+/// sequence (see `crate::stream` for the determinism contract).
 pub fn generate_dataset(
     name: &str,
     types: Vec<TypeSpec>,
@@ -285,26 +326,7 @@ pub fn generate_dataset(
     cfg: &GenConfig,
     seed: u64,
 ) -> Result<Dataset> {
-    let mut rng = Rng::new(seed);
-    let mut clusters = HashMap::new();
-    let scope: Vec<usize> = (0..types.len()).collect();
-    let mut sentences = Vec::with_capacity(n_sentences);
-    for _ in 0..n_sentences {
-        sentences.push(generate_sentence(
-            &types,
-            &scope,
-            cfg,
-            &mut clusters,
-            &mut rng,
-        )?);
-    }
-    Ok(Dataset {
-        name: name.to_string(),
-        genre: cfg.genre,
-        types,
-        sentences,
-        clusters,
-    })
+    StreamingCorpus::new(name, types, n_sentences, cfg, seed, n_sentences.max(1))?.materialize()
 }
 
 #[cfg(test)]

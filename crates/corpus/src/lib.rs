@@ -30,10 +30,15 @@ pub mod generator;
 pub mod genre;
 pub mod profiles;
 pub mod splits;
+pub mod stream;
 
 pub use families::Family;
 pub use gazetteer::TypeSpec;
 pub use generator::{Dataset, DatasetStats, GenConfig};
 pub use genre::Genre;
 pub use profiles::{AceDomain, DatasetProfile};
-pub use splits::{full_view, holdout_target, split_sentences, split_types, SplitView, TypeSplit};
+pub use splits::{
+    full_view, holdout_target, partition_type_ids, split_sentences, split_types, SplitView,
+    TypePartition, TypeSplit,
+};
+pub use stream::{CorpusChunk, CorpusSource, StreamCursor, StreamingCorpus};

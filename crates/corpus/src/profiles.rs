@@ -22,6 +22,7 @@ use crate::families::Family;
 use crate::gazetteer::{build_inventory, TypeSpec};
 use crate::generator::{generate_dataset, Dataset, GenConfig};
 use crate::genre::Genre;
+use crate::stream::StreamingCorpus;
 
 /// Declarative description of one corpus.
 #[derive(Debug, Clone)]
@@ -45,8 +46,39 @@ pub struct DatasetProfile {
 impl DatasetProfile {
     /// Generates the corpus at the given scale (`1.0` = paper size).
     pub fn generate(&self, scale: f64) -> Result<Dataset> {
-        let n = ((self.n_sentences as f64 * scale).round() as usize).max(20);
-        generate_dataset(self.name, self.inventory(), n, &self.gen, self.seed)
+        generate_dataset(
+            self.name,
+            self.inventory(),
+            self.scaled_sentences(scale),
+            &self.gen,
+            self.seed,
+        )
+    }
+
+    /// Opens the corpus as a chunked stream instead of materializing it —
+    /// byte-identical sentences to [`DatasetProfile::generate`] at the same
+    /// scale, with only one chunk window resident at a time. `sentences`
+    /// overrides the scaled Table-1 count for million-sentence runs.
+    pub fn stream(
+        &self,
+        scale: f64,
+        sentences: Option<usize>,
+        chunk_size: usize,
+    ) -> Result<StreamingCorpus> {
+        let n = sentences.unwrap_or_else(|| self.scaled_sentences(scale));
+        StreamingCorpus::new(
+            self.name,
+            self.inventory(),
+            n,
+            &self.gen,
+            self.seed,
+            chunk_size,
+        )
+    }
+
+    /// The sentence count at `scale` (floored at 20, like `generate`).
+    pub fn scaled_sentences(&self, scale: f64) -> usize {
+        ((self.n_sentences as f64 * scale).round() as usize).max(20)
     }
 
     /// The (deterministic) type inventory for this profile.

@@ -65,6 +65,63 @@ fn mask_sentence(s: &Sentence, keep: &HashSet<TypeId>) -> Sentence {
     }
 }
 
+/// One type partition of a split: the types it owns plus the membership set
+/// used for sentence routing and masking. This is the streaming-side
+/// counterpart of a [`SplitView`] — it can route sentences as they arrive
+/// from a chunked corpus without a materialized [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct TypePartition {
+    /// The types this partition owns.
+    pub types: Vec<TypeId>,
+    keep: HashSet<TypeId>,
+}
+
+impl TypePartition {
+    /// A partition over `types`.
+    pub fn new(types: Vec<TypeId>) -> TypePartition {
+        let keep = types.iter().copied().collect();
+        TypePartition { types, keep }
+    }
+
+    /// Routes a sentence into this partition: `Some(masked)` when the
+    /// sentence's *first* mention's type belongs here (out-of-partition
+    /// mentions masked to `O`), `None` otherwise — the same routing rule
+    /// [`split_types`] applies to materialized datasets.
+    pub fn route(&self, s: &Sentence) -> Option<Sentence> {
+        let first = s.spans.first()?;
+        self.keep
+            .contains(&first.type_id)
+            .then(|| mask_sentence(s, &self.keep))
+    }
+}
+
+/// Partitions a type-id inventory into disjoint train/val/test partitions
+/// with the permutation drawn from `seed`. Shared by [`split_types`] and
+/// the streaming samplers, so a chunked run and a materialized run of the
+/// same seed agree on which types each split owns.
+pub fn partition_type_ids(
+    ids: Vec<TypeId>,
+    counts: (usize, usize, usize),
+    seed: u64,
+) -> Result<(TypePartition, TypePartition, TypePartition)> {
+    let (n_train, n_val, n_test) = counts;
+    let total = n_train + n_val + n_test;
+    if total > ids.len() {
+        return Err(Error::InvalidConfig(format!(
+            "type split {counts:?} needs {total} types; dataset has {}",
+            ids.len()
+        )));
+    }
+    let mut rng = Rng::new(seed);
+    let mut order = ids;
+    rng.shuffle(&mut order);
+    Ok((
+        TypePartition::new(order[..n_train].to_vec()),
+        TypePartition::new(order[n_train..n_train + n_val].to_vec()),
+        TypePartition::new(order[n_train + n_val..total].to_vec()),
+    ))
+}
+
 /// Partitions `dataset` into type-disjoint train/val/test views.
 ///
 /// `counts` are the per-partition type counts, e.g. `(52, 10, 15)` for NNE,
@@ -75,51 +132,32 @@ pub fn split_types(
     counts: (usize, usize, usize),
     seed: u64,
 ) -> Result<TypeSplit> {
-    let (n_train, n_val, n_test) = counts;
-    let total = n_train + n_val + n_test;
-    if total > dataset.types.len() {
-        return Err(Error::InvalidConfig(format!(
-            "type split {counts:?} needs {total} types; dataset has {}",
-            dataset.types.len()
-        )));
-    }
-    let mut rng = Rng::new(seed);
-    let mut order: Vec<TypeId> = dataset.types.iter().map(|t| t.id).collect();
-    rng.shuffle(&mut order);
-
-    let train_types: Vec<TypeId> = order[..n_train].to_vec();
-    let val_types: Vec<TypeId> = order[n_train..n_train + n_val].to_vec();
-    let test_types: Vec<TypeId> = order[n_train + n_val..total].to_vec();
-    let train_set: HashSet<TypeId> = train_types.iter().copied().collect();
-    let val_set: HashSet<TypeId> = val_types.iter().copied().collect();
-    let test_set: HashSet<TypeId> = test_types.iter().copied().collect();
+    let ids: Vec<TypeId> = dataset.types.iter().map(|t| t.id).collect();
+    let (train_p, val_p, test_p) = partition_type_ids(ids, counts, seed)?;
 
     let mut train = Vec::new();
     let mut val = Vec::new();
     let mut test = Vec::new();
     for s in &dataset.sentences {
-        let Some(first) = s.spans.first() else {
-            continue;
-        };
-        if train_set.contains(&first.type_id) {
-            train.push(mask_sentence(s, &train_set));
-        } else if val_set.contains(&first.type_id) {
-            val.push(mask_sentence(s, &val_set));
-        } else if test_set.contains(&first.type_id) {
-            test.push(mask_sentence(s, &test_set));
+        if let Some(m) = train_p.route(s) {
+            train.push(m);
+        } else if let Some(m) = val_p.route(s) {
+            val.push(m);
+        } else if let Some(m) = test_p.route(s) {
+            test.push(m);
         }
     }
     Ok(TypeSplit {
         train: SplitView {
-            types: train_types,
+            types: train_p.types,
             sentences: train,
         },
         val: SplitView {
-            types: val_types,
+            types: val_p.types,
             sentences: val,
         },
         test: SplitView {
-            types: test_types,
+            types: test_p.types,
             sentences: test,
         },
     })

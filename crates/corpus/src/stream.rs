@@ -1,0 +1,421 @@
+//! Streaming corpus generation — chunked, deterministic, bounded-memory.
+//!
+//! [`generate_dataset`](crate::generator::generate_dataset) materializes
+//! every sentence before the first episode is drawn, which caps workload
+//! scale at available memory. This module refactors generation behind the
+//! [`CorpusSource`] trait: a corpus is a sequence of fixed-size *chunks*,
+//! each reproducible in isolation from the generator RNG state at its
+//! boundary. [`StreamingCorpus`] is the chunked implementation;
+//! a materialized [`Dataset`] is the degenerate single-chunk one.
+//!
+//! # Determinism contract
+//!
+//! Chunking must not change a single byte of the generated corpus, for any
+//! chunk size. Two properties of the sentence grammar make this possible:
+//!
+//! 1. **The RNG is the only sequential dependency.** `generate_sentence`
+//!    threads one [`Rng`] through the whole corpus; the word→cluster map it
+//!    also receives is *write-only* during generation (`entry().or_insert`,
+//!    never read), so cluster state cannot influence sentence content.
+//!    Caching the RNG state (four `u64`s) at each chunk boundary therefore
+//!    suffices to regenerate any chunk independently and byte-identically.
+//! 2. **First-wins cluster merging is associative over chunk order.** Each
+//!    chunk collects its *own* fresh cluster map; folding the per-chunk maps
+//!    in chunk order with `or_insert` reproduces exactly the map a
+//!    monolithic run builds, because a word's final cluster is its value in
+//!    the earliest chunk that mentions it.
+//!
+//! These two facts are pinned by `byte_identity` proptests in this module's
+//! test suite across chunk sizes {1, 7, 64}.
+
+use std::collections::HashMap;
+
+use fewner_text::Sentence;
+use fewner_util::{Error, FromJson, Json, Result, Rng, ToJson};
+
+use crate::gazetteer::TypeSpec;
+use crate::generator::{generate_sentence, Dataset, GenConfig};
+use crate::genre::Genre;
+
+/// One contiguous run of generated sentences.
+#[derive(Debug, Clone)]
+pub struct CorpusChunk {
+    /// Chunk index within the stream.
+    pub index: usize,
+    /// Global index of the first sentence in this chunk.
+    pub start: usize,
+    /// The chunk's sentences, byte-identical to the same range of a
+    /// monolithic [`generate_dataset`](crate::generator::generate_dataset)
+    /// run.
+    pub sentences: Vec<Sentence>,
+    /// Word→cluster entries first observed while generating *this chunk*.
+    /// Folding chunk maps in chunk order with first-wins semantics
+    /// reproduces the monolithic cluster map.
+    pub clusters: HashMap<String, u64>,
+}
+
+/// A deterministic sentence stream read in fixed-size chunks.
+///
+/// Implementations must be *seekable*: `read_chunk(i)` returns the same
+/// bytes no matter which chunks were read before, so samplers can resume
+/// from a snapshot cursor and sharded replicas stay in lockstep.
+pub trait CorpusSource {
+    /// Corpus name, e.g. `GENIA`.
+    fn name(&self) -> &str;
+    /// Surface genre.
+    fn genre(&self) -> Genre;
+    /// The entity-type inventory (fully known up front; only sentences
+    /// stream).
+    fn types(&self) -> &[TypeSpec];
+    /// Total sentences in one pass of the stream.
+    fn total_sentences(&self) -> usize;
+    /// Sentences per chunk (the final chunk may be short).
+    fn chunk_size(&self) -> usize;
+    /// Number of chunks in one pass.
+    fn num_chunks(&self) -> usize {
+        let (n, c) = (self.total_sentences(), self.chunk_size());
+        n.div_ceil(c.max(1))
+    }
+    /// Generates (or fetches) chunk `index`. Out-of-range indices are an
+    /// error.
+    fn read_chunk(&mut self, index: usize) -> Result<CorpusChunk>;
+}
+
+/// A materialized dataset is the degenerate stream: one chunk holding
+/// everything.
+impl CorpusSource for Dataset {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn genre(&self) -> Genre {
+        self.genre
+    }
+    fn types(&self) -> &[TypeSpec] {
+        &self.types
+    }
+    fn total_sentences(&self) -> usize {
+        self.sentences.len()
+    }
+    fn chunk_size(&self) -> usize {
+        self.sentences.len().max(1)
+    }
+    fn read_chunk(&mut self, index: usize) -> Result<CorpusChunk> {
+        if index != 0 {
+            return Err(Error::InvalidConfig(format!(
+                "materialized dataset has one chunk; asked for {index}"
+            )));
+        }
+        Ok(CorpusChunk {
+            index: 0,
+            start: 0,
+            sentences: self.sentences.clone(),
+            clusters: self.clusters().clone(),
+        })
+    }
+}
+
+/// Chunked lazy corpus generation with per-boundary RNG state caching.
+///
+/// Seeking to chunk `i` restores the generator RNG from the nearest cached
+/// boundary at or before `i` and replays forward (sentence text is cheap to
+/// synthesize; cluster writes during replay are discarded). Boundary states
+/// are four `u64`s each, so even a million-sentence corpus at the default
+/// chunk size keeps only a few kilobytes of seek state resident.
+#[derive(Debug, Clone)]
+pub struct StreamingCorpus {
+    name: String,
+    cfg: GenConfig,
+    types: Vec<TypeSpec>,
+    scope: Vec<usize>,
+    n_sentences: usize,
+    chunk_size: usize,
+    /// `boundaries[i]` = RNG state at the start of chunk `i`, once known.
+    boundaries: Vec<Option<[u64; 4]>>,
+    /// Chunks generated so far (including replays), for observability.
+    chunks_generated: u64,
+}
+
+impl StreamingCorpus {
+    /// A chunked stream of `n_sentences` sentences over `types`, seeded
+    /// exactly like [`generate_dataset`](crate::generator::generate_dataset)
+    /// with the same `seed`.
+    pub fn new(
+        name: &str,
+        types: Vec<TypeSpec>,
+        n_sentences: usize,
+        cfg: &GenConfig,
+        seed: u64,
+        chunk_size: usize,
+    ) -> Result<StreamingCorpus> {
+        if types.is_empty() {
+            return Err(Error::InvalidConfig("no types in scope".into()));
+        }
+        if chunk_size == 0 {
+            return Err(Error::InvalidConfig("chunk size must be positive".into()));
+        }
+        let scope: Vec<usize> = (0..types.len()).collect();
+        let n_chunks = n_sentences.div_ceil(chunk_size).max(1);
+        let mut boundaries = vec![None; n_chunks + 1];
+        boundaries[0] = Some(Rng::new(seed).state());
+        Ok(StreamingCorpus {
+            name: name.to_string(),
+            cfg: *cfg,
+            types,
+            scope,
+            n_sentences,
+            chunk_size,
+            boundaries,
+            chunks_generated: 0,
+        })
+    }
+
+    /// Chunks generated so far, replays included (monotonic; feeds the
+    /// `corpus/chunks_generated` trace counter).
+    pub fn chunks_generated(&self) -> u64 {
+        self.chunks_generated
+    }
+
+    /// Generates chunk `index` from the RNG state `rng`, advancing it past
+    /// the chunk. The cluster map is fresh per chunk (see the module-level
+    /// determinism contract).
+    fn generate_chunk(&mut self, index: usize, rng: &mut Rng) -> Result<CorpusChunk> {
+        let start = index * self.chunk_size;
+        let len = self.chunk_size.min(self.n_sentences - start);
+        let mut clusters = HashMap::new();
+        let mut sentences = Vec::with_capacity(len);
+        for _ in 0..len {
+            sentences.push(generate_sentence(
+                &self.types,
+                &self.scope,
+                &self.cfg,
+                &mut clusters,
+                rng,
+            )?);
+        }
+        self.chunks_generated += 1;
+        Ok(CorpusChunk {
+            index,
+            start,
+            sentences,
+            clusters,
+        })
+    }
+
+    /// The generator RNG positioned at the start of chunk `index`, replaying
+    /// forward from the nearest known boundary and caching the boundaries
+    /// it crosses.
+    fn rng_at(&mut self, index: usize) -> Result<Rng> {
+        let known = (0..=index)
+            .rev()
+            .find(|&i| self.boundaries[i].is_some())
+            .expect("boundary 0 is always known");
+        let mut rng = Rng::from_state(self.boundaries[known].expect("checked above"));
+        for i in known..index {
+            // Replay: sentence bytes and cluster writes are discarded; only
+            // the RNG advance matters.
+            self.generate_chunk(i, &mut rng)?;
+            self.boundaries[i + 1] = Some(rng.state());
+        }
+        Ok(rng)
+    }
+}
+
+impl CorpusSource for StreamingCorpus {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn genre(&self) -> Genre {
+        self.cfg.genre
+    }
+    fn types(&self) -> &[TypeSpec] {
+        &self.types
+    }
+    fn total_sentences(&self) -> usize {
+        self.n_sentences
+    }
+    fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+    fn read_chunk(&mut self, index: usize) -> Result<CorpusChunk> {
+        if index >= self.num_chunks() {
+            return Err(Error::InvalidConfig(format!(
+                "chunk {index} out of range; stream has {}",
+                self.num_chunks()
+            )));
+        }
+        let mut rng = self.rng_at(index)?;
+        let chunk = self.generate_chunk(index, &mut rng)?;
+        self.boundaries[index + 1] = Some(rng.state());
+        Ok(chunk)
+    }
+}
+
+impl StreamingCorpus {
+    /// Materializes the whole stream into a [`Dataset`], byte-identical to
+    /// a monolithic [`generate_dataset`](crate::generator::generate_dataset)
+    /// run with the same seed regardless of chunk size.
+    pub fn materialize(mut self) -> Result<Dataset> {
+        let mut sentences = Vec::with_capacity(self.n_sentences);
+        let mut clusters: HashMap<String, u64> = HashMap::new();
+        for i in 0..self.num_chunks() {
+            if self.n_sentences == 0 {
+                break;
+            }
+            let chunk = self.read_chunk(i)?;
+            sentences.extend(chunk.sentences);
+            for (k, v) in chunk.clusters {
+                clusters.entry(k).or_insert(v);
+            }
+        }
+        Ok(Dataset::assemble(
+            self.name,
+            self.cfg.genre,
+            self.types,
+            sentences,
+            clusters,
+        ))
+    }
+}
+
+/// A resumable position in a corpus stream: the number of raw sentences a
+/// consumer has drawn, exposed as chunk index + intra-chunk position so the
+/// snapshot names the exact generator chunk to seek to.
+///
+/// Consumption is monotonic — streams loop over the corpus for multi-epoch
+/// runs, so `chunk` keeps counting past `num_chunks` and the generator maps
+/// it back modulo the corpus length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamCursor {
+    /// Chunk index (monotonic across epochs).
+    pub chunk: u64,
+    /// Position within the chunk, `0 <= pos < chunk_size`.
+    pub pos: u64,
+}
+
+impl StreamCursor {
+    /// The cursor for `consumed` raw sentences at `chunk_size`.
+    pub fn at(consumed: u64, chunk_size: usize) -> StreamCursor {
+        let c = (chunk_size as u64).max(1);
+        StreamCursor {
+            chunk: consumed / c,
+            pos: consumed % c,
+        }
+    }
+
+    /// Total raw sentences consumed at `chunk_size`.
+    pub fn consumed(&self, chunk_size: usize) -> u64 {
+        self.chunk * (chunk_size as u64).max(1) + self.pos
+    }
+}
+
+impl ToJson for StreamCursor {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("chunk".to_string(), Json::Num(self.chunk as f64)),
+            ("pos".to_string(), Json::Num(self.pos as f64)),
+        ])
+    }
+}
+
+impl FromJson for StreamCursor {
+    fn from_json(json: &Json) -> Result<StreamCursor> {
+        Ok(StreamCursor {
+            chunk: json.field("chunk")?.as_u64()?,
+            pos: json.field("pos")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::Family;
+    use crate::gazetteer::build_inventory;
+    use crate::generator::generate_dataset;
+
+    fn inventory() -> Vec<TypeSpec> {
+        build_inventory(6, &Family::NEWSWIRE, 15, 1)
+    }
+
+    fn monolithic(n: usize) -> Dataset {
+        generate_dataset("s", inventory(), n, &GenConfig::newswire(), 7).unwrap()
+    }
+
+    #[test]
+    fn chunked_stream_matches_monolithic_for_every_chunk_size() {
+        let whole = monolithic(97);
+        for chunk in [1usize, 7, 64, 97, 200] {
+            let stream =
+                StreamingCorpus::new("s", inventory(), 97, &GenConfig::newswire(), 7, chunk)
+                    .unwrap();
+            let d = stream.materialize().unwrap();
+            assert_eq!(d.sentences, whole.sentences, "chunk size {chunk}");
+            assert_eq!(d.clusters(), whole.clusters(), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn chunks_are_seekable_in_any_order() {
+        let whole = monolithic(50);
+        let mut stream =
+            StreamingCorpus::new("s", inventory(), 50, &GenConfig::newswire(), 7, 8).unwrap();
+        // Read out of order, with repeats.
+        for index in [4usize, 1, 6, 1, 0, 5, 2, 3, 6] {
+            let chunk = stream.read_chunk(index).unwrap();
+            assert_eq!(chunk.start, index * 8);
+            let end = (chunk.start + chunk.sentences.len()).min(50);
+            assert_eq!(chunk.sentences.len(), end - chunk.start);
+            assert_eq!(
+                chunk.sentences,
+                whole.sentences[chunk.start..end],
+                "chunk {index}"
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_is_a_single_chunk_source() {
+        let mut d = monolithic(30);
+        let whole = d.clone();
+        assert_eq!(CorpusSource::num_chunks(&d), 1);
+        assert_eq!(CorpusSource::total_sentences(&d), 30);
+        let chunk = d.read_chunk(0).unwrap();
+        assert_eq!(chunk.sentences, whole.sentences);
+        assert_eq!(&chunk.clusters, whole.clusters());
+        assert!(d.read_chunk(1).is_err());
+    }
+
+    #[test]
+    fn boundary_cache_makes_backward_seeks_cheap() {
+        let mut stream =
+            StreamingCorpus::new("s", inventory(), 100, &GenConfig::newswire(), 7, 10).unwrap();
+        stream.read_chunk(9).unwrap(); // replays 0..9, caches all boundaries
+        let after_first = stream.chunks_generated();
+        stream.read_chunk(3).unwrap(); // boundary cached: exactly one chunk
+        assert_eq!(stream.chunks_generated(), after_first + 1);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(
+            StreamingCorpus::new("s", inventory(), 10, &GenConfig::newswire(), 7, 0).is_err(),
+            "zero chunk size"
+        );
+        assert!(
+            StreamingCorpus::new("s", vec![], 10, &GenConfig::newswire(), 7, 4).is_err(),
+            "empty inventory"
+        );
+        let mut stream =
+            StreamingCorpus::new("s", inventory(), 10, &GenConfig::newswire(), 7, 4).unwrap();
+        assert!(stream.read_chunk(3).is_err(), "out of range chunk");
+    }
+
+    #[test]
+    fn cursor_round_trips_through_json() {
+        let cur = StreamCursor::at(1234, 64);
+        assert_eq!(cur, StreamCursor { chunk: 19, pos: 18 });
+        assert_eq!(cur.consumed(64), 1234);
+        let json = Json::parse(&cur.to_json().to_string()).unwrap();
+        assert_eq!(StreamCursor::from_json(&json).unwrap(), cur);
+    }
+}

@@ -10,8 +10,10 @@
 
 pub mod sampler;
 pub mod stats;
+pub mod stream;
 pub mod task;
 
 pub use sampler::EpisodeSampler;
 pub use stats::EpisodeStats;
+pub use stream::StreamSampler;
 pub use task::{EpisodeSentence, Task};

@@ -62,7 +62,7 @@ impl EpisodeSentence {
 
 /// One N-way K-shot task (𝒯ᵢ in the paper): a support set for adaptation
 /// and a query set for evaluation, over N abstract class slots.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// N.
     pub n_ways: usize,

@@ -72,12 +72,12 @@ impl TokenEncoder {
         // "Il-2") can carry different clusters, and first-wins over a
         // HashMap's per-instance iteration order would let the merged entry
         // — and that word's pretrained embedding row — differ between
-        // runs, so resolve collisions in sorted key order.
+        // runs, so resolve collisions in sorted key order. The sorted view
+        // is cached on the dataset: serving rebuilds used to re-collect and
+        // re-sort the full map on every call.
         let mut clusters: HashMap<String, u64> = HashMap::new();
         for d in datasets {
-            let mut pairs: Vec<(&String, &u64)> = d.clusters().iter().collect();
-            pairs.sort_by(|a, b| a.0.cmp(b.0));
-            for (k, v) in pairs {
+            for (k, v) in d.sorted_clusters() {
                 clusters.entry(k.to_lowercase()).or_insert(*v);
             }
         }
@@ -191,6 +191,38 @@ mod tests {
             let again = TokenEncoder::build(&[&dn], &spec, 4);
             assert_eq!(first.pretrained.data(), again.pretrained.data());
         }
+    }
+
+    #[test]
+    fn cached_sorted_clusters_leave_the_encoder_unchanged() {
+        // Regression for the sorted-cluster cache on `Dataset`: the encoder
+        // must produce the exact table the per-call collect-and-sort merge
+        // produced, so every checkpoint and prediction stays byte-identical.
+        let d = DatasetProfile::genia().generate(0.03).unwrap();
+        let spec = EmbeddingSpec {
+            dim: 16,
+            ..EmbeddingSpec::default()
+        };
+        let cached = TokenEncoder::build(&[&d], &spec, 4);
+
+        // The historical merge, inlined.
+        let mut pairs: Vec<(&String, &u64)> = d.clusters().iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        let mut clusters: HashMap<String, u64> = HashMap::new();
+        for (k, v) in pairs {
+            clusters.entry(k.to_lowercase()).or_insert(*v);
+        }
+        let table = fewner_text::embed::build_table(
+            &spec,
+            cached.words.len(),
+            |i| cached.words.token(i).to_string(),
+            |i| clusters.get(cached.words.token(i)).copied(),
+        );
+        assert_eq!(cached.pretrained.data(), table.as_slice());
+
+        // Encodings (model inputs, hence predictions) are unchanged too.
+        let enc = cached.encode(&d.sentences[0].tokens);
+        assert_eq!(enc.len(), d.sentences[0].len());
     }
 
     #[test]

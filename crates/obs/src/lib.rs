@@ -42,5 +42,5 @@ pub mod trace;
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use sink::{JsonlSink, MemorySink, NoopSink, Sink};
-pub use summary::{SpanStats, TraceSummary};
+pub use summary::{HistDigest, SpanStats, StreamingDigest, TraceSummary};
 pub use trace::{Span, Tracer};

@@ -64,6 +64,46 @@ impl SpanStats {
     }
 }
 
+/// Aggregate of one histogram's flush snapshot (`t: "hist"` records).
+/// Histograms carry signals with no backing span records — e.g.
+/// `corpus/window_resident`, the routed-sentence residency of a streaming
+/// window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistDigest {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (0 when empty).
+    pub min: f64,
+    /// Largest observed value (0 when empty).
+    pub max: f64,
+}
+
+impl HistDigest {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The streaming-corpus digest — see [`TraceSummary::streaming`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingDigest {
+    /// Corpus chunks generated on demand (`corpus/chunks_generated`).
+    pub chunks_generated: u64,
+    /// Mean routed sentences resident in the sampling window
+    /// (`corpus/window_resident`).
+    pub window_mean: f64,
+    /// Peak routed sentences resident at once — the run's actual memory
+    /// bound.
+    pub window_peak: f64,
+}
+
 /// The sharded-training digest from a coordinator trace — see
 /// [`TraceSummary::sharding`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +137,8 @@ pub struct TraceSummary {
     pub gauges: BTreeMap<String, f64>,
     /// Event counts per event name.
     pub events: BTreeMap<String, usize>,
+    /// Histogram digests (last flush snapshot wins).
+    pub hists: BTreeMap<String, HistDigest>,
     /// Total records parsed.
     pub records: usize,
 }
@@ -127,7 +169,20 @@ impl TraceSummary {
                 "gauge" => {
                     summary.gauges.insert(name, rec.field("v")?.as_f64()?);
                 }
-                "hist" => {} // aggregates of the span records already held
+                // Histogram snapshots are the only record of observe()
+                // signals (spans keep their own raw records); like
+                // counters, the last flush wins.
+                "hist" => {
+                    summary.hists.insert(
+                        name,
+                        HistDigest {
+                            count: rec.field("count")?.as_u64()?,
+                            sum: rec.field("sum")?.as_f64()?,
+                            min: rec.field("min")?.as_f64()?,
+                            max: rec.field("max")?.as_f64()?,
+                        },
+                    );
+                }
                 other => {
                     return Err(Error::Serde(format!(
                         "trace line {}: unknown record type `{other}`",
@@ -187,6 +242,20 @@ impl TraceSummary {
             c("serve/request_retries"),
         );
         (requests > 0).then_some(digest)
+    }
+
+    /// The streaming-corpus digest: chunks generated on demand plus the
+    /// sampling window's resident-sentence profile. `None` when the trace
+    /// holds no `corpus/chunks_generated` counter, so materialized runs
+    /// stay quiet.
+    pub fn streaming(&self) -> Option<StreamingDigest> {
+        let chunks = *self.counters.get("corpus/chunks_generated")?;
+        let resident = self.hists.get("corpus/window_resident");
+        Some(StreamingDigest {
+            chunks_generated: chunks,
+            window_mean: resident.map_or(0.0, HistDigest::mean),
+            window_peak: resident.map_or(0.0, |h| h.max),
+        })
     }
 
     /// The sharded-training digest: reduce rounds, per-shard task counts
@@ -268,6 +337,33 @@ impl TraceSummary {
             if self.events.contains_key("serve/persist_degraded") {
                 out.push_str("  φ persistence DEGRADED to memory-only (see events)\n");
             }
+        }
+        if let Some(stream) = self.streaming() {
+            out.push_str("\nstreaming corpus\n");
+            out.push_str(&format!(
+                "  {} chunks generated on demand; window residency mean {:.1}, \
+                 peak {:.0} routed sentences\n",
+                stream.chunks_generated, stream.window_mean, stream.window_peak,
+            ));
+        }
+        if let Some(ext) = self.spans.get("serve/adapt_extend") {
+            out.push_str("\nincremental adaptation\n");
+            out.push_str(&format!(
+                "  {} extends ({} total), mean {:.2} ms",
+                ext.count(),
+                self.counters.get("serve/extends").copied().unwrap_or(0),
+                ext.mean_ns() / 1e6,
+            ));
+            if let Some(cold) = self.spans.get("serve/adapt") {
+                if cold.count() > 0 && ext.mean_ns() > 0.0 {
+                    out.push_str(&format!(
+                        " vs cold adapt mean {:.2} ms ({:.1}x)",
+                        cold.mean_ns() / 1e6,
+                        cold.mean_ns() / ext.mean_ns(),
+                    ));
+                }
+            }
+            out.push('\n');
         }
         if let Some(sharding) = self.sharding() {
             out.push_str("\nsharding\n");
@@ -454,6 +550,45 @@ mod tests {
         .join("\n");
         let s = TraceSummary::parse(&text).unwrap();
         assert_eq!(s.sharding().unwrap().tasks_per_shard, vec![(2, 7), (10, 5)]);
+    }
+
+    #[test]
+    fn streaming_digest_appears_only_for_streaming_traces() {
+        let quiet = TraceSummary::parse(&span_line("train/iteration", 0, 1_000)).unwrap();
+        assert_eq!(quiet.streaming(), None);
+        assert!(!quiet.render().contains("streaming corpus"));
+
+        let text = [
+            r#"{"t":"counter","name":"corpus/chunks_generated","v":128}"#,
+            r#"{"t":"hist","name":"corpus/window_resident","count":4,"sum":720.0,"min":150.0,"max":200.0,"buckets":[]}"#,
+        ]
+        .join("\n");
+        let s = TraceSummary::parse(&text).unwrap();
+        let d = s.streaming().expect("streaming trace must digest");
+        assert_eq!(d.chunks_generated, 128);
+        assert!((d.window_mean - 180.0).abs() < 1e-9);
+        assert_eq!(d.window_peak, 200.0);
+        let report = s.render();
+        assert!(report.contains("streaming corpus"), "{report}");
+        assert!(report.contains("128 chunks generated"), "{report}");
+        assert!(report.contains("peak 200 routed sentences"), "{report}");
+    }
+
+    #[test]
+    fn incremental_adaptation_renders_the_extend_vs_cold_split() {
+        let text = [
+            span_line("serve/adapt", 0, 12_000_000),
+            span_line("serve/adapt_extend", 1, 6_000_000),
+            r#"{"t":"counter","name":"serve/extends","v":1}"#.to_string(),
+        ]
+        .join("\n");
+        let s = TraceSummary::parse(&text).unwrap();
+        let report = s.render();
+        assert!(report.contains("incremental adaptation"), "{report}");
+        assert!(
+            report.contains("1 extends (1 total), mean 6.00 ms vs cold adapt mean 12.00 ms (2.0x)"),
+            "{report}"
+        );
     }
 
     #[test]

@@ -537,6 +537,54 @@ impl PhiCache {
         }
     }
 
+    /// Installs a new context for `key`, superseding whatever revision was
+    /// resident — invalidation-by-version for incremental extension. The
+    /// entry is inserted *settled* (no single-flight claim to win): lookups
+    /// racing this call observe either the old or the new context, never a
+    /// blocked cell. The persisted φ is overwritten in place so a restart
+    /// warm-reloads the latest revision; the same graceful degradation as a
+    /// cold persist applies.
+    pub fn replace(&self, key: &CacheKey, ctx: Arc<AdaptedCtx>) {
+        let persisted = self.persist(key, &ctx);
+        let now = self.clock.now_ns();
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if persisted {
+            inner.stats.persists += 1;
+        }
+        let cell = Cell::new();
+        cell.settle(Ok(ctx));
+        inner.map.insert(
+            key.clone(),
+            EntryMeta {
+                cell,
+                last_used: tick,
+                expires_at: self.policy.ttl_ns.map(|t| now.saturating_add(t)),
+            },
+        );
+        while inner.map.len() > self.policy.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, m)| *k != key && m.cell.is_settled())
+                .min_by_key(|(_, m)| m.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    inner.map.remove(&k);
+                    inner.stats.evictions += 1;
+                    self.tracer.incr("serve/cache_evictions", 1);
+                }
+                None => break,
+            }
+        }
+        drop(inner);
+        if persisted {
+            self.tracer.incr("serve/phi_persists", 1);
+        }
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         self.lock().stats
@@ -656,6 +704,39 @@ mod tests {
         // The dead entry was removed: the next lookup adapts fresh.
         let (_, l) = cache.get_or_adapt(&k, || Ok(ctx(1.0))).unwrap();
         assert_eq!(l, Lookup::Cold);
+    }
+
+    #[test]
+    fn replace_supersedes_the_resident_context() {
+        let cache = PhiCache::new(CachePolicy::lru(4), Tracer::disabled()).unwrap();
+        let k = key("x");
+        let (old, l) = cache.get_or_adapt(&k, || Ok(ctx(0.0))).unwrap();
+        assert_eq!(l, Lookup::Cold);
+        let newer = Arc::new(ctx(5.0));
+        cache.replace(&k, Arc::clone(&newer));
+        let (got, l) = cache
+            .get_or_adapt(&k, || panic!("must stay resident"))
+            .unwrap();
+        assert_eq!(l, Lookup::Hit);
+        assert!(Arc::ptr_eq(&got, &newer), "lookups see the new revision");
+        assert!(!Arc::ptr_eq(&got, &old));
+    }
+
+    #[test]
+    fn replace_overwrites_the_persisted_phi() {
+        let dir = std::env::temp_dir().join(format!("fewner-cache-replace-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache =
+            PhiCache::new(CachePolicy::lru(4).persist_dir(&dir), Tracer::disabled()).unwrap();
+        let k = key("x");
+        cache.get_or_adapt(&k, || Ok(ctx(0.0))).unwrap();
+        let path = dir.join(PhiCache::file_name(&k));
+        let before = std::fs::read(&path).unwrap();
+        cache.replace(&k, Arc::new(ctx(9.0)));
+        let after = std::fs::read(&path).unwrap();
+        assert_ne!(before, after, "the newer revision must land on disk");
+        assert_eq!(cache.stats().persists, 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

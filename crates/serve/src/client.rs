@@ -129,6 +129,30 @@ impl Client {
         }
     }
 
+    /// Grows `(tenant, task)` with newly arrived support (incremental
+    /// online adaptation); returns the context's new revision plus how it
+    /// was produced (`extended`, or `cold` when the key was unknown and a
+    /// full adapt ran instead).
+    pub fn extend(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        ways: usize,
+        support: Vec<SupportSentence>,
+    ) -> Result<(u32, String)> {
+        let req = Request::Extend {
+            tenant: tenant.to_string(),
+            task: task.to_string(),
+            ways,
+            support,
+            deadline_ms: None,
+        };
+        match self.request_ok(&req)? {
+            Response::Extended { revision, source } => Ok((revision, source)),
+            other => Err(unexpected("extend ack", &other)),
+        }
+    }
+
     /// Predicts tags for query sentences under an already-adapted task.
     pub fn predict(
         &mut self,
@@ -425,6 +449,31 @@ impl RetryClient {
         match self.request_ok(&req)? {
             Response::Adapted { source } => Ok(source),
             other => Err(unexpected("adapt ack", &other)),
+        }
+    }
+
+    /// Grows a task's context with new support (retried, deadline
+    /// attached). Safe to retry: a duplicate extend after a lost reply
+    /// re-runs over support the context already retains, which is
+    /// idempotent in the labels it can predict (the revision may advance
+    /// twice).
+    pub fn extend(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        ways: usize,
+        support: Vec<SupportSentence>,
+    ) -> Result<(u32, String)> {
+        let req = Request::Extend {
+            tenant: tenant.to_string(),
+            task: task.to_string(),
+            ways,
+            support,
+            deadline_ms: self.policy.deadline_ms,
+        };
+        match self.request_ok(&req)? {
+            Response::Extended { revision, source } => Ok((revision, source)),
+            other => Err(unexpected("extend ack", &other)),
         }
     }
 

@@ -13,6 +13,9 @@
 //! → {"op":"predict","tenant":"acme","task":"triage",
 //!    "sentences":[["flu","season"]]}
 //! ← {"ok":true,"op":"predict","tags":[["B-0","O"]]}
+//! → {"op":"extend","tenant":"acme","task":"triage","ways":2,
+//!    "support":[{"tokens":["booster"],"tags":["B-1"]}]}
+//! ← {"ok":true,"op":"extend","revision":2,"source":"extended"}
 //! → {"op":"stats"}
 //! ← {"ok":true,"op":"stats","counters":{"hits":1,...}}
 //! ← {"ok":false,"error":"overloaded","message":"...","queue_depth":64,"limit":64}
@@ -179,6 +182,21 @@ pub enum Request {
         /// Optional time budget in milliseconds, enforced server-side.
         deadline_ms: Option<u64>,
     },
+    /// Grow an existing adapted context with additional support sentences
+    /// (incremental online adaptation): a few warm-started inner steps over
+    /// the merged support instead of a full re-adapt.
+    Extend {
+        /// Namespace for task ids.
+        tenant: String,
+        /// Task id within the tenant.
+        task: String,
+        /// Way count; must match the existing context.
+        ways: usize,
+        /// Newly arrived labelled support sentences.
+        support: Vec<SupportSentence>,
+        /// Optional time budget in milliseconds, enforced server-side.
+        deadline_ms: Option<u64>,
+    },
     /// Decode query sentences under the task's adapted φ.
     Predict {
         /// Namespace for task ids.
@@ -208,6 +226,16 @@ impl Request {
         let op = json.field("op")?.as_str()?;
         match op {
             "adapt" => Ok(Request::Adapt {
+                tenant: json.field("tenant")?.as_str()?.to_string(),
+                task: json.field("task")?.as_str()?.to_string(),
+                ways: json.field("ways")?.as_usize()?,
+                support: support_list(json.field("support")?)?,
+                deadline_ms: match json.get("deadline_ms") {
+                    Some(d) => Some(d.as_u64()?),
+                    None => None,
+                },
+            }),
+            "extend" => Ok(Request::Extend {
                 tenant: json.field("tenant")?.as_str()?.to_string(),
                 task: json.field("task")?.as_str()?.to_string(),
                 ways: json.field("ways")?.as_usize()?,
@@ -258,6 +286,28 @@ impl Request {
             } => {
                 let mut fields = vec![
                     ("op".into(), Json::from("adapt")),
+                    ("tenant".into(), Json::Str(tenant.clone())),
+                    ("task".into(), Json::Str(task.clone())),
+                    ("ways".into(), Json::from(*ways)),
+                    (
+                        "support".into(),
+                        Json::Arr(support.iter().map(SupportSentence::to_json).collect()),
+                    ),
+                ];
+                if let Some(d) = deadline_ms {
+                    fields.push(("deadline_ms".into(), Json::from(*d)));
+                }
+                Json::Obj(fields)
+            }
+            Request::Extend {
+                tenant,
+                task,
+                ways,
+                support,
+                deadline_ms,
+            } => {
+                let mut fields = vec![
+                    ("op".into(), Json::from("extend")),
                     ("tenant".into(), Json::Str(tenant.clone())),
                     ("task".into(), Json::Str(task.clone())),
                     ("ways".into(), Json::from(*ways)),
@@ -327,6 +377,16 @@ pub enum Response {
     /// The task's φ is ready; `source` is `hot`, `warm` or `cold`.
     Adapted {
         /// Where the context came from (cache / disk / fresh inner loop).
+        source: String,
+    },
+    /// The task's φ was grown in place. `revision` is the context's new
+    /// revision counter; `source` is `extended` (warm-started incremental
+    /// steps) or `cold` (the key was unknown, so a full adapt ran over the
+    /// new support alone).
+    Extended {
+        /// Monotonic per-context revision after this operation.
+        revision: u32,
+        /// How the context was produced (`extended` / `cold`).
         source: String,
     },
     /// One tag sequence per query sentence, in textual form.
@@ -435,6 +495,12 @@ impl Response {
                 ("op".into(), Json::from("adapt")),
                 ("source".into(), Json::Str(source.clone())),
             ]),
+            Response::Extended { revision, source } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("op".into(), Json::from("extend")),
+                ("revision".into(), Json::from(*revision as u64)),
+                ("source".into(), Json::Str(source.clone())),
+            ]),
             Response::Predictions { tags } => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
                 ("op".into(), Json::from("predict")),
@@ -503,6 +569,10 @@ impl Response {
             "adapt" => Ok(Response::Adapted {
                 source: json.field("source")?.as_str()?.to_string(),
             }),
+            "extend" => Ok(Response::Extended {
+                revision: json.field("revision")?.as_u64()? as u32,
+                source: json.field("source")?.as_str()?.to_string(),
+            }),
             "predict" => Ok(Response::Predictions {
                 tags: json
                     .field("tags")?
@@ -563,6 +633,16 @@ mod tests {
             }],
             deadline_ms: Some(250),
         });
+        round_trip_request(&Request::Extend {
+            tenant: "acme".into(),
+            task: "triage".into(),
+            ways: 2,
+            support: vec![SupportSentence {
+                tokens: vec!["booster".into()],
+                tags: vec![Tag::B(1)],
+            }],
+            deadline_ms: None,
+        });
         round_trip_request(&Request::Predict {
             tenant: "acme".into(),
             task: "triage".into(),
@@ -590,6 +670,10 @@ mod tests {
         round_trip_response(&Response::ShuttingDown);
         round_trip_response(&Response::Adapted {
             source: "warm".into(),
+        });
+        round_trip_response(&Response::Extended {
+            revision: 3,
+            source: "extended".into(),
         });
         round_trip_response(&Response::Predictions {
             tags: vec![vec!["O".into(), "B-1".into()]],

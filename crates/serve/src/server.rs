@@ -37,7 +37,7 @@ use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Condvar, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use fewner_core::{AdaptedCtx, Fewner, ServeOptions};
@@ -47,7 +47,7 @@ use fewner_text::TagSet;
 use fewner_util::fault::{self, ServeFault};
 use fewner_util::{Deadline, Error, Json, Result};
 
-use crate::cache::{CacheKey, PhiCache};
+use crate::cache::{CacheKey, Lookup, PhiCache};
 use crate::protocol::{
     read_frame, FrameRead, Request, Response, SupportSentence, DEFAULT_MAX_FRAME_BYTES,
 };
@@ -607,6 +607,19 @@ impl Server {
                 },
                 Err(e) => Response::from_error(&e),
             },
+            Request::Extend {
+                tenant,
+                task,
+                ways,
+                support,
+                deadline_ms,
+            } => match self.do_extend(tenant, task, ways, &support, deadline_ms) {
+                Ok((revision, source)) => Response::Extended {
+                    revision,
+                    source: source.to_string(),
+                },
+                Err(e) => Response::from_error(&e),
+            },
             Request::Predict {
                 tenant,
                 task,
@@ -687,6 +700,49 @@ impl Server {
                 self.run_adapt(&encoded, ways, &opts)
             })?;
         Ok(lookup.as_str())
+    }
+
+    /// Incremental online adaptation: grows a known context with new
+    /// support (a few warm-started inner steps over the merged set) and
+    /// installs the successor revision atomically via
+    /// [`PhiCache::replace`]. An unknown key has nothing to extend, so the
+    /// new support alone feeds a full cold adapt — the caller sees
+    /// `"cold"` and revision 1, and can tell the difference.
+    fn do_extend(
+        &self,
+        tenant: String,
+        task: String,
+        ways: usize,
+        support: &[SupportSentence],
+        deadline_ms: Option<u64>,
+    ) -> Result<(u32, &'static str)> {
+        let deadline = self.effective_deadline(deadline_ms);
+        if let Some(d) = &deadline {
+            d.check("admission")?;
+        }
+        let encoded = self.encode_support(ways, support)?;
+        let key: CacheKey = (tenant, task);
+        let opts = self.opts.with_deadline(deadline);
+        let (ctx, lookup) = self
+            .cache
+            .get_or_adapt_within(&key, deadline.as_ref(), || {
+                self.run_adapt(&encoded, ways, &opts)
+            })?;
+        if matches!(lookup, Lookup::Cold) {
+            return Ok((ctx.revision(), "cold"));
+        }
+        if ctx.n_ways() != ways {
+            return Err(Error::InvalidConfig(format!(
+                "extend sent {ways} ways but `{}/{}` was adapted {}-way",
+                key.0,
+                key.1,
+                ctx.n_ways(),
+            )));
+        }
+        let extended = self.learner.extend(&ctx, &encoded, &opts)?;
+        let revision = extended.revision();
+        self.cache.replace(&key, Arc::new(extended));
+        Ok((revision, "extended"))
     }
 
     fn do_predict(

@@ -114,6 +114,78 @@ fn protocol_round_trip_over_tcp() {
 }
 
 #[test]
+fn extend_grows_a_served_context_incrementally() {
+    let (learner, enc, tasks) = common::tiny();
+    let (task, task2) = (&tasks[0], &tasks[1]);
+    let sink = MemorySink::new();
+    let tracer = Tracer::new(MonotonicClock::new(), sink.clone());
+    let server = Server::new(
+        learner,
+        enc,
+        ServeOptions::new().tracer(tracer),
+        ServerConfig::new(),
+    )
+    .unwrap();
+
+    with_server(&server, |addr| {
+        let mut client = Client::connect(addr).unwrap();
+
+        // Unknown key: nothing to extend, so the new support alone feeds a
+        // full adapt — reported as `cold` at revision 1.
+        let (rev, source) = client
+            .extend("acme", "t0", task.n_ways, wire_support(task))
+            .unwrap();
+        assert_eq!((rev, source.as_str()), (1, "cold"));
+
+        // Known key: warm-started incremental steps over the merged
+        // support; each extend bumps the revision and supersedes the
+        // cached context.
+        let (rev, source) = client
+            .extend("acme", "t0", task2.n_ways, wire_support(task2))
+            .unwrap();
+        assert_eq!((rev, source.as_str()), (2, "extended"));
+        let (rev, source) = client
+            .extend("acme", "t0", task.n_ways, wire_support(task))
+            .unwrap();
+        assert_eq!((rev, source.as_str()), (3, "extended"));
+
+        // A way count that contradicts the resident context is a typed
+        // bad_request, not a silent re-adapt.
+        let err = client.extend(
+            "acme",
+            "t0",
+            1,
+            vec![SupportSentence {
+                tokens: vec!["x".to_string()],
+                tags: vec![fewner_text::Tag::O],
+            }],
+        );
+        assert!(
+            matches!(err, Err(Error::InvalidConfig(ref msg)) if msg.contains("bad_request")),
+            "expected bad_request on a ways mismatch, got {err:?}"
+        );
+
+        // Prediction flows through the latest extended revision.
+        let preds = client
+            .predict("acme", "t0", &query_sentences(task))
+            .unwrap();
+        assert_eq!(preds.len(), task.query.len());
+    });
+
+    let summary = TraceSummary::parse(&sink.text()).unwrap();
+    assert!(
+        summary.spans.contains_key("serve/adapt_extend"),
+        "incremental adaptation is timed separately from cold adapts"
+    );
+    assert_eq!(
+        summary.counters.get("serve/extends").copied().unwrap_or(0),
+        2,
+        "two warm extends ran ({:?})",
+        summary.counters
+    );
+}
+
+#[test]
 fn restart_reuses_persisted_phi_with_identical_predictions() {
     let (learner, enc, tasks) = common::tiny();
     let task = &tasks[0];

@@ -24,9 +24,11 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 
 use fewner::cli::{
-    backbone, build_encoder, flag, meta, parse_args, profile, split_for, weights, USAGE,
+    backbone, build_encoder, flag, meta, parse_args, profile, split_counts, split_for, weights,
+    USAGE,
 };
 use fewner::core::Checkpoint;
+use fewner::corpus::CorpusSource;
 use fewner::prelude::*;
 use fewner::tensor::WeightFormat;
 
@@ -141,11 +143,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> fewner::Result<()> {
         .cloned()
         .unwrap_or_else(|| "checkpoints".to_string());
 
-    let data = p.generate(scale)?;
-    let split = split_for(&p, &data, seed)?;
-    let enc = build_encoder(&data);
     let cfg = meta();
-    let mut learner = Fewner::new(backbone(ways), &enc, cfg.clone())?;
     let mut schedule = TrainConfig::new(ways, shots)
         .iterations(iterations)
         .query_size(6)
@@ -173,27 +171,41 @@ fn cmd_train(flags: &HashMap<String, String>) -> fewner::Result<()> {
             .coordinator(coordinator);
         println!("shard {shard_id}/{shards}, coordinator at {coordinator}");
     }
-    println!(
-        "meta-training FEWNER on {} ({} train sentences, {} train types)…",
-        p.name,
-        split.train.len(),
-        split.train.types.len()
-    );
-    let log = match resume_dir {
-        Some(dir) => {
-            println!("resuming from the newest valid snapshot in {dir}/…");
-            fewner::core::Trainer::new().resume(
+    let chunk_size = flag(flags, "corpus-chunk-size", 0usize);
+    let (learner, log) = if chunk_size > 0 {
+        train_streaming(flags, &p, scale, seed, ways, chunk_size, &cfg, &schedule)?
+    } else {
+        let data = p.generate(scale)?;
+        let split = split_for(&p, &data, seed)?;
+        let enc = build_encoder(&data);
+        let mut learner = Fewner::new(backbone(ways), &enc, cfg.clone())?;
+        println!(
+            "meta-training FEWNER on {} ({} train sentences, {} train types)…",
+            p.name,
+            split.train.len(),
+            split.train.types.len()
+        );
+        let log = match resume_dir {
+            Some(dir) => {
+                println!("resuming from the newest valid snapshot in {dir}/…");
+                fewner::core::Trainer::new().resume(
+                    &mut learner,
+                    &split.train,
+                    &enc,
+                    &cfg,
+                    &schedule,
+                    dir,
+                )?
+            }
+            None => fewner::core::Trainer::new().train(
                 &mut learner,
                 &split.train,
                 &enc,
                 &cfg,
                 &schedule,
-                dir,
-            )?
-        }
-        None => {
-            fewner::core::Trainer::new().train(&mut learner, &split.train, &enc, &cfg, &schedule)?
-        }
+            )?,
+        };
+        (learner, log)
     };
     println!(
         "trained {} tasks in {:.1}s; loss {:.3} → {:.3}",
@@ -209,6 +221,74 @@ fn cmd_train(flags: &HashMap<String, String>) -> fewner::Result<()> {
         println!("checkpoint written to {path}");
     }
     Ok(())
+}
+
+/// The streaming train path (`--corpus-chunk-size` > 0): sentences are
+/// generated chunk-on-demand and the episode sampler keeps only a bounded
+/// window of routed sentences resident, so peak corpus memory is set by
+/// `--stream-window`, not `--scale`. The token encoder still needs
+/// corpus-wide vocabulary statistics; one materializing pass builds it and
+/// is dropped before training starts. Chunked generation is byte-identical
+/// to the monolithic generator, so with default `--corpus-sentences` the
+/// encoder — and therefore the checkpoint — stays portable to
+/// `evaluate`/`predict`/`serve`, which rebuild the encoder from `--scale`.
+#[allow(clippy::too_many_arguments)]
+fn train_streaming(
+    flags: &HashMap<String, String>,
+    p: &DatasetProfile,
+    scale: f64,
+    seed: u64,
+    ways: usize,
+    chunk_size: usize,
+    cfg: &MetaConfig,
+    schedule: &TrainConfig,
+) -> fewner::Result<(Fewner, TrainingLog)> {
+    let sentences = match flags.get("corpus-sentences") {
+        Some(v) => Some(v.parse().map_err(|_| {
+            fewner::Error::InvalidConfig("--corpus-sentences must be a usize".into())
+        })?),
+        None => None,
+    };
+    let window = flag(flags, "stream-window", 512usize);
+    let stride = flag(flags, "stream-stride", 64usize);
+    let corpus = p.stream(scale, sentences, chunk_size)?;
+    let ids: Vec<fewner::text::TypeId> = corpus.types().iter().map(|t| t.id).collect();
+    let counts = split_counts(p, ids.len());
+    let (train_types, _, _) = fewner::corpus::partition_type_ids(ids, counts, seed)?;
+    let enc = {
+        let d = corpus.clone().materialize()?;
+        build_encoder(&d)
+    };
+    let mut learner = Fewner::new(backbone(ways), &enc, cfg.clone())?;
+    let total = corpus.total_sentences();
+    let mut source =
+        fewner::core::StreamSource::open(corpus, train_types, schedule, window, stride)?;
+    println!(
+        "meta-training FEWNER on a {} stream ({total} sentences in {chunk_size}-sentence \
+         chunks; window {window}, stride {stride})…",
+        p.name,
+    );
+    let log = match flags.get("resume") {
+        Some(dir) => {
+            println!("resuming from the newest valid snapshot in {dir}/…");
+            fewner::core::Trainer::new().resume_stream(
+                &mut learner,
+                &mut source,
+                &enc,
+                cfg,
+                schedule,
+                dir,
+            )?
+        }
+        None => fewner::core::Trainer::new().train_stream(
+            &mut learner,
+            &mut source,
+            &enc,
+            cfg,
+            schedule,
+        )?,
+    };
+    Ok((learner, log))
 }
 
 /// Single-machine sharded-training driver: binds the coordinator on an
@@ -250,6 +330,10 @@ fn cmd_train_sharded(flags: &HashMap<String, String>) -> fewner::Result<()> {
             "checkpoint-every",
             "checkpoint-dir",
             "resume",
+            "corpus-chunk-size",
+            "corpus-sentences",
+            "stream-window",
+            "stream-stride",
         ] {
             if let Some(value) = flags.get(key) {
                 cmd.arg(format!("--{key}")).arg(value);

@@ -50,6 +50,15 @@ pub const USAGE: &str =
     --shard-id <i>         this worker's shard id, 0 <= i < S (default 0)
     --coordinator <addr>   host:port of the shard coordinator (required
                            when --shards > 1)
+    --corpus-chunk-size <N> stream the corpus in N-sentence chunks instead of
+                           materializing it up front (default 0 = off); the
+                           sampler then keeps only a bounded window resident
+    --corpus-sentences <N> streamed corpus length override (default: sized by
+                           the corpus scale, like the materialized path)
+    --stream-window <N>    resident streaming window, in routed sentences
+                           (default 512)
+    --stream-stride <N>    sentences the window advances per refill
+                           (default 64)
   train-sharded only:
     one-machine driver: binds a coordinator, spawns S `fewner train`
     worker processes, and waits; takes every train flag plus
@@ -129,21 +138,27 @@ pub fn weights(flags: &HashMap<String, String>) -> Result<WeightFormat> {
     }
 }
 
-/// A type split sized to the profile (paper splits where defined, a
-/// 60/15/25 type partition otherwise).
-pub fn split_for(p: &DatasetProfile, data: &Dataset, seed: u64) -> Result<TypeSplit> {
-    let counts = match p.name {
+/// The profile's type-split sizes over an `n_types` inventory (paper
+/// splits where defined, a 60/15/25 type partition otherwise). Shared by
+/// the materialized ([`split_for`]) and streaming train paths so both
+/// partition the same inventory identically.
+pub fn split_counts(p: &DatasetProfile, n_types: usize) -> (usize, usize, usize) {
+    match p.name {
         "NNE" => (52, 10, 15),
         "FG-NER" => (163, 15, 20),
         "GENIA" => (18, 8, 10),
         _ => {
-            let n = data.types.len();
-            let train = (n * 3) / 5;
-            let val = n / 5;
-            (train, val, n - train - val)
+            let train = (n_types * 3) / 5;
+            let val = n_types / 5;
+            (train, val, n_types - train - val)
         }
-    };
-    split_types(data, counts, seed)
+    }
+}
+
+/// A type split sized to the profile (paper splits where defined, a
+/// 60/15/25 type partition otherwise).
+pub fn split_for(p: &DatasetProfile, data: &Dataset, seed: u64) -> Result<TypeSplit> {
+    split_types(data, split_counts(p, data.types.len()), seed)
 }
 
 /// The CLI's token-encoder convention (32-dim synthetic embeddings,
